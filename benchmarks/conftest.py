@@ -1,0 +1,41 @@
+"""Benchmark-harness configuration.
+
+Each bench regenerates one paper table/figure: it times the experiment
+with pytest-benchmark (one round — these are minutes-scale simulations,
+not microbenchmarks) and writes the rendered paper-vs-measured report to
+``benchmarks/results/<name>.txt`` so the numbers survive the run.
+
+Scale knob: ``REPRO_BENCH_JOBS`` (default 300) sets jobs per log.
+The paper uses 1000; 300 keeps the full suite to a few minutes while
+preserving every qualitative comparison. Set ``REPRO_BENCH_JOBS=1000``
+for paper-scale runs.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def bench_jobs(default: int = 300) -> int:
+    """Jobs per log for benchmark runs (env-overridable)."""
+    return int(os.environ.get("REPRO_BENCH_JOBS", default))
+
+
+@pytest.fixture
+def record_report():
+    """Write a rendered experiment report to benchmarks/results/ and echo it."""
+
+    def _record(name: str, text: str) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(text + "\n")
+        # also surface in the terminal (visible with -s / on failure)
+        print(f"\n{text}\n[written to {path}]", file=sys.stderr)
+
+    return _record

@@ -1,0 +1,128 @@
+"""Ablation benches for the design choices called out in DESIGN.md.
+
+1. **Backfill vs FIFO** — the paper inherits SLURM's FIFO+backfill; how
+   much of the wait-time story depends on backfilling?
+2. **msize weighting of Eq. 6** — the paper's text suggests hop-bytes;
+   does dropping the weighting change which allocator wins?
+3. **Topology-aware default vs plain select/linear** — how much of the
+   gain is the tree plugin itself vs the paper's contribution on top?
+"""
+
+from conftest import bench_jobs
+
+from repro.cost import CostModel
+from repro.experiments import ExperimentConfig, continuous_runs
+from repro.experiments.report import render_table
+from repro.scheduler.metrics import percent_improvement
+from repro.workloads import single_pattern_mix
+
+
+def _cfg(n, **kw):
+    base = dict(
+        log="theta",
+        n_jobs=n,
+        percent_comm=90.0,
+        mix=single_pattern_mix("rhvd"),
+        seed=0,
+    )
+    base.update(kw)
+    return ExperimentConfig(**base)
+
+
+def test_bench_ablation_backfill(benchmark, record_report):
+    n = bench_jobs()
+
+    def run():
+        out = {}
+        for policy in ("backfill", "fifo"):
+            results = continuous_runs(_cfg(n, policy=policy, allocators=("default", "balanced")))
+            out[policy] = results
+        return out
+
+    out = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = []
+    for policy, results in out.items():
+        for name, res in results.items():
+            rows.append([policy, name, res.total_execution_hours, res.total_wait_hours])
+    report = render_table(
+        ["policy", "allocator", "exec (h)", "wait (h)"],
+        rows,
+        title="Ablation: EASY backfill vs pure FIFO",
+    )
+    record_report("ablation_backfill", report)
+    # backfilling must not hurt waits; balanced still wins under FIFO
+    for policy in ("backfill", "fifo"):
+        assert (
+            out[policy]["balanced"].total_execution_hours
+            < out[policy]["default"].total_execution_hours
+        )
+    assert (
+        out["backfill"]["default"].total_wait_hours
+        <= out["fifo"]["default"].total_wait_hours * 1.01
+    )
+
+
+def test_bench_ablation_msize_weighting(benchmark, record_report):
+    n = bench_jobs()
+
+    def run():
+        out = {}
+        for weighted in (True, False):
+            cfg = _cfg(n, cost_model=CostModel(weight_by_msize=weighted))
+            out[weighted] = continuous_runs(cfg)
+        return out
+
+    out = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = []
+    for weighted, results in out.items():
+        base = results["default"].total_execution_hours
+        for name, res in results.items():
+            rows.append(
+                [
+                    "hop-bytes" if weighted else "hops (literal Eq. 6)",
+                    name,
+                    res.total_execution_hours,
+                    percent_improvement(base, res.total_execution_hours),
+                ]
+            )
+    report = render_table(
+        ["cost metric", "allocator", "exec (h)", "impr %"],
+        rows,
+        title="Ablation: msize-weighted vs literal Eq. 6 cost",
+    )
+    record_report("ablation_msize", report)
+    # the winner ordering is robust to the weighting choice
+    for weighted, results in out.items():
+        assert (
+            results["balanced"].total_execution_hours
+            <= results["default"].total_execution_hours
+        ), weighted
+
+
+def test_bench_ablation_linear_baseline(benchmark, record_report):
+    n = bench_jobs()
+
+    def run():
+        return continuous_runs(
+            _cfg(n, allocators=("linear", "default", "balanced", "adaptive"))
+        )
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    base = results["linear"].total_execution_hours
+    rows = [
+        [name, res.total_execution_hours,
+         percent_improvement(base, res.total_execution_hours)]
+        for name, res in results.items()
+    ]
+    report = render_table(
+        ["allocator", "exec (h)", "impr % vs linear"],
+        rows,
+        title="Ablation: topology-blind select/linear baseline",
+    )
+    record_report("ablation_linear", report)
+    # the tree-aware default should not lose to topology-blind first-fit,
+    # and the paper's algorithms improve further
+    assert (
+        results["balanced"].total_execution_hours
+        <= results["linear"].total_execution_hours
+    )

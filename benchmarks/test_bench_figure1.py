@@ -1,0 +1,20 @@
+"""Bench: Figure 1 — two-job interference on the flow-level simulator.
+
+Regenerates the J1/J2 interference series and the §5.3 contention/
+runtime correlation (paper: 0.83). Asserts the spike mechanism and a
+strong correlation.
+"""
+
+from repro.experiments import run_figure1
+
+
+def test_bench_figure1(benchmark, record_report):
+    result = benchmark.pedantic(
+        lambda: run_figure1(burst_count=5, burst_period_s=80.0, burst_iterations=300),
+        rounds=1,
+        iterations=1,
+    )
+    record_report("figure1", result.render())
+    assert result.slowdown_factor > 1.1, "J2 must visibly slow J1 (Figure 1 spikes)"
+    assert result.correlation > 0.7, "contention estimate must track measured times"
+    assert len(result.j2_active) == 5

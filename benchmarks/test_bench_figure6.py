@@ -1,0 +1,23 @@
+"""Bench: Figure 6 — execution-time gains across mixes A-E (§6.2).
+
+Theta log, 90% comm-intensive, five compute/communication mixes.
+Shape assertions: gains grow with communication fraction within a
+pattern family (A < C, D < E) and every set shows positive mean gain.
+"""
+
+from conftest import bench_jobs
+
+from repro.experiments import run_figure6
+
+
+def test_bench_figure6(benchmark, record_report):
+    n = bench_jobs()
+    result = benchmark.pedantic(
+        lambda: run_figure6(log="theta", n_jobs=n, seed=0), rounds=1, iterations=1
+    )
+    record_report("figure6", result.render())
+
+    assert result.mean_gain("A") < result.mean_gain("C"), "gain must grow 33% -> 70% RHVD"
+    assert result.mean_gain("D") < result.mean_gain("E"), "gain must grow 50% -> 70% mixed"
+    for s in "ABCDE":
+        assert result.mean_gain(s) > 0, f"set {s} must improve over default"

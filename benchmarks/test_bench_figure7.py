@@ -1,0 +1,26 @@
+"""Bench: Figure 7 — per-job exec times, continuous vs individual (§6.3).
+
+Theta + RD, 200 sampled jobs. Shape assertions: job-aware allocators
+reduce per-job execution times in both run styles, with the continuous
+maximum reduction exceeding the individual one (queueing amplifies
+placement differences, as in the paper's 70% vs 15%).
+"""
+
+from conftest import bench_jobs
+
+from repro.experiments import run_figure7
+
+
+def test_bench_figure7(benchmark, record_report):
+    n = bench_jobs()
+    result = benchmark.pedantic(
+        lambda: run_figure7(n_jobs=n, n_samples=min(200, n // 2), seed=0),
+        rounds=1,
+        iterations=1,
+    )
+    record_report("figure7", result.render())
+
+    for mode in ("continuous", "individual"):
+        assert result.mean_reduction_pct(mode, "adaptive") > 0, mode
+        assert result.mean_reduction_pct(mode, "balanced") > 0, mode
+    assert result.max_reduction_pct("continuous", "adaptive") > 0

@@ -1,0 +1,33 @@
+"""Bench: Figure 8 — Eq. 6 communication cost by node range (§6.4).
+
+Binomial pattern, 90% comm-intensive, all three logs. Shape assertions:
+balanced/adaptive reduce total communication cost on every log and
+generally more than greedy (paper: ~3.4% greedy vs ~11% balanced).
+"""
+
+from conftest import bench_jobs
+
+from repro.experiments import run_figure8
+
+
+def test_bench_figure8(benchmark, record_report):
+    n = bench_jobs()
+
+    def run_all():
+        return {
+            log: run_figure8(log=log, n_jobs=n, seed=0)
+            for log in ("intrepid", "theta", "mira")
+        }
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    record_report(
+        "figure8", "\n\n".join(results[log].render() for log in results)
+    )
+
+    for log, result in results.items():
+        assert result.avg_reduction["balanced"] > 0, log
+        assert result.avg_reduction["adaptive"] > 0, log
+    # the paper's greedy-weakest ordering, aggregated over logs
+    greedy = sum(r.avg_reduction["greedy"] for r in results.values())
+    balanced = sum(r.avg_reduction["balanced"] for r in results.values())
+    assert balanced > greedy

@@ -1,0 +1,25 @@
+"""Bench: Figure 9 — turnaround and node-hours vs %comm-intensive (§6.5).
+
+Intrepid + RHVD, sweep over 30/60/90% communication-intensive jobs.
+Shape assertions: balanced/adaptive improve both metrics at every sweep
+point and the improvement grows with the percentage.
+"""
+
+from conftest import bench_jobs
+
+from repro.experiments import run_figure9
+
+
+def test_bench_figure9(benchmark, record_report):
+    n = bench_jobs()
+    result = benchmark.pedantic(
+        lambda: run_figure9(log="intrepid", n_jobs=n, seed=0), rounds=1, iterations=1
+    )
+    record_report("figure9", result.render())
+
+    for percent in (30.0, 60.0, 90.0):
+        assert result.improvement(percent, "balanced", "node_hours") > 0, percent
+        assert result.improvement(percent, "adaptive", "node_hours") > 0, percent
+    assert result.improvement(90.0, "balanced", "node_hours") > result.improvement(
+        30.0, "balanced", "node_hours"
+    ), "paper §6.5: gains grow with the share of communication-intensive jobs"

@@ -1,0 +1,57 @@
+"""Micro-benchmarks: allocator and cost-model throughput.
+
+These are the hot paths of a continuous run (§7 of DESIGN.md): one
+allocation decision plus one Eq. 6 evaluation per job start. Timed at
+Mira scale (49k nodes, 136 leaves, 16384-node job) to catch performance
+regressions in the vectorized kernels.
+"""
+
+import numpy as np
+import pytest
+
+from repro.allocation import get_allocator
+from repro.cluster import ClusterState, CommComponent, Job, JobKind
+from repro.cost import CostModel
+from repro.patterns import RecursiveDoubling, RecursiveHalvingVectorDoubling
+from repro.topology import mira_like
+
+
+@pytest.fixture(scope="module")
+def mira_state():
+    topo = mira_like()
+    state = ClusterState(topo)
+    rng = np.random.default_rng(0)
+    # 40% background occupancy, half comm-intensive
+    nodes = rng.choice(topo.n_nodes, size=int(0.4 * topo.n_nodes), replace=False)
+    half = nodes.size // 2
+    state.allocate(9001, nodes[:half], JobKind.COMM)
+    state.allocate(9002, nodes[half:], JobKind.COMPUTE)
+    return state
+
+
+def big_job(nodes=16384):
+    return Job(1, 0.0, nodes, 3600.0, JobKind.COMM,
+               (CommComponent(RecursiveHalvingVectorDoubling(), 0.7),))
+
+
+@pytest.mark.parametrize("name", ["default", "greedy", "balanced", "adaptive"])
+def test_bench_allocate_16k_on_mira(benchmark, mira_state, name):
+    allocator = get_allocator(name)
+    job = big_job()
+    nodes = benchmark(lambda: allocator.allocate(mira_state, job))
+    assert len(nodes) == 16384
+
+
+def test_bench_cost_eval_16k_rd(benchmark, mira_state):
+    model = CostModel()
+    trial = mira_state.copy()
+    nodes = get_allocator("balanced").allocate(trial, big_job())
+    trial.allocate(1, nodes, JobKind.COMM)
+    cost = benchmark(lambda: model.allocation_cost(trial, nodes, RecursiveDoubling()))
+    assert cost > 0
+
+
+def test_bench_state_copy_mira(benchmark, mira_state):
+    """Counterfactual pricing copies the state once per comm job."""
+    clone = benchmark(mira_state.copy)
+    assert clone.total_free == mira_state.total_free

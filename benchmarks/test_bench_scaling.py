@@ -1,0 +1,55 @@
+"""Bench: simulator throughput scaling with machine size.
+
+Not a paper artifact — an engineering health check. The paper's SLURM
+emulation took 2-5 days per configuration; this reproduction's value
+proposition is doing the same decision sequence in seconds, so the
+bench tracks end-to-end continuous-run throughput at three machine
+scales and fails if a change makes the engine super-linearly slower.
+"""
+
+import time
+
+from conftest import bench_jobs
+
+from repro.experiments import ExperimentConfig, continuous_runs
+from repro.experiments.report import render_table
+from repro.workloads import single_pattern_mix
+
+LOGS = ("theta", "intrepid", "mira")  # 4.4k, 41k, 49k nodes
+
+
+def test_bench_engine_scaling(benchmark, record_report):
+    n = max(bench_jobs() // 2, 100)
+
+    def run():
+        timings = {}
+        for log in LOGS:
+            cfg = ExperimentConfig(
+                log=log,
+                n_jobs=n,
+                mix=single_pattern_mix("rhvd"),
+                allocators=("balanced",),
+                seed=0,
+            )
+            t0 = time.perf_counter()
+            results = continuous_runs(cfg)
+            elapsed = time.perf_counter() - t0
+            timings[log] = (elapsed, cfg.topology().n_nodes, len(results["balanced"]))
+        return timings
+
+    timings = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        [log, nodes, jobs, elapsed, jobs / elapsed]
+        for log, (elapsed, nodes, jobs) in timings.items()
+    ]
+    report = render_table(
+        ["log", "cluster nodes", "jobs", "seconds", "jobs/s"],
+        rows,
+        title=f"Engine throughput, balanced allocator, {n} jobs per log",
+    )
+    record_report("scaling", report)
+
+    for log, (elapsed, nodes, jobs) in timings.items():
+        assert jobs / elapsed > 5, (
+            f"{log}: {jobs / elapsed:.1f} jobs/s — engine has regressed badly"
+        )

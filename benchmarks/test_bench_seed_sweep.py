@@ -1,0 +1,64 @@
+"""Bench: seed-sweep robustness of the headline result.
+
+A single replay could get lucky. This bench reruns the Theta + RHVD
+headline comparison over several independent trace seeds and checks,
+with a bootstrap confidence interval over the per-seed improvements,
+that the balanced allocator's execution-time win over the default is
+statistically solid — not a one-trace fluke.
+"""
+
+import numpy as np
+from conftest import bench_jobs
+
+from repro.analysis import bootstrap_mean_ci
+from repro.experiments import ExperimentConfig, continuous_runs
+from repro.experiments.report import render_table
+from repro.scheduler.metrics import percent_improvement
+from repro.workloads import single_pattern_mix
+
+SEEDS = (0, 1, 2, 3, 4)
+
+
+def test_bench_seed_sweep(benchmark, record_report):
+    n = max(bench_jobs() // 2, 100)  # 5 seeds: halve per-run size
+
+    def run():
+        improvements = {"greedy": [], "balanced": [], "adaptive": []}
+        for seed in SEEDS:
+            cfg = ExperimentConfig(
+                log="theta",
+                n_jobs=n,
+                percent_comm=90.0,
+                mix=single_pattern_mix("rhvd"),
+                seed=seed,
+            )
+            results = continuous_runs(cfg)
+            base = results["default"].total_execution_hours
+            for name in improvements:
+                improvements[name].append(
+                    percent_improvement(base, results[name].total_execution_hours)
+                )
+        return improvements
+
+    improvements = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = []
+    cis = {}
+    for name, vals in improvements.items():
+        lo, hi = bootstrap_mean_ci(vals, seed=0)
+        cis[name] = (lo, hi)
+        rows.append([name, float(np.mean(vals)), float(np.min(vals)),
+                     float(np.max(vals)), lo, hi])
+    report = render_table(
+        ["allocator", "mean impr %", "min", "max", "CI lo", "CI hi"],
+        rows,
+        title=f"Seed sweep: exec-time improvement over default "
+              f"(theta, RHVD, {len(SEEDS)} seeds x {n} jobs)",
+    )
+    record_report("seed_sweep", report)
+
+    # the paper's headline claim must hold for every seed, and the
+    # bootstrap CI of the balanced improvement must exclude zero
+    assert all(v > 0 for v in improvements["balanced"]), improvements["balanced"]
+    assert all(v > 0 for v in improvements["adaptive"]), improvements["adaptive"]
+    assert cis["balanced"][0] > 0, "balanced improvement CI must exclude 0"

@@ -1,0 +1,14 @@
+"""Bench: Table 2 — balanced allocation of a 512-node job.
+
+Deterministic worked example; the measured split must equal the paper's
+128/128/64/64/64/32/32 exactly.
+"""
+
+from repro.experiments import run_table2
+from repro.experiments.table2 import PAPER_ALLOCATED
+
+
+def test_bench_table2(benchmark, record_report):
+    result = benchmark(run_table2)
+    record_report("table2", result.render())
+    assert result.allocated == PAPER_ALLOCATED

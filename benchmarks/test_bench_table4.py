@@ -1,0 +1,32 @@
+"""Bench: Table 4 — individual-run improvements, 200 sampled jobs (§6.3).
+
+Every allocator prices the same jobs against the same warm cluster
+snapshot. Shape assertions: balanced/adaptive improve on default in
+every row, adaptive >= balanced, and the paper's Theta quirk (all three
+algorithms identical, §6.1/§6.3) reproduces on the 16-node-leaf
+topology.
+"""
+
+import pytest
+from conftest import bench_jobs
+
+from repro.experiments import run_table4
+
+
+def test_bench_table4(benchmark, record_report):
+    n = bench_jobs()
+    result = benchmark.pedantic(
+        lambda: run_table4(n_jobs=n, n_samples=min(200, n // 2), seed=0),
+        rounds=1,
+        iterations=1,
+    )
+    record_report("table4", result.render())
+
+    for key, imp in result.improvements.items():
+        assert imp["balanced"] > 0, key
+        assert imp["adaptive"] >= imp["balanced"] - 1e-9, key
+    for pattern in ("rhvd", "rd"):
+        theta = result.improvements[("theta", pattern)]
+        assert theta["greedy"] == pytest.approx(theta["balanced"], abs=1.0), (
+            "paper: Theta's small leaves make greedy and balanced coincide"
+        )

@@ -1,0 +1,22 @@
+"""Bench: cost-model validation — Eq. 6 vs the flow-level simulator.
+
+Goes beyond the paper's single §5.3 correlation (r = 0.83 on the
+departmental cluster): sweep candidate placements across a contention
+gradient, price each with the scheduler's Eq. 2-6 estimator and measure
+it on the max-min-fair network simulation. A strong correlation
+certifies that the cheap estimator ranks placements the way a real
+network would.
+"""
+
+from repro.experiments import run_cost_model_validation
+
+
+def test_bench_cost_model_validation(benchmark, record_report):
+    result = benchmark.pedantic(
+        lambda: run_cost_model_validation(n_placements=15, seed=0),
+        rounds=1,
+        iterations=1,
+    )
+    record_report("validation", result.render())
+    assert result.pearson > 0.6, "Eq. 6 must track simulated communication time"
+    assert result.spearman > 0.5, "Eq. 6 must rank placements like the network does"

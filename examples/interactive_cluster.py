@@ -1,0 +1,52 @@
+#!/usr/bin/env python
+"""Drive the cluster interactively with SLURM-style commands.
+
+``SlurmCluster`` is the online counterpart of the batch replay engine:
+submit jobs as virtual time advances, watch the queue, cancel things —
+the workflow a SLURM operator knows, backed by the paper's balanced
+allocation algorithm and Eq. 7 runtime model.
+
+Run:
+    python examples/interactive_cluster.py
+"""
+
+from repro.slurm import SlurmCluster, format_sinfo, format_squeue
+from repro.topology import iitk_hpc2010
+
+
+def show_queue(cluster):
+    print(f"\n$ squeue   (t = {cluster.now:.0f}s)")
+    print(format_squeue(cluster.squeue(), now=cluster.now))
+
+
+def main() -> None:
+    cluster = SlurmCluster(iitk_hpc2010(), allocator="balanced")
+    print(f"Cluster: {cluster.topology.n_nodes} nodes "
+          f"({cluster.topology.n_leaves} leaf switches of 16)")
+
+    print("\n$ sbatch -N 256 (comm-intensive, MPI_Allgather/RHVD, 1h)")
+    big = cluster.sbatch(nodes=256, runtime=3600.0, kind="comm", pattern="rhvd")
+    print("\n$ sbatch -N 512 (compute, 30min)")
+    cluster.sbatch(nodes=512, runtime=1800.0)
+    print("\n$ sbatch -N 128 (comm-intensive, MPI_Allreduce/RD, 2h)")
+    cluster.sbatch(nodes=128, runtime=7200.0, kind="comm", pattern="rd")
+    show_queue(cluster)
+
+    print("\n... 30 minutes pass ...")
+    cluster.advance(1800.0)
+    show_queue(cluster)
+
+    print(f"\n$ scancel {big}")
+    cluster.scancel(big)
+    show_queue(cluster)
+
+    print("\n$ sinfo (first 6 switches)")
+    print(format_sinfo(cluster.sinfo()[:6]))
+
+    cluster.drain()
+    print(f"\nAll jobs drained at t = {cluster.now:.0f}s; "
+          f"{len(cluster.history)} completed.")
+
+
+if __name__ == "__main__":
+    main()

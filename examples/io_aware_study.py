@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""§7 future work, implemented: I/O-aware allocation.
+
+A cluster runs a mix of communication-intensive, I/O-intensive, and
+compute jobs. The paper's greedy algorithm only avoids *communication*
+load; the `io-aware` allocator scores both interference types. This
+study submits an I/O-heavy stream and shows where each allocator stacks
+it: greedy happily piles I/O jobs onto the same switches (they look
+"quiet" through a communication-only lens), while io-aware spreads
+them.
+
+Run:
+    python examples/io_aware_study.py
+"""
+
+import numpy as np
+
+from repro import ClusterState, Job, JobKind, get_allocator
+from repro.experiments.report import render_table
+from repro.topology import tree_from_leaf_sizes
+
+
+def place_spanning_io_job(allocator_name: str):
+    """Place one 12-node I/O job on a cluster with mixed tenants.
+
+    The job must span leaves (12 > any single 8-node leaf) — a request
+    that fits one leaf short-circuits to SLURM's best-fit leaf in every
+    algorithm (lines 2-5 of the paper's pseudocode), so only spanning
+    jobs reveal the ordering differences.
+
+    Tenants: leaf 0 half-filled with an I/O job, leaf 1 half-filled with
+    a compute job, leaf 2 idle. A communication-only lens cannot tell
+    leaves 0 and 1 apart (equal occupancy, zero L_comm); the I/O-aware
+    score can.
+    """
+    topo = tree_from_leaf_sizes([8, 8, 8])
+    state = ClusterState(topo)
+    state.allocate(100, list(range(0, 4)), JobKind.IO)       # leaf 0: I/O tenant
+    state.allocate(101, list(range(8, 12)), JobKind.COMPUTE)  # leaf 1: compute tenant
+    allocator = get_allocator(allocator_name)
+    job = Job(1, 0.0, 12, 3600.0, JobKind.IO)
+    nodes = allocator.allocate(state, job)
+    overlap_with_tenant = int((topo.leaf_of_node[nodes] == 0).sum())
+    state.allocate(job.job_id, nodes, job.kind)
+    return state.leaf_io.tolist(), overlap_with_tenant
+
+
+def main() -> None:
+    rows = []
+    for name in ("greedy", "balanced", "io-aware"):
+        io_per_leaf, overlap = place_spanning_io_job(name)
+        rows.append([name, str(io_per_leaf), overlap])
+    print(render_table(
+        ["allocator", "L_io per leaf after the new job", "nodes sharing the I/O tenant's switch"],
+        rows,
+        title="Placing a 12-node I/O job\n"
+              "(3 leaves x 8 nodes; leaf 0: I/O tenant, leaf 1: compute tenant, leaf 2: idle)",
+    ))
+    print(
+        "\nGreedy and balanced are blind to I/O load — to them an I/O job is"
+        "\njust 'not communication-intensive', so part of the new job lands"
+        "\nnext to the existing I/O tenant and competes for the same storage"
+        "\npaths. The io-aware score routes that remainder to the compute"
+        "\ntenant's switch: zero overlap with the I/O-heavy leaf."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Quickstart: compare the paper's four allocation algorithms on one log.
+
+Generates a Theta-like 200-job trace (90% communication-intensive,
+RHVD-dominated, the paper's headline configuration), replays it through
+the discrete-event SLURM simulator once per allocator, and prints the
+paper's five metrics (§5.4) side by side.
+
+Run:
+    python examples/quickstart.py
+"""
+
+from repro import ExperimentConfig, PAPER_ALLOCATORS, continuous_runs, single_pattern_mix
+from repro.experiments.report import render_table
+from repro.scheduler.metrics import percent_improvement
+
+
+def main() -> None:
+    cfg = ExperimentConfig(
+        log="theta",
+        n_jobs=200,
+        percent_comm=90.0,
+        mix=single_pattern_mix("rhvd", 0.7),
+        allocators=PAPER_ALLOCATORS,
+        seed=0,
+    )
+    print(f"Simulating {cfg.n_jobs} jobs on a {cfg.topology().n_nodes}-node "
+          f"Theta-like cluster, {cfg.percent_comm:.0f}% communication-intensive...")
+    results = continuous_runs(cfg)
+    base = results["default"]
+
+    rows = []
+    for name in PAPER_ALLOCATORS:
+        res = results[name]
+        rows.append(
+            [
+                name,
+                res.total_execution_hours,
+                percent_improvement(base.total_execution_hours, res.total_execution_hours),
+                res.total_wait_hours,
+                res.avg_turnaround_hours,
+                res.mean_cost_jobaware,
+            ]
+        )
+    print(
+        render_table(
+            ["allocator", "exec (h)", "exec impr %", "wait (h)", "avg turnaround (h)", "mean Eq.6 cost"],
+            rows,
+            title="\nPaper §6.1-style comparison (continuous runs)",
+        )
+    )
+    print(
+        "\nExpected shape (paper Table 3): balanced and adaptive beat greedy,"
+        "\nwhich beats the default; wait times drop under job-aware allocation."
+    )
+
+
+if __name__ == "__main__":
+    main()

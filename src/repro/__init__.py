@@ -1,0 +1,156 @@
+"""repro — reproduction of "Communication-aware Job Scheduling using SLURM".
+
+Mishra, Agrawal, Malakar. ICPP Workshops 2020.
+DOI 10.1145/3409390.3409410.
+
+The package is a discrete-event reimplementation of the paper's
+SLURM-based system:
+
+* :mod:`repro.topology` — tree/fat-tree topologies + ``topology.conf``;
+* :mod:`repro.patterns` — MPI collective communication patterns;
+* :mod:`repro.cost` — contention / effective-hops cost model (Eqs. 2-7);
+* :mod:`repro.cluster` — jobs and per-switch occupancy state;
+* :mod:`repro.allocation` — default / greedy / balanced / adaptive;
+* :mod:`repro.scheduler` — FIFO + EASY-backfill event simulator;
+* :mod:`repro.workloads` — SWF parsing and synthetic machine logs;
+* :mod:`repro.netsim` — flow-level network simulation (Figure 1);
+* :mod:`repro.experiments` — one module per paper table/figure;
+* :mod:`repro.analysis` — utilization timelines, run comparison, stats;
+* :mod:`repro.mapping` — §7 rank-to-node process mapping (extension);
+* :mod:`repro.slurm` — interactive sbatch/squeue/sinfo-style facade.
+
+Quickstart::
+
+    from repro import (
+        ExperimentConfig, continuous_runs, single_pattern_mix,
+    )
+
+    cfg = ExperimentConfig(log="theta", n_jobs=300,
+                           mix=single_pattern_mix("rhvd"))
+    results = continuous_runs(cfg)
+    for name, res in results.items():
+        print(name, res.total_execution_hours)
+"""
+
+from .allocation import (
+    AdaptiveAllocator,
+    AllocationError,
+    Allocator,
+    BalancedAllocator,
+    DefaultSlurmAllocator,
+    GreedyAllocator,
+    LinearAllocator,
+    PAPER_ALLOCATORS,
+    get_allocator,
+)
+from .cluster import ClusterState, CommComponent, Job, JobKind
+from .cost import CostModel, allocation_cost, contention_factor, effective_hops
+from .experiments import ExperimentConfig, continuous_runs, individual_runs
+from .patterns import (
+    BinomialTree,
+    CommunicationPattern,
+    RecursiveDoubling,
+    RecursiveHalvingVectorDoubling,
+    Ring,
+    Stencil2D,
+    get_pattern,
+)
+from .scheduler import (
+    EngineConfig,
+    SchedulerEngine,
+    SimulationResult,
+    simulate,
+)
+from .topology import (
+    TreeTopology,
+    load_topology_conf,
+    parse_topology_conf,
+    three_level_tree,
+    tree_from_leaf_sizes,
+    two_level_tree,
+    write_topology_conf,
+)
+from .analysis import (
+    average_utilization,
+    compare_results,
+    pearson_correlation,
+    per_job_improvements,
+)
+from .distribution import (
+    block_distribution,
+    cyclic_distribution,
+    plane_distribution,
+)
+from .mapping import (
+    leaf_block_mapping,
+    local_search_mapping,
+)
+from .slurm import SlurmCluster
+from .workloads import (
+    TraceJob,
+    assign_kinds,
+    intrepid_log,
+    mira_log,
+    single_pattern_mix,
+    theta_log,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AdaptiveAllocator",
+    "AllocationError",
+    "Allocator",
+    "BalancedAllocator",
+    "DefaultSlurmAllocator",
+    "GreedyAllocator",
+    "LinearAllocator",
+    "PAPER_ALLOCATORS",
+    "get_allocator",
+    "ClusterState",
+    "CommComponent",
+    "Job",
+    "JobKind",
+    "CostModel",
+    "allocation_cost",
+    "contention_factor",
+    "effective_hops",
+    "ExperimentConfig",
+    "continuous_runs",
+    "individual_runs",
+    "BinomialTree",
+    "CommunicationPattern",
+    "RecursiveDoubling",
+    "RecursiveHalvingVectorDoubling",
+    "Ring",
+    "Stencil2D",
+    "get_pattern",
+    "EngineConfig",
+    "SchedulerEngine",
+    "SimulationResult",
+    "simulate",
+    "TreeTopology",
+    "load_topology_conf",
+    "parse_topology_conf",
+    "three_level_tree",
+    "tree_from_leaf_sizes",
+    "two_level_tree",
+    "write_topology_conf",
+    "average_utilization",
+    "compare_results",
+    "pearson_correlation",
+    "per_job_improvements",
+    "block_distribution",
+    "cyclic_distribution",
+    "plane_distribution",
+    "leaf_block_mapping",
+    "local_search_mapping",
+    "SlurmCluster",
+    "TraceJob",
+    "assign_kinds",
+    "intrepid_log",
+    "mira_log",
+    "single_pattern_mix",
+    "theta_log",
+    "__version__",
+]

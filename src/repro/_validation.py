@@ -1,0 +1,61 @@
+"""Shared argument-validation helpers.
+
+Small, dependency-free checks used across the package so error messages
+are consistent and call sites stay one line long.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+
+def require_positive_int(value: Any, name: str) -> int:
+    """Return ``value`` as an int, raising ``ValueError`` unless it is >= 1."""
+    if isinstance(value, bool) or not isinstance(value, (int,)):
+        raise TypeError(f"{name} must be an int, got {type(value).__name__}")
+    if value < 1:
+        raise ValueError(f"{name} must be >= 1, got {value}")
+    return int(value)
+
+
+def require_non_negative(value: float, name: str) -> float:
+    """Return ``value`` as a float, raising ``ValueError`` if it is negative or NaN."""
+    value = float(value)
+    if not value >= 0.0:  # also rejects NaN
+        raise ValueError(f"{name} must be >= 0, got {value}")
+    return value
+
+
+def require_fraction(value: float, name: str) -> float:
+    """Return ``value`` as a float in the closed interval [0, 1]."""
+    value = float(value)
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {value}")
+    return value
+
+
+def require_in(value: Any, options: Iterable[Any], name: str) -> Any:
+    """Return ``value`` unchanged, raising ``ValueError`` unless it is in ``options``."""
+    options = tuple(options)
+    if value not in options:
+        raise ValueError(f"{name} must be one of {options}, got {value!r}")
+    return value
+
+
+def is_power_of_two(n: int) -> bool:
+    """Return True when ``n`` is a positive power of two."""
+    return n >= 1 and (n & (n - 1)) == 0
+
+
+def floor_power_of_two(n: int) -> int:
+    """Return the largest power of two that is <= ``n`` (``n`` must be >= 1)."""
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    return 1 << (int(n).bit_length() - 1)
+
+
+def ceil_power_of_two(n: int) -> int:
+    """Return the smallest power of two that is >= ``n`` (``n`` must be >= 1)."""
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    return 1 if n == 1 else 1 << (int(n - 1).bit_length())

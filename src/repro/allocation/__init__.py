@@ -1,0 +1,43 @@
+"""Node allocation algorithms (paper §4 + SLURM baselines)."""
+
+from .base import (
+    AllocationError,
+    Allocator,
+    find_lowest_level_switch,
+    gather_nodes,
+    leaves_below,
+)
+from .adaptive import AdaptiveAllocator, AdaptiveDecision
+from .balanced import BalancedAllocator, balanced_split
+from .default_slurm import DefaultSlurmAllocator
+from .greedy import GreedyAllocator
+from .io_aware import IOAwareAllocator
+from .linear import LinearAllocator
+from .spread import SpreadAllocator
+from .registry import (
+    ALLOCATOR_FACTORIES,
+    PAPER_ALLOCATORS,
+    allocator_names,
+    get_allocator,
+)
+
+__all__ = [
+    "AllocationError",
+    "Allocator",
+    "find_lowest_level_switch",
+    "gather_nodes",
+    "leaves_below",
+    "AdaptiveAllocator",
+    "AdaptiveDecision",
+    "BalancedAllocator",
+    "balanced_split",
+    "DefaultSlurmAllocator",
+    "GreedyAllocator",
+    "IOAwareAllocator",
+    "LinearAllocator",
+    "SpreadAllocator",
+    "ALLOCATOR_FACTORIES",
+    "PAPER_ALLOCATORS",
+    "allocator_names",
+    "get_allocator",
+]

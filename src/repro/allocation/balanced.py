@@ -1,0 +1,118 @@
+"""Balanced allocation — paper Algorithm 2 (§4.2).
+
+Communication-intensive jobs are placed in *powers of two per leaf
+switch*: the allocation chunk size ``S`` starts at the request size and
+is halved whenever the current leaf cannot hold it — and never grows
+back, matching the paper's Figure 4 subdivision tree and the Table 2
+worked example (512 nodes over leaves with 160/150/100/80/70/50/40 free
+-> 128/128/64/64/64/32/32 allocated).
+
+Power-of-two chunks keep the early (long-distance) steps of recursive
+doubling/halving algorithms *intra-switch*, cutting inter-switch
+traffic. Whatever the power-of-two sweep could not place is satisfied
+in a second pass over the leaves in reverse order, using their leftover
+free nodes.
+
+Compute-intensive jobs are packed into the *fullest* leaves first
+(ascending free count) with no power-of-two constraint, preserving
+large free blocks for communication-intensive work.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from ..cluster.job import Job
+from ..cluster.state import ClusterState
+from .._validation import floor_power_of_two
+from .base import Allocator, AllocationError, find_lowest_level_switch, gather_nodes, leaves_below
+
+__all__ = ["BalancedAllocator", "balanced_split"]
+
+
+def balanced_split(free_counts: np.ndarray, n_nodes: int) -> np.ndarray:
+    """Pure power-of-two split logic (lines 8-28 of Algorithm 2).
+
+    ``free_counts`` must already be in the traversal order (descending
+    free nodes for the paper's comm-intensive branch). Returns the nodes
+    taken per leaf, same order. This is factored out of the allocator so
+    the Table 2 example and property tests can exercise it directly.
+
+    The first sweep walks the leaves halving the chunk ``S`` until it
+    fits; the remainder sweep walks the leaves in reverse, consuming
+    leftover free nodes. Raises ``ValueError`` when the free counts
+    cannot satisfy the request (the caller guarantees they can).
+    """
+    free = np.asarray(free_counts, dtype=np.int64).copy()
+    if n_nodes < 1:
+        raise ValueError(f"n_nodes must be >= 1, got {n_nodes}")
+    if free.sum() < n_nodes:
+        raise ValueError(f"free counts sum to {free.sum()} < request {n_nodes}")
+    taken = np.zeros_like(free)
+    # S starts at the request, rounded down to a power of two for the
+    # rare non-power-of-two request (>= 90% of log jobs are powers of two).
+    chunk = floor_power_of_two(int(n_nodes))
+    remaining = int(n_nodes)
+    for i in range(free.size):
+        if remaining == 0:
+            break
+        if free[i] == 0:
+            continue
+        while chunk > free[i]:
+            chunk //= 2
+        take = min(chunk, remaining)
+        taken[i] += take
+        free[i] -= take
+        remaining -= take
+    if remaining > 0:
+        for i in range(free.size - 1, -1, -1):
+            take = min(int(free[i]), remaining)
+            taken[i] += take
+            free[i] -= take
+            remaining -= take
+            if remaining == 0:
+                break
+    if remaining > 0:  # unreachable given the sum precondition
+        raise ValueError("balanced_split failed to place all nodes")
+    return taken
+
+
+class BalancedAllocator(Allocator):
+    """Power-of-two-per-switch placement for communication-intensive jobs."""
+
+    name = "balanced"
+
+    def select(self, state: ClusterState, job: Job) -> np.ndarray:
+        switch = find_lowest_level_switch(state, job.nodes)
+        if switch is None:
+            raise AllocationError(
+                f"no switch with {job.nodes} free nodes for job {job.job_id}"
+            )
+        if switch.is_leaf:
+            return state.free_nodes_on_leaf(switch.leaf_lo, job.nodes)
+
+        leaves = leaves_below(state, switch)
+        free = state.leaf_free[leaves]
+        if job.is_comm_intensive:
+            # descending free count; leaf index breaks ties
+            order = np.lexsort((leaves, -free))
+            ordered = leaves[order]
+            taken = balanced_split(state.leaf_free[ordered], job.nodes)
+            takes: List[Tuple[int, int]] = [
+                (int(leaf), int(t)) for leaf, t in zip(ordered, taken) if t > 0
+            ]
+            return gather_nodes(state, takes)
+
+        # compute-intensive: pack fullest leaves first, no constraint
+        order = np.lexsort((leaves, free))
+        remaining = job.nodes
+        takes = []
+        for leaf in leaves[order]:
+            take = min(int(state.leaf_free[leaf]), remaining)
+            takes.append((int(leaf), take))
+            remaining -= take
+            if remaining == 0:
+                break
+        return gather_nodes(state, takes)

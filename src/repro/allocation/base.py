@@ -1,0 +1,126 @@
+"""Allocator interface and shared tree-search helpers (paper §3.1, §4).
+
+Every allocation algorithm in the paper starts the same way (line 2 of
+Algorithms 1 and 2): find the *lowest-level* switch whose subtree has at
+least the requested number of free nodes, best-fit among equals — this
+is SLURM's ``topology/tree`` behaviour. If that switch is a leaf, the
+request is served from it directly; otherwise the algorithms differ in
+how they order and fill the leaf switches below it.
+
+Allocators are stateless policy objects: they *choose* nodes but never
+mutate the :class:`~repro.cluster.state.ClusterState`; the scheduler
+engine applies the returned node ids.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..cluster.job import Job
+from ..cluster.state import ClusterState
+from ..topology.tree import SwitchInfo
+
+__all__ = [
+    "Allocator",
+    "AllocationError",
+    "find_lowest_level_switch",
+    "leaves_below",
+    "gather_nodes",
+]
+
+
+class AllocationError(RuntimeError):
+    """Raised when a request cannot be satisfied from the current state."""
+
+
+def find_lowest_level_switch(state: ClusterState, n_nodes: int) -> Optional[SwitchInfo]:
+    """SLURM ``topology/tree`` switch selection (§3.1).
+
+    Scan levels bottom-up; at the first level containing a switch with at
+    least ``n_nodes`` free in its subtree, return the *best-fit* such
+    switch (fewest free nodes, ties broken by switch index). Returns
+    ``None`` when even the root cannot satisfy the request.
+    """
+    if n_nodes < 1:
+        raise ValueError(f"n_nodes must be >= 1, got {n_nodes}")
+    topo = state.topology
+    for level in range(1, topo.height + 1):
+        best: Optional[SwitchInfo] = None
+        best_free = -1
+        for info in topo.switches_at_level(level):
+            free = state.subtree_free(info)
+            if free >= n_nodes and (best is None or free < best_free):
+                best = info
+                best_free = free
+        if best is not None:
+            return best
+    return None
+
+
+def leaves_below(state: ClusterState, switch: SwitchInfo) -> np.ndarray:
+    """Leaf indices under ``switch`` that have at least one free node."""
+    leaf_range = np.arange(switch.leaf_lo, switch.leaf_hi, dtype=np.int64)
+    return leaf_range[state.leaf_free[leaf_range] > 0]
+
+
+def gather_nodes(
+    state: ClusterState, per_leaf: Sequence[Tuple[int, int]]
+) -> np.ndarray:
+    """Materialize node ids from (leaf index, count) takes, in order.
+
+    The order of ``per_leaf`` is the *rank order* of the allocation: the
+    cost model maps ranks to nodes positionally, so which leaf serves
+    which rank block matters (balanced allocation relies on it).
+    """
+    parts: List[np.ndarray] = []
+    for leaf_index, count in per_leaf:
+        if count <= 0:
+            continue
+        parts.append(state.free_nodes_on_leaf(int(leaf_index), int(count)))
+    if not parts:
+        return np.empty(0, dtype=np.int64)
+    return np.concatenate(parts)
+
+
+class Allocator(ABC):
+    """Node-selection policy.
+
+    Subclasses implement :meth:`select`, returning node ids in rank
+    order. :meth:`allocate` wraps it with common feasibility checks.
+    """
+
+    #: registry name, e.g. ``"greedy"``
+    name: str = "abstract"
+
+    def allocate(self, state: ClusterState, job: Job) -> np.ndarray:
+        """Choose ``job.nodes`` free nodes; raises :class:`AllocationError`.
+
+        Does not mutate ``state``.
+        """
+        if job.nodes > state.topology.n_nodes:
+            raise AllocationError(
+                f"job {job.job_id} wants {job.nodes} nodes, cluster has "
+                f"{state.topology.n_nodes}"
+            )
+        if job.nodes > state.total_free:
+            raise AllocationError(
+                f"job {job.job_id} wants {job.nodes} nodes, only "
+                f"{state.total_free} free"
+            )
+        nodes = self.select(state, job)
+        if len(nodes) != job.nodes:
+            raise AllocationError(
+                f"{self.name} returned {len(nodes)} nodes for a "
+                f"{job.nodes}-node request (internal error)"
+            )
+        return np.asarray(nodes, dtype=np.int64)
+
+    @abstractmethod
+    def select(self, state: ClusterState, job: Job) -> np.ndarray:
+        """Policy body; preconditions (enough free nodes) already checked."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"

@@ -1,0 +1,28 @@
+"""Topology-blind ``select/linear`` baseline (ablation).
+
+Plain SLURM without the ``topology/tree`` plugin: take the lowest-id
+free nodes regardless of switch boundaries. Not part of the paper's
+comparison (their default already includes the topology plugin), but a
+useful ablation showing how much the tree-aware baseline itself buys.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..cluster.job import Job
+from ..cluster.state import ClusterState
+from ..cluster.state import NODE_FREE
+from .base import Allocator
+
+__all__ = ["LinearAllocator"]
+
+
+class LinearAllocator(Allocator):
+    """First-fit by node id, ignoring the topology."""
+
+    name = "linear"
+
+    def select(self, state: ClusterState, job: Job) -> np.ndarray:
+        free = np.flatnonzero(state.node_state == NODE_FREE)
+        return free[: job.nodes].astype(np.int64)

@@ -1,0 +1,45 @@
+"""Name -> allocator registry used by experiments and the CLI."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from .adaptive import AdaptiveAllocator
+from .balanced import BalancedAllocator
+from .base import Allocator
+from .default_slurm import DefaultSlurmAllocator
+from .greedy import GreedyAllocator
+from .io_aware import IOAwareAllocator
+from .linear import LinearAllocator
+from .spread import SpreadAllocator
+
+__all__ = ["ALLOCATOR_FACTORIES", "get_allocator", "allocator_names", "PAPER_ALLOCATORS"]
+
+ALLOCATOR_FACTORIES: Dict[str, Callable[[], Allocator]] = {
+    "default": DefaultSlurmAllocator,
+    "greedy": GreedyAllocator,
+    "balanced": BalancedAllocator,
+    "adaptive": AdaptiveAllocator,
+    "linear": LinearAllocator,
+    "io-aware": IOAwareAllocator,
+    "spread": SpreadAllocator,
+}
+
+#: The four algorithms compared in every paper table, in paper column order.
+PAPER_ALLOCATORS = ("default", "greedy", "balanced", "adaptive")
+
+
+def get_allocator(name: str) -> Allocator:
+    """Instantiate the allocator registered under ``name``."""
+    try:
+        factory = ALLOCATOR_FACTORIES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown allocator {name!r}; known: {sorted(ALLOCATOR_FACTORIES)}"
+        ) from None
+    return factory()
+
+
+def allocator_names() -> List[str]:
+    """Sorted registry names."""
+    return sorted(ALLOCATOR_FACTORIES)

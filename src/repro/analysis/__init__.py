@@ -1,0 +1,26 @@
+"""Post-hoc analysis: statistics, utilization timelines, run comparison."""
+
+from .ascii_plot import bar_chart, histogram, line_plot, sparkline
+from .compare import MetricComparison, compare_results, per_job_improvements
+from .stats import bootstrap_mean_ci, pearson_correlation, summarize
+from .utilization import (
+    average_utilization,
+    busy_nodes_timeline,
+    queue_length_timeline,
+)
+
+__all__ = [
+    "bar_chart",
+    "histogram",
+    "line_plot",
+    "sparkline",
+    "MetricComparison",
+    "compare_results",
+    "per_job_improvements",
+    "bootstrap_mean_ci",
+    "pearson_correlation",
+    "summarize",
+    "average_utilization",
+    "busy_nodes_timeline",
+    "queue_length_timeline",
+]

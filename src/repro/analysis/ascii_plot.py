@@ -1,0 +1,136 @@
+"""Dependency-free ASCII charts for figure output.
+
+The paper's figures are line/bar charts; this module renders their data
+series directly in the terminal so `repro-sched experiment figureN`
+shows an actual picture, not just a table. Three chart types cover all
+of them:
+
+* :func:`line_plot` — multi-series step/line chart (Figures 1, 7);
+* :func:`bar_chart` — grouped horizontal bars (Figures 6, 8, 9);
+* :func:`histogram` — distribution summaries for analysis workflows.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["line_plot", "bar_chart", "histogram", "sparkline"]
+
+_SPARK_BLOCKS = " .:-=+*#%@"
+
+
+def sparkline(values: Sequence[float], width: int = 60) -> str:
+    """One-line intensity strip of a series (used for quick glances)."""
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size == 0:
+        return ""
+    lo, hi = float(arr.min()), float(arr.max())
+    span = (hi - lo) or 1.0
+    stride = max(1, arr.size // width)
+    sampled = arr[::stride][:width]
+    return "".join(
+        _SPARK_BLOCKS[int((v - lo) / span * (len(_SPARK_BLOCKS) - 1))] for v in sampled
+    )
+
+
+def line_plot(
+    series: Dict[str, Sequence[float]],
+    *,
+    width: int = 70,
+    height: int = 12,
+    title: Optional[str] = None,
+    y_label: str = "",
+) -> str:
+    """Multi-series character line plot; series share the x index.
+
+    Each series gets a marker (``*+o x#@``); points are nearest-cell
+    rasterized. Y axis is annotated with min/max.
+    """
+    if not series:
+        raise ValueError("need at least one series")
+    markers = "*+ox#@%&"
+    arrays = {k: np.asarray(list(v), dtype=np.float64) for k, v in series.items()}
+    n = max(a.size for a in arrays.values())
+    if n == 0:
+        raise ValueError("series must be non-empty")
+    all_vals = np.concatenate([a for a in arrays.values() if a.size])
+    lo, hi = float(all_vals.min()), float(all_vals.max())
+    span = (hi - lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for (name, arr), marker in zip(arrays.items(), markers):
+        if arr.size == 0:
+            continue
+        for i, v in enumerate(arr):
+            x = int(i / max(arr.size - 1, 1) * (width - 1))
+            y = height - 1 - int((v - lo) / span * (height - 1))
+            grid[y][x] = marker
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    top_label = f"{hi:.4g}"
+    bot_label = f"{lo:.4g}"
+    label_w = max(len(top_label), len(bot_label), len(y_label))
+    for row_idx, row in enumerate(grid):
+        if row_idx == 0:
+            prefix = top_label.rjust(label_w)
+        elif row_idx == height - 1:
+            prefix = bot_label.rjust(label_w)
+        elif row_idx == height // 2 and y_label:
+            prefix = y_label.rjust(label_w)
+        else:
+            prefix = " " * label_w
+        lines.append(f"{prefix} |{''.join(row)}|")
+    lines.append(" " * label_w + " +" + "-" * width + "+")
+    legend = "   ".join(
+        f"{marker} {name}" for (name, _), marker in zip(arrays.items(), markers)
+    )
+    lines.append(" " * label_w + "  " + legend)
+    return "\n".join(lines)
+
+
+def bar_chart(
+    values: Dict[str, float],
+    *,
+    width: int = 50,
+    title: Optional[str] = None,
+    unit: str = "",
+) -> str:
+    """Horizontal bar chart, one bar per labelled value (>= 0)."""
+    if not values:
+        raise ValueError("need at least one bar")
+    vmax = max(values.values())
+    if vmax < 0:
+        raise ValueError("bar values must include a non-negative maximum")
+    scale = width / vmax if vmax > 0 else 0.0
+    label_w = max(len(k) for k in values)
+    lines: List[str] = [title] if title else []
+    for name, value in values.items():
+        bar = "#" * max(int(round(max(value, 0.0) * scale)), 0)
+        lines.append(f"{name.rjust(label_w)} |{bar} {value:.4g}{unit}")
+    return "\n".join(lines)
+
+
+def histogram(
+    values: Sequence[float],
+    *,
+    bins: int = 10,
+    width: int = 40,
+    title: Optional[str] = None,
+) -> str:
+    """Vertical-label histogram of a numeric series."""
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size == 0:
+        raise ValueError("cannot histogram an empty series")
+    if bins < 1:
+        raise ValueError(f"bins must be >= 1, got {bins}")
+    counts, edges = np.histogram(arr, bins=bins)
+    peak = counts.max() or 1
+    lines: List[str] = [title] if title else []
+    for count, lo, hi in zip(counts, edges[:-1], edges[1:]):
+        bar = "#" * int(round(count / peak * width))
+        lines.append(f"[{lo:10.4g}, {hi:10.4g}) |{bar} {count}")
+    return "\n".join(lines)

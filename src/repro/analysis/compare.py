@@ -1,0 +1,105 @@
+"""Cross-allocator comparison of simulation results.
+
+Collects the paper's five metrics (§5.4) for a set of runs over the
+same job list and computes percent improvements against a baseline —
+the arithmetic every results section of the paper performs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping
+
+import numpy as np
+
+from ..scheduler.metrics import SimulationResult, percent_improvement
+from ..experiments.report import render_table
+
+__all__ = ["MetricComparison", "compare_results", "per_job_improvements"]
+
+#: metric name -> SimulationResult aggregate attribute
+METRICS = {
+    "execution_hours": "total_execution_hours",
+    "wait_hours": "total_wait_hours",
+    "turnaround_hours": "avg_turnaround_hours",
+    "node_hours": "avg_node_hours",
+    "comm_cost": "mean_cost_jobaware",
+}
+
+
+@dataclass
+class MetricComparison:
+    """Aggregates + improvements for a set of runs sharing one job list."""
+
+    baseline: str
+    #: {allocator: {metric: value}}
+    values: Dict[str, Dict[str, float]]
+    #: {allocator: {metric: % improvement vs baseline}}
+    improvements: Dict[str, Dict[str, float]]
+
+    def render(self) -> str:
+        headers = ["allocator"] + [f"{m}" for m in METRICS] + ["exec impr %"]
+        rows: List[List[object]] = []
+        for name, vals in self.values.items():
+            rows.append(
+                [name]
+                + [vals[m] for m in METRICS]
+                + [self.improvements[name]["execution_hours"]]
+            )
+        return render_table(headers, rows, title=f"Comparison vs {self.baseline!r}")
+
+
+def compare_results(
+    results: Mapping[str, SimulationResult], baseline: str = "default"
+) -> MetricComparison:
+    """Build a :class:`MetricComparison` from named runs.
+
+    Raises ``KeyError`` when the baseline run is missing and
+    ``ValueError`` when the runs cover different job sets (comparing
+    different workloads is always a bug).
+    """
+    if baseline not in results:
+        raise KeyError(f"baseline {baseline!r} not among {sorted(results)}")
+    ids = {
+        name: tuple(r.job.job_id for r in res.records)
+        for name, res in results.items()
+    }
+    reference = ids[baseline]
+    for name, jid in ids.items():
+        if jid != reference:
+            raise ValueError(
+                f"run {name!r} covers different jobs than {baseline!r}; "
+                "comparisons must share one workload"
+            )
+    values: Dict[str, Dict[str, float]] = {}
+    for name, res in results.items():
+        values[name] = {m: float(getattr(res, attr)) for m, attr in METRICS.items()}
+    base_vals = values[baseline]
+    improvements = {
+        name: {
+            m: percent_improvement(base_vals[m], vals[m]) for m in METRICS
+        }
+        for name, vals in values.items()
+    }
+    return MetricComparison(baseline=baseline, values=values, improvements=improvements)
+
+
+def per_job_improvements(
+    results: Mapping[str, SimulationResult],
+    allocator: str,
+    baseline: str = "default",
+) -> np.ndarray:
+    """Per-job % execution-time improvement of ``allocator`` vs ``baseline``.
+
+    The quantity plotted in the paper's Figure 7 and averaged in Table 4.
+    """
+    base = results[baseline]
+    cand = results[allocator]
+    base_by_id = {r.job.job_id: r.execution_time for r in base.records}
+    out = []
+    for record in cand.records:
+        b = base_by_id.get(record.job.job_id)
+        if b is None:
+            raise ValueError(f"job {record.job.job_id} missing from baseline run")
+        out.append(0.0 if b == 0 else 100.0 * (b - record.execution_time) / b)
+    return np.array(out, dtype=np.float64)

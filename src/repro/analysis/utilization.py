@@ -1,0 +1,75 @@
+"""Cluster utilization and queue timelines from simulation results.
+
+The paper argues (§6.5) that lower node-hours and turnaround imply
+better system throughput; these helpers make that claim inspectable by
+reconstructing, from the per-job records, how many nodes were busy and
+how many jobs were queued at every instant of the run.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from ..scheduler.metrics import JobRecord
+
+__all__ = ["busy_nodes_timeline", "queue_length_timeline", "average_utilization"]
+
+
+def _step_timeline(
+    starts: np.ndarray, ends: np.ndarray, deltas_start: np.ndarray, deltas_end: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Merge +delta at ``starts`` and -delta at ``ends`` into a step series."""
+    times = np.concatenate([starts, ends])
+    deltas = np.concatenate([deltas_start, -deltas_end])
+    order = np.argsort(times, kind="stable")
+    times = times[order]
+    deltas = deltas[order]
+    # merge duplicate timestamps
+    uniq, inverse = np.unique(times, return_inverse=True)
+    merged = np.zeros(uniq.size, dtype=np.float64)
+    np.add.at(merged, inverse, deltas)
+    return uniq, np.cumsum(merged)
+
+
+def busy_nodes_timeline(records: Sequence[JobRecord]) -> Tuple[np.ndarray, np.ndarray]:
+    """(times, busy_node_count) step function over the whole run."""
+    if not records:
+        return np.array([0.0]), np.array([0.0])
+    starts = np.array([r.start_time for r in records])
+    ends = np.array([r.finish_time for r in records])
+    sizes = np.array([float(r.job.nodes) for r in records])
+    return _step_timeline(starts, ends, sizes, sizes)
+
+
+def queue_length_timeline(records: Sequence[JobRecord]) -> Tuple[np.ndarray, np.ndarray]:
+    """(times, queued_job_count) step function (submitted but not started)."""
+    if not records:
+        return np.array([0.0]), np.array([0.0])
+    submits = np.array([r.job.submit_time for r in records])
+    starts = np.array([r.start_time for r in records])
+    ones = np.ones(len(records))
+    return _step_timeline(submits, starts, ones, ones)
+
+
+def average_utilization(records: Sequence[JobRecord], n_nodes: int) -> float:
+    """Time-averaged fraction of busy nodes from first submit to last finish."""
+    if n_nodes < 1:
+        raise ValueError(f"n_nodes must be >= 1, got {n_nodes}")
+    if not records:
+        return 0.0
+    times, busy = busy_nodes_timeline(records)
+    t0 = min(r.job.submit_time for r in records)
+    t1 = max(r.finish_time for r in records)
+    if t1 <= t0:
+        return 0.0
+    # integrate the step function over [t0, t1]
+    grid = np.concatenate([[t0], times[(times > t0) & (times < t1)], [t1]])
+    # busy level in effect at each grid segment start
+    levels = np.zeros(grid.size - 1)
+    for i, t in enumerate(grid[:-1]):
+        idx = np.searchsorted(times, t, side="right") - 1
+        levels[i] = busy[idx] if idx >= 0 else 0.0
+    area = float(np.sum(levels * np.diff(grid)))
+    return area / (n_nodes * (t1 - t0))

@@ -1,0 +1,248 @@
+"""Command-line interface: ``repro-sched`` / ``python -m repro``.
+
+Subcommands:
+
+* ``experiment <name>`` — regenerate a paper table/figure
+  (figure1, table2, table3, figure6, table4, figure7, figure8, figure9).
+* ``simulate`` — run one synthetic log through one allocator and print
+  the aggregate metrics.
+* ``topology <machine>`` — emit the ``topology.conf`` of a builtin
+  machine shape.
+* ``validate-conf <file>`` — lint a ``topology.conf`` file.
+* ``trace`` — generate a synthetic machine log (SWF) or print the
+  statistics of an existing one.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .experiments import EXPERIMENT_RUNNERS, ExperimentConfig, continuous_runs
+from .experiments.report import render_kv
+from .scheduler.serialize import dump_result
+from .topology.builders import TOPOLOGY_BUILDERS
+from .topology.config import load_topology_conf, write_topology_conf
+from .topology.tree import TopologyError
+from .workloads.classify import single_pattern_mix
+from .workloads.logs import LOG_SPECS
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-sched",
+        description="Reproduction of 'Communication-aware Job Scheduling using SLURM' (ICPP-W 2020)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    exp = sub.add_parser("experiment", help="regenerate a paper table/figure")
+    exp.add_argument("name", choices=sorted(EXPERIMENT_RUNNERS))
+    exp.add_argument(
+        "--jobs", type=int, default=None,
+        help="jobs per log (default: the experiment's paper-scale default)",
+    )
+    exp.add_argument("--seed", type=int, default=0)
+
+    sim = sub.add_parser("simulate", help="run one log through one allocator")
+    sim.add_argument("--log", choices=sorted(LOG_SPECS), default="theta")
+    sim.add_argument(
+        "--allocator",
+        choices=("default", "greedy", "balanced", "adaptive", "linear"),
+        default="balanced",
+    )
+    sim.add_argument("--jobs", type=int, default=1000)
+    sim.add_argument("--percent-comm", type=float, default=90.0)
+    sim.add_argument(
+        "--pattern",
+        choices=("rd", "rhvd", "binomial", "alltoall", "ring", "stencil2d"),
+        default="rhvd",
+    )
+    sim.add_argument("--comm-fraction", type=float, default=0.70)
+    sim.add_argument(
+        "--policy", choices=("backfill", "fifo", "conservative"), default="backfill"
+    )
+    sim.add_argument("--seed", type=int, default=0)
+    sim.add_argument(
+        "--save", default=None, metavar="DIR",
+        help="write each run's records as JSON into this directory",
+    )
+
+    topo = sub.add_parser("topology", help="print a builtin machine's topology.conf")
+    topo.add_argument("machine", choices=sorted(TOPOLOGY_BUILDERS))
+    topo.add_argument(
+        "--describe", action="store_true",
+        help="render the switch tree instead of topology.conf syntax",
+    )
+
+    lint = sub.add_parser("validate-conf", help="lint a topology.conf file")
+    lint.add_argument("path")
+
+    trace = sub.add_parser("trace", help="generate or inspect a job trace")
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+    gen = trace_sub.add_parser("generate", help="write a synthetic log as SWF")
+    gen.add_argument("--log", choices=sorted(LOG_SPECS), default="theta")
+    gen.add_argument("--jobs", type=int, default=1000)
+    gen.add_argument("--seed", type=int, default=0)
+    gen.add_argument("--output", default="-", help="file path or - for stdout")
+    stats = trace_sub.add_parser("stats", help="print statistics of an SWF file")
+    stats.add_argument("path")
+    stats.add_argument("--processors-per-node", type=int, default=1)
+
+    return parser
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    runner = EXPERIMENT_RUNNERS[args.name]
+    kwargs = {}
+    if args.name not in ("table2", "figure1", "validation"):
+        kwargs["seed"] = args.seed
+        if args.jobs is not None:
+            kwargs["n_jobs"] = args.jobs
+    if args.name == "validation":
+        kwargs["seed"] = args.seed
+    if args.name == "all" and args.jobs is None:
+        kwargs["n_jobs"] = 200  # keep the run-everything command snappy
+    result = runner(**kwargs)
+    print(result.render())
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    cfg = ExperimentConfig(
+        log=args.log,
+        n_jobs=args.jobs,
+        percent_comm=args.percent_comm,
+        mix=single_pattern_mix(args.pattern, args.comm_fraction),
+        allocators=(args.allocator,) if args.allocator == "default" else ("default", args.allocator),
+        seed=args.seed,
+        policy=args.policy,
+    )
+    results = continuous_runs(cfg)
+    for name, res in results.items():
+        print(render_kv(sorted(res.summary().items()), title=f"--- {name} ---"))
+    if args.save:
+        import pathlib
+
+        out_dir = pathlib.Path(args.save)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        for name, res in results.items():
+            path = out_dir / f"{args.log}_{name}.json"
+            dump_result(res, path)
+            print(f"wrote {path}")
+    return 0
+
+
+def _cmd_topology(args: argparse.Namespace) -> int:
+    topology = TOPOLOGY_BUILDERS[args.machine]()
+    if args.describe:
+        from .topology.describe import describe_topology
+
+        print(describe_topology(topology))
+    else:
+        sys.stdout.write(write_topology_conf(topology))
+    return 0
+
+
+def _cmd_validate_conf(args: argparse.Namespace) -> int:
+    try:
+        topology = load_topology_conf(args.path)
+    except (TopologyError, OSError) as exc:
+        print(f"INVALID: {exc}", file=sys.stderr)
+        return 1
+    print(
+        render_kv(
+            [
+                ("nodes", topology.n_nodes),
+                ("leaf switches", topology.n_leaves),
+                ("total switches", topology.n_switches),
+                ("tree height", topology.height),
+                ("largest leaf", int(topology.leaf_sizes.max())),
+                ("smallest leaf", int(topology.leaf_sizes.min())),
+            ],
+            title=f"OK: {args.path}",
+        )
+    )
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from .workloads import generate_log
+    from .workloads.logs import LOG_SPECS as SPECS
+
+    if args.trace_command == "generate":
+        from .workloads.swf import STATUS_COMPLETED, SwfRecord, write_swf
+
+        trace = generate_log(SPECS[args.log], args.jobs, seed=args.seed)
+        records = [
+            SwfRecord(
+                job_number=t.job_id, submit_time=int(t.submit_time), wait_time=-1,
+                run_time=max(int(t.runtime), 1), allocated_processors=t.nodes,
+                average_cpu_time=-1, used_memory=-1, requested_processors=t.nodes,
+                requested_time=max(int(t.runtime), 1), requested_memory=-1,
+                status=STATUS_COMPLETED, user_id=-1, group_id=-1, executable=-1,
+                queue_number=1, partition_number=1, preceding_job=-1, think_time=-1,
+            )
+            for t in trace
+        ]
+        text = write_swf(records, header=f"synthetic {args.log} log, seed {args.seed}")
+        if args.output == "-":
+            sys.stdout.write(text)
+        else:
+            with open(args.output, "w") as fh:
+                fh.write(text)
+            print(f"wrote {len(records)} jobs to {args.output}")
+        return 0
+
+    # stats
+    import numpy as np
+
+    from .workloads import load_swf, swf_to_trace
+
+    trace = swf_to_trace(
+        load_swf(args.path), processors_per_node=args.processors_per_node
+    )
+    if not trace:
+        print("no schedulable jobs in trace", file=sys.stderr)
+        return 1
+    sizes = np.array([t.nodes for t in trace])
+    runtimes = np.array([t.runtime for t in trace])
+    submits = np.array([t.submit_time for t in trace])
+    pow2 = np.mean([(n & (n - 1)) == 0 for n in sizes])
+    print(
+        render_kv(
+            [
+                ("jobs", len(trace)),
+                ("span (hours)", float(submits.max() - submits.min()) / 3600.0),
+                ("mean interarrival (s)", float(np.diff(np.sort(submits)).mean())),
+                ("median nodes", float(np.median(sizes))),
+                ("max nodes", int(sizes.max())),
+                ("power-of-two share", float(pow2)),
+                ("median runtime (s)", float(np.median(runtimes))),
+                ("max runtime (s)", float(runtimes.max())),
+            ],
+            title=f"trace statistics: {args.path}",
+        )
+    )
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "experiment":
+        return _cmd_experiment(args)
+    if args.command == "simulate":
+        return _cmd_simulate(args)
+    if args.command == "topology":
+        return _cmd_topology(args)
+    if args.command == "validate-conf":
+        return _cmd_validate_conf(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

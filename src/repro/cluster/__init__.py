@@ -1,0 +1,21 @@
+"""Cluster occupancy substrate: jobs and per-switch free/busy/comm state."""
+
+from .job import CommComponent, Job, JobKind
+from .state import (
+    NODE_COMM,
+    NODE_COMPUTE,
+    NODE_FREE,
+    AllocationRecord,
+    ClusterState,
+)
+
+__all__ = [
+    "CommComponent",
+    "Job",
+    "JobKind",
+    "AllocationRecord",
+    "ClusterState",
+    "NODE_FREE",
+    "NODE_COMPUTE",
+    "NODE_COMM",
+]

@@ -1,0 +1,123 @@
+"""Job model.
+
+The paper's scheduler input is a job log record — submit time, node
+count, runtime — plus two paper-specific annotations (§4): whether the
+job is *communication-intensive* or *compute-intensive*, and which MPI
+collective pattern(s) dominate its communication (with what fraction of
+runtime, §6.2's experiment sets A-E).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Tuple
+
+from ..patterns.base import CommunicationPattern
+from .._validation import require_non_negative, require_positive_int
+
+__all__ = ["JobKind", "Job", "CommComponent"]
+
+
+class JobKind(enum.Enum):
+    """Job nature labels.
+
+    The paper (§4) uses COMPUTE and COMM; IO implements the §7
+    future-work direction ("I/O-aware scheduling algorithms that
+    consider I/O patterns"): I/O-intensive jobs are tracked per switch
+    like communication-intensive ones so allocators can avoid stacking
+    them on the same I/O paths.
+    """
+
+    COMPUTE = "compute"
+    COMM = "comm"
+    IO = "io"
+
+
+@dataclass(frozen=True)
+class CommComponent:
+    """One collective pattern and the fraction of *total runtime* it takes.
+
+    §6.2's experiment set D, for instance, gives every comm-intensive job
+    two components: 15% RD and 35% binomial (the remaining 50% compute).
+    """
+
+    pattern: CommunicationPattern
+    fraction: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.fraction <= 1.0:
+            raise ValueError(f"component fraction must be in (0, 1], got {self.fraction}")
+
+
+@dataclass(frozen=True)
+class Job:
+    """A schedulable job.
+
+    Attributes
+    ----------
+    job_id:
+        Unique identifier (log line number or synthetic id).
+    submit_time:
+        Seconds since simulation start.
+    nodes:
+        Whole nodes requested (``select/linear`` semantics — the paper
+        allocates entire nodes).
+    runtime:
+        Baseline runtime in seconds *under the default allocation* — the
+        value logged by the original system. Communication-aware
+        allocations rescale the communication share of it via Eq. 7.
+    kind:
+        Communication- or compute-intensive.
+    comm:
+        Communication components. Must be empty for COMPUTE jobs and
+        non-empty for COMM jobs; fractions must sum to <= 1.
+    """
+
+    job_id: int
+    submit_time: float
+    nodes: int
+    runtime: float
+    kind: JobKind = JobKind.COMPUTE
+    comm: Tuple[CommComponent, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        require_positive_int(self.nodes, "nodes")
+        require_non_negative(self.submit_time, "submit_time")
+        require_non_negative(self.runtime, "runtime")
+        total = sum(c.fraction for c in self.comm)
+        if total > 1.0 + 1e-9:
+            raise ValueError(f"communication fractions sum to {total} > 1")
+        if self.kind is JobKind.COMM and not self.comm:
+            raise ValueError("communication-intensive job needs at least one CommComponent")
+        if self.kind is not JobKind.COMM and self.comm:
+            raise ValueError(f"{self.kind.value} job must not carry CommComponents")
+        names = [c.pattern.name for c in self.comm]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate communication pattern in job: {names}")
+
+    @property
+    def comm_fraction(self) -> float:
+        """Fraction of runtime spent communicating (0 for compute jobs)."""
+        return float(sum(c.fraction for c in self.comm))
+
+    @property
+    def compute_fraction(self) -> float:
+        return 1.0 - self.comm_fraction
+
+    @property
+    def is_comm_intensive(self) -> bool:
+        return self.kind is JobKind.COMM
+
+    def with_kind(
+        self, kind: JobKind, comm: Tuple[CommComponent, ...] = ()
+    ) -> "Job":
+        """Return a relabelled copy (used when sweeping %comm-intensive)."""
+        return Job(
+            job_id=self.job_id,
+            submit_time=self.submit_time,
+            nodes=self.nodes,
+            runtime=self.runtime,
+            kind=kind,
+            comm=tuple(comm),
+        )

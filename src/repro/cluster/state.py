@@ -1,0 +1,237 @@
+"""Mutable cluster occupancy state.
+
+Tracks, per leaf switch, the three counters the paper's formulas use
+(Table 1): ``L_nodes`` (capacity, static on the topology), ``L_busy``
+(allocated nodes) and ``L_comm`` (nodes running communication-intensive
+jobs). Node-granular state is an int8 array so "lowest free node ids on
+leaf k" is a single vectorized scan.
+
+Allocators never mutate this class directly — the scheduler engine
+applies their returned node sets through :meth:`ClusterState.allocate`,
+and the adaptive allocator evaluates hypothetical allocations on cheap
+:meth:`copy` snapshots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional
+
+import numpy as np
+
+from ..topology.tree import SwitchInfo, TreeTopology
+from .job import JobKind
+
+__all__ = [
+    "ClusterState",
+    "AllocationRecord",
+    "NODE_FREE",
+    "NODE_COMPUTE",
+    "NODE_COMM",
+    "NODE_IO",
+]
+
+NODE_FREE = 0
+NODE_COMPUTE = 1
+NODE_COMM = 2
+NODE_IO = 3
+
+_KIND_TO_NODE_STATE = {
+    JobKind.COMPUTE: NODE_COMPUTE,
+    JobKind.COMM: NODE_COMM,
+    JobKind.IO: NODE_IO,
+}
+
+
+@dataclass(frozen=True)
+class AllocationRecord:
+    """Nodes held by one running job."""
+
+    job_id: int
+    nodes: np.ndarray  # int64 node ids
+    kind: JobKind
+
+
+class ClusterState:
+    """Free/busy/comm bookkeeping over a :class:`TreeTopology`.
+
+    Invariants (checked by :meth:`validate`):
+
+    * ``leaf_free + leaf_busy == topology.leaf_sizes`` element-wise;
+    * ``leaf_comm <= leaf_busy``;
+    * per-leaf counters agree with the node-granular ``node_state``;
+    * every allocated node belongs to exactly one running job.
+    """
+
+    def __init__(self, topology: TreeTopology) -> None:
+        self.topology = topology
+        self.node_state = np.full(topology.n_nodes, NODE_FREE, dtype=np.int8)
+        self.leaf_free = topology.leaf_sizes.copy()
+        self.leaf_comm = np.zeros(topology.n_leaves, dtype=np.int64)
+        self.leaf_io = np.zeros(topology.n_leaves, dtype=np.int64)
+        self.running: Dict[int, AllocationRecord] = {}
+
+    # ------------------------------------------------------------------
+    # derived counters
+    # ------------------------------------------------------------------
+
+    @property
+    def leaf_busy(self) -> np.ndarray:
+        """``L_busy`` per leaf (allocated nodes)."""
+        return self.topology.leaf_sizes - self.leaf_free
+
+    @property
+    def total_free(self) -> int:
+        return int(self.leaf_free.sum())
+
+    @property
+    def total_busy(self) -> int:
+        return self.topology.n_nodes - self.total_free
+
+    def subtree_free(self, switch: SwitchInfo) -> int:
+        """Free nodes in ``switch``'s subtree."""
+        return int(self.leaf_free[switch.leaf_lo : switch.leaf_hi].sum())
+
+    def communication_ratio(self, leaf_index: Optional[np.ndarray] = None) -> np.ndarray:
+        """Paper Eq. 1: ``L_comm / L_busy + L_busy / L_nodes`` per leaf.
+
+        An idle leaf (``L_busy == 0``) has no contention: the first term
+        is defined as 0 there, giving idle leaves the minimum ratio —
+        exactly the switches a communication-intensive job should prefer.
+        """
+        busy = self.leaf_busy
+        comm = self.leaf_comm
+        sizes = self.topology.leaf_sizes
+        if leaf_index is not None:
+            idx = np.asarray(leaf_index, dtype=np.int64)
+            busy, comm, sizes = busy[idx], comm[idx], sizes[idx]
+        first = np.divide(
+            comm, busy, out=np.zeros(len(busy), dtype=np.float64), where=busy > 0
+        )
+        return first + busy / sizes
+
+    def io_ratio(self, leaf_index: Optional[np.ndarray] = None) -> np.ndarray:
+        """Eq. 1 analogue for I/O load: ``L_io / L_busy + L_busy / L_nodes``.
+
+        Used by the §7 I/O-aware allocator the same way the greedy
+        algorithm uses the communication ratio.
+        """
+        busy = self.leaf_busy
+        io = self.leaf_io
+        sizes = self.topology.leaf_sizes
+        if leaf_index is not None:
+            idx = np.asarray(leaf_index, dtype=np.int64)
+            busy, io, sizes = busy[idx], io[idx], sizes[idx]
+        first = np.divide(
+            io, busy, out=np.zeros(len(busy), dtype=np.float64), where=busy > 0
+        )
+        return first + busy / sizes
+
+    def leaf_comm_share(self) -> np.ndarray:
+        """``L_comm / L_nodes`` per leaf — the per-switch contention term."""
+        return self.leaf_comm / self.topology.leaf_sizes
+
+    # ------------------------------------------------------------------
+    # node selection
+    # ------------------------------------------------------------------
+
+    def free_nodes_on_leaf(self, leaf_index: int, count: Optional[int] = None) -> np.ndarray:
+        """Lowest-id free node ids on ``leaf_index`` (all, or first ``count``)."""
+        lo = int(self.topology.leaf_node_offset[leaf_index])
+        hi = int(self.topology.leaf_node_offset[leaf_index + 1])
+        free = np.flatnonzero(self.node_state[lo:hi] == NODE_FREE) + lo
+        if count is not None:
+            if count > free.size:
+                raise ValueError(
+                    f"leaf {leaf_index} has {free.size} free nodes, requested {count}"
+                )
+            free = free[:count]
+        return free.astype(np.int64)
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+
+    def allocate(self, job_id: int, nodes: Iterable[int], kind: JobKind) -> AllocationRecord:
+        """Mark ``nodes`` as held by ``job_id``.
+
+        Raises ``ValueError`` if the job id is already running, any node
+        is already busy, or a node id is out of range.
+        """
+        if job_id in self.running:
+            raise ValueError(f"job {job_id} is already running")
+        node_arr = np.asarray(sorted(set(int(n) for n in nodes)), dtype=np.int64)
+        if node_arr.size == 0:
+            raise ValueError("allocation must contain at least one node")
+        if node_arr[0] < 0 or node_arr[-1] >= self.topology.n_nodes:
+            raise ValueError("node id out of range")
+        if np.any(self.node_state[node_arr] != NODE_FREE):
+            busy = node_arr[self.node_state[node_arr] != NODE_FREE]
+            raise ValueError(f"nodes already busy: {busy[:8].tolist()}")
+        self.node_state[node_arr] = _KIND_TO_NODE_STATE[kind]
+        leaves, counts = np.unique(self.topology.leaf_of_node[node_arr], return_counts=True)
+        self.leaf_free[leaves] -= counts
+        if kind is JobKind.COMM:
+            self.leaf_comm[leaves] += counts
+        elif kind is JobKind.IO:
+            self.leaf_io[leaves] += counts
+        record = AllocationRecord(job_id=job_id, nodes=node_arr, kind=kind)
+        self.running[job_id] = record
+        return record
+
+    def release(self, job_id: int) -> AllocationRecord:
+        """Free the nodes of a finished job; raises ``KeyError`` if unknown."""
+        record = self.running.pop(job_id)
+        self.node_state[record.nodes] = NODE_FREE
+        leaves, counts = np.unique(self.topology.leaf_of_node[record.nodes], return_counts=True)
+        self.leaf_free[leaves] += counts
+        if record.kind is JobKind.COMM:
+            self.leaf_comm[leaves] -= counts
+        elif record.kind is JobKind.IO:
+            self.leaf_io[leaves] -= counts
+        return record
+
+    def copy(self) -> "ClusterState":
+        """Independent snapshot sharing the (immutable) topology."""
+        clone = ClusterState.__new__(ClusterState)
+        clone.topology = self.topology
+        clone.node_state = self.node_state.copy()
+        clone.leaf_free = self.leaf_free.copy()
+        clone.leaf_comm = self.leaf_comm.copy()
+        clone.leaf_io = self.leaf_io.copy()
+        clone.running = dict(self.running)  # records are frozen, share them
+        return clone
+
+    # ------------------------------------------------------------------
+    # validation
+    # ------------------------------------------------------------------
+
+    def validate(self) -> None:
+        """Assert all counter invariants; raises ``AssertionError`` on drift."""
+        topo = self.topology
+        free_from_nodes = np.bincount(
+            topo.leaf_of_node[self.node_state == NODE_FREE], minlength=topo.n_leaves
+        )
+        comm_from_nodes = np.bincount(
+            topo.leaf_of_node[self.node_state == NODE_COMM], minlength=topo.n_leaves
+        )
+        io_from_nodes = np.bincount(
+            topo.leaf_of_node[self.node_state == NODE_IO], minlength=topo.n_leaves
+        )
+        assert np.array_equal(free_from_nodes, self.leaf_free), "leaf_free drifted"
+        assert np.array_equal(comm_from_nodes, self.leaf_comm), "leaf_comm drifted"
+        assert np.array_equal(io_from_nodes, self.leaf_io), "leaf_io drifted"
+        assert np.all(self.leaf_free >= 0) and np.all(self.leaf_free <= topo.leaf_sizes)
+        assert np.all(self.leaf_comm <= self.leaf_busy), "leaf_comm exceeds leaf_busy"
+        assert np.all(self.leaf_io <= self.leaf_busy), "leaf_io exceeds leaf_busy"
+        seen = np.zeros(topo.n_nodes, dtype=bool)
+        for record in self.running.values():
+            assert not seen[record.nodes].any(), "node held by two jobs"
+            seen[record.nodes] = True
+        assert np.array_equal(seen, self.node_state != NODE_FREE), "running set drifted"
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"ClusterState(free={self.total_free}/{self.topology.n_nodes}, "
+            f"jobs={len(self.running)})"
+        )

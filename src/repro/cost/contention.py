@@ -1,0 +1,129 @@
+"""Contention factor C(i, j) — paper Eqs. 2 and 3.
+
+For two nodes on the *same* leaf switch only that switch's contention
+matters::
+
+    C(i, j) = L_comm / L_nodes                                   (Eq. 2)
+
+For nodes on *different* leaf switches, contention accrues sequentially
+at the source leaf, the destination leaf, and the common upper switch —
+the upper term halved because fat-tree link counts double per level::
+
+    C(i, j) = Li_comm/Li_nodes + Lj_comm/Lj_nodes
+              + (Li_comm + Lj_comm) / (2 * (Li_nodes + Lj_nodes))  (Eq. 3)
+
+The paper's worked example (Figure 5): two comm-intensive jobs on
+nodes {n0,n1,n4,n5} and {n2,n3} of two 4-node leaves give
+``C(n0, n1) = 1`` and ``C(n0, n4) = 1 + 0.5 + 0.375 = 1.875``.
+
+Both a vectorized implementation and a plain-Python scalar reference are
+provided; property tests assert they agree.
+
+§7 names "extend our optimizations to other topologies using appropriate
+contention factor" as future work; :class:`ContentionModel` implements
+that generalization. The paper's 1/2 factor encodes "links double as we
+move up a fat-tree"; ``uplink_discount`` generalizes it to other
+fatness ratios (1.0 = single-rooted tree with no extra uplink capacity,
+0.25 = links quadruple per level), and ``per_level=True`` compounds the
+discount with the depth of the lowest common switch, so pairs meeting
+near the root of a deep fat tree see geometrically less shared
+contention — the right shape for full-bisection Clos fabrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..cluster.state import ClusterState
+
+__all__ = ["ContentionModel", "contention_factor", "contention_factor_scalar"]
+
+
+@dataclass(frozen=True)
+class ContentionModel:
+    """Generalized Eq. 3 upper-switch term (paper default: 0.5, flat).
+
+    Attributes
+    ----------
+    uplink_discount:
+        Weight of the common-switch contention term. The paper's
+        fat-tree value is 0.5 ("the number of links double as we move
+        up"). 1.0 models a plain tree, smaller values fatter fabrics.
+    per_level:
+        When True the discount compounds per level above the leaves:
+        a pair whose lowest common switch sits at level L contributes
+        ``uplink_discount ** (L - 1)`` — topology-aware contention for
+        trees deeper than the paper's two levels.
+    """
+
+    uplink_discount: float = 0.5
+    per_level: bool = False
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.uplink_discount <= 1.0:
+            raise ValueError(
+                f"uplink_discount must be in [0, 1], got {self.uplink_discount}"
+            )
+
+    def shared_weight(self, lca_level) -> np.ndarray:
+        """Weight of the common-switch term for pairs meeting at ``lca_level``."""
+        if not self.per_level:
+            return np.full(np.shape(lca_level) or (), self.uplink_discount)
+        return self.uplink_discount ** (np.asarray(lca_level, dtype=np.float64) - 1.0)
+
+
+#: the paper's Eq. 3 configuration
+PAPER_CONTENTION = ContentionModel()
+
+
+def contention_factor(
+    state: ClusterState, node_i, node_j, model: ContentionModel = PAPER_CONTENTION
+) -> np.ndarray:
+    """Vectorized C(i, j) over node-id arrays (broadcast together)."""
+    topo = state.topology
+    ni, nj = np.broadcast_arrays(
+        np.asarray(node_i, dtype=np.int64), np.asarray(node_j, dtype=np.int64)
+    )
+    la = topo.leaf_of_node[ni]
+    lb = topo.leaf_of_node[nj]
+    sizes = topo.leaf_sizes
+    comm = state.leaf_comm
+    share_a = comm[la] / sizes[la]
+    share_b = comm[lb] / sizes[lb]
+    if model.per_level:
+        weight = model.shared_weight(topo.lca_level(la, lb))
+    else:
+        weight = model.uplink_discount
+    cross = share_a + share_b + weight * (comm[la] + comm[lb]) / (
+        sizes[la] + sizes[lb]
+    )
+    return np.where(la == lb, share_a, cross)
+
+
+def contention_factor_scalar(
+    state: ClusterState,
+    node_i: int,
+    node_j: int,
+    model: ContentionModel = PAPER_CONTENTION,
+) -> float:
+    """Scalar reference implementation of Eqs. 2/3 (used by property tests)."""
+    topo = state.topology
+    la = int(topo.leaf_of_node[node_i])
+    lb = int(topo.leaf_of_node[node_j])
+    comm_a = int(state.leaf_comm[la])
+    size_a = int(topo.leaf_sizes[la])
+    if la == lb:
+        return comm_a / size_a
+    comm_b = int(state.leaf_comm[lb])
+    size_b = int(topo.leaf_sizes[lb])
+    if model.per_level:
+        weight = float(model.uplink_discount ** (int(topo.lca_level(la, lb)) - 1))
+    else:
+        weight = model.uplink_discount
+    return (
+        comm_a / size_a
+        + comm_b / size_b
+        + weight * (comm_a + comm_b) / (size_a + size_b)
+    )

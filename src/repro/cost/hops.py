@@ -1,0 +1,54 @@
+"""Effective hops — paper Eq. 5.
+
+``Hops(i, j) = d(i, j) * (1 + C(i, j))`` combines the tree distance
+(Eq. 4, :meth:`repro.topology.tree.TreeTopology.distance`) with the
+contention factor (Eqs. 2/3). Multiplying by the message size yields
+*effective hop-bytes*, the paper's proxy for communication time.
+
+Worked example from §5.3 (asserted in the tests): with the Figure 5
+occupancy, ``Hops(n0, n1) = 2 * (1 + 1) = 4`` and
+``Hops(n0, n4) = 4 * (1 + 1.875) = 11.5``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..cluster.state import ClusterState
+from .contention import (
+    PAPER_CONTENTION,
+    ContentionModel,
+    contention_factor,
+    contention_factor_scalar,
+)
+
+__all__ = ["effective_hops", "effective_hops_scalar", "hop_bytes"]
+
+
+def effective_hops(
+    state: ClusterState, node_i, node_j, model: ContentionModel = PAPER_CONTENTION
+) -> np.ndarray:
+    """Vectorized Eq. 5. A node communicating with itself costs 0 hops."""
+    d = state.topology.distance(node_i, node_j)
+    c = contention_factor(state, node_i, node_j, model)
+    return d * (1.0 + c)
+
+
+def effective_hops_scalar(
+    state: ClusterState,
+    node_i: int,
+    node_j: int,
+    model: ContentionModel = PAPER_CONTENTION,
+) -> float:
+    """Scalar reference implementation of Eq. 5."""
+    if node_i == node_j:
+        return 0.0
+    d = int(state.topology.distance(node_i, node_j))
+    return d * (1.0 + contention_factor_scalar(state, node_i, node_j, model))
+
+
+def hop_bytes(state: ClusterState, node_i, node_j, msize: float) -> np.ndarray:
+    """Effective hop-bytes: ``Hops(i, j) * msize`` (§5.3)."""
+    if msize <= 0:
+        raise ValueError(f"msize must be > 0, got {msize}")
+    return effective_hops(state, node_i, node_j) * float(msize)

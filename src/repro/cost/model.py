@@ -1,0 +1,164 @@
+"""Job-level communication cost (Eq. 6) and runtime rescaling (Eq. 7).
+
+Eq. 6 sums, over the steps of the job's collective algorithm, the
+*maximum* effective hop count among that step's simultaneously
+communicating node pairs — the slowest pair paces a lock-step collective
+phase::
+
+    Cost = sum_n  max_{(i,j) in S_n} Hops(i, j)
+
+§5.3 additionally notes that hop-*bytes* (hops x msize) "gives an
+indication of communication time" and that vector-doubling algorithms
+double msize per step. :class:`CostModel` therefore supports weighting
+each step by its relative message size (the default used throughout the
+experiments; pass ``weight_by_msize=False`` for the literal Eq. 6).
+
+Eq. 7 rescales a communication-intensive job's runtime by the ratio of
+its job-aware allocation cost to the default allocation cost::
+
+    T' = T_compute + T_comm * Cost_jobaware / Cost_default
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+
+from ..cluster.job import Job
+from ..cluster.state import ClusterState
+from ..patterns.base import CommunicationPattern
+from .contention import PAPER_CONTENTION, ContentionModel
+from .hops import effective_hops
+
+__all__ = ["CostModel", "allocation_cost", "adjusted_runtime"]
+
+
+@lru_cache(maxsize=1024)
+def _cached_steps(pattern: CommunicationPattern, nranks: int) -> Tuple:
+    """Step lists are deterministic per (pattern, nranks); cache them.
+
+    A continuous run evaluates the same pattern at the same power-of-two
+    sizes thousands of times; regenerating the pair arrays dominated the
+    profile before this cache. Patterns hash by type (plus parameters),
+    so distinct configurations get distinct entries.
+    """
+    return tuple(pattern.steps(nranks))
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Configuration of the Eq. 6 evaluation.
+
+    Attributes
+    ----------
+    weight_by_msize:
+        Weight each step's max-hops by the step's relative message size
+        (hop-bytes, §5.3). ``False`` gives the literal Eq. 6.
+    contention:
+        Eq. 3 upper-switch weighting; defaults to the paper's fat-tree
+        value (see :class:`~repro.cost.contention.ContentionModel` for
+        the §7 other-topology generalization).
+    """
+
+    weight_by_msize: bool = True
+    contention: ContentionModel = PAPER_CONTENTION
+
+    def allocation_cost(
+        self,
+        state: ClusterState,
+        nodes: Sequence[int],
+        pattern: CommunicationPattern,
+    ) -> float:
+        """Eq. 6 cost of running ``pattern`` on ``nodes`` under ``state``.
+
+        Ranks ``0..len(nodes)-1`` map to ``nodes`` in order, so the
+        allocation order chosen by the allocator (which blocks of ranks
+        land on which switch) is what gets priced. ``state`` should
+        already include the job's own allocation — the paper's worked
+        example counts the job's own nodes in ``L_comm``.
+        """
+        node_arr = np.asarray(nodes, dtype=np.int64)
+        if node_arr.ndim != 1 or node_arr.size == 0:
+            raise ValueError("nodes must be a non-empty 1-D sequence")
+        if node_arr.size == 1:
+            return 0.0
+        total = 0.0
+        for step in _cached_steps(pattern, int(node_arr.size)):
+            if step.n_pairs == 0:
+                continue
+            src = node_arr[step.pairs[:, 0]]
+            dst = node_arr[step.pairs[:, 1]]
+            worst = float(effective_hops(state, src, dst, self.contention).max())
+            weight = step.msize if self.weight_by_msize else 1.0
+            total += worst * weight * step.repeat
+        return total
+
+    def job_cost(
+        self,
+        state: ClusterState,
+        nodes: Sequence[int],
+        job: Job,
+    ) -> Dict[CommunicationPattern, float]:
+        """Eq. 6 cost per communication component of ``job``."""
+        return {
+            comp.pattern: self.allocation_cost(state, nodes, comp.pattern)
+            for comp in job.comm
+        }
+
+    def runtime_ratio(self, cost_jobaware: float, cost_default: float) -> float:
+        """``Cost_jobaware / Cost_default`` with a both-zero guard.
+
+        Zero cost happens for single-node jobs (no network traffic); the
+        ratio is then 1 (no change). A zero default cost with a non-zero
+        job-aware cost cannot arise from Eq. 5 (hops are >= distance > 0
+        whenever two distinct nodes communicate), so it is rejected.
+        """
+        if cost_default < 0 or cost_jobaware < 0:
+            raise ValueError("costs must be non-negative")
+        if cost_default == 0.0:
+            if cost_jobaware == 0.0:
+                return 1.0
+            raise ValueError("default cost is 0 but job-aware cost is not")
+        return cost_jobaware / cost_default
+
+    def adjusted_runtime(
+        self,
+        job: Job,
+        cost_jobaware: Dict[CommunicationPattern, float],
+        cost_default: Dict[CommunicationPattern, float],
+    ) -> float:
+        """Eq. 7: rescale each communication component by its cost ratio.
+
+        ``T' = T * (compute_fraction + sum_c frac_c * ratio_c)``. Compute
+        jobs (no components) return the logged runtime unchanged.
+        """
+        factor = job.compute_fraction
+        for comp in job.comm:
+            ratio = self.runtime_ratio(
+                cost_jobaware[comp.pattern], cost_default[comp.pattern]
+            )
+            factor += comp.fraction * ratio
+        return job.runtime * factor
+
+
+# Module-level conveniences using the default (msize-weighted) model.
+_DEFAULT = CostModel()
+
+
+def allocation_cost(
+    state: ClusterState, nodes: Sequence[int], pattern: CommunicationPattern
+) -> float:
+    """Eq. 6 under the default :class:`CostModel`."""
+    return _DEFAULT.allocation_cost(state, nodes, pattern)
+
+
+def adjusted_runtime(
+    job: Job,
+    cost_jobaware: Dict[CommunicationPattern, float],
+    cost_default: Dict[CommunicationPattern, float],
+) -> float:
+    """Eq. 7 under the default :class:`CostModel`."""
+    return _DEFAULT.adjusted_runtime(job, cost_jobaware, cost_default)

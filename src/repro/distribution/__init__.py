@@ -1,0 +1,5 @@
+"""SLURM task distributions (``srun --distribution``) over allocations."""
+
+from .layouts import block_distribution, cyclic_distribution, plane_distribution
+
+__all__ = ["block_distribution", "cyclic_distribution", "plane_distribution"]

@@ -1,0 +1,71 @@
+"""SLURM task distributions: rank-to-node layouts.
+
+The paper allocates whole nodes; *which MPI rank lands on which node*
+is then decided by ``srun --distribution``. This module implements the
+three classic layouts over an allocated node list, with any number of
+tasks (ranks) per node:
+
+* **block** — consecutive ranks fill a node before moving on
+  (``srun -m block``, the default, and what the paper's cost model
+  implicitly assumes);
+* **cyclic** — ranks round-robin over nodes (``-m cyclic``);
+* **plane** — blocks of ``plane_size`` ranks round-robin over nodes
+  (``-m plane=x``), interpolating between the two.
+
+A layout is an int64 array ``rank -> node id``, directly consumable by
+:meth:`repro.cost.model.CostModel.allocation_cost` (which prices ranks
+positionally and charges 0 hops for intra-node pairs), so the cost of
+a collective under any distribution is one call away.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._validation import require_positive_int
+
+__all__ = ["block_distribution", "cyclic_distribution", "plane_distribution"]
+
+
+def _as_nodes(nodes) -> np.ndarray:
+    arr = np.asarray(nodes, dtype=np.int64)
+    if arr.ndim != 1 or arr.size == 0:
+        raise ValueError("nodes must be a non-empty 1-D sequence")
+    if len(set(arr.tolist())) != arr.size:
+        raise ValueError("nodes must be distinct")
+    return arr
+
+
+def block_distribution(nodes, tasks_per_node: int = 1) -> np.ndarray:
+    """``srun -m block``: ranks 0..t-1 on the first node, and so on."""
+    arr = _as_nodes(nodes)
+    require_positive_int(tasks_per_node, "tasks_per_node")
+    return np.repeat(arr, tasks_per_node)
+
+
+def cyclic_distribution(nodes, tasks_per_node: int = 1) -> np.ndarray:
+    """``srun -m cyclic``: consecutive ranks on consecutive nodes."""
+    arr = _as_nodes(nodes)
+    require_positive_int(tasks_per_node, "tasks_per_node")
+    return np.tile(arr, tasks_per_node)
+
+
+def plane_distribution(nodes, plane_size: int, tasks_per_node: int = 1) -> np.ndarray:
+    """``srun -m plane=<size>``: blocks of ``plane_size`` ranks cycle.
+
+    ``plane_size = tasks_per_node`` degenerates to block;
+    ``plane_size = 1`` to cyclic. ``tasks_per_node`` must be a multiple
+    of ``plane_size`` (SLURM pads otherwise; we reject for clarity).
+    """
+    arr = _as_nodes(nodes)
+    require_positive_int(plane_size, "plane_size")
+    require_positive_int(tasks_per_node, "tasks_per_node")
+    if tasks_per_node % plane_size != 0:
+        raise ValueError(
+            f"tasks_per_node ({tasks_per_node}) must be a multiple of "
+            f"plane_size ({plane_size})"
+        )
+    sweeps = tasks_per_node // plane_size
+    # each sweep deals plane_size consecutive ranks to every node in turn
+    out = np.concatenate([np.repeat(arr, plane_size)] * sweeps)
+    return out

@@ -1,0 +1,90 @@
+"""Paper experiment reproductions, one module per table/figure.
+
+==========  =================================================
+experiment  paper artifact
+==========  =================================================
+figure1     two-job interference + contention correlation
+table2      balanced allocation worked example
+table3      exec/wait totals, 3 logs x 2 patterns x 4 algs
+figure6     mix sweep A-E (%exec reduction)
+table4      individual-run improvements, 200 jobs
+figure7     continuous vs individual per-job exec times
+figure8     Eq. 6 cost by node range
+figure9     turnaround/node-hours vs %comm-intensive
+validation  (extra) Eq. 6 estimates vs flow-sim measurements
+==========  =================================================
+"""
+
+from .report import format_value, render_kv, render_table
+from .runner import (
+    ExperimentConfig,
+    IndividualOutcome,
+    IndividualRunResult,
+    continuous_runs,
+    evaluate_single_job,
+    individual_runs,
+    prepare_jobs,
+    warm_state,
+)
+from .figure1 import Figure1Result, run_figure1
+from .table2 import Table2Result, run_table2
+from .table3 import Table3Result, run_table3
+from .figure6 import Figure6Result, run_figure6
+from .table4 import Table4Result, run_table4
+from .figure7 import Figure7Result, run_figure7
+from .figure8 import Figure8Result, run_figure8
+from .figure9 import Figure9Result, run_figure9
+from .validation import ValidationResult, run_cost_model_validation
+from .summary import SummaryResult, run_all
+from .sweeps import rows_to_csv, sweep
+
+#: name -> zero-config runner, for the CLI
+EXPERIMENT_RUNNERS = {
+    "figure1": run_figure1,
+    "table2": run_table2,
+    "table3": run_table3,
+    "figure6": run_figure6,
+    "table4": run_table4,
+    "figure7": run_figure7,
+    "figure8": run_figure8,
+    "figure9": run_figure9,
+    "validation": run_cost_model_validation,
+    "all": run_all,
+}
+
+__all__ = [
+    "format_value",
+    "render_kv",
+    "render_table",
+    "ExperimentConfig",
+    "IndividualOutcome",
+    "IndividualRunResult",
+    "continuous_runs",
+    "evaluate_single_job",
+    "individual_runs",
+    "prepare_jobs",
+    "warm_state",
+    "Figure1Result",
+    "run_figure1",
+    "Table2Result",
+    "run_table2",
+    "Table3Result",
+    "run_table3",
+    "Figure6Result",
+    "run_figure6",
+    "Table4Result",
+    "run_table4",
+    "Figure7Result",
+    "run_figure7",
+    "Figure8Result",
+    "run_figure8",
+    "Figure9Result",
+    "run_figure9",
+    "ValidationResult",
+    "run_cost_model_validation",
+    "SummaryResult",
+    "run_all",
+    "rows_to_csv",
+    "sweep",
+    "EXPERIMENT_RUNNERS",
+]

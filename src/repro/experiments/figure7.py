@@ -1,0 +1,124 @@
+"""Figure 7 — per-job execution times, continuous vs individual (§6.3).
+
+For the Theta log under recursive doubling, the paper plots per-job
+execution times of 200 jobs under all four allocators, once from the
+continuous replay (left panel) and once from the shared-snapshot
+individual runs (right panel). The headline comparisons: job-aware
+algorithms sit at or below the default curve, with maximum per-job
+reductions of ~70% (continuous) and ~15% (individual) for Theta.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from ..workloads.classify import single_pattern_mix
+from ..analysis.ascii_plot import line_plot
+from .report import render_table
+from .runner import ExperimentConfig, continuous_runs, individual_runs, prepare_jobs
+
+__all__ = ["Figure7Result", "run_figure7", "PAPER_MAX_REDUCTION"]
+
+#: §6.3: max per-job exec reduction for Theta + RD.
+PAPER_MAX_REDUCTION = {"continuous": 70.0, "individual": 15.0}
+
+
+@dataclass
+class Figure7Result:
+    log: str
+    job_ids: List[int]
+    #: {"continuous"|"individual": {allocator: exec seconds per job}}
+    series: Dict[str, Dict[str, np.ndarray]]
+
+    def max_reduction_pct(self, mode: str, allocator: str = "adaptive") -> float:
+        """Largest per-job % reduction vs default in the given mode."""
+        base = self.series[mode]["default"]
+        cand = self.series[mode][allocator]
+        ok = base > 0
+        if not ok.any():
+            return 0.0
+        return float((100.0 * (base[ok] - cand[ok]) / base[ok]).max())
+
+    def mean_reduction_pct(self, mode: str, allocator: str = "adaptive") -> float:
+        base = self.series[mode]["default"]
+        cand = self.series[mode][allocator]
+        ok = base > 0
+        if not ok.any():
+            return 0.0
+        return float((100.0 * (base[ok] - cand[ok]) / base[ok]).mean())
+
+    def render(self) -> str:
+        headers = ["mode", "allocator", "mean exec (s)", "mean reduction %", "max reduction %"]
+        rows: List[List[object]] = []
+        for mode in ("continuous", "individual"):
+            for name, series in self.series[mode].items():
+                rows.append(
+                    [
+                        mode,
+                        name,
+                        float(series.mean()),
+                        self.mean_reduction_pct(mode, name),
+                        self.max_reduction_pct(mode, name),
+                    ]
+                )
+        table = render_table(
+            headers,
+            rows,
+            title=f"Figure 7: per-job execution times, {self.log} + RD ({len(self.job_ids)} jobs)",
+        )
+        paper = (
+            f"Paper ({self.log}): max reduction ~{PAPER_MAX_REDUCTION['continuous']:.0f}% "
+            f"continuous, ~{PAPER_MAX_REDUCTION['individual']:.0f}% individual"
+        )
+        order = np.argsort(self.series["continuous"]["default"])
+        chart = line_plot(
+            {
+                "default": self.series["continuous"]["default"][order],
+                "adaptive": self.series["continuous"]["adaptive"][order],
+            },
+            title="per-job execution seconds, continuous runs "
+                  "(jobs sorted by default exec time):",
+            height=10,
+        )
+        return f"{table}\n{paper}\n{chart}"
+
+
+def run_figure7(
+    *,
+    log: str = "theta",
+    n_jobs: int = 1000,
+    n_samples: int = 200,
+    percent_comm: float = 90.0,
+    comm_fraction: float = 0.70,
+    seed: int = 0,
+) -> Figure7Result:
+    """Per-job exec series for both §5.4 run styles on one log."""
+    cfg = ExperimentConfig(
+        log=log,
+        n_jobs=n_jobs,
+        percent_comm=percent_comm,
+        mix=single_pattern_mix("rd", comm_fraction),
+        seed=seed,
+    )
+    jobs = prepare_jobs(cfg)
+
+    individual = individual_runs(cfg, n_samples=n_samples, jobs=jobs)
+    job_ids = individual.sampled_job_ids
+
+    continuous = continuous_runs(cfg, jobs=jobs)
+    cont_series: Dict[str, np.ndarray] = {}
+    for name, res in continuous.items():
+        by_id = {r.job.job_id: r.execution_time for r in res.records}
+        cont_series[name] = np.array([by_id[j] for j in job_ids], dtype=np.float64)
+
+    ind_series = {
+        name: individual.execution_times(name) for name in cfg.allocators
+    }
+    return Figure7Result(
+        log=log,
+        job_ids=job_ids,
+        series={"continuous": cont_series, "individual": ind_series},
+    )

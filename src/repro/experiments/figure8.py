@@ -1,0 +1,123 @@
+"""Figure 8 — communication cost by requested-node range (§6.4).
+
+Continuous runs with 90% communication-intensive jobs, all using the
+binomial pattern; the Eq. 6 cost of every communication-intensive job
+is bucketed by its requested node count and averaged per allocator.
+Paper claims to reproduce: every job-aware allocator's cost sits at or
+below the default's in (almost) every bucket, with average reductions
+around 3.4% for greedy and ~11% for balanced/adaptive; per-pattern
+average reductions of roughly 5-6% (Intrepid, Mira) and 16-18% (Theta).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..scheduler.metrics import percent_improvement
+from ..workloads.classify import single_pattern_mix
+from .report import render_table
+from .runner import ExperimentConfig, continuous_runs
+
+__all__ = ["PAPER_FIGURE8_AVG_REDUCTION", "Figure8Result", "run_figure8"]
+
+#: §6.4: average cost reduction over all algorithms per (log, pattern), %.
+PAPER_FIGURE8_AVG_REDUCTION: Dict[str, Dict[str, float]] = {
+    "intrepid": {"rd": 5.56, "rhvd": 5.72, "binomial": 5.72},
+    "theta": {"rd": 15.88, "rhvd": 17.84, "binomial": 15.87},
+    "mira": {"rd": 5.48, "rhvd": 6.09, "binomial": 5.40},
+}
+
+
+def _bucket_edges(max_nodes: int) -> List[Tuple[int, int]]:
+    """Power-of-four node-range buckets: [2,8), [8,32), [32,128), ..."""
+    edges: List[Tuple[int, int]] = []
+    lo = 2
+    while lo <= max_nodes:
+        hi = lo * 4
+        edges.append((lo, hi))
+        lo = hi
+    return edges
+
+
+@dataclass
+class Figure8Result:
+    log: str
+    pattern: str
+    #: bucket label -> {allocator: mean Eq. 6 cost}
+    buckets: Dict[str, Dict[str, float]]
+    #: {allocator: mean % cost reduction vs default over comm jobs}
+    avg_reduction: Dict[str, float]
+
+    def render(self) -> str:
+        allocators = ("default", "greedy", "balanced", "adaptive")
+        headers = ["node range", *allocators]
+        rows: List[List[object]] = []
+        for label, costs in self.buckets.items():
+            rows.append([label, *(costs.get(a, float("nan")) for a in allocators)])
+        table = render_table(
+            headers,
+            rows,
+            title=f"Figure 8: mean communication cost by node range ({self.log}, {self.pattern})",
+        )
+        reductions = ", ".join(
+            f"{a}: {self.avg_reduction.get(a, 0.0):.1f}%" for a in allocators[1:]
+        )
+        paper = PAPER_FIGURE8_AVG_REDUCTION.get(self.log, {}).get(self.pattern)
+        paper_s = f" (paper avg over algorithms: {paper:.1f}%)" if paper else ""
+        return f"{table}\nAvg cost reduction vs default — {reductions}{paper_s}"
+
+
+def run_figure8(
+    *,
+    log: str = "intrepid",
+    pattern: str = "binomial",
+    n_jobs: int = 1000,
+    percent_comm: float = 90.0,
+    comm_fraction: float = 0.70,
+    seed: int = 0,
+) -> Figure8Result:
+    """Bucketed Eq. 6 costs for one log under one pattern."""
+    cfg = ExperimentConfig(
+        log=log,
+        n_jobs=n_jobs,
+        percent_comm=percent_comm,
+        mix=single_pattern_mix(pattern, comm_fraction),
+        seed=seed,
+    )
+    results = continuous_runs(cfg)
+
+    # per-allocator arrays over the same comm-intensive job ids
+    base = results["default"]
+    comm_ids = [r.job.job_id for r in base.records if r.job.is_comm_intensive]
+    sizes = {r.job.job_id: r.job.nodes for r in base.records}
+    costs: Dict[str, Dict[int, float]] = {
+        name: {r.job.job_id: r.total_cost_jobaware for r in res.records}
+        for name, res in results.items()
+    }
+
+    max_nodes = max(sizes[j] for j in comm_ids)
+    buckets: Dict[str, Dict[str, float]] = {}
+    for lo, hi in _bucket_edges(max_nodes):
+        ids = [j for j in comm_ids if lo <= sizes[j] < hi]
+        if not ids:
+            continue
+        label = f"{lo}-{hi - 1}"
+        buckets[label] = {
+            name: float(np.mean([per_job[j] for j in ids]))
+            for name, per_job in costs.items()
+        }
+
+    avg_reduction: Dict[str, float] = {}
+    base_costs = np.array([costs["default"][j] for j in comm_ids])
+    for name, per_job in costs.items():
+        if name == "default":
+            continue
+        cand = np.array([per_job[j] for j in comm_ids])
+        total_base = float(base_costs.sum())
+        avg_reduction[name] = percent_improvement(total_base, float(cand.sum()))
+    return Figure8Result(
+        log=log, pattern=pattern, buckets=buckets, avg_reduction=avg_reduction
+    )

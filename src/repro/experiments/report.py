@@ -1,0 +1,68 @@
+"""Plain-text table rendering for experiment output.
+
+Every experiment renders to an ASCII table comparing "paper" and
+"measured" values, so the reproduction status is readable in a terminal
+and diffable in EXPERIMENTS.md. No plotting dependency: figures are
+reported as their underlying data series.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+__all__ = ["render_table", "format_value", "render_kv"]
+
+
+def format_value(value) -> str:
+    """Human formatting: ints plain, floats to sensible precision."""
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 10:
+            return f"{value:.1f}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    *,
+    title: Optional[str] = None,
+) -> str:
+    """Render a boxed ASCII table; columns sized to content."""
+    str_rows: List[List[str]] = [[format_value(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(f"row has {len(row)} cells, expected {len(headers)}")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "| " + " | ".join(c.rjust(w) for c, w in zip(cells, widths)) + " |"
+
+    sep = "+-" + "-+-".join("-" * w for w in widths) + "-+"
+    out: List[str] = []
+    if title:
+        out.append(title)
+    out.append(sep)
+    out.append(line(list(headers)))
+    out.append(sep)
+    out.extend(line(r) for r in str_rows)
+    out.append(sep)
+    return "\n".join(out)
+
+
+def render_kv(pairs: Sequence[tuple], *, title: Optional[str] = None) -> str:
+    """Render key/value pairs as an aligned two-column block."""
+    width = max((len(str(k)) for k, _ in pairs), default=0)
+    out: List[str] = [title] if title else []
+    out.extend(f"{str(k).ljust(width)} : {format_value(v)}" for k, v in pairs)
+    return "\n".join(out)

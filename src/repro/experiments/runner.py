@@ -1,0 +1,262 @@
+"""Continuous and individual experiment runs (paper §5.4).
+
+*Continuous runs* replay a full 1000-job log through the event-driven
+scheduler once per allocator. Every allocator sees identical jobs
+(same trace seed, same comm/compute labels) but evolves its own cluster
+state, exactly as in the paper.
+
+*Individual runs* give every allocator the *same* starting state: the
+cluster is partially occupied by warm-up jobs placed with the default
+algorithm, then each sampled job is priced independently against that
+frozen snapshot under every allocator. This isolates the allocation
+quality from queueing dynamics — the paper's device for a fair
+job-by-job comparison (§5.4, Table 4, Figure 7 right panel).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..allocation.base import Allocator
+from ..allocation.default_slurm import DefaultSlurmAllocator
+from ..allocation.registry import PAPER_ALLOCATORS, get_allocator
+from ..cluster.job import Job
+from ..cluster.state import ClusterState
+from ..cost.model import CostModel
+from ..scheduler.engine import EngineConfig, SchedulerEngine
+from ..scheduler.metrics import SimulationResult
+from ..topology.tree import TreeTopology
+from ..workloads.classify import CommMix, assign_kinds, single_pattern_mix
+from ..workloads.logs import LOG_SPECS, generate_log
+
+__all__ = [
+    "ExperimentConfig",
+    "continuous_runs",
+    "IndividualOutcome",
+    "IndividualRunResult",
+    "individual_runs",
+    "evaluate_single_job",
+    "warm_state",
+    "prepare_jobs",
+]
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """One experiment's workload and scheduler settings.
+
+    Defaults follow the paper's headline configuration: 1000 jobs, 90%
+    communication-intensive, RHVD at a 0.7 communication fraction,
+    the four paper allocators, EASY backfill.
+    """
+
+    log: str = "theta"
+    n_jobs: int = 1000
+    percent_comm: float = 90.0
+    mix: CommMix = field(default_factory=lambda: single_pattern_mix("rhvd"))
+    allocators: Tuple[str, ...] = PAPER_ALLOCATORS
+    seed: int = 0
+    policy: str = "backfill"
+    cost_model: CostModel = field(default_factory=CostModel)
+
+    def topology(self) -> TreeTopology:
+        return LOG_SPECS[self.log].topology()
+
+    def engine_config(self) -> EngineConfig:
+        return EngineConfig(policy=self.policy, cost_model=self.cost_model)
+
+    def with_(self, **kwargs) -> "ExperimentConfig":
+        """Functional update (thin wrapper over dataclasses.replace)."""
+        return replace(self, **kwargs)
+
+
+def prepare_jobs(cfg: ExperimentConfig) -> List[Job]:
+    """Generate the trace and apply comm/compute labels, reproducibly.
+
+    The trace seed and the labelling seed both derive from ``cfg.seed``
+    so two configs differing only in allocator lists see identical jobs.
+    """
+    spec = LOG_SPECS[cfg.log]
+    trace = generate_log(spec, cfg.n_jobs, seed=cfg.seed + 1)
+    return assign_kinds(
+        trace, percent_comm=cfg.percent_comm, mix=cfg.mix, seed=cfg.seed + 2
+    )
+
+
+def continuous_runs(
+    cfg: ExperimentConfig,
+    jobs: Optional[Sequence[Job]] = None,
+) -> Dict[str, SimulationResult]:
+    """Replay the log once per allocator; returns results keyed by name."""
+    if jobs is None:
+        jobs = prepare_jobs(cfg)
+    topology = cfg.topology()
+    results: Dict[str, SimulationResult] = {}
+    for name in cfg.allocators:
+        engine = SchedulerEngine(topology, name, cfg.engine_config())
+        results[name] = engine.run(jobs)
+    return results
+
+
+# ----------------------------------------------------------------------
+# individual runs
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class IndividualOutcome:
+    """One (job, allocator) evaluation against the shared snapshot."""
+
+    job_id: int
+    allocator: str
+    execution_time: float
+    cost_jobaware: float
+    cost_default: float
+
+
+@dataclass
+class IndividualRunResult:
+    """All individual-run outcomes plus convenience aggregation."""
+
+    outcomes: List[IndividualOutcome]
+    sampled_job_ids: List[int]
+
+    def execution_times(self, allocator: str) -> np.ndarray:
+        by_job = {
+            o.job_id: o.execution_time
+            for o in self.outcomes
+            if o.allocator == allocator
+        }
+        return np.array([by_job[j] for j in self.sampled_job_ids], dtype=np.float64)
+
+    def mean_improvement_pct(self, allocator: str, baseline: str = "default") -> float:
+        """Paper Table 4: mean per-job % execution-time improvement."""
+        base = self.execution_times(baseline)
+        cand = self.execution_times(allocator)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            pct = np.where(base > 0, 100.0 * (base - cand) / base, 0.0)
+        return float(pct.mean())
+
+
+def evaluate_single_job(
+    state: ClusterState,
+    job: Job,
+    allocator: Union[str, Allocator],
+    cost_model: Optional[CostModel] = None,
+) -> IndividualOutcome:
+    """Price one job against a frozen cluster state under one allocator.
+
+    Applies the allocation to a *copy* of ``state``, prices it with
+    Eq. 6 (and the counterfactual default allocation from the same
+    state), and returns the Eq.-7-adjusted execution time. ``state`` is
+    not mutated.
+    """
+    allocator = get_allocator(allocator) if isinstance(allocator, str) else allocator
+    cost_model = cost_model or CostModel()
+    default_alloc = DefaultSlurmAllocator()
+
+    trial = state.copy()
+    nodes = allocator.allocate(trial, job)
+    trial.allocate(job.job_id, nodes, job.kind)
+
+    if not job.is_comm_intensive:
+        return IndividualOutcome(
+            job_id=job.job_id,
+            allocator=allocator.name,
+            execution_time=job.runtime,
+            cost_jobaware=0.0,
+            cost_default=0.0,
+        )
+
+    aware = {
+        comp.pattern: cost_model.allocation_cost(trial, nodes, comp.pattern)
+        for comp in job.comm
+    }
+    if allocator.name == default_alloc.name:
+        default = dict(aware)
+    else:
+        ref = state.copy()
+        default_nodes = default_alloc.allocate(ref, job)
+        ref.allocate(job.job_id, default_nodes, job.kind)
+        default = {
+            comp.pattern: cost_model.allocation_cost(ref, default_nodes, comp.pattern)
+            for comp in job.comm
+        }
+    runtime = cost_model.adjusted_runtime(job, aware, default)
+    return IndividualOutcome(
+        job_id=job.job_id,
+        allocator=allocator.name,
+        execution_time=runtime,
+        cost_jobaware=float(sum(aware.values())),
+        cost_default=float(sum(default.values())),
+    )
+
+
+def warm_state(
+    topology: TreeTopology,
+    jobs: Sequence[Job],
+    *,
+    target_occupancy: float = 0.5,
+    allocator: Optional[Allocator] = None,
+) -> Tuple[ClusterState, List[int]]:
+    """Partially occupy a fresh cluster with leading jobs (§5.4).
+
+    Walks the job list in submission order, placing each job with the
+    default allocator until the target occupancy is reached. Returns the
+    state and the ids of the placed (warm-up) jobs.
+    """
+    if not 0.0 <= target_occupancy < 1.0:
+        raise ValueError(f"target_occupancy must be in [0, 1), got {target_occupancy}")
+    allocator = allocator or DefaultSlurmAllocator()
+    state = ClusterState(topology)
+    placed: List[int] = []
+    target_busy = int(topology.n_nodes * target_occupancy)
+    for job in jobs:
+        if state.total_busy >= target_busy:
+            break
+        if job.nodes > state.total_free:
+            continue
+        nodes = allocator.allocate(state, job)
+        state.allocate(job.job_id, nodes, job.kind)
+        placed.append(job.job_id)
+    return state, placed
+
+
+def individual_runs(
+    cfg: ExperimentConfig,
+    *,
+    n_samples: int = 200,
+    target_occupancy: float = 0.5,
+    jobs: Optional[Sequence[Job]] = None,
+) -> IndividualRunResult:
+    """§5.4 individual runs: one shared snapshot, one job at a time.
+
+    ``n_samples`` jobs are drawn (seeded) from the non-warm-up portion
+    of the log; every allocator in ``cfg.allocators`` prices each of
+    them against the same warm snapshot.
+    """
+    if jobs is None:
+        jobs = prepare_jobs(cfg)
+    topology = cfg.topology()
+    state, warm_ids = warm_state(topology, jobs, target_occupancy=target_occupancy)
+    warm = set(warm_ids)
+    candidates = [
+        j for j in jobs if j.job_id not in warm and 1 < j.nodes <= state.total_free
+    ]
+    if not candidates:
+        raise ValueError("no candidate jobs fit the warmed cluster; lower occupancy")
+    rng = np.random.default_rng(cfg.seed + 3)
+    take = min(n_samples, len(candidates))
+    idx = rng.choice(len(candidates), size=take, replace=False)
+    sampled = [candidates[i] for i in sorted(idx)]
+
+    outcomes: List[IndividualOutcome] = []
+    for job in sampled:
+        for name in cfg.allocators:
+            outcomes.append(evaluate_single_job(state, job, name, cfg.cost_model))
+    return IndividualRunResult(
+        outcomes=outcomes, sampled_job_ids=[j.job_id for j in sampled]
+    )

@@ -1,0 +1,78 @@
+"""Run every experiment and emit one combined report.
+
+``repro-sched experiment all`` (or :func:`run_all`) regenerates each
+paper artifact at a chosen scale and concatenates the rendered reports
+— the one-command answer to "show me the whole reproduction".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from .figure1 import run_figure1
+from .figure6 import run_figure6
+from .figure7 import run_figure7
+from .figure8 import run_figure8
+from .figure9 import run_figure9
+from .table2 import run_table2
+from .table3 import run_table3
+from .table4 import run_table4
+from .validation import run_cost_model_validation
+
+__all__ = ["SummaryResult", "run_all"]
+
+_RULE = "=" * 72
+
+
+@dataclass
+class SummaryResult:
+    """Rendered reports of every experiment, in paper order."""
+
+    reports: Dict[str, str]
+
+    def render(self) -> str:
+        blocks: List[str] = []
+        for name, report in self.reports.items():
+            blocks.append(f"{_RULE}\n{name}\n{_RULE}\n{report}")
+        return "\n\n".join(blocks)
+
+
+def run_all(
+    *,
+    n_jobs: int = 300,
+    seed: int = 0,
+    include_validation: bool = True,
+    n_samples: Optional[int] = None,
+) -> SummaryResult:
+    """Regenerate every table/figure at ``n_jobs`` scale.
+
+    ``n_samples`` (individual-run sample count) defaults to
+    ``min(200, n_jobs // 2)``. ``include_validation=False`` skips the
+    flow-simulation cross-check, which dominates the wall time at small
+    scales.
+    """
+    samples = n_samples if n_samples is not None else min(200, max(n_jobs // 2, 10))
+    reports: Dict[str, str] = {}
+    reports["figure1"] = run_figure1(
+        burst_count=4, burst_period_s=60.0, burst_iterations=200
+    ).render()
+    reports["table2"] = run_table2().render()
+    reports["table3"] = run_table3(n_jobs=n_jobs, seed=seed).render()
+    reports["figure6"] = run_figure6(n_jobs=n_jobs, seed=seed).render()
+    reports["table4"] = run_table4(
+        n_jobs=n_jobs, n_samples=samples, seed=seed
+    ).render()
+    reports["figure7"] = run_figure7(
+        n_jobs=n_jobs, n_samples=samples, seed=seed
+    ).render()
+    for log in ("intrepid", "theta", "mira"):
+        reports[f"figure8 ({log})"] = run_figure8(
+            log=log, n_jobs=n_jobs, seed=seed
+        ).render()
+    reports["figure9"] = run_figure9(n_jobs=n_jobs, seed=seed).render()
+    if include_validation:
+        reports["validation (extra)"] = run_cost_model_validation(
+            n_placements=10, seed=seed
+        ).render()
+    return SummaryResult(reports)

@@ -1,0 +1,103 @@
+"""Generic parameter sweeps producing tidy rows.
+
+The paper's evaluation is a handful of fixed grids; research use needs
+arbitrary ones ("how do the gains move with comm_fraction x load x
+seed?"). :func:`sweep` runs the continuous-run harness over the cross
+product of parameter lists and emits one flat dict per (configuration,
+allocator) — ready for CSV export (:func:`rows_to_csv`) or any
+dataframe library.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from itertools import product
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+from ..scheduler.metrics import percent_improvement
+from ..workloads.classify import single_pattern_mix
+from .runner import ExperimentConfig, continuous_runs
+
+__all__ = ["sweep", "rows_to_csv", "SWEEPABLE"]
+
+#: parameters `sweep` understands, with how they map onto the config
+SWEEPABLE = ("log", "n_jobs", "percent_comm", "pattern", "comm_fraction", "seed", "policy")
+
+
+def sweep(
+    grid: Mapping[str, Sequence],
+    *,
+    allocators: Sequence[str] = ("default", "balanced"),
+    defaults: Optional[Mapping[str, object]] = None,
+) -> List[Dict[str, object]]:
+    """Run every combination in ``grid``; one row per (point, allocator).
+
+    ``grid`` maps parameter names (a subset of :data:`SWEEPABLE`) to the
+    values to sweep; unswept parameters come from ``defaults`` or the
+    :class:`ExperimentConfig` defaults. Every row carries the sweep
+    point, the paper's aggregate metrics, and the percent improvement
+    over the ``"default"`` allocator when it is part of the run.
+    """
+    unknown = set(grid) - set(SWEEPABLE)
+    if unknown:
+        raise ValueError(f"unknown sweep parameters: {sorted(unknown)}")
+    if not grid:
+        raise ValueError("grid must name at least one parameter")
+    base: Dict[str, object] = {
+        "log": "theta",
+        "n_jobs": 200,
+        "percent_comm": 90.0,
+        "pattern": "rhvd",
+        "comm_fraction": 0.7,
+        "seed": 0,
+        "policy": "backfill",
+    }
+    if defaults:
+        bad = set(defaults) - set(SWEEPABLE)
+        if bad:
+            raise ValueError(f"unknown default parameters: {sorted(bad)}")
+        base.update(defaults)
+
+    names = list(grid)
+    rows: List[Dict[str, object]] = []
+    for values in product(*(grid[n] for n in names)):
+        point = dict(base)
+        point.update(dict(zip(names, values)))
+        cfg = ExperimentConfig(
+            log=str(point["log"]),
+            n_jobs=int(point["n_jobs"]),
+            percent_comm=float(point["percent_comm"]),
+            mix=single_pattern_mix(str(point["pattern"]), float(point["comm_fraction"])),
+            allocators=tuple(allocators),
+            seed=int(point["seed"]),
+            policy=str(point["policy"]),
+        )
+        results = continuous_runs(cfg)
+        base_exec = (
+            results["default"].total_execution_hours if "default" in results else None
+        )
+        for name, res in results.items():
+            row: Dict[str, object] = {k: point[k] for k in SWEEPABLE}
+            row["allocator"] = name
+            row.update(res.summary())
+            row["exec_improvement_pct"] = (
+                percent_improvement(base_exec, res.total_execution_hours)
+                if base_exec is not None
+                else None
+            )
+            rows.append(row)
+    return rows
+
+
+def rows_to_csv(rows: Iterable[Dict[str, object]]) -> str:
+    """Render sweep rows as CSV text (columns from the first row)."""
+    rows = list(rows)
+    if not rows:
+        raise ValueError("no rows to render")
+    buf = io.StringIO()
+    writer = csv.DictWriter(buf, fieldnames=list(rows[0].keys()))
+    writer.writeheader()
+    for row in rows:
+        writer.writerow(row)
+    return buf.getvalue()

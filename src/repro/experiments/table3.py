@@ -1,0 +1,141 @@
+"""Table 3 — execution and wait times, continuous runs (paper §6.1).
+
+Three job logs x two communication patterns (RHVD, RD) x four
+allocation algorithms, 90% communication-intensive jobs; total
+execution hours and total wait hours per combination.
+
+The paper's numbers are embedded in :data:`PAPER_TABLE3` so the bench
+output and EXPERIMENTS.md show paper-vs-measured side by side. Absolute
+hours differ (synthetic logs, modeled runtimes); the comparisons that
+must reproduce are the *orderings*: balanced and adaptive beat default
+everywhere, and wait times drop substantially under the job-aware
+algorithms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..workloads.classify import single_pattern_mix
+from .report import render_table
+from .runner import ExperimentConfig, continuous_runs
+
+__all__ = ["PAPER_TABLE3", "Table3Cell", "Table3Result", "run_table3"]
+
+#: Paper Table 3: {(log, pattern): {"exec": {alg: hours}, "wait": {alg: hours}}}
+PAPER_TABLE3: Dict[Tuple[str, str], Dict[str, Dict[str, float]]] = {
+    ("intrepid", "rhvd"): {
+        "exec": {"default": 1382, "greedy": 1351, "balanced": 1256, "adaptive": 1251},
+        "wait": {"default": 57, "greedy": 49, "balanced": 27, "adaptive": 27},
+    },
+    ("intrepid", "rd"): {
+        "exec": {"default": 1382, "greedy": 1345, "balanced": 1264, "adaptive": 1257},
+        "wait": {"default": 57, "greedy": 52, "balanced": 32, "adaptive": 33},
+    },
+    ("theta", "rhvd"): {
+        "exec": {"default": 2189, "greedy": 1740, "balanced": 1700, "adaptive": 1663},
+        "wait": {"default": 45303, "greedy": 31190, "balanced": 34539, "adaptive": 33092},
+    },
+    ("theta", "rd"): {
+        "exec": {"default": 2189, "greedy": 1810, "balanced": 1731, "adaptive": 1706},
+        "wait": {"default": 45303, "greedy": 34901, "balanced": 35874, "adaptive": 31809},
+    },
+    ("mira", "rhvd"): {
+        "exec": {"default": 3289, "greedy": 3956, "balanced": 2342, "adaptive": 2435},
+        "wait": {"default": 17387, "greedy": 34966, "balanced": 3685, "adaptive": 4751},
+    },
+    ("mira", "rd"): {
+        "exec": {"default": 3289, "greedy": 3285, "balanced": 2559, "adaptive": 2637},
+        "wait": {"default": 17387, "greedy": 15845, "balanced": 6336, "adaptive": 5631},
+    },
+}
+
+LOGS = ("intrepid", "theta", "mira")
+PATTERNS = ("rhvd", "rd")
+
+
+@dataclass(frozen=True)
+class Table3Cell:
+    """Measured totals of one (log, pattern, allocator) combination."""
+
+    log: str
+    pattern: str
+    allocator: str
+    exec_hours: float
+    wait_hours: float
+
+
+@dataclass
+class Table3Result:
+    cells: List[Table3Cell]
+
+    def cell(self, log: str, pattern: str, allocator: str) -> Table3Cell:
+        for c in self.cells:
+            if (c.log, c.pattern, c.allocator) == (log, pattern, allocator):
+                return c
+        raise KeyError((log, pattern, allocator))
+
+    def render(self) -> str:
+        headers = [
+            "log",
+            "pattern",
+            "metric",
+            "default",
+            "greedy",
+            "balanced",
+            "adaptive",
+            "paper default",
+            "paper balanced",
+        ]
+        rows = []
+        seen = sorted({(c.log, c.pattern) for c in self.cells},
+                      key=lambda kp: (LOGS.index(kp[0]), PATTERNS.index(kp[1])))
+        for log, pattern in seen:
+            paper = PAPER_TABLE3.get((log, pattern), {})
+            for metric, attr in (("exec h", "exec_hours"), ("wait h", "wait_hours")):
+                key = "exec" if metric.startswith("exec") else "wait"
+                row = [log, pattern, metric]
+                for alg in ("default", "greedy", "balanced", "adaptive"):
+                    try:
+                        row.append(getattr(self.cell(log, pattern, alg), attr))
+                    except KeyError:
+                        row.append("-")
+                row.append(paper.get(key, {}).get("default", "-"))
+                row.append(paper.get(key, {}).get("balanced", "-"))
+                rows.append(row)
+        return render_table(headers, rows, title="Table 3: totals over the log (hours)")
+
+
+def run_table3(
+    *,
+    n_jobs: int = 1000,
+    percent_comm: float = 90.0,
+    comm_fraction: float = 0.70,
+    seed: int = 0,
+    logs: Tuple[str, ...] = LOGS,
+    patterns: Tuple[str, ...] = PATTERNS,
+) -> Table3Result:
+    """Run the full Table 3 grid and collect totals."""
+    cells: List[Table3Cell] = []
+    for log in logs:
+        for pattern in patterns:
+            cfg = ExperimentConfig(
+                log=log,
+                n_jobs=n_jobs,
+                percent_comm=percent_comm,
+                mix=single_pattern_mix(pattern, comm_fraction),
+                seed=seed,
+            )
+            results = continuous_runs(cfg)
+            for name, res in results.items():
+                cells.append(
+                    Table3Cell(
+                        log=log,
+                        pattern=pattern,
+                        allocator=name,
+                        exec_hours=res.total_execution_hours,
+                        wait_hours=res.total_wait_hours,
+                    )
+                )
+    return Table3Result(cells)

@@ -1,0 +1,17 @@
+"""Rank-to-node process mapping (paper §7 future work, implemented)."""
+
+from .reorder import (
+    MappingResult,
+    evaluate_mapping,
+    exhaustive_mapping,
+    leaf_block_mapping,
+    local_search_mapping,
+)
+
+__all__ = [
+    "MappingResult",
+    "evaluate_mapping",
+    "exhaustive_mapping",
+    "leaf_block_mapping",
+    "local_search_mapping",
+]

@@ -1,0 +1,17 @@
+"""Flow-level network simulation substrate (paper Figure 1 experiment)."""
+
+from .fairshare import max_min_fair_rates
+from .network import FlowNetwork
+from .simulator import CollectiveWorkload, FlowSimulator, IterationRecord
+from .stats import LinkLoad, hottest_links, link_utilization
+
+__all__ = [
+    "max_min_fair_rates",
+    "FlowNetwork",
+    "CollectiveWorkload",
+    "FlowSimulator",
+    "IterationRecord",
+    "LinkLoad",
+    "hottest_links",
+    "link_utilization",
+]

@@ -1,0 +1,118 @@
+"""Link-level view of a tree topology.
+
+The scheduling-side cost model (Eqs. 2-6) only *estimates* contention;
+the Figure 1 experiment needs actual bandwidth sharing. This module
+assigns every edge of the tree a capacity and computes the link route
+between any two nodes:
+
+* every compute node has one access link to its leaf switch;
+* every non-root switch has one uplink to its parent, with capacity
+  scaled by ``uplink_multiplier ** (level - 1)`` — 1.0 models the
+  paper's departmental 1G Ethernet tree (a genuinely shared uplink),
+  2.0 models a fat tree whose capacity doubles per level.
+
+Links are full duplex, modeled as two independent *directed* channels
+(UP = toward the root, DOWN = toward the nodes) with equal capacity:
+a ``src -> dst`` flow climbs UP channels on the source side and
+descends DOWN channels on the destination side, so opposite-direction
+flows never contend — matching switched Ethernet.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from ..topology.tree import TreeTopology
+
+__all__ = ["FlowNetwork", "UP", "DOWN"]
+
+#: direction constants for :meth:`FlowNetwork.node_link` etc.
+UP = 0
+DOWN = 1
+
+
+class FlowNetwork:
+    """Directed-channel capacities and routes over a :class:`TreeTopology`.
+
+    Channel ids: for direction ``d`` in {UP, DOWN}, node ``n``'s access
+    channel is ``d * half + n`` and non-root switch ``s``'s uplink
+    channel is ``d * half + n_nodes + s``, where ``half`` is the number
+    of undirected links.
+    """
+
+    def __init__(
+        self,
+        topology: TreeTopology,
+        *,
+        base_bandwidth: float = 1.0,
+        uplink_multiplier: float = 1.0,
+    ) -> None:
+        if base_bandwidth <= 0:
+            raise ValueError(f"base_bandwidth must be > 0, got {base_bandwidth}")
+        if uplink_multiplier <= 0:
+            raise ValueError(f"uplink_multiplier must be > 0, got {uplink_multiplier}")
+        self.topology = topology
+        self.base_bandwidth = float(base_bandwidth)
+        self.uplink_multiplier = float(uplink_multiplier)
+
+        self._half = topology.n_nodes + topology.n_switches
+        one_direction = np.full(self._half, base_bandwidth, dtype=np.float64)
+        for info in topology.switches:
+            one_direction[topology.n_nodes + info.index] = base_bandwidth * (
+                uplink_multiplier ** (info.level - 1)
+            )
+        # the root has no uplink; zero capacity flags accidental use
+        one_direction[topology.n_nodes + topology.root.index] = 0.0
+        #: per-channel capacity, UP half then DOWN half
+        self.capacity = np.concatenate([one_direction, one_direction])
+        self._route_cache: Dict[tuple, tuple] = {}
+
+    @property
+    def n_links(self) -> int:
+        """Total directed channels (2x the undirected link count)."""
+        return int(self.capacity.size)
+
+    def node_link(self, node_id: int, direction: int = UP) -> int:
+        """Access-channel id of ``node_id`` in the given direction."""
+        if direction not in (UP, DOWN):
+            raise ValueError(f"direction must be UP or DOWN, got {direction}")
+        return direction * self._half + int(node_id)
+
+    def switch_uplink(self, switch_index: int, direction: int = UP) -> int:
+        """Uplink channel id of switch ``switch_index`` (not the root)."""
+        if direction not in (UP, DOWN):
+            raise ValueError(f"direction must be UP or DOWN, got {direction}")
+        if switch_index == self.topology.root.index:
+            raise ValueError("the root switch has no uplink")
+        return direction * self._half + self.topology.n_nodes + int(switch_index)
+
+    def route(self, src: int, dst: int) -> tuple:
+        """Channel ids a ``src -> dst`` flow traverses (empty if src == dst).
+
+        Path: src access channel UP, source-side switch uplinks UP until
+        (not including) the lowest common switch, destination-side
+        switch uplinks DOWN, dst access channel DOWN.
+        """
+        key = (int(src), int(dst))
+        cached = self._route_cache.get(key)
+        if cached is not None:
+            return cached
+        topo = self.topology
+        if src == dst:
+            self._route_cache[key] = ()
+            return ()
+        links: List[int] = [self.node_link(src, UP), self.node_link(dst, DOWN)]
+        la = int(topo.leaf_of_node[src])
+        lb = int(topo.leaf_of_node[dst])
+        if la != lb:
+            lca_level = int(topo.lca_level(la, lb))
+            for leaf, direction in ((la, UP), (lb, DOWN)):
+                info = topo.leaf(leaf)
+                while info.level < lca_level:
+                    links.append(self.switch_uplink(info.index, direction))
+                    info = topo.switch(info.parent)
+        result = tuple(links)
+        self._route_cache[key] = result
+        return result

@@ -1,0 +1,93 @@
+"""Link utilization reporting for flow simulations.
+
+Turns the per-channel byte counters a :class:`FlowSimulator` collects
+into utilization fractions and a hottest-links table — the view a
+network operator uses to see *where* the contention the paper's
+Figure 1 demonstrates actually lives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from .network import DOWN, UP, FlowNetwork
+
+__all__ = ["LinkLoad", "link_utilization", "hottest_links"]
+
+_DIRECTION_NAMES = {UP: "up", DOWN: "down"}
+
+
+@dataclass(frozen=True)
+class LinkLoad:
+    """Utilization of one directed channel over a simulation window."""
+
+    name: str
+    direction: str
+    bytes: float
+    capacity: float
+    utilization: float  # busy fraction over the window, in [0, 1]
+
+
+def link_utilization(
+    network: FlowNetwork, link_bytes: np.ndarray, duration: float
+) -> np.ndarray:
+    """Busy fraction per directed channel: ``bytes / (capacity * T)``.
+
+    Channels with zero capacity (the root's phantom uplink) report 0.
+    """
+    if duration <= 0:
+        raise ValueError(f"duration must be > 0, got {duration}")
+    link_bytes = np.asarray(link_bytes, dtype=np.float64)
+    if link_bytes.shape != network.capacity.shape:
+        raise ValueError(
+            f"link_bytes shape {link_bytes.shape} != capacity shape "
+            f"{network.capacity.shape}"
+        )
+    denom = network.capacity * duration
+    return np.divide(
+        link_bytes, denom, out=np.zeros_like(link_bytes), where=denom > 0
+    )
+
+
+def _channel_name(network: FlowNetwork, channel: int) -> tuple:
+    """(human name, direction string) of a directed channel id."""
+    topo = network.topology
+    half = topo.n_nodes + topo.n_switches
+    direction = UP if channel < half else DOWN
+    local = channel % half
+    if local < topo.n_nodes:
+        return f"node {topo.node_name(local)}", _DIRECTION_NAMES[direction]
+    info = topo.switch(local - topo.n_nodes)
+    return f"switch {info.name} uplink", _DIRECTION_NAMES[direction]
+
+
+def hottest_links(
+    network: FlowNetwork,
+    link_bytes: np.ndarray,
+    duration: float,
+    *,
+    top: int = 10,
+) -> List[LinkLoad]:
+    """The ``top`` most-utilized channels, hottest first."""
+    if top < 1:
+        raise ValueError(f"top must be >= 1, got {top}")
+    util = link_utilization(network, link_bytes, duration)
+    order = np.argsort(-util)[:top]
+    out: List[LinkLoad] = []
+    for channel in order:
+        if util[channel] <= 0:
+            break
+        name, direction = _channel_name(network, int(channel))
+        out.append(
+            LinkLoad(
+                name=name,
+                direction=direction,
+                bytes=float(link_bytes[channel]),
+                capacity=float(network.capacity[channel]),
+                utilization=float(util[channel]),
+            )
+        )
+    return out

@@ -1,0 +1,38 @@
+"""MPI-collective communication patterns (paper §3.3).
+
+The paper optimizes for the parallel algorithms underlying MPI
+collectives rather than profiled communication matrices. Implemented:
+
+* ``rd`` — recursive doubling/halving (MPI_Allreduce)
+* ``rhvd`` — recursive halving with vector doubling (MPI_Allgather)
+* ``binomial`` — binomial tree (MPI_Bcast / MPI_Reduce)
+* ``alltoall`` — pairwise exchange (MPI_Alltoall, §1's FFTW/CPMD)
+* ``ring``, ``stencil2d`` — the §7 future-work patterns
+"""
+
+from .alltoall import PairwiseAlltoall
+from .base import CommStep, CommunicationPattern, fold_to_power_of_two, pairs_array
+from .binomial import BinomialTree
+from .recursive_doubling import RecursiveDoubling
+from .rhvd import RecursiveHalvingVectorDoubling
+from .ring import Ring
+from .stencil import Stencil2D, square_factorization
+from .registry import PATTERN_FACTORIES, get_pattern, pattern_names, register_pattern
+
+__all__ = [
+    "CommStep",
+    "CommunicationPattern",
+    "fold_to_power_of_two",
+    "pairs_array",
+    "BinomialTree",
+    "PairwiseAlltoall",
+    "RecursiveDoubling",
+    "RecursiveHalvingVectorDoubling",
+    "Ring",
+    "Stencil2D",
+    "square_factorization",
+    "PATTERN_FACTORIES",
+    "get_pattern",
+    "pattern_names",
+    "register_pattern",
+]

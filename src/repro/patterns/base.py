@@ -1,0 +1,142 @@
+"""Communication-pattern abstraction (paper §3.3).
+
+The paper's cost model (Eq. 6) walks the *steps* of the parallel
+algorithm underlying an MPI collective: at step ``n`` a set of rank
+pairs ``S_n`` communicate simultaneously, and the step contributes the
+maximum effective hop count over those pairs. A pattern therefore only
+needs to expose, per step:
+
+* the communicating (source, destination) rank pairs, and
+* the relative message size of that step (vector-doubling algorithms
+  double it every step — §5.3).
+
+Ranks are ``0..nranks-1`` and are mapped to allocated nodes in
+allocation order by the cost model.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from .._validation import require_positive_int
+
+__all__ = ["CommStep", "CommunicationPattern", "pairs_array"]
+
+
+def pairs_array(pairs: Sequence[Tuple[int, int]]) -> np.ndarray:
+    """Convert a pair sequence into the canonical ``(k, 2)`` int64 array."""
+    arr = np.asarray(list(pairs), dtype=np.int64)
+    if arr.size == 0:
+        return np.empty((0, 2), dtype=np.int64)
+    if arr.ndim != 2 or arr.shape[1] != 2:
+        raise ValueError(f"pairs must have shape (k, 2), got {arr.shape}")
+    return arr
+
+
+@dataclass(frozen=True)
+class CommStep:
+    """One parallel step of a collective algorithm.
+
+    Attributes
+    ----------
+    pairs:
+        ``(k, 2)`` int64 array of (source rank, destination rank) pairs
+        that communicate simultaneously in this step.
+    msize:
+        Message size of this step, relative to the collective's base
+        message size (1.0 = base size).
+    repeat:
+        Number of identical consecutive executions of this step. Ring
+        algorithms repeat the same neighbour exchange ``P-1`` times;
+        representing that once with ``repeat=P-1`` keeps cost evaluation
+        O(1) in the repeat count.
+    exchange:
+        True when each listed pair is a *bidirectional* exchange (data
+        moves both ways, as in recursive doubling/halving); False when
+        pairs are one-way sends (binomial, ring, stencil). The hop-count
+        cost model (Eq. 6) is direction-agnostic, but the flow-level
+        network simulator spawns reverse flows only for exchanges.
+    """
+
+    pairs: np.ndarray
+    msize: float = 1.0
+    repeat: int = 1
+    exchange: bool = False
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "pairs", pairs_array(self.pairs))
+        if self.msize <= 0:
+            raise ValueError(f"msize must be > 0, got {self.msize}")
+        require_positive_int(self.repeat, "repeat")
+
+    @property
+    def n_pairs(self) -> int:
+        return int(self.pairs.shape[0])
+
+
+class CommunicationPattern(ABC):
+    """Abstract parallel-algorithm communication pattern.
+
+    Subclasses implement :meth:`steps`, returning the per-step pair sets
+    for a given rank count. Patterns are stateless and hashable by name,
+    so they can be shared across jobs and used as registry keys.
+    """
+
+    #: short registry name, e.g. ``"rd"``
+    name: str = "abstract"
+
+    @abstractmethod
+    def steps(self, nranks: int) -> List[CommStep]:
+        """Return the ordered communication steps for ``nranks`` ranks.
+
+        Must accept any ``nranks >= 1``; a single rank yields no steps.
+        """
+
+    def n_steps(self, nranks: int) -> int:
+        """Total step count including repeats (diagnostics only)."""
+        return sum(s.repeat for s in self.steps(nranks))
+
+    def total_pair_count(self, nranks: int) -> int:
+        """Total communicating pairs across all steps and repeats."""
+        return sum(s.n_pairs * s.repeat for s in self.steps(nranks))
+
+    def validate_steps(self, nranks: int) -> None:
+        """Sanity-check step structure; raises ``ValueError`` on bad ranks."""
+        for idx, step in enumerate(self.steps(nranks)):
+            if step.n_pairs == 0:
+                continue
+            if step.pairs.min() < 0 or step.pairs.max() >= nranks:
+                raise ValueError(
+                    f"{self.name}: step {idx} references ranks outside [0, {nranks})"
+                )
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, CommunicationPattern) and type(self) is type(other)
+
+    def __hash__(self) -> int:
+        return hash(type(self))
+
+
+def fold_to_power_of_two(nranks: int) -> Tuple[int, np.ndarray, np.ndarray]:
+    """MPICH-style embedding of a non-power-of-two rank count.
+
+    Returns ``(p2, extra_src, extra_dst)`` where ``p2`` is the largest
+    power of two <= ``nranks`` and the extra ranks ``p2..nranks-1`` are
+    paired with ranks ``0..rem-1`` in a fold-in pre-step (and symmetric
+    fold-out post-step). For power-of-two counts the extra arrays are
+    empty.
+    """
+    require_positive_int(nranks, "nranks")
+    p2 = 1 << (nranks.bit_length() - 1)
+    if p2 == nranks:
+        empty = np.empty(0, dtype=np.int64)
+        return p2, empty, empty
+    extra = np.arange(p2, nranks, dtype=np.int64)
+    return p2, extra, extra - p2

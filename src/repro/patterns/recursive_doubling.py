@@ -1,0 +1,46 @@
+"""Recursive doubling / halving (paper Figure 3; MPI_Allreduce).
+
+At step ``k`` (0-based), rank ``i`` exchanges the full message with rank
+``i XOR 2^k``; there are ``log2(P)`` steps and the message size stays
+constant. Recursive *halving* traverses the same partner sequence in the
+opposite distance order, so for the per-step max-hops cost model the two
+are equivalent — the paper accordingly reports them as one pattern "RD".
+
+Non-power-of-two rank counts use the standard MPICH embedding: the
+surplus ranks fold their data into a power-of-two core in a pre-step,
+the core runs the algorithm, and a post-step unfolds the result.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from .base import CommStep, CommunicationPattern, fold_to_power_of_two
+
+__all__ = ["RecursiveDoubling"]
+
+
+class RecursiveDoubling(CommunicationPattern):
+    """Pairwise-exchange recursive doubling (constant message size)."""
+
+    name = "rd"
+
+    def steps(self, nranks: int) -> List[CommStep]:
+        p2, extra_src, extra_dst = fold_to_power_of_two(nranks)
+        out: List[CommStep] = []
+        if extra_src.size:
+            out.append(CommStep(np.column_stack([extra_src, extra_dst]), msize=1.0))
+        ranks = np.arange(p2, dtype=np.int64)
+        dist = 1
+        while dist < p2:
+            partner = ranks ^ dist
+            lower = ranks < partner  # each exchange listed once
+            out.append(
+                CommStep(np.column_stack([ranks[lower], partner[lower]]), msize=1.0, exchange=True)
+            )
+            dist *= 2
+        if extra_src.size:
+            out.append(CommStep(np.column_stack([extra_dst, extra_src]), msize=1.0))
+        return out

@@ -1,0 +1,48 @@
+"""Name -> pattern registry used by experiments and the CLI."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from .alltoall import PairwiseAlltoall
+from .base import CommunicationPattern
+from .binomial import BinomialTree
+from .recursive_doubling import RecursiveDoubling
+from .rhvd import RecursiveHalvingVectorDoubling
+from .ring import Ring
+from .stencil import Stencil2D
+
+__all__ = ["PATTERN_FACTORIES", "get_pattern", "pattern_names", "register_pattern"]
+
+PATTERN_FACTORIES: Dict[str, Callable[[], CommunicationPattern]] = {
+    "rd": RecursiveDoubling,
+    "alltoall": PairwiseAlltoall,
+    "rhvd": RecursiveHalvingVectorDoubling,
+    "binomial": BinomialTree,
+    "ring": Ring,
+    "stencil2d": Stencil2D,
+}
+
+
+def register_pattern(name: str, factory: Callable[[], CommunicationPattern]) -> None:
+    """Register a custom pattern factory under ``name`` (overwrites allowed)."""
+    if not name:
+        raise ValueError("pattern name must be non-empty")
+    PATTERN_FACTORIES[name] = factory
+
+
+def get_pattern(name: str) -> CommunicationPattern:
+    """Instantiate the pattern registered under ``name``.
+
+    Raises ``KeyError`` with the list of known names on a miss.
+    """
+    try:
+        factory = PATTERN_FACTORIES[name]
+    except KeyError:
+        raise KeyError(f"unknown pattern {name!r}; known: {sorted(PATTERN_FACTORIES)}") from None
+    return factory()
+
+
+def pattern_names() -> List[str]:
+    """Sorted registry names."""
+    return sorted(PATTERN_FACTORIES)

@@ -1,0 +1,35 @@
+"""Ring pattern (paper §7 future work; MPI_Allgather ring variant).
+
+Every rank sends to its successor ``(i + 1) mod P`` for ``P - 1``
+consecutive steps, passing one ``1/P``-sized block per step. All steps
+share the same pair set, so the pattern is encoded as a single
+:class:`~repro.patterns.base.CommStep` with ``repeat = P - 1`` — cost
+evaluation stays O(P) instead of O(P^2).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from .base import CommStep, CommunicationPattern
+from .._validation import require_positive_int
+
+__all__ = ["Ring"]
+
+
+class Ring(CommunicationPattern):
+    """Neighbour ring exchange, ``P - 1`` identical steps."""
+
+    name = "ring"
+
+    def steps(self, nranks: int) -> List[CommStep]:
+        require_positive_int(nranks, "nranks")
+        if nranks == 1:
+            return []
+        src = np.arange(nranks, dtype=np.int64)
+        dst = (src + 1) % nranks
+        return [
+            CommStep(np.column_stack([src, dst]), msize=1.0 / nranks, repeat=nranks - 1)
+        ]

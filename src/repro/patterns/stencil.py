@@ -1,0 +1,81 @@
+"""2-D stencil halo exchange (paper §7 future work).
+
+Ranks are arranged on a ``px x py`` grid (the most-square factorization
+of ``P``, falling back to ``P x 1`` for primes). One "iteration" is four
+steps — send east, west, south, north — each a full-grid neighbour shift
+with constant message size. Non-periodic boundaries: edge ranks simply
+have no partner in that direction.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from .base import CommStep, CommunicationPattern
+from .._validation import require_positive_int
+
+__all__ = ["Stencil2D", "square_factorization"]
+
+
+def square_factorization(n: int) -> Tuple[int, int]:
+    """Return ``(px, py)`` with ``px * py == n`` and ``px >= py`` maximal-square."""
+    require_positive_int(n, "n")
+    py = int(np.sqrt(n))
+    while py > 1 and n % py != 0:
+        py -= 1
+    return n // py, py
+
+
+class Stencil2D(CommunicationPattern):
+    """Four-direction halo exchange on a 2-D rank grid.
+
+    Parameters
+    ----------
+    periodic:
+        When True, edges wrap around (torus-style halo exchange).
+    """
+
+    name = "stencil2d"
+
+    def __init__(self, periodic: bool = False) -> None:
+        self.periodic = bool(periodic)
+
+    def steps(self, nranks: int) -> List[CommStep]:
+        require_positive_int(nranks, "nranks")
+        if nranks == 1:
+            return []
+        px, py = square_factorization(nranks)
+        ranks = np.arange(nranks, dtype=np.int64)
+        x = ranks % px
+        y = ranks // px
+        out: List[CommStep] = []
+        for dx, dy in ((1, 0), (-1, 0), (0, 1), (0, -1)):
+            nx = x + dx
+            ny = y + dy
+            if self.periodic:
+                nx %= px
+                ny %= py
+                ok = np.ones(nranks, dtype=bool)
+                # a dimension of extent 1 has no distinct neighbour
+                if px == 1 and dx != 0:
+                    ok[:] = False
+                if py == 1 and dy != 0:
+                    ok[:] = False
+            else:
+                ok = (nx >= 0) & (nx < px) & (ny >= 0) & (ny < py)
+            dst = ny * px + nx
+            pairs = np.column_stack([ranks[ok], dst[ok]])
+            if pairs.shape[0]:
+                out.append(CommStep(pairs, msize=1.0))
+        return out
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Stencil2D) and other.periodic == self.periodic
+
+    def __hash__(self) -> int:
+        return hash((type(self), self.periodic))
+
+    def __repr__(self) -> str:
+        return f"Stencil2D(periodic={self.periodic})"

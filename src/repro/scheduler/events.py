@@ -1,0 +1,73 @@
+"""Discrete-event queue.
+
+A tiny heap wrapper with fully deterministic ordering: events sort by
+(time, kind priority, sequence number). Job completions sort *before*
+submissions at the same instant so freed nodes are visible to the
+scheduling pass that considers the newly submitted jobs — the same
+order SLURM's event loop effectively produces.
+"""
+
+from __future__ import annotations
+
+import enum
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Tuple
+
+__all__ = ["EventKind", "Event", "EventQueue"]
+
+
+class EventKind(enum.IntEnum):
+    """Event kinds; the integer value is the same-time tiebreak priority."""
+
+    FINISH = 0
+    SUBMIT = 1
+
+
+@dataclass(frozen=True, order=True)
+class Event:
+    """One timestamped event. ``payload`` is excluded from ordering."""
+
+    time: float
+    kind: EventKind
+    seq: int
+    payload: Any = field(compare=False, default=None)
+
+
+class EventQueue:
+    """Min-heap of :class:`Event` with stable insertion tiebreak."""
+
+    def __init__(self) -> None:
+        self._heap: List[Event] = []
+        self._seq = itertools.count()
+
+    def push(self, time: float, kind: EventKind, payload: Any = None) -> Event:
+        """Schedule an event; returns it (mainly for tests)."""
+        if not time >= 0.0:  # rejects NaN too
+            raise ValueError(f"event time must be >= 0, got {time}")
+        event = Event(time=float(time), kind=kind, seq=next(self._seq), payload=payload)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self) -> Event:
+        """Remove and return the earliest event; raises ``IndexError`` if empty."""
+        return heapq.heappop(self._heap)
+
+    def peek(self) -> Optional[Event]:
+        """Earliest event without removing it, or ``None`` when empty."""
+        return self._heap[0] if self._heap else None
+
+    def pop_simultaneous(self) -> Tuple[float, List[Event]]:
+        """Pop every event sharing the earliest timestamp, in priority order."""
+        first = self.pop()
+        batch = [first]
+        while self._heap and self._heap[0].time == first.time:
+            batch.append(self.pop())
+        return first.time, batch
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)

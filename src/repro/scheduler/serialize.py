@@ -1,0 +1,106 @@
+"""JSON persistence for simulation results.
+
+Long sweeps (seed grids, paper-scale tables) are worth keeping; this
+module round-trips :class:`~repro.scheduler.metrics.SimulationResult`
+through plain JSON so results can be archived, diffed, and re-analyzed
+without rerunning the simulator. Jobs serialize with their pattern
+*names*; deserialization rebuilds pattern objects from the registry, so
+custom patterns must be registered before loading.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+import numpy as np
+
+from ..cluster.job import CommComponent, Job, JobKind
+from ..patterns.registry import get_pattern
+from .metrics import JobRecord, SimulationResult
+
+__all__ = ["result_to_dict", "result_from_dict", "dump_result", "load_result"]
+
+_FORMAT_VERSION = 1
+
+
+def _job_to_dict(job: Job) -> Dict[str, Any]:
+    return {
+        "job_id": job.job_id,
+        "submit_time": job.submit_time,
+        "nodes": job.nodes,
+        "runtime": job.runtime,
+        "kind": job.kind.value,
+        "comm": [
+            {"pattern": c.pattern.name, "fraction": c.fraction} for c in job.comm
+        ],
+    }
+
+
+def _job_from_dict(data: Dict[str, Any]) -> Job:
+    comm = tuple(
+        CommComponent(get_pattern(c["pattern"]), float(c["fraction"]))
+        for c in data["comm"]
+    )
+    return Job(
+        job_id=int(data["job_id"]),
+        submit_time=float(data["submit_time"]),
+        nodes=int(data["nodes"]),
+        runtime=float(data["runtime"]),
+        kind=JobKind(data["kind"]),
+        comm=comm,
+    )
+
+
+def result_to_dict(result: SimulationResult) -> Dict[str, Any]:
+    """Plain-JSON-serializable representation of a result."""
+    return {
+        "format_version": _FORMAT_VERSION,
+        "allocator": result.allocator_name,
+        "records": [
+            {
+                "job": _job_to_dict(r.job),
+                "start_time": r.start_time,
+                "finish_time": r.finish_time,
+                "nodes": r.nodes.tolist(),
+                "cost_jobaware": dict(r.cost_jobaware),
+                "cost_default": dict(r.cost_default),
+            }
+            for r in result.records
+        ],
+    }
+
+
+def result_from_dict(data: Dict[str, Any]) -> SimulationResult:
+    """Inverse of :func:`result_to_dict`; validates the format version."""
+    version = data.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported result format version {version!r} "
+            f"(this build reads {_FORMAT_VERSION})"
+        )
+    records: List[JobRecord] = []
+    for rec in data["records"]:
+        records.append(
+            JobRecord(
+                job=_job_from_dict(rec["job"]),
+                start_time=float(rec["start_time"]),
+                finish_time=float(rec["finish_time"]),
+                nodes=np.asarray(rec["nodes"], dtype=np.int64),
+                cost_jobaware={k: float(v) for k, v in rec["cost_jobaware"].items()},
+                cost_default={k: float(v) for k, v in rec["cost_default"].items()},
+            )
+        )
+    return SimulationResult(data["allocator"], records)
+
+
+def dump_result(result: SimulationResult, path) -> None:
+    """Write a result as JSON to ``path``."""
+    with open(path, "w") as fh:
+        json.dump(result_to_dict(result), fh, indent=1)
+
+
+def load_result(path) -> SimulationResult:
+    """Read a result JSON written by :func:`dump_result`."""
+    with open(path) as fh:
+        return result_from_dict(json.load(fh))

@@ -1,0 +1,15 @@
+"""Online, SLURM-command-style facade over the scheduling substrate."""
+
+from .controller import JobState, QueueEntry, SinfoRow, SlurmCluster
+from .render import format_sinfo, format_squeue, format_time, transcript
+
+__all__ = [
+    "JobState",
+    "QueueEntry",
+    "SinfoRow",
+    "SlurmCluster",
+    "format_sinfo",
+    "format_squeue",
+    "format_time",
+    "transcript",
+]

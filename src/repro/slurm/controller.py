@@ -1,0 +1,343 @@
+"""Interactive SLURM-style controller (``sbatch`` / ``squeue`` / ``sinfo``).
+
+The batch engine (:mod:`repro.scheduler.engine`) replays a fixed job
+log; this facade offers the *online* operating mode a SLURM user
+expects: submit jobs as virtual time advances, inspect the queue and
+per-switch occupancy, cancel jobs. It drives the same substrate — one
+:class:`~repro.cluster.state.ClusterState`, one allocator, one queue
+policy, Eq. 7 runtime adjustment against the counterfactual default
+allocation — so its scheduling decisions are bit-identical to the batch
+engine given the same inputs.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from ..allocation.base import Allocator
+from ..allocation.default_slurm import DefaultSlurmAllocator
+from ..allocation.registry import get_allocator
+from ..cluster.job import CommComponent, Job, JobKind
+from ..cluster.state import ClusterState
+from ..cost.model import CostModel
+from ..patterns.base import CommunicationPattern
+from ..patterns.registry import get_pattern
+from ..scheduler.metrics import JobRecord
+from ..scheduler.queue_policy import QueuePolicy, RunningJobView, get_policy
+from ..topology.tree import TreeTopology
+from .._validation import require_fraction, require_non_negative, require_positive_int
+
+__all__ = ["SlurmCluster", "QueueEntry", "SinfoRow", "JobState"]
+
+
+@dataclass(frozen=True)
+class QueueEntry:
+    """One ``squeue`` line."""
+
+    job_id: int
+    state: str  # "RUNNING" or "PENDING"
+    nodes: int
+    submit_time: float
+    start_time: Optional[float]
+    expected_end: Optional[float]
+
+
+@dataclass(frozen=True)
+class SinfoRow:
+    """One ``sinfo`` line: occupancy of a leaf switch."""
+
+    switch: str
+    nodes: int
+    free: int
+    busy: int
+    comm_busy: int
+    io_busy: int = 0
+
+
+class JobState:
+    RUNNING = "RUNNING"
+    PENDING = "PENDING"
+    COMPLETED = "COMPLETED"
+    CANCELLED = "CANCELLED"
+
+
+@dataclass
+class _Running:
+    job: Job
+    start_time: float
+    finish_time: float
+    nodes: np.ndarray
+    cost_jobaware: Dict[str, float]
+    cost_default: Dict[str, float]
+
+
+class SlurmCluster:
+    """An online mini-SLURM over the paper's allocation algorithms.
+
+    Example::
+
+        cluster = SlurmCluster(theta_like(), allocator="balanced")
+        jid = cluster.sbatch(nodes=64, runtime=3600.0, kind="comm",
+                             pattern="rhvd")
+        cluster.advance(600.0)
+        print(cluster.squeue())
+    """
+
+    def __init__(
+        self,
+        topology: TreeTopology,
+        allocator: Union[str, Allocator] = "default",
+        *,
+        policy: str = "backfill",
+        cost_model: Optional[CostModel] = None,
+    ) -> None:
+        self.topology = topology
+        self.allocator = get_allocator(allocator) if isinstance(allocator, str) else allocator
+        self.state = ClusterState(topology)
+        self.cost_model = cost_model or CostModel()
+        self._policy: QueuePolicy = get_policy(policy)
+        self._default = DefaultSlurmAllocator()
+        self._now = 0.0
+        self._ids = itertools.count(1)
+        self._pending: List[Job] = []
+        self._running: Dict[int, _Running] = {}
+        self._finish_heap: List[Tuple[float, int]] = []
+        self._history: List[JobRecord] = []
+        self._states: Dict[int, str] = {}
+
+    # ------------------------------------------------------------------
+    # commands
+    # ------------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    def sbatch(
+        self,
+        *,
+        nodes: int,
+        runtime: float,
+        kind: str = "compute",
+        pattern: Union[str, CommunicationPattern, None] = None,
+        comm_fraction: float = 0.7,
+    ) -> int:
+        """Submit a job at the current virtual time; returns its job id.
+
+        ``kind`` is ``"compute"``, ``"comm"``, or ``"io"``;
+        communication-intensive jobs need a ``pattern`` (registry name
+        or instance) and use ``comm_fraction`` of their runtime for it.
+        """
+        require_positive_int(nodes, "nodes")
+        require_non_negative(runtime, "runtime")
+        if nodes > self.topology.n_nodes:
+            raise ValueError(
+                f"job wants {nodes} nodes, the cluster has {self.topology.n_nodes}"
+            )
+        job_id = next(self._ids)
+        if kind == "comm":
+            require_fraction(comm_fraction, "comm_fraction")
+            if pattern is None:
+                raise ValueError("communication-intensive jobs need a pattern")
+            if isinstance(pattern, str):
+                pattern = get_pattern(pattern)
+            job = Job(job_id, self._now, nodes, runtime, JobKind.COMM,
+                      (CommComponent(pattern, comm_fraction),))
+        elif kind == "compute":
+            job = Job(job_id, self._now, nodes, runtime)
+        elif kind == "io":
+            job = Job(job_id, self._now, nodes, runtime, JobKind.IO)
+        else:
+            raise ValueError(
+                f"kind must be 'compute', 'comm', or 'io', got {kind!r}"
+            )
+        self._pending.append(job)
+        self._states[job_id] = JobState.PENDING
+        self._schedule_pass()
+        return job_id
+
+    def scancel(self, job_id: int) -> str:
+        """Cancel a pending or running job; returns its previous state."""
+        for i, job in enumerate(self._pending):
+            if job.job_id == job_id:
+                del self._pending[i]
+                self._states[job_id] = JobState.CANCELLED
+                return JobState.PENDING
+        entry = self._running.pop(job_id, None)
+        if entry is not None:
+            self.state.release(job_id)
+            self._states[job_id] = JobState.CANCELLED
+            self._schedule_pass()
+            return JobState.RUNNING
+        raise KeyError(f"job {job_id} is not pending or running")
+
+    def squeue(self) -> List[QueueEntry]:
+        """Running jobs (by expected end) then pending jobs (FIFO)."""
+        rows = [
+            QueueEntry(
+                job_id=r.job.job_id,
+                state=JobState.RUNNING,
+                nodes=r.job.nodes,
+                submit_time=r.job.submit_time,
+                start_time=r.start_time,
+                expected_end=r.finish_time,
+            )
+            for r in sorted(self._running.values(), key=lambda r: r.finish_time)
+        ]
+        rows.extend(
+            QueueEntry(
+                job_id=j.job_id,
+                state=JobState.PENDING,
+                nodes=j.nodes,
+                submit_time=j.submit_time,
+                start_time=None,
+                expected_end=None,
+            )
+            for j in self._pending
+        )
+        return rows
+
+    def sinfo(self) -> List[SinfoRow]:
+        """Per-leaf-switch occupancy."""
+        rows = []
+        for k in range(self.topology.n_leaves):
+            info = self.topology.leaf(k)
+            rows.append(
+                SinfoRow(
+                    switch=info.name,
+                    nodes=int(self.topology.leaf_sizes[k]),
+                    free=int(self.state.leaf_free[k]),
+                    busy=int(self.state.leaf_busy[k]),
+                    comm_busy=int(self.state.leaf_comm[k]),
+                    io_busy=int(self.state.leaf_io[k]),
+                )
+            )
+        return rows
+
+    def job_state(self, job_id: int) -> str:
+        """PENDING / RUNNING / COMPLETED / CANCELLED."""
+        try:
+            return self._states[job_id]
+        except KeyError:
+            raise KeyError(f"unknown job {job_id}") from None
+
+    @property
+    def history(self) -> List[JobRecord]:
+        """Records of completed jobs, completion order."""
+        return list(self._history)
+
+    # ------------------------------------------------------------------
+    # time
+    # ------------------------------------------------------------------
+
+    def advance(self, seconds: float) -> None:
+        """Advance virtual time, processing completions along the way."""
+        if seconds < 0:
+            raise ValueError(f"cannot advance by {seconds} seconds")
+        deadline = self._now + seconds
+        while self._finish_heap and self._finish_heap[0][0] <= deadline:
+            finish_time, job_id = heapq.heappop(self._finish_heap)
+            entry = self._running.get(job_id)
+            if entry is None or entry.finish_time != finish_time:
+                continue  # cancelled or stale heap entry
+            self._now = finish_time
+            self._complete(entry)
+            self._schedule_pass()
+        self._now = deadline
+
+    def drain(self, max_seconds: float = float("inf")) -> None:
+        """Advance until queue and cluster are empty (or the cap is hit)."""
+        t0 = self._now
+        while (self._running or self._pending) and self._finish_heap:
+            next_finish = self._finish_heap[0][0]
+            if next_finish - t0 > max_seconds:
+                break
+            self.advance(next_finish - self._now)
+        if self._pending and not self._running:
+            raise RuntimeError(
+                f"{len(self._pending)} pending jobs can never start "
+                "(no running job will free nodes)"
+            )
+
+    # ------------------------------------------------------------------
+    # internals (mirrors SchedulerEngine.start_job)
+    # ------------------------------------------------------------------
+
+    def _complete(self, entry: _Running) -> None:
+        self.state.release(entry.job.job_id)
+        del self._running[entry.job.job_id]
+        self._states[entry.job.job_id] = JobState.COMPLETED
+        self._history.append(
+            JobRecord(
+                job=entry.job,
+                start_time=entry.start_time,
+                finish_time=entry.finish_time,
+                nodes=entry.nodes,
+                cost_jobaware=entry.cost_jobaware,
+                cost_default=entry.cost_default,
+            )
+        )
+
+    def _schedule_pass(self) -> None:
+        if not self._pending:
+            return
+        views = [
+            RunningJobView(finish_estimate=r.finish_time, nodes=len(r.nodes))
+            for r in self._running.values()
+        ]
+        picks = self._policy.select_startable(
+            self._now, self._pending, self.state.total_free, views
+        )
+        started = [self._pending[i] for i in picks]
+        for i in sorted(picks, reverse=True):
+            del self._pending[i]
+        for job in started:
+            self._start(job)
+
+    def _start(self, job: Job) -> None:
+        needs_counterfactual = (
+            job.is_comm_intensive and self.allocator.name != self._default.name
+        )
+        pre_state = self.state.copy() if needs_counterfactual else None
+        nodes = self.allocator.allocate(self.state, job)
+        self.state.allocate(job.job_id, nodes, job.kind)
+
+        cost_jobaware: Dict[str, float] = {}
+        cost_default: Dict[str, float] = {}
+        runtime = job.runtime
+        if job.is_comm_intensive:
+            aware = {
+                c.pattern: self.cost_model.allocation_cost(self.state, nodes, c.pattern)
+                for c in job.comm
+            }
+            if needs_counterfactual:
+                assert pre_state is not None
+                dnodes = self._default.allocate(pre_state, job)
+                pre_state.allocate(job.job_id, dnodes, job.kind)
+                default = {
+                    c.pattern: self.cost_model.allocation_cost(pre_state, dnodes, c.pattern)
+                    for c in job.comm
+                }
+            else:
+                default = dict(aware)
+            runtime = self.cost_model.adjusted_runtime(job, aware, default)
+            cost_jobaware = {p.name: v for p, v in aware.items()}
+            cost_default = {p.name: v for p, v in default.items()}
+
+        entry = _Running(
+            job=job,
+            start_time=self._now,
+            finish_time=self._now + runtime,
+            nodes=nodes,
+            cost_jobaware=cost_jobaware,
+            cost_default=cost_default,
+        )
+        self._running[job.job_id] = entry
+        self._states[job.job_id] = JobState.RUNNING
+        heapq.heappush(self._finish_heap, (entry.finish_time, job.job_id))

@@ -1,0 +1,85 @@
+"""SLURM-look-alike text rendering for the interactive controller.
+
+``squeue``/``sinfo`` users expect fixed-width columns with the classic
+headers; these helpers format :class:`~repro.slurm.controller.QueueEntry`
+and :class:`~repro.slurm.controller.SinfoRow` lists accordingly, so an
+interactive session reads like a real terminal transcript.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from .controller import QueueEntry, SinfoRow, SlurmCluster
+
+__all__ = ["format_squeue", "format_sinfo", "format_time"]
+
+
+def format_time(seconds) -> str:
+    """SLURM elapsed-time style: ``D-HH:MM:SS`` (days only when > 0)."""
+    if seconds is None:
+        return "N/A"
+    total = int(round(float(seconds)))
+    if total < 0:
+        raise ValueError(f"time must be >= 0, got {seconds}")
+    days, rem = divmod(total, 86400)
+    hours, rem = divmod(rem, 3600)
+    minutes, secs = divmod(rem, 60)
+    base = f"{hours:02d}:{minutes:02d}:{secs:02d}"
+    return f"{days}-{base}" if days else base
+
+
+def format_squeue(entries: Sequence[QueueEntry], *, now: float = 0.0) -> str:
+    """Render queue entries with squeue-style columns.
+
+    The TIME column shows elapsed runtime for running jobs and queued
+    time for pending ones, like real squeue.
+    """
+    header = f"{'JOBID':>8} {'ST':>3} {'NODES':>6} {'TIME':>12} {'START':>12} {'END':>12}"
+    lines: List[str] = [header]
+    for e in entries:
+        if e.state == "RUNNING":
+            elapsed = format_time(max(now - (e.start_time or 0.0), 0.0))
+            start = format_time(e.start_time)
+            end = format_time(e.expected_end)
+            st = "R"
+        else:
+            elapsed = format_time(max(now - e.submit_time, 0.0))
+            start, end = "N/A", "N/A"
+            st = "PD"
+        lines.append(
+            f"{e.job_id:>8} {st:>3} {e.nodes:>6} {elapsed:>12} {start:>12} {end:>12}"
+        )
+    return "\n".join(lines)
+
+
+def format_sinfo(rows: Sequence[SinfoRow]) -> str:
+    """Render per-switch occupancy with sinfo-style A/I/O/T columns.
+
+    SLURM's ``sinfo -o %C`` reports allocated/idle/other/total; here the
+    "other" column is split into the comm/io interference counters the
+    paper's algorithms care about.
+    """
+    header = f"{'SWITCH':>12} {'ALLOC':>6} {'IDLE':>6} {'COMM':>6} {'IO':>6} {'TOTAL':>6}"
+    lines: List[str] = [header]
+    for r in rows:
+        lines.append(
+            f"{r.switch:>12} {r.busy:>6} {r.free:>6} {r.comm_busy:>6} "
+            f"{r.io_busy:>6} {r.nodes:>6}"
+        )
+    return "\n".join(lines)
+
+
+def transcript(cluster: SlurmCluster, *, max_switches: int = 12) -> str:
+    """One-shot ``squeue`` + ``sinfo`` snapshot of a live cluster."""
+    out = [
+        f"$ squeue   (t = {cluster.now:.0f}s)",
+        format_squeue(cluster.squeue(), now=cluster.now),
+        "",
+        "$ sinfo",
+        format_sinfo(cluster.sinfo()[:max_switches]),
+    ]
+    skipped = cluster.topology.n_leaves - max_switches
+    if skipped > 0:
+        out.append(f"... {skipped} more switches")
+    return "\n".join(out)

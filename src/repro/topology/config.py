@@ -1,0 +1,101 @@
+"""SLURM ``topology.conf`` parsing and writing.
+
+The paper (§5.2) feeds its tree topologies to SLURM via ``topology.conf``
+files of the form::
+
+    SwitchName=s0 Nodes=n[0-3]
+    SwitchName=s1 Nodes=n[4-7]
+    SwitchName=s2 Switches=s[0-1]
+
+This module round-trips that format: :func:`parse_topology_conf` reads
+the text into a :class:`~repro.topology.tree.TreeTopology`, and
+:func:`write_topology_conf` renders any topology back to the same syntax
+(hostlists compressed).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List, Union
+
+from .entities import SwitchSpec
+from .hostlist import compress_hostlist, expand_hostlist
+from .tree import TopologyError, TreeTopology
+
+__all__ = ["parse_topology_conf", "load_topology_conf", "write_topology_conf"]
+
+
+def _parse_line(line: str, lineno: int) -> SwitchSpec:
+    fields = {}
+    for token in line.split():
+        key, eq, value = token.partition("=")
+        if not eq:
+            raise TopologyError(f"line {lineno}: malformed token {token!r}")
+        key = key.strip().lower()
+        if key in fields:
+            raise TopologyError(f"line {lineno}: repeated key {key!r}")
+        fields[key] = value.strip()
+    name = fields.pop("switchname", None)
+    if name is None:
+        raise TopologyError(f"line {lineno}: missing SwitchName")
+    nodes = fields.pop("nodes", None)
+    switches = fields.pop("switches", None)
+    # SLURM allows extra keys (LinkSpeed etc.); ignore unknown ones.
+    if nodes is not None and switches is not None:
+        raise TopologyError(f"line {lineno}: switch {name!r} has both Nodes and Switches")
+    if nodes is None and switches is None:
+        raise TopologyError(f"line {lineno}: switch {name!r} has neither Nodes nor Switches")
+    return SwitchSpec(
+        name=name,
+        nodes=expand_hostlist(nodes) if nodes is not None else [],
+        switches=expand_hostlist(switches) if switches is not None else [],
+    )
+
+
+def parse_topology_conf(text: str) -> TreeTopology:
+    """Parse ``topology.conf`` text into a validated :class:`TreeTopology`.
+
+    Blank lines and ``#`` comments (full-line or trailing) are ignored,
+    matching SLURM's parser.
+    """
+    specs: List[SwitchSpec] = []
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        specs.append(_parse_line(line, lineno))
+    return TreeTopology.from_switches(specs)
+
+
+def load_topology_conf(path: Union[str, Path]) -> TreeTopology:
+    """Read and parse a ``topology.conf`` file from disk."""
+    return parse_topology_conf(Path(path).read_text())
+
+
+def write_topology_conf(topology: TreeTopology) -> str:
+    """Render a topology as ``topology.conf`` text.
+
+    Leaf switches are listed first (with compressed node hostlists), then
+    inner switches bottom-up, so the output parses with any conf reader
+    that expects children before parents. The result round-trips through
+    :func:`parse_topology_conf` to a structurally equal topology; note
+    that hostlist compression sorts sibling names, so when sibling names
+    are not already in numeric order the reparsed topology may assign
+    different *leaf indices* (node names and all distances are
+    preserved).
+    """
+    lines: List[str] = []
+    for level in range(1, topology.height + 1):
+        for info in topology.switches_at_level(level):
+            if info.is_leaf:
+                leaf_index = None
+                # Map global switch index back to a leaf index via name.
+                leaf_index = topology.leaf_names.index(info.name)
+                names = [topology.node_name(i) for i in topology.leaf_nodes(leaf_index)]
+                lines.append(f"SwitchName={info.name} Nodes={compress_hostlist(names)}")
+            else:
+                children = [
+                    s.name for s in topology.switches if s.parent == info.index
+                ]
+                lines.append(f"SwitchName={info.name} Switches={compress_hostlist(children)}")
+    return "\n".join(lines) + "\n"

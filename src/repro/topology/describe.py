@@ -1,0 +1,73 @@
+"""Human-readable topology descriptions.
+
+``repro-sched topology <machine> --describe`` renders the switch tree
+as indented text with per-switch capacities — handy when sanity-checking
+a hand-written ``topology.conf`` before a study.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .tree import SwitchInfo, TreeTopology
+
+__all__ = ["describe_topology", "topology_summary"]
+
+
+def topology_summary(topology: TreeTopology) -> Dict[str, float]:
+    """Headline facts: node/switch counts, height, leaf-size spread."""
+    sizes = topology.leaf_sizes
+    return {
+        "nodes": topology.n_nodes,
+        "switches": topology.n_switches,
+        "leaf_switches": topology.n_leaves,
+        "height": topology.height,
+        "min_leaf_size": int(sizes.min()),
+        "max_leaf_size": int(sizes.max()),
+        "mean_leaf_size": float(sizes.mean()),
+    }
+
+
+def describe_topology(topology: TreeTopology, *, max_children: int = 8) -> str:
+    """Indented tree rendering, eliding long sibling runs.
+
+    Each line shows the switch name, its level, and the compute-node
+    capacity of its subtree; leaves also show their node-name range.
+    At most ``max_children`` children are printed per switch, with an
+    elision marker for the rest.
+    """
+    if max_children < 1:
+        raise ValueError(f"max_children must be >= 1, got {max_children}")
+    children: Dict[int, List[SwitchInfo]] = {}
+    for info in topology.switches:
+        if info.parent >= 0:
+            children.setdefault(info.parent, []).append(info)
+
+    lines: List[str] = []
+
+    def visit(info: SwitchInfo, depth: int) -> None:
+        indent = "  " * depth
+        if info.is_leaf:
+            leaf_index = topology.leaf_names.index(info.name)
+            node_ids = topology.leaf_nodes(leaf_index)
+            first = topology.node_name(int(node_ids[0]))
+            last = topology.node_name(int(node_ids[-1]))
+            span = first if len(node_ids) == 1 else f"{first}..{last}"
+            lines.append(
+                f"{indent}{info.name} [leaf, {info.capacity} nodes: {span}]"
+            )
+            return
+        lines.append(
+            f"{indent}{info.name} [level {info.level}, {info.capacity} nodes, "
+            f"{info.n_leaves} leaf switches]"
+        )
+        kids = children.get(info.index, [])
+        for kid in kids[:max_children]:
+            visit(kid, depth + 1)
+        if len(kids) > max_children:
+            lines.append(
+                f"{indent}  ... {len(kids) - max_children} more switches elided"
+            )
+
+    visit(topology.root, 0)
+    return "\n".join(lines)

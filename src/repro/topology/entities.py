@@ -1,0 +1,75 @@
+"""Topology entities: compute nodes and switches.
+
+These are lightweight descriptions used while *building* a topology.
+The runtime representation lives in :class:`repro.topology.tree.TreeTopology`,
+which converts everything to flat NumPy arrays for speed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+__all__ = ["NodeSpec", "SwitchSpec"]
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """A compute node attached to exactly one leaf switch.
+
+    Attributes
+    ----------
+    name:
+        Unique host name (e.g. ``"n17"``).
+    """
+
+    name: str
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("node name must be non-empty")
+
+
+@dataclass
+class SwitchSpec:
+    """A switch in a tree/fat-tree topology.
+
+    A switch is either a *leaf* switch (``nodes`` non-empty, ``switches``
+    empty) or an *inner* switch (``switches`` non-empty, ``nodes`` empty);
+    mixing both on one switch is rejected by
+    :meth:`repro.topology.tree.TreeTopology.from_switches`.
+
+    Attributes
+    ----------
+    name:
+        Unique switch name (e.g. ``"s2"``).
+    nodes:
+        Host names directly attached (leaf switches only).
+    switches:
+        Child switch names (inner switches only).
+    """
+
+    name: str
+    nodes: List[str] = field(default_factory=list)
+    switches: List[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("switch name must be non-empty")
+
+    @property
+    def is_leaf(self) -> bool:
+        """True when this switch connects compute nodes directly."""
+        return bool(self.nodes)
+
+    def validate(self) -> Optional[str]:
+        """Return an error string if this spec is malformed, else None."""
+        if self.nodes and self.switches:
+            return f"switch {self.name!r} lists both Nodes and Switches"
+        if not self.nodes and not self.switches:
+            return f"switch {self.name!r} lists neither Nodes nor Switches"
+        if len(set(self.nodes)) != len(self.nodes):
+            return f"switch {self.name!r} repeats a node name"
+        if len(set(self.switches)) != len(self.switches):
+            return f"switch {self.name!r} repeats a child switch name"
+        return None

@@ -1,0 +1,142 @@
+"""SLURM hostlist expressions.
+
+SLURM configuration files describe groups of hosts with bracketed range
+expressions such as ``n[0-3]``, ``node[00-12]`` or ``c[1,3,5-7]``.  This
+module implements both directions:
+
+* :func:`expand_hostlist` — ``"n[0-3]"`` -> ``["n0", "n1", "n2", "n3"]``
+* :func:`compress_hostlist` — the inverse, producing a compact expression.
+
+Zero padding is preserved: ``n[00-02]`` expands to ``n00, n01, n02`` and
+compressing those names yields ``n[00-02]`` again.
+"""
+
+from __future__ import annotations
+
+import re
+from itertools import groupby
+from typing import Iterable, List, Sequence
+
+__all__ = ["expand_hostlist", "compress_hostlist", "HostlistError"]
+
+
+class HostlistError(ValueError):
+    """Raised for malformed hostlist expressions."""
+
+
+_BRACKET_RE = re.compile(r"^(?P<prefix>[^\[\]]*)\[(?P<body>[^\[\]]+)\](?P<suffix>[^\[\]]*)$")
+_TRAILING_NUM_RE = re.compile(r"^(?P<stem>.*?)(?P<num>\d+)$")
+
+
+def _split_top_level(expr: str) -> List[str]:
+    """Split a comma-separated hostlist on commas that are outside brackets."""
+    parts: List[str] = []
+    depth = 0
+    current: List[str] = []
+    for ch in expr:
+        if ch == "[":
+            depth += 1
+        elif ch == "]":
+            depth -= 1
+            if depth < 0:
+                raise HostlistError(f"unbalanced ']' in {expr!r}")
+        if ch == "," and depth == 0:
+            parts.append("".join(current))
+            current = []
+        else:
+            current.append(ch)
+    if depth != 0:
+        raise HostlistError(f"unbalanced '[' in {expr!r}")
+    parts.append("".join(current))
+    return [p.strip() for p in parts if p.strip()]
+
+
+def _expand_range_body(body: str) -> List[str]:
+    """Expand the inside of a bracket: ``"0-3,7,10-11"`` -> numeric strings."""
+    out: List[str] = []
+    for piece in body.split(","):
+        piece = piece.strip()
+        if not piece:
+            raise HostlistError(f"empty range element in [{body}]")
+        if "-" in piece:
+            lo_s, _, hi_s = piece.partition("-")
+            if not lo_s.isdigit() or not hi_s.isdigit():
+                raise HostlistError(f"non-numeric range {piece!r}")
+            lo, hi = int(lo_s), int(hi_s)
+            if hi < lo:
+                raise HostlistError(f"descending range {piece!r}")
+            width = len(lo_s) if lo_s.startswith("0") or len(lo_s) == len(hi_s) else 0
+            for v in range(lo, hi + 1):
+                out.append(str(v).zfill(width) if width else str(v))
+        else:
+            if not piece.isdigit():
+                raise HostlistError(f"non-numeric element {piece!r}")
+            out.append(piece)
+    return out
+
+
+def expand_hostlist(expr: str) -> List[str]:
+    """Expand a SLURM hostlist expression into an explicit list of names.
+
+    Accepts comma-separated terms, each either a plain name (``login1``)
+    or a single bracketed range (``n[0-3,8]``). Names are returned in the
+    order produced by the expression (duplicates are preserved).
+    """
+    if not isinstance(expr, str):
+        raise TypeError(f"hostlist must be a str, got {type(expr).__name__}")
+    names: List[str] = []
+    for term in _split_top_level(expr):
+        m = _BRACKET_RE.match(term)
+        if m is None:
+            if "[" in term or "]" in term:
+                raise HostlistError(f"malformed hostlist term {term!r}")
+            names.append(term)
+            continue
+        prefix, body, suffix = m.group("prefix"), m.group("body"), m.group("suffix")
+        for num in _expand_range_body(body):
+            names.append(f"{prefix}{num}{suffix}")
+    return names
+
+
+def _runs(numbers: Sequence[int]) -> List[tuple[int, int]]:
+    """Group sorted integers into inclusive (lo, hi) runs."""
+    runs: List[tuple[int, int]] = []
+    for _, grp in groupby(enumerate(numbers), key=lambda t: t[1] - t[0]):
+        items = [v for _, v in grp]
+        runs.append((items[0], items[-1]))
+    return runs
+
+
+def compress_hostlist(names: Iterable[str]) -> str:
+    """Compress host names into a compact SLURM hostlist expression.
+
+    Names sharing a stem and numeric-suffix width are grouped into
+    bracketed ranges; anything without a trailing number is passed
+    through verbatim. Output terms are sorted by (stem, width, number)
+    so the result is deterministic.
+    """
+    plain: List[str] = []
+    grouped: dict[tuple[str, int], List[int]] = {}
+    for name in names:
+        m = _TRAILING_NUM_RE.match(name)
+        if m is None:
+            plain.append(name)
+            continue
+        stem, num = m.group("stem"), m.group("num")
+        # Width only matters when the number is zero-padded; unpadded numbers
+        # of different lengths (n9, n10) must share a group to form n[9-10].
+        width = len(num) if num.startswith("0") and len(num) > 1 else 0
+        grouped.setdefault((stem, width), []).append(int(num))
+
+    terms: List[str] = sorted(set(plain))
+    for (stem, width), numbers in sorted(grouped.items()):
+        numbers = sorted(set(numbers))
+        pieces: List[str] = []
+        for lo, hi in _runs(numbers):
+            lo_s, hi_s = str(lo).zfill(width), str(hi).zfill(width)
+            pieces.append(lo_s if lo == hi else f"{lo_s}-{hi_s}")
+        if len(pieces) == 1 and "-" not in pieces[0]:
+            terms.append(f"{stem}{pieces[0]}")
+        else:
+            terms.append(f"{stem}[{','.join(pieces)}]")
+    return ",".join(terms)

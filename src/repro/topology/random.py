@@ -1,0 +1,87 @@
+"""Random tree topologies for fuzzing and robustness studies.
+
+The paper evaluates on three fixed machine shapes; these generators
+build arbitrary (seeded) trees so property tests can exercise the
+allocators, cost model, and scheduler on shapes nobody hand-picked —
+including irregular leaf sizes and unbalanced depths.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from .entities import SwitchSpec
+from .tree import TreeTopology
+from .._validation import require_positive_int
+
+__all__ = ["random_tree", "random_leaf_sizes"]
+
+
+def random_leaf_sizes(
+    rng: np.random.Generator,
+    *,
+    n_leaves: Optional[int] = None,
+    min_size: int = 1,
+    max_size: int = 32,
+    max_leaves: int = 12,
+) -> List[int]:
+    """Seeded irregular leaf sizes (uniform in [min_size, max_size])."""
+    if n_leaves is None:
+        n_leaves = int(rng.integers(1, max_leaves + 1))
+    require_positive_int(n_leaves, "n_leaves")
+    if not 1 <= min_size <= max_size:
+        raise ValueError("need 1 <= min_size <= max_size")
+    return [int(s) for s in rng.integers(min_size, max_size + 1, size=n_leaves)]
+
+
+def random_tree(
+    seed: int = 0,
+    *,
+    max_depth: int = 3,
+    max_children: int = 4,
+    max_leaf_size: int = 16,
+) -> TreeTopology:
+    """A random (possibly unbalanced) tree topology.
+
+    Every inner switch gets 1..``max_children`` children; each child is
+    a leaf with probability growing with depth, so trees terminate but
+    vary in shape. Deterministic per seed.
+    """
+    require_positive_int(max_depth, "max_depth")
+    require_positive_int(max_children, "max_children")
+    require_positive_int(max_leaf_size, "max_leaf_size")
+    rng = np.random.default_rng(seed)
+    specs: List[SwitchSpec] = []
+    node_counter = [0]
+    switch_counter = [0]
+
+    def make_leaf() -> str:
+        name = f"leaf{switch_counter[0]}"
+        switch_counter[0] += 1
+        size = int(rng.integers(1, max_leaf_size + 1))
+        nodes = [f"n{node_counter[0] + i}" for i in range(size)]
+        node_counter[0] += size
+        specs.append(SwitchSpec(name=name, nodes=nodes))
+        return name
+
+    def make_switch(depth: int) -> str:
+        if depth >= max_depth:
+            return make_leaf()
+        children: List[str] = []
+        for _ in range(int(rng.integers(1, max_children + 1))):
+            # deeper levels are increasingly likely to terminate
+            if rng.random() < 0.3 + 0.3 * depth:
+                children.append(make_leaf())
+            else:
+                children.append(make_switch(depth + 1))
+        if not children:  # unreachable, but stay safe
+            children.append(make_leaf())
+        name = f"sw{switch_counter[0]}"
+        switch_counter[0] += 1
+        specs.append(SwitchSpec(name=name, switches=children))
+        return name
+
+    make_switch(0)
+    return TreeTopology.from_switches(specs)

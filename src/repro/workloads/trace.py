@@ -1,0 +1,58 @@
+"""Raw job-trace records.
+
+A :class:`TraceJob` is what a job log provides *before* the paper's
+annotations are applied: submit time, node count, runtime. Both the SWF
+parser (real Parallel Workload Archive logs) and the synthetic
+generators produce these;
+:func:`repro.workloads.classify.assign_kinds` then turns them into
+schedulable :class:`~repro.cluster.job.Job` objects with comm/compute
+labels and collective patterns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from .._validation import require_non_negative, require_positive_int
+
+__all__ = ["TraceJob", "validate_trace"]
+
+
+@dataclass(frozen=True)
+class TraceJob:
+    """One raw log record (times in seconds, nodes in whole nodes)."""
+
+    job_id: int
+    submit_time: float
+    nodes: int
+    runtime: float
+
+    def __post_init__(self) -> None:
+        require_positive_int(self.nodes, "nodes")
+        require_non_negative(self.submit_time, "submit_time")
+        require_non_negative(self.runtime, "runtime")
+
+
+def validate_trace(trace: Sequence[TraceJob], max_nodes: int | None = None) -> List[str]:
+    """Return a list of problems found in a trace (empty = clean).
+
+    Checks: duplicate job ids, non-monotone submit order, requests
+    exceeding ``max_nodes`` (when given).
+    """
+    problems: List[str] = []
+    seen = set()
+    last_submit = -1.0
+    for job in trace:
+        if job.job_id in seen:
+            problems.append(f"duplicate job id {job.job_id}")
+        seen.add(job.job_id)
+        if job.submit_time < last_submit:
+            problems.append(
+                f"job {job.job_id} submitted at {job.submit_time} before "
+                f"predecessor at {last_submit}"
+            )
+        last_submit = max(last_submit, job.submit_time)
+        if max_nodes is not None and job.nodes > max_nodes:
+            problems.append(f"job {job.job_id} requests {job.nodes} > {max_nodes} nodes")
+    return problems

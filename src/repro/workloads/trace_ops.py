@@ -1,0 +1,90 @@
+"""Trace transformations used in workload-modeling studies.
+
+Standard operations from the workload literature (Feitelson's PWA
+methodology): slicing a window out of a long trace, filtering by job
+size, and rescaling the arrival intensity to probe other load levels —
+the paper's own "varied this percentage" style sensitivity analyses
+applied to the time axis.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from .trace import TraceJob
+from .._validation import require_positive_int
+
+__all__ = ["slice_window", "filter_sizes", "scale_load", "renumber", "concatenate"]
+
+
+def slice_window(
+    trace: Sequence[TraceJob], start: float, end: float, *, rebase: bool = True
+) -> List[TraceJob]:
+    """Jobs submitted in ``[start, end)``; optionally rebased to t=0."""
+    if end <= start:
+        raise ValueError(f"need start < end, got [{start}, {end})")
+    kept = [t for t in trace if start <= t.submit_time < end]
+    if not rebase or not kept:
+        return kept
+    t0 = min(t.submit_time for t in kept)
+    return [
+        TraceJob(t.job_id, t.submit_time - t0, t.nodes, t.runtime) for t in kept
+    ]
+
+
+def filter_sizes(
+    trace: Sequence[TraceJob],
+    *,
+    min_nodes: int = 1,
+    max_nodes: Optional[int] = None,
+) -> List[TraceJob]:
+    """Jobs whose node request lies in ``[min_nodes, max_nodes]``."""
+    require_positive_int(min_nodes, "min_nodes")
+    if max_nodes is not None and max_nodes < min_nodes:
+        raise ValueError("max_nodes must be >= min_nodes")
+    return [
+        t
+        for t in trace
+        if t.nodes >= min_nodes and (max_nodes is None or t.nodes <= max_nodes)
+    ]
+
+
+def scale_load(trace: Sequence[TraceJob], factor: float) -> List[TraceJob]:
+    """Compress (factor > 1) or stretch (factor < 1) interarrival times.
+
+    Dividing every submit time by ``factor`` multiplies the offered load
+    by ``factor`` without touching sizes or runtimes — the standard way
+    to sweep utilization with a fixed job population.
+    """
+    if factor <= 0:
+        raise ValueError(f"factor must be > 0, got {factor}")
+    return [
+        TraceJob(t.job_id, t.submit_time / factor, t.nodes, t.runtime) for t in trace
+    ]
+
+
+def renumber(trace: Sequence[TraceJob], *, start: int = 1) -> List[TraceJob]:
+    """Assign fresh consecutive job ids in submit order."""
+    ordered = sorted(trace, key=lambda t: (t.submit_time, t.job_id))
+    return [
+        TraceJob(start + i, t.submit_time, t.nodes, t.runtime)
+        for i, t in enumerate(ordered)
+    ]
+
+
+def concatenate(
+    first: Sequence[TraceJob], second: Sequence[TraceJob], *, gap_seconds: float = 0.0
+) -> List[TraceJob]:
+    """Append ``second`` after ``first`` (shifted past its last submit).
+
+    Ids are renumbered to stay unique.
+    """
+    if gap_seconds < 0:
+        raise ValueError(f"gap_seconds must be >= 0, got {gap_seconds}")
+    if not first:
+        return renumber(second)
+    offset = max(t.submit_time for t in first) + gap_seconds
+    shifted = [
+        TraceJob(t.job_id, t.submit_time + offset, t.nodes, t.runtime) for t in second
+    ]
+    return renumber(list(first) + shifted)

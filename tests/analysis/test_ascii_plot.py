@@ -1,0 +1,96 @@
+"""Tests for ASCII chart rendering."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import bar_chart, histogram, line_plot, sparkline
+
+
+class TestSparkline:
+    def test_flat_series(self):
+        out = sparkline([1.0, 1.0, 1.0])
+        assert len(out) == 3
+        assert len(set(out)) == 1
+
+    def test_range_mapped(self):
+        out = sparkline([0.0, 1.0])
+        assert out[0] == " " and out[-1] == "@"
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_long_series_downsampled(self):
+        out = sparkline(np.sin(np.linspace(0, 10, 1000)), width=50)
+        assert len(out) <= 50
+
+
+class TestLinePlot:
+    def test_structure(self):
+        out = line_plot({"a": [1, 2, 3], "b": [3, 2, 1]}, title="T", height=6)
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert sum(1 for l in lines if "|" in l) >= 6
+        assert "* a" in lines[-1] and "+ b" in lines[-1]
+
+    def test_extremes_plotted_at_edges(self):
+        out = line_plot({"s": [0.0, 10.0]}, height=5, width=10)
+        rows = [l for l in out.splitlines() if l.endswith("|")]
+        assert "*" in rows[0]   # max at the top row
+        assert "*" in rows[-1]  # min at the bottom row
+
+    def test_axis_labels_show_range(self):
+        out = line_plot({"s": [2.5, 7.5]})
+        assert "7.5" in out and "2.5" in out
+
+    def test_empty_series_dict_rejected(self):
+        with pytest.raises(ValueError):
+            line_plot({})
+
+    def test_empty_values_rejected(self):
+        with pytest.raises(ValueError):
+            line_plot({"a": []})
+
+    def test_constant_series_ok(self):
+        out = line_plot({"flat": [5, 5, 5]})
+        assert "5" in out
+
+
+class TestBarChart:
+    def test_proportional_bars(self):
+        out = bar_chart({"small": 1.0, "big": 2.0}, width=10)
+        lines = out.splitlines()
+        small = next(l for l in lines if "small" in l)
+        big = next(l for l in lines if "big" in l)
+        assert big.count("#") == 2 * small.count("#")
+
+    def test_values_printed(self):
+        out = bar_chart({"x": 3.25}, unit="h")
+        assert "3.25h" in out
+
+    def test_zero_values(self):
+        out = bar_chart({"a": 0.0, "b": 0.0})
+        assert "#" not in out
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            bar_chart({})
+
+
+class TestHistogram:
+    def test_counts_sum(self):
+        data = np.arange(100)
+        out = histogram(data, bins=5)
+        counts = [int(l.rsplit(" ", 1)[1]) for l in out.splitlines()]
+        assert sum(counts) == 100
+
+    def test_bin_count(self):
+        assert len(histogram([1, 2, 3], bins=4).splitlines()) == 4
+
+    def test_title(self):
+        assert histogram([1, 2], title="H").startswith("H")
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            histogram([])
+        with pytest.raises(ValueError):
+            histogram([1.0], bins=0)

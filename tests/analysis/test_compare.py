@@ -1,0 +1,64 @@
+"""Tests for cross-allocator result comparison."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import compare_results, per_job_improvements
+from repro.experiments import ExperimentConfig, continuous_runs
+from repro.workloads import single_pattern_mix
+
+
+@pytest.fixture(scope="module")
+def results():
+    cfg = ExperimentConfig(log="theta", n_jobs=50, seed=4,
+                           mix=single_pattern_mix("rhvd"))
+    return continuous_runs(cfg)
+
+
+class TestCompareResults:
+    def test_baseline_improvement_is_zero(self, results):
+        cmp = compare_results(results)
+        for metric, value in cmp.improvements["default"].items():
+            assert value == 0.0, metric
+
+    def test_balanced_execution_improves(self, results):
+        cmp = compare_results(results)
+        assert cmp.improvements["balanced"]["execution_hours"] > 0
+
+    def test_values_match_results(self, results):
+        cmp = compare_results(results)
+        assert cmp.values["default"]["execution_hours"] == pytest.approx(
+            results["default"].total_execution_hours
+        )
+
+    def test_missing_baseline(self, results):
+        with pytest.raises(KeyError):
+            compare_results(results, baseline="quantum")
+
+    def test_mismatched_jobs_rejected(self, results):
+        other_cfg = ExperimentConfig(log="theta", n_jobs=20, seed=99,
+                                     mix=single_pattern_mix("rd"),
+                                     allocators=("default",))
+        other = continuous_runs(other_cfg)
+        mixed = dict(results)
+        mixed["default"] = other["default"]
+        with pytest.raises(ValueError, match="different jobs"):
+            compare_results(mixed)
+
+    def test_render(self, results):
+        out = compare_results(results).render()
+        assert "execution_hours" in out
+        assert "balanced" in out
+
+
+class TestPerJobImprovements:
+    def test_length_matches_jobs(self, results):
+        imp = per_job_improvements(results, "balanced")
+        assert imp.shape == (50,)
+
+    def test_default_vs_itself_zero(self, results):
+        imp = per_job_improvements(results, "default")
+        assert np.allclose(imp, 0.0)
+
+    def test_mean_positive_for_adaptive(self, results):
+        assert per_job_improvements(results, "adaptive").mean() > 0

@@ -1,0 +1,74 @@
+"""Tests for analysis statistics helpers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import bootstrap_mean_ci, pearson_correlation, summarize
+
+
+class TestPearson:
+    def test_perfect_positive(self):
+        assert pearson_correlation([1, 2, 3], [2, 4, 6]) == pytest.approx(1.0)
+
+    def test_perfect_negative(self):
+        assert pearson_correlation([1, 2, 3], [3, 2, 1]) == pytest.approx(-1.0)
+
+    def test_constant_series_is_zero(self):
+        assert pearson_correlation([1, 1, 1], [1, 2, 3]) == 0.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError, match="shape"):
+            pearson_correlation([1, 2], [1, 2, 3])
+
+    def test_too_few_points(self):
+        with pytest.raises(ValueError, match="2 points"):
+            pearson_correlation([1], [2])
+
+    def test_noisy_correlation_in_range(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=500)
+        y = x + rng.normal(scale=0.5, size=500)
+        r = pearson_correlation(x, y)
+        assert 0.8 < r < 1.0
+
+
+class TestSummarize:
+    def test_known_values(self):
+        s = summarize([1.0, 2.0, 3.0, 4.0])
+        assert s["mean"] == pytest.approx(2.5)
+        assert s["median"] == pytest.approx(2.5)
+        assert s["min"] == 1.0
+        assert s["max"] == 4.0
+        assert s["n"] == 4
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_p95_upper_tail(self):
+        s = summarize(np.arange(100))
+        assert s["p95"] >= s["median"]
+
+
+class TestBootstrap:
+    def test_ci_contains_mean_for_tight_data(self):
+        lo, hi = bootstrap_mean_ci(np.full(50, 7.0))
+        assert lo == pytest.approx(7.0)
+        assert hi == pytest.approx(7.0)
+
+    def test_ci_ordering_and_coverage(self):
+        rng = np.random.default_rng(1)
+        data = rng.normal(loc=10.0, scale=2.0, size=200)
+        lo, hi = bootstrap_mean_ci(data, seed=2)
+        assert lo < data.mean() < hi
+        assert hi - lo < 2.0  # reasonably tight at n=200
+
+    def test_deterministic_given_seed(self):
+        data = [1.0, 5.0, 3.0, 2.0]
+        assert bootstrap_mean_ci(data, seed=9) == bootstrap_mean_ci(data, seed=9)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            bootstrap_mean_ci([])
+        with pytest.raises(ValueError):
+            bootstrap_mean_ci([1.0], confidence=1.5)

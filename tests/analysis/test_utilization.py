@@ -1,0 +1,87 @@
+"""Tests for utilization and queue timelines."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    average_utilization,
+    busy_nodes_timeline,
+    queue_length_timeline,
+)
+from repro.scheduler import JobRecord, simulate
+from repro.topology import two_level_tree
+
+from ..conftest import make_compute_job
+
+
+def record(job_id, submit, start, finish, nodes):
+    job = make_compute_job(job_id=job_id, nodes=nodes, runtime=finish - start,
+                           submit_time=submit)
+    return JobRecord(job=job, start_time=start, finish_time=finish,
+                     nodes=np.arange(nodes))
+
+
+class TestBusyTimeline:
+    def test_single_job_step(self):
+        times, busy = busy_nodes_timeline([record(1, 0, 10, 20, 4)])
+        assert times.tolist() == [10.0, 20.0]
+        assert busy.tolist() == [4.0, 0.0]
+
+    def test_overlapping_jobs_stack(self):
+        times, busy = busy_nodes_timeline(
+            [record(1, 0, 0, 10, 4), record(2, 0, 5, 15, 2)]
+        )
+        # at t=5 both run: 6 nodes
+        assert busy[times.tolist().index(5.0)] == 6.0
+        assert busy[-1] == 0.0
+
+    def test_simultaneous_start_end_merge(self):
+        times, busy = busy_nodes_timeline(
+            [record(1, 0, 0, 10, 4), record(2, 0, 10, 20, 4)]
+        )
+        # at t=10: -4 +4 = net 0 change
+        assert busy[times.tolist().index(10.0)] == 4.0
+
+    def test_empty(self):
+        times, busy = busy_nodes_timeline([])
+        assert busy.tolist() == [0.0]
+
+
+class TestQueueTimeline:
+    def test_wait_creates_queue(self):
+        times, queued = queue_length_timeline([record(1, 0, 10, 20, 4)])
+        assert queued[times.tolist().index(0.0)] == 1.0
+        assert queued[times.tolist().index(10.0)] == 0.0
+
+    def test_no_wait_zero_queue_after_start(self):
+        times, queued = queue_length_timeline([record(1, 5, 5, 10, 4)])
+        assert queued[-1] == 0.0
+
+
+class TestAverageUtilization:
+    def test_full_machine_is_one(self):
+        records = [record(1, 0, 0, 10, 8)]
+        assert average_utilization(records, 8) == pytest.approx(1.0)
+
+    def test_half_machine(self):
+        records = [record(1, 0, 0, 10, 4)]
+        assert average_utilization(records, 8) == pytest.approx(0.5)
+
+    def test_sequential_jobs(self):
+        records = [record(1, 0, 0, 10, 8), record(2, 0, 10, 20, 4)]
+        assert average_utilization(records, 8) == pytest.approx(0.75)
+
+    def test_empty(self):
+        assert average_utilization([], 8) == 0.0
+
+    def test_invalid_nodes(self):
+        with pytest.raises(ValueError):
+            average_utilization([], 0)
+
+    def test_from_real_simulation(self):
+        topo = two_level_tree(2, 4)
+        jobs = [make_compute_job(job_id=i, nodes=4, runtime=100.0, submit_time=0.0)
+                for i in (1, 2)]
+        res = simulate(topo, jobs, "default")
+        util = average_utilization(res.records, topo.n_nodes)
+        assert util == pytest.approx(1.0)  # both halves busy the whole time

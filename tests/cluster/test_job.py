@@ -1,0 +1,97 @@
+"""Tests for the Job model."""
+
+import pytest
+
+from repro.cluster import CommComponent, Job, JobKind
+from repro.patterns import BinomialTree, RecursiveDoubling, RecursiveHalvingVectorDoubling
+
+
+class TestConstruction:
+    def test_compute_job_defaults(self):
+        job = Job(1, 0.0, 4, 100.0)
+        assert job.kind is JobKind.COMPUTE
+        assert job.comm_fraction == 0.0
+        assert job.compute_fraction == 1.0
+        assert not job.is_comm_intensive
+
+    def test_comm_job(self):
+        job = Job(
+            1, 0.0, 8, 100.0, JobKind.COMM,
+            (CommComponent(RecursiveDoubling(), 0.7),),
+        )
+        assert job.is_comm_intensive
+        assert job.comm_fraction == pytest.approx(0.7)
+        assert job.compute_fraction == pytest.approx(0.3)
+
+    def test_mixed_components(self):
+        """§6.2 set D: 15% RD + 35% binomial."""
+        job = Job(
+            1, 0.0, 8, 100.0, JobKind.COMM,
+            (
+                CommComponent(RecursiveDoubling(), 0.15),
+                CommComponent(BinomialTree(), 0.35),
+            ),
+        )
+        assert job.comm_fraction == pytest.approx(0.5)
+
+    def test_zero_nodes_rejected(self):
+        with pytest.raises(ValueError):
+            Job(1, 0.0, 0, 100.0)
+
+    def test_negative_submit_rejected(self):
+        with pytest.raises(ValueError):
+            Job(1, -1.0, 4, 100.0)
+
+    def test_negative_runtime_rejected(self):
+        with pytest.raises(ValueError):
+            Job(1, 0.0, 4, -5.0)
+
+    def test_comm_job_without_components_rejected(self):
+        with pytest.raises(ValueError, match="CommComponent"):
+            Job(1, 0.0, 4, 100.0, JobKind.COMM)
+
+    def test_compute_job_with_components_rejected(self):
+        with pytest.raises(ValueError, match="must not carry"):
+            Job(1, 0.0, 4, 100.0, JobKind.COMPUTE,
+                (CommComponent(RecursiveDoubling(), 0.5),))
+
+    def test_fractions_over_one_rejected(self):
+        with pytest.raises(ValueError, match="> 1"):
+            Job(1, 0.0, 4, 100.0, JobKind.COMM,
+                (
+                    CommComponent(RecursiveDoubling(), 0.7),
+                    CommComponent(BinomialTree(), 0.5),
+                ))
+
+    def test_duplicate_patterns_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            Job(1, 0.0, 4, 100.0, JobKind.COMM,
+                (
+                    CommComponent(RecursiveDoubling(), 0.3),
+                    CommComponent(RecursiveDoubling(), 0.3),
+                ))
+
+    def test_component_fraction_bounds(self):
+        with pytest.raises(ValueError):
+            CommComponent(RecursiveDoubling(), 0.0)
+        with pytest.raises(ValueError):
+            CommComponent(RecursiveDoubling(), 1.5)
+
+
+class TestWithKind:
+    def test_relabel_to_comm(self):
+        base = Job(1, 5.0, 4, 100.0)
+        comm = base.with_kind(
+            JobKind.COMM, (CommComponent(RecursiveHalvingVectorDoubling(), 0.5),)
+        )
+        assert comm.is_comm_intensive
+        assert comm.job_id == base.job_id
+        assert comm.submit_time == base.submit_time
+        assert base.kind is JobKind.COMPUTE  # original untouched
+
+    def test_relabel_to_compute(self):
+        comm = Job(1, 0.0, 4, 100.0, JobKind.COMM,
+                   (CommComponent(RecursiveDoubling(), 0.5),))
+        plain = comm.with_kind(JobKind.COMPUTE)
+        assert not plain.is_comm_intensive
+        assert plain.comm == ()

@@ -1,0 +1,74 @@
+"""Property-based tests: ClusterState invariants under random workloads."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import ClusterState, JobKind
+from repro.topology import tree_from_leaf_sizes
+
+
+@st.composite
+def alloc_scripts(draw):
+    """A topology plus a random interleaving of allocate/release actions."""
+    leaf_sizes = draw(
+        st.lists(st.integers(min_value=1, max_value=12), min_size=1, max_size=6)
+    )
+    n_nodes = sum(leaf_sizes)
+    n_actions = draw(st.integers(min_value=1, max_value=30))
+    actions = []
+    for i in range(n_actions):
+        if draw(st.booleans()):
+            count = draw(st.integers(min_value=1, max_value=max(1, n_nodes // 2)))
+            kind = draw(st.sampled_from([JobKind.COMM, JobKind.COMPUTE]))
+            actions.append(("alloc", i, count, kind))
+        else:
+            actions.append(("release", draw(st.integers(min_value=0, max_value=i)), None, None))
+    return leaf_sizes, actions
+
+
+@given(alloc_scripts())
+@settings(max_examples=200, deadline=None)
+def test_invariants_hold_under_any_script(script):
+    """Counters never drift, free counts stay within bounds, and the
+    node-granular state always agrees with the per-leaf counters."""
+    leaf_sizes, actions = script
+    topo = tree_from_leaf_sizes(leaf_sizes)
+    state = ClusterState(topo)
+    running = set()
+    for op, job_id, count, kind in actions:
+        if op == "alloc" and job_id not in running:
+            free = np.flatnonzero(state.node_state == 0)
+            if free.size >= count:
+                state.allocate(job_id, free[:count], kind)
+                running.add(job_id)
+        elif op == "release" and job_id in running:
+            state.release(job_id)
+            running.discard(job_id)
+        state.validate()
+        assert state.total_free + state.total_busy == topo.n_nodes
+        assert (state.leaf_free >= 0).all()
+        assert (state.leaf_free <= topo.leaf_sizes).all()
+        assert (state.leaf_comm >= 0).all()
+
+
+@given(alloc_scripts())
+@settings(max_examples=100, deadline=None)
+def test_full_release_restores_pristine_state(script):
+    """Releasing every job returns the cluster to its initial state."""
+    leaf_sizes, actions = script
+    topo = tree_from_leaf_sizes(leaf_sizes)
+    state = ClusterState(topo)
+    running = set()
+    for op, job_id, count, kind in actions:
+        if op == "alloc" and job_id not in running:
+            free = np.flatnonzero(state.node_state == 0)
+            if free.size >= count:
+                state.allocate(job_id, free[:count], kind)
+                running.add(job_id)
+    for job_id in list(running):
+        state.release(job_id)
+    assert state.total_free == topo.n_nodes
+    assert (state.leaf_comm == 0).all()
+    assert (state.node_state == 0).all()
+    state.validate()

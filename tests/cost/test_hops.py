@@ -1,0 +1,51 @@
+"""Tests for effective hops (paper Eq. 5) and hop-bytes."""
+
+import numpy as np
+import pytest
+
+from repro.cost import effective_hops, effective_hops_scalar, hop_bytes
+
+
+class TestPaperWorkedExample:
+    """§5.3: Hops(n0,n1) = 4 and Hops(n0,n4) = 11.5 under Figure 5."""
+
+    def test_same_leaf(self, figure5_state):
+        assert float(effective_hops(figure5_state, 0, 1)) == pytest.approx(4.0)
+
+    def test_cross_leaf(self, figure5_state):
+        assert float(effective_hops(figure5_state, 0, 4)) == pytest.approx(11.5)
+
+    def test_scalar_reference(self, figure5_state):
+        assert effective_hops_scalar(figure5_state, 0, 1) == pytest.approx(4.0)
+        assert effective_hops_scalar(figure5_state, 0, 4) == pytest.approx(11.5)
+
+
+class TestProperties:
+    def test_self_hops_zero(self, figure5_state):
+        assert float(effective_hops(figure5_state, 3, 3)) == 0.0
+        assert effective_hops_scalar(figure5_state, 3, 3) == 0.0
+
+    def test_hops_at_least_distance(self, figure5_state):
+        """Hops = d * (1 + C) >= d since C >= 0."""
+        rng = np.random.default_rng(3)
+        i = rng.integers(0, 8, 50)
+        j = rng.integers(0, 8, 50)
+        hops = effective_hops(figure5_state, i, j)
+        dist = figure5_state.topology.distance(i, j)
+        assert (hops >= dist).all()
+
+    def test_vectorized_matches_scalar(self, figure5_state):
+        rng = np.random.default_rng(4)
+        i = rng.integers(0, 8, 60)
+        j = rng.integers(0, 8, 60)
+        vec = effective_hops(figure5_state, i, j)
+        ref = [effective_hops_scalar(figure5_state, int(a), int(b)) for a, b in zip(i, j)]
+        assert np.allclose(vec, ref)
+
+    def test_hop_bytes_scales_linearly(self, figure5_state):
+        h = effective_hops(figure5_state, 0, 4)
+        assert float(hop_bytes(figure5_state, 0, 4, 2.0)) == pytest.approx(2 * float(h))
+
+    def test_hop_bytes_rejects_bad_msize(self, figure5_state):
+        with pytest.raises(ValueError):
+            hop_bytes(figure5_state, 0, 4, 0.0)

@@ -1,0 +1,38 @@
+"""Tests for the pattern-step cache in the cost model."""
+
+import numpy as np
+
+from repro.cluster import ClusterState, JobKind
+from repro.cost import CostModel
+from repro.cost.model import _cached_steps
+from repro.patterns import RecursiveDoubling, Stencil2D
+from repro.topology import two_level_tree
+
+
+class TestStepCache:
+    def test_same_object_returned(self):
+        a = _cached_steps(RecursiveDoubling(), 16)
+        b = _cached_steps(RecursiveDoubling(), 16)
+        assert a is b
+
+    def test_distinct_sizes_distinct_entries(self):
+        assert _cached_steps(RecursiveDoubling(), 8) is not _cached_steps(
+            RecursiveDoubling(), 16
+        )
+
+    def test_parameterized_patterns_not_conflated(self):
+        """Stencil2D hashes include `periodic`, so the cache must keep
+        separate entries for the two configurations."""
+        plain = _cached_steps(Stencil2D(periodic=False), 16)
+        torus = _cached_steps(Stencil2D(periodic=True), 16)
+        assert sum(s.n_pairs for s in plain) != sum(s.n_pairs for s in torus)
+
+    def test_cached_and_fresh_costs_agree(self):
+        topo = two_level_tree(2, 8)
+        state = ClusterState(topo)
+        state.allocate(1, list(range(16)), JobKind.COMM)
+        nodes = np.arange(16)
+        model = CostModel()
+        first = model.allocation_cost(state, nodes, RecursiveDoubling())
+        second = model.allocation_cost(state, nodes, RecursiveDoubling())
+        assert first == second

@@ -1,0 +1,92 @@
+"""Property-based tests for the cost model."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import ClusterState, JobKind
+from repro.cost import CostModel, contention_factor, contention_factor_scalar
+from repro.cost.hops import effective_hops, effective_hops_scalar
+from repro.patterns import get_pattern, pattern_names
+from repro.topology import tree_from_leaf_sizes
+
+
+@st.composite
+def occupied_states(draw):
+    """A random small topology with a random comm/compute occupancy."""
+    leaf_sizes = draw(
+        st.lists(st.integers(min_value=2, max_value=8), min_size=2, max_size=5)
+    )
+    topo = tree_from_leaf_sizes(leaf_sizes)
+    state = ClusterState(topo)
+    n = topo.n_nodes
+    kinds = draw(st.lists(st.sampled_from([0, 1, 2]), min_size=n, max_size=n))
+    comm_nodes = [i for i, k in enumerate(kinds) if k == 2]
+    compute_nodes = [i for i, k in enumerate(kinds) if k == 1]
+    if comm_nodes:
+        state.allocate(1, comm_nodes, JobKind.COMM)
+    if compute_nodes:
+        state.allocate(2, compute_nodes, JobKind.COMPUTE)
+    return state
+
+
+@given(occupied_states(), st.data())
+@settings(max_examples=150, deadline=None)
+def test_vectorized_contention_matches_scalar(state, data):
+    n = state.topology.n_nodes
+    i = data.draw(st.integers(min_value=0, max_value=n - 1))
+    j = data.draw(st.integers(min_value=0, max_value=n - 1))
+    assert float(contention_factor(state, i, j)) == contention_factor_scalar(state, i, j)
+
+
+@given(occupied_states(), st.data())
+@settings(max_examples=150, deadline=None)
+def test_vectorized_hops_matches_scalar(state, data):
+    n = state.topology.n_nodes
+    i = data.draw(st.integers(min_value=0, max_value=n - 1))
+    j = data.draw(st.integers(min_value=0, max_value=n - 1))
+    assert float(effective_hops(state, i, j)) == effective_hops_scalar(state, i, j)
+
+
+@given(occupied_states(), st.sampled_from(pattern_names()), st.data())
+@settings(max_examples=100, deadline=None)
+def test_cost_non_negative_and_finite(state, pattern_name, data):
+    n_free = int(state.total_free)
+    if n_free < 2:
+        return
+    take = data.draw(st.integers(min_value=2, max_value=n_free))
+    free = np.flatnonzero(state.node_state == 0)[:take]
+    cost = CostModel().allocation_cost(state, free, get_pattern(pattern_name))
+    assert np.isfinite(cost)
+    assert cost >= 0
+
+
+@given(occupied_states(), st.sampled_from(["rd", "rhvd", "binomial"]))
+@settings(max_examples=100, deadline=None)
+def test_more_contention_never_cheaper(state, pattern_name):
+    """Adding a comm-intensive job elsewhere can only raise Eq. 6 costs:
+    contention terms are monotone in leaf_comm."""
+    free = np.flatnonzero(state.node_state == 0)
+    if free.size < 3:
+        return
+    nodes = free[:2]
+    extra = free[2:3]
+    pattern = get_pattern(pattern_name)
+    model = CostModel()
+    before = model.allocation_cost(state, nodes, pattern)
+    noisy = state.copy()
+    noisy.allocate(99, extra, JobKind.COMM)
+    after = model.allocation_cost(noisy, nodes, pattern)
+    assert after >= before
+
+
+@given(occupied_states())
+@settings(max_examples=100, deadline=None)
+def test_contention_bounded(state):
+    """C(i,j) <= 2.5: each per-leaf share <= 1 and the uplink term <= 0.5."""
+    n = state.topology.n_nodes
+    i = np.repeat(np.arange(n), n)
+    j = np.tile(np.arange(n), n)
+    c = contention_factor(state, i, j)
+    assert (c >= 0).all()
+    assert (c <= 2.5 + 1e-12).all()

@@ -1,0 +1,80 @@
+"""Symmetry properties of the cost model under rank relabelings."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import ClusterState, JobKind
+from repro.cost import CostModel
+from repro.patterns import PairwiseAlltoall, RecursiveDoubling, RecursiveHalvingVectorDoubling, Ring
+from repro.topology import tree_from_leaf_sizes
+
+
+@st.composite
+def states_and_nodes(draw):
+    leaf_sizes = draw(
+        st.lists(st.integers(min_value=4, max_value=8), min_size=2, max_size=4)
+    )
+    topo = tree_from_leaf_sizes(leaf_sizes)
+    state = ClusterState(topo)
+    k = draw(st.sampled_from([4, 8]))
+    perm = draw(st.permutations(range(topo.n_nodes)))
+    nodes = np.array(perm[:k], dtype=np.int64)
+    state.allocate(1, nodes, JobKind.COMM)
+    return state, nodes
+
+
+@given(states_and_nodes(), st.integers(min_value=0, max_value=31))
+@settings(max_examples=100, deadline=None)
+def test_rd_cost_invariant_under_xor_relabeling(case, mask):
+    """RD's step pair sets are invariant under rank -> rank XOR m, so the
+    Eq. 6 cost of any placement must not change when ranks are
+    relabeled by an XOR mask."""
+    state, nodes = case
+    p = nodes.size
+    mask = mask % p
+    model = CostModel()
+    base = model.allocation_cost(state, nodes, RecursiveDoubling())
+    relabeled = nodes[np.arange(p) ^ mask]
+    assert model.allocation_cost(state, relabeled, RecursiveDoubling()) == pytest.approx(base)
+
+
+@given(states_and_nodes(), st.integers(min_value=0, max_value=31))
+@settings(max_examples=100, deadline=None)
+def test_ring_cost_invariant_under_rotation(case, shift):
+    """The ring's neighbour structure is rotation-invariant."""
+    state, nodes = case
+    p = nodes.size
+    model = CostModel()
+    base = model.allocation_cost(state, nodes, Ring())
+    rotated = np.roll(nodes, shift % p)
+    assert model.allocation_cost(state, rotated, Ring()) == pytest.approx(base)
+
+
+@given(states_and_nodes())
+@settings(max_examples=60, deadline=None)
+def test_alltoall_cost_invariant_under_any_permutation_of_pow2(case):
+    """Power-of-two pairwise alltoall touches every pair once with equal
+    msize, so under the per-step-max metric only the *set* of nodes
+    matters up to XOR relabelings; as a weaker, always-true check:
+    reversing the rank order (an XOR mask of P-1) preserves cost."""
+    state, nodes = case
+    model = CostModel()
+    base = model.allocation_cost(state, nodes, PairwiseAlltoall())
+    reversed_ranks = nodes[::-1].copy()
+    assert model.allocation_cost(state, reversed_ranks, PairwiseAlltoall()) == pytest.approx(base)
+
+
+@given(states_and_nodes())
+@settings(max_examples=60, deadline=None)
+def test_rhvd_not_generally_permutation_invariant_documented(case):
+    """RHVD weights steps by msize, so arbitrary relabelings CAN change
+    the cost — the whole premise of process mapping. This documents the
+    asymmetry: a leaf-grouped order never costs more than a random
+    shuffle by more than numerical noise after leaf-block mapping."""
+    from repro.mapping import leaf_block_mapping
+
+    state, nodes = case
+    result = leaf_block_mapping(state, nodes, RecursiveHalvingVectorDoubling())
+    assert result.cost_after <= result.cost_before + 1e-9

@@ -1,0 +1,62 @@
+"""Tests for ASCII report rendering."""
+
+import pytest
+
+from repro.experiments import format_value, render_kv, render_table
+
+
+class TestFormatValue:
+    def test_int(self):
+        assert format_value(42) == "42"
+
+    def test_large_float_thousands(self):
+        assert format_value(45303.2) == "45,303"
+
+    def test_mid_float(self):
+        assert format_value(57.25) == "57.2"
+
+    def test_small_float(self):
+        assert format_value(0.123456) == "0.123"
+
+    def test_zero(self):
+        assert format_value(0.0) == "0"
+
+    def test_string_passthrough(self):
+        assert format_value("rhvd") == "rhvd"
+
+    def test_bool(self):
+        assert format_value(True) == "True"
+
+
+class TestRenderTable:
+    def test_structure(self):
+        out = render_table(["a", "b"], [[1, 2], [3, 4]], title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert lines[2].startswith("| ")
+        assert out.count("+-") >= 3
+
+    def test_column_width_fits_content(self):
+        out = render_table(["x"], [["longvalue"]])
+        assert "longvalue" in out
+
+    def test_row_length_mismatch(self):
+        with pytest.raises(ValueError, match="cells"):
+            render_table(["a", "b"], [[1]])
+
+    def test_empty_rows_ok(self):
+        out = render_table(["a"], [])
+        assert "a" in out
+
+
+class TestRenderKv:
+    def test_alignment(self):
+        out = render_kv([("k", 1), ("longer key", 2)])
+        lines = out.splitlines()
+        assert lines[0].index(":") == lines[1].index(":")
+
+    def test_title(self):
+        assert render_kv([("a", 1)], title="Hdr").startswith("Hdr")
+
+    def test_empty(self):
+        assert render_kv([]) == ""

@@ -1,0 +1,118 @@
+"""Tests for rank-to-node process mapping (§7 extension)."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterState, JobKind
+from repro.cost import CostModel
+from repro.mapping import (
+    evaluate_mapping,
+    exhaustive_mapping,
+    leaf_block_mapping,
+    local_search_mapping,
+)
+from repro.patterns import BinomialTree, RecursiveDoubling, RecursiveHalvingVectorDoubling
+from repro.topology import two_level_tree
+
+
+@pytest.fixture
+def state():
+    topo = two_level_tree(2, 4)
+    s = ClusterState(topo)
+    s.allocate(1, list(range(8)), JobKind.COMM)
+    return s
+
+
+#: rank i on alternating leaves — the worst case leaf_block fixes
+INTERLEAVED = np.array([0, 4, 1, 5, 2, 6, 3, 7])
+#: contiguous per-leaf blocks — what the paper's allocators emit
+GROUPED = np.array([0, 1, 2, 3, 4, 5, 6, 7])
+
+
+class TestLeafBlockMapping:
+    def test_fixes_interleaved_rhvd(self, state):
+        """Interleaved ranks make the cheap early RHVD steps cross-switch;
+        blocking by leaf restores the allocator-native layout."""
+        result = leaf_block_mapping(state, INTERLEAVED, RecursiveHalvingVectorDoubling())
+        assert result.cost_after < result.cost_before
+        assert result.improvement_pct > 0
+
+    def test_preserves_node_multiset(self, state):
+        result = leaf_block_mapping(state, INTERLEAVED, RecursiveDoubling())
+        assert sorted(result.nodes.tolist()) == sorted(INTERLEAVED.tolist())
+
+    def test_never_regresses(self, state):
+        result = leaf_block_mapping(state, GROUPED, RecursiveDoubling())
+        assert result.cost_after <= result.cost_before
+
+    def test_duplicate_nodes_rejected(self, state):
+        with pytest.raises(ValueError, match="distinct"):
+            leaf_block_mapping(state, [0, 0, 1], RecursiveDoubling())
+
+
+class TestLocalSearch:
+    def test_monotone_improvement(self, state):
+        result = local_search_mapping(
+            state, INTERLEAVED, RecursiveDoubling(), max_iters=300, seed=1
+        )
+        assert result.cost_after <= result.cost_before
+
+    def test_deterministic_given_seed(self, state):
+        a = local_search_mapping(state, INTERLEAVED, RecursiveDoubling(), seed=5)
+        b = local_search_mapping(state, INTERLEAVED, RecursiveDoubling(), seed=5)
+        assert a.nodes.tolist() == b.nodes.tolist()
+        assert a.cost_after == b.cost_after
+
+    def test_zero_iters_identity(self, state):
+        result = local_search_mapping(state, INTERLEAVED, RecursiveDoubling(),
+                                      max_iters=0)
+        assert result.nodes.tolist() == INTERLEAVED.tolist()
+
+    def test_preserves_node_multiset(self, state):
+        result = local_search_mapping(state, INTERLEAVED,
+                                      RecursiveHalvingVectorDoubling(), seed=2)
+        assert sorted(result.nodes.tolist()) == sorted(INTERLEAVED.tolist())
+
+    def test_negative_iters_rejected(self, state):
+        with pytest.raises(ValueError):
+            local_search_mapping(state, GROUPED, RecursiveDoubling(), max_iters=-1)
+
+
+class TestExhaustive:
+    def test_finds_optimum_small(self, state):
+        nodes = np.array([0, 4, 1, 5])  # interleaved 4-node job
+        best = exhaustive_mapping(state, nodes, RecursiveHalvingVectorDoubling())
+        assert best.cost_after <= best.cost_before
+        # heuristics can't beat brute force
+        lb = leaf_block_mapping(state, nodes, RecursiveHalvingVectorDoubling())
+        assert best.cost_after <= lb.cost_after + 1e-12
+
+    def test_local_search_approaches_optimum(self, state):
+        nodes = np.array([0, 4, 1, 5, 2, 6])
+        pattern = RecursiveDoubling()
+        best = exhaustive_mapping(state, nodes, pattern)
+        ls = local_search_mapping(state, nodes, pattern, max_iters=500, seed=0)
+        assert ls.cost_after <= best.cost_after * 1.25
+
+    def test_binomial_without_pinning(self, state):
+        nodes = np.array([4, 0, 1, 2])
+        best = exhaustive_mapping(state, nodes, BinomialTree())
+        assert best.cost_after <= best.cost_before
+
+    def test_size_limit(self, state):
+        with pytest.raises(ValueError, match="limited"):
+            exhaustive_mapping(state, GROUPED, RecursiveDoubling(), max_nodes=4)
+
+    def test_pin_rank0_valid_for_rd(self, state):
+        nodes = np.array([0, 4, 1, 5])
+        free_best = exhaustive_mapping(state, nodes, RecursiveDoubling())
+        pinned = exhaustive_mapping(state, nodes, RecursiveDoubling(), pin_rank0=True)
+        assert pinned.cost_after == pytest.approx(free_best.cost_after)
+
+
+class TestEvaluate:
+    def test_matches_cost_model(self, state):
+        model = CostModel()
+        assert evaluate_mapping(state, GROUPED, RecursiveDoubling(), model) == (
+            model.allocation_cost(state, GROUPED, RecursiveDoubling())
+        )

@@ -1,0 +1,73 @@
+"""Tests for max-min fair bandwidth allocation."""
+
+import numpy as np
+import pytest
+
+from repro.netsim import max_min_fair_rates
+
+
+class TestBasics:
+    def test_single_flow_gets_bottleneck(self):
+        rates = max_min_fair_rates([(0, 1)], np.array([10.0, 4.0]))
+        assert rates[0] == pytest.approx(4.0)
+
+    def test_two_flows_share_equally(self):
+        rates = max_min_fair_rates([(0,), (0,)], np.array([10.0]))
+        assert rates.tolist() == [5.0, 5.0]
+
+    def test_empty_route_infinite(self):
+        rates = max_min_fair_rates([()], np.array([1.0]))
+        assert np.isinf(rates[0])
+
+    def test_no_flows(self):
+        assert max_min_fair_rates([], np.array([1.0])).size == 0
+
+    def test_zero_capacity_link_rejected(self):
+        with pytest.raises(ValueError, match="non-positive"):
+            max_min_fair_rates([(0,)], np.array([0.0]))
+
+
+class TestMaxMinProperties:
+    def test_classic_three_flow_example(self):
+        """Flows A: link0, B: link0+link1, C: link1; caps 10 each.
+        Max-min: A = B = 5 on link 0, C = 10 - 5 = 5."""
+        rates = max_min_fair_rates([(0,), (0, 1), (1,)], np.array([10.0, 10.0]))
+        assert rates == pytest.approx([5.0, 5.0, 5.0])
+
+    def test_unfrozen_flow_grabs_leftover(self):
+        """A: link0 (cap 2), B: link1 (cap 10) -> A=2, B=10."""
+        rates = max_min_fair_rates([(0,), (1,)], np.array([2.0, 10.0]))
+        assert rates == pytest.approx([2.0, 10.0])
+
+    def test_no_link_oversubscribed(self):
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            n_links = int(rng.integers(2, 6))
+            caps = rng.uniform(1, 10, n_links)
+            flows = []
+            for _ in range(int(rng.integers(1, 8))):
+                k = int(rng.integers(1, n_links + 1))
+                flows.append(tuple(rng.choice(n_links, size=k, replace=False).tolist()))
+            rates = max_min_fair_rates(flows, caps)
+            usage = np.zeros(n_links)
+            for f, r in zip(flows, rates):
+                for link in f:
+                    usage[link] += r
+            assert (usage <= caps + 1e-9).all()
+
+    def test_every_flow_has_a_saturated_bottleneck(self):
+        """Max-min optimality: each flow crosses at least one link whose
+        capacity is (almost) fully used."""
+        caps = np.array([4.0, 6.0, 3.0])
+        flows = [(0, 1), (1, 2), (0, 2), (1,)]
+        rates = max_min_fair_rates(flows, caps)
+        usage = np.zeros(3)
+        for f, r in zip(flows, rates):
+            for link in f:
+                usage[link] += r
+        for f in flows:
+            assert any(usage[link] >= caps[link] - 1e-9 for link in f)
+
+    def test_rates_positive(self):
+        rates = max_min_fair_rates([(0,), (0, 1)], np.array([5.0, 1.0]))
+        assert (rates > 0).all()

@@ -1,0 +1,96 @@
+"""Property-based tests for the flow-level network simulator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.netsim import CollectiveWorkload, FlowNetwork, FlowSimulator, max_min_fair_rates
+from repro.patterns import get_pattern
+from repro.topology import tree_from_leaf_sizes
+
+
+@st.composite
+def fairshare_cases(draw):
+    n_links = draw(st.integers(min_value=1, max_value=6))
+    caps = draw(
+        st.lists(
+            st.floats(min_value=0.5, max_value=20.0),
+            min_size=n_links,
+            max_size=n_links,
+        )
+    )
+    n_flows = draw(st.integers(min_value=1, max_value=10))
+    routes = []
+    for _ in range(n_flows):
+        k = draw(st.integers(min_value=0, max_value=n_links))
+        route = tuple(
+            draw(
+                st.lists(
+                    st.integers(min_value=0, max_value=n_links - 1),
+                    min_size=k,
+                    max_size=k,
+                    unique=True,
+                )
+            )
+        ) if n_links else ()
+        routes.append(route)
+    return routes, np.array(caps)
+
+
+@given(fairshare_cases())
+@settings(max_examples=200, deadline=None)
+def test_fairshare_feasible_and_maximal(case):
+    """No link oversubscribed; every finite-rate flow hits a saturated
+    link (max-min optimality certificate)."""
+    routes, caps = case
+    rates = max_min_fair_rates(routes, caps)
+    usage = np.zeros(caps.size)
+    for route, rate in zip(routes, rates):
+        if not route:
+            assert np.isinf(rate)
+            continue
+        assert rate > 0
+        for link in route:
+            usage[link] += rate
+    assert (usage <= caps + 1e-9).all()
+    for route in routes:
+        if route:
+            assert any(usage[link] >= caps[link] - 1e-9 for link in route)
+
+
+@given(
+    st.sampled_from(["rd", "rhvd", "binomial", "ring"]),
+    st.integers(min_value=2, max_value=8),
+    st.floats(min_value=0.5, max_value=10.0),
+)
+@settings(max_examples=40, deadline=None)
+def test_collective_duration_scales_with_msize(pattern_name, nranks, msize):
+    """Doubling the message size exactly doubles a lone collective's
+    duration in the fluid model (rates are msize-independent)."""
+    topo = tree_from_leaf_sizes([4, 4])
+    net = FlowNetwork(topo, base_bandwidth=1.0)
+    nodes = tuple(range(nranks))
+    pattern = get_pattern(pattern_name)
+
+    def duration(m):
+        w = CollectiveWorkload(1, nodes, pattern, msize_bytes=m)
+        recs = FlowSimulator(net).run([w])
+        return recs[0].duration
+
+    assert duration(2 * msize) == pytest.approx(2 * duration(msize), rel=1e-9)
+
+
+@given(st.sampled_from(["rd", "rhvd", "binomial"]), st.integers(min_value=2, max_value=8))
+@settings(max_examples=40, deadline=None)
+def test_lone_collective_matches_hand_computed_bound(pattern_name, nranks):
+    """A lone collective can never beat the serial sum of its steps'
+    bottleneck transfers (capacity 1, volume per flow = step msize)."""
+    topo = tree_from_leaf_sizes([4, 4])
+    net = FlowNetwork(topo, base_bandwidth=1.0)
+    nodes = tuple(range(nranks))
+    pattern = get_pattern(pattern_name)
+    w = CollectiveWorkload(1, nodes, pattern, msize_bytes=1.0)
+    recs = FlowSimulator(net).run([w])
+    lower_bound = sum(s.msize * s.repeat for s in pattern.steps(nranks))
+    assert recs[0].duration >= lower_bound - 1e-9

@@ -1,0 +1,82 @@
+"""Tests for the link-level network view."""
+
+import pytest
+
+from repro.netsim import FlowNetwork
+from repro.netsim.network import DOWN, UP
+from repro.topology import three_level_tree, two_level_tree
+
+
+class TestCapacities:
+    def test_node_links_base_bandwidth(self):
+        net = FlowNetwork(two_level_tree(2, 4), base_bandwidth=10.0)
+        for node in range(8):
+            for direction in (UP, DOWN):
+                assert net.capacity[net.node_link(node, direction)] == 10.0
+
+    def test_uplink_multiplier_scales_by_level(self):
+        topo = three_level_tree(2, 2, 2)
+        net = FlowNetwork(topo, base_bandwidth=1.0, uplink_multiplier=2.0)
+        for leaf in topo.switches_at_level(1):
+            assert net.capacity[net.switch_uplink(leaf.index)] == 1.0
+            assert net.capacity[net.switch_uplink(leaf.index, DOWN)] == 1.0
+        for pod in topo.switches_at_level(2):
+            assert net.capacity[net.switch_uplink(pod.index)] == 2.0
+
+    def test_root_has_no_uplink(self):
+        topo = two_level_tree(2, 4)
+        net = FlowNetwork(topo)
+        with pytest.raises(ValueError, match="root"):
+            net.switch_uplink(topo.root.index)
+
+    def test_invalid_params(self):
+        topo = two_level_tree(2, 2)
+        with pytest.raises(ValueError):
+            FlowNetwork(topo, base_bandwidth=0)
+        with pytest.raises(ValueError):
+            FlowNetwork(topo, uplink_multiplier=0)
+
+
+class TestRoutes:
+    def test_intra_node_empty(self):
+        net = FlowNetwork(two_level_tree(2, 4))
+        assert net.route(3, 3) == ()
+
+    def test_same_leaf_two_access_links(self):
+        topo = two_level_tree(2, 4)
+        net = FlowNetwork(topo)
+        route = net.route(0, 1)
+        assert set(route) == {net.node_link(0, UP), net.node_link(1, DOWN)}
+
+    def test_cross_leaf_includes_uplinks(self):
+        topo = two_level_tree(2, 4)
+        net = FlowNetwork(topo)
+        route = net.route(0, 4)
+        leaf0 = topo.leaf(0).index
+        leaf1 = topo.leaf(1).index
+        assert set(route) == {
+            net.node_link(0, UP),
+            net.node_link(4, DOWN),
+            net.switch_uplink(leaf0, UP),
+            net.switch_uplink(leaf1, DOWN),
+        }
+
+    def test_cross_pod_route_climbs_two_levels(self):
+        topo = three_level_tree(2, 2, 2)
+        net = FlowNetwork(topo)
+        # node 0 (pod 0) to node 7 (pod 1): 2 access + 2 leaf uplinks + 2 pod uplinks
+        assert len(net.route(0, 7)) == 6
+
+    def test_route_cached(self):
+        net = FlowNetwork(two_level_tree(2, 4))
+        assert net.route(0, 4) is net.route(0, 4)
+
+    def test_opposite_flows_use_disjoint_channels(self):
+        """Full duplex: 0->4 and 4->0 share no directed channel."""
+        net = FlowNetwork(two_level_tree(2, 4))
+        assert set(net.route(0, 4)).isdisjoint(net.route(4, 0))
+
+    def test_bad_direction_rejected(self):
+        net = FlowNetwork(two_level_tree(2, 4))
+        with pytest.raises(ValueError):
+            net.node_link(0, 5)

@@ -1,0 +1,101 @@
+"""Tests for link utilization accounting."""
+
+import numpy as np
+import pytest
+
+from repro.netsim import CollectiveWorkload, FlowNetwork, FlowSimulator
+from repro.netsim.stats import hottest_links, link_utilization
+from repro.patterns import RecursiveDoubling
+from repro.topology import two_level_tree
+
+
+@pytest.fixture
+def sim_and_net():
+    topo = two_level_tree(2, 4)
+    net = FlowNetwork(topo, base_bandwidth=1.0)
+    sim = FlowSimulator(net)
+    return sim, net
+
+
+class TestByteAccounting:
+    def test_single_flow_bytes_counted(self, sim_and_net):
+        sim, net = sim_and_net
+        w = CollectiveWorkload(1, (0, 1), RecursiveDoubling(), msize_bytes=5.0)
+        sim.run([w])
+        # exchange: 5 bytes each way; node 0 up + node 1 down (and reverse)
+        assert sim.last_link_bytes[net.node_link(0, 0)] == pytest.approx(5.0)
+        assert sim.last_link_bytes.sum() == pytest.approx(20.0)  # 2 flows x 2 links
+
+    def test_cross_leaf_counts_uplinks(self, sim_and_net):
+        sim, net = sim_and_net
+        w = CollectiveWorkload(1, (0, 4), RecursiveDoubling(), msize_bytes=3.0)
+        sim.run([w])
+        topo = net.topology
+        up = net.switch_uplink(topo.leaf(0).index, 0)
+        assert sim.last_link_bytes[up] == pytest.approx(3.0)
+
+    def test_counters_reset_between_runs(self, sim_and_net):
+        sim, _ = sim_and_net
+        w = CollectiveWorkload(1, (0, 1), RecursiveDoubling(), msize_bytes=5.0)
+        sim.run([w])
+        first = sim.last_link_bytes.sum()
+        sim.run([w])
+        assert sim.last_link_bytes.sum() == pytest.approx(first)
+
+
+class TestUtilization:
+    def test_saturated_link_is_one(self, sim_and_net):
+        sim, net = sim_and_net
+        w = CollectiveWorkload(1, (0, 1), RecursiveDoubling(), msize_bytes=4.0)
+        sim.run([w])
+        util = link_utilization(net, sim.last_link_bytes, sim.last_duration)
+        # the access channels carried 4 bytes at capacity 1 over 4 s
+        assert util.max() == pytest.approx(1.0)
+        assert (util <= 1.0 + 1e-9).all()
+
+    def test_root_phantom_uplink_zero(self, sim_and_net):
+        sim, net = sim_and_net
+        w = CollectiveWorkload(1, (0, 4), RecursiveDoubling())
+        sim.run([w])
+        util = link_utilization(net, sim.last_link_bytes, sim.last_duration)
+        root_up = net.topology.n_nodes + net.topology.root.index
+        assert util[root_up] == 0.0
+
+    def test_invalid_duration(self, sim_and_net):
+        _, net = sim_and_net
+        with pytest.raises(ValueError):
+            link_utilization(net, np.zeros(net.n_links), 0.0)
+
+    def test_shape_mismatch(self, sim_and_net):
+        _, net = sim_and_net
+        with pytest.raises(ValueError, match="shape"):
+            link_utilization(net, np.zeros(3), 1.0)
+
+
+class TestHottestLinks:
+    def test_sorted_and_named(self, sim_and_net):
+        sim, net = sim_and_net
+        w = CollectiveWorkload(1, (0, 4), RecursiveDoubling(), msize_bytes=2.0)
+        sim.run([w])
+        loads = hottest_links(net, sim.last_link_bytes, sim.last_duration, top=5)
+        assert loads
+        utils = [l.utilization for l in loads]
+        assert utils == sorted(utils, reverse=True)
+        names = {l.name for l in loads}
+        assert any("uplink" in n for n in names)
+        assert any(n.startswith("node") for n in names)
+
+    def test_idle_network_empty(self, sim_and_net):
+        _, net = sim_and_net
+        assert hottest_links(net, np.zeros(net.n_links), 1.0) == []
+
+    def test_top_limit(self, sim_and_net):
+        sim, net = sim_and_net
+        w = CollectiveWorkload(1, (0, 4), RecursiveDoubling())
+        sim.run([w])
+        assert len(hottest_links(net, sim.last_link_bytes, sim.last_duration, top=2)) <= 2
+
+    def test_invalid_top(self, sim_and_net):
+        _, net = sim_and_net
+        with pytest.raises(ValueError):
+            hottest_links(net, np.zeros(net.n_links), 1.0, top=0)

@@ -1,0 +1,49 @@
+"""Tests for the binomial tree pattern (MPI_Bcast / Reduce)."""
+
+import pytest
+
+from repro.patterns import BinomialTree
+
+
+@pytest.fixture
+def binom():
+    return BinomialTree()
+
+
+class TestBroadcastCorrectness:
+    def test_reaches_all_ranks(self, binom):
+        """After all steps, every rank has received the broadcast."""
+        for p in (1, 2, 3, 7, 8, 16, 100):
+            have = {0}
+            for step in binom.steps(p):
+                for src, dst in step.pairs:
+                    assert int(src) in have, "sender without data"
+                    have.add(int(dst))
+            assert have == set(range(p))
+
+    def test_pair_count_doubles(self, binom):
+        counts = [s.n_pairs for s in binom.steps(16)]
+        assert counts == [1, 2, 4, 8]
+
+    def test_step_count(self, binom):
+        assert len(binom.steps(8)) == 3
+        assert len(binom.steps(9)) == 4  # ceil(log2(9))
+
+    def test_first_step_is_rank0_to_rank1(self, binom):
+        assert binom.steps(8)[0].pairs.tolist() == [[0, 1]]
+
+    def test_non_power_of_two_truncates_last_step(self, binom):
+        steps = binom.steps(6)
+        last = {tuple(p) for p in steps[-1].pairs}
+        assert last == {(0, 4), (1, 5)}  # dst 6, 7 dropped
+
+    def test_each_rank_receives_exactly_once(self, binom):
+        for p in (8, 13, 32):
+            receivers = [int(dst) for s in binom.steps(p) for _, dst in s.pairs]
+            assert len(receivers) == len(set(receivers)) == p - 1
+
+    def test_single_rank(self, binom):
+        assert binom.steps(1) == []
+
+    def test_constant_msize(self, binom):
+        assert all(s.msize == 1.0 for s in binom.steps(32))

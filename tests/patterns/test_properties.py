@@ -1,0 +1,61 @@
+"""Property-based tests over all registered patterns."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.patterns import get_pattern, pattern_names
+
+ranks = st.integers(min_value=1, max_value=300)
+names = st.sampled_from(pattern_names())
+
+
+@given(names, ranks)
+@settings(max_examples=200, deadline=None)
+def test_all_ranks_in_range(name, nranks):
+    """No pattern may reference a rank outside [0, nranks)."""
+    get_pattern(name).validate_steps(nranks)
+
+
+@given(names, ranks)
+@settings(max_examples=200, deadline=None)
+def test_no_self_pairs(name, nranks):
+    """A rank never communicates with itself."""
+    for step in get_pattern(name).steps(nranks):
+        for src, dst in step.pairs:
+            assert src != dst
+
+
+@given(names, ranks)
+@settings(max_examples=100, deadline=None)
+def test_positive_msizes_and_repeats(name, nranks):
+    for step in get_pattern(name).steps(nranks):
+        assert step.msize > 0
+        assert step.repeat >= 1
+
+
+@given(names)
+@settings(max_examples=20, deadline=None)
+def test_single_rank_is_silent(name):
+    """One rank alone communicates with nobody."""
+    assert get_pattern(name).total_pair_count(1) == 0
+
+
+@given(names, ranks)
+@settings(max_examples=100, deadline=None)
+def test_steps_deterministic(name, nranks):
+    """Two calls return identical step structures (needed for caching)."""
+    a = get_pattern(name).steps(nranks)
+    b = get_pattern(name).steps(nranks)
+    assert len(a) == len(b)
+    for sa, sb in zip(a, b):
+        assert sa.msize == sb.msize
+        assert sa.repeat == sb.repeat
+        assert sa.pairs.tolist() == sb.pairs.tolist()
+
+
+@given(st.integers(min_value=1, max_value=12).map(lambda k: 1 << k))
+@settings(max_examples=30, deadline=None)
+def test_rd_rhvd_same_total_pairs_pow2(p):
+    """RD and RHVD exchange the same pair sets (different order/msize)."""
+    rd = get_pattern("rd")
+    rhvd = get_pattern("rhvd")
+    assert rd.total_pair_count(p) == rhvd.total_pair_count(p)

@@ -1,0 +1,84 @@
+"""Tests for the recursive doubling pattern (paper Figure 3)."""
+
+import numpy as np
+import pytest
+
+from repro.patterns import RecursiveDoubling
+
+
+@pytest.fixture
+def rd():
+    return RecursiveDoubling()
+
+
+class TestPowerOfTwo:
+    def test_step_count_log2(self, rd):
+        for p in (2, 4, 8, 64, 1024):
+            assert len(rd.steps(p)) == int(np.log2(p))
+
+    def test_each_step_has_half_pairs(self, rd):
+        for step in rd.steps(16):
+            assert step.n_pairs == 8
+
+    def test_partners_are_xor(self, rd):
+        steps = rd.steps(8)
+        for k, step in enumerate(steps):
+            for src, dst in step.pairs:
+                assert dst == src ^ (1 << k)
+
+    def test_figure3_first_step(self, rd):
+        """Paper Figure 3, step 1: (0,1), (2,3), (4,5), (6,7)."""
+        pairs = {tuple(p) for p in rd.steps(8)[0].pairs}
+        assert pairs == {(0, 1), (2, 3), (4, 5), (6, 7)}
+
+    def test_figure3_last_step_spans_half(self, rd):
+        pairs = {tuple(p) for p in rd.steps(8)[-1].pairs}
+        assert pairs == {(0, 4), (1, 5), (2, 6), (3, 7)}
+
+    def test_every_rank_once_per_step(self, rd):
+        for step in rd.steps(32):
+            ranks = step.pairs.ravel()
+            assert len(set(ranks.tolist())) == 32
+
+    def test_constant_msize(self, rd):
+        assert all(s.msize == 1.0 for s in rd.steps(64))
+
+    def test_every_pair_of_ranks_connected_transitively(self, rd):
+        """Allreduce correctness: the exchange graph over all steps connects
+        every rank (union of XOR generators spans the hypercube)."""
+        import networkx as nx
+
+        g = nx.Graph()
+        g.add_nodes_from(range(16))
+        for step in rd.steps(16):
+            g.add_edges_from(map(tuple, step.pairs))
+        assert nx.is_connected(g)
+
+
+class TestNonPowerOfTwo:
+    def test_single_rank_no_steps(self, rd):
+        assert rd.steps(1) == []
+
+    def test_fold_steps_added(self, rd):
+        steps = rd.steps(6)  # p2 = 4, extras = {4, 5}
+        # pre-fold + 2 core steps + post-unfold
+        assert len(steps) == 4
+        pre = {tuple(p) for p in steps[0].pairs}
+        assert pre == {(4, 0), (5, 1)}
+        post = {tuple(p) for p in steps[-1].pairs}
+        assert post == {(0, 4), (1, 5)}
+
+    def test_ranks_in_range(self, rd):
+        for p in (3, 5, 6, 7, 9, 100, 1000):
+            rd.validate_steps(p)
+
+    def test_core_uses_only_power_of_two_ranks(self, rd):
+        steps = rd.steps(7)
+        for step in steps[1:-1]:
+            assert step.pairs.max() < 4
+
+
+class TestEquality:
+    def test_instances_equal(self):
+        assert RecursiveDoubling() == RecursiveDoubling()
+        assert hash(RecursiveDoubling()) == hash(RecursiveDoubling())

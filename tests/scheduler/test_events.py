@@ -1,0 +1,75 @@
+"""Tests for the deterministic event queue."""
+
+import pytest
+
+from repro.scheduler import Event, EventKind, EventQueue
+
+
+class TestOrdering:
+    def test_time_order(self):
+        q = EventQueue()
+        q.push(5.0, EventKind.SUBMIT, "b")
+        q.push(1.0, EventKind.SUBMIT, "a")
+        assert q.pop().payload == "a"
+        assert q.pop().payload == "b"
+
+    def test_finish_before_submit_at_same_time(self):
+        """Completions free nodes before same-instant submissions look."""
+        q = EventQueue()
+        q.push(3.0, EventKind.SUBMIT, "submit")
+        q.push(3.0, EventKind.FINISH, "finish")
+        assert q.pop().payload == "finish"
+        assert q.pop().payload == "submit"
+
+    def test_insertion_order_breaks_full_ties(self):
+        q = EventQueue()
+        q.push(1.0, EventKind.SUBMIT, "first")
+        q.push(1.0, EventKind.SUBMIT, "second")
+        assert q.pop().payload == "first"
+        assert q.pop().payload == "second"
+
+    def test_pop_simultaneous_batches_same_timestamp(self):
+        q = EventQueue()
+        q.push(2.0, EventKind.SUBMIT, "x")
+        q.push(1.0, EventKind.FINISH, "a")
+        q.push(1.0, EventKind.SUBMIT, "b")
+        t, batch = q.pop_simultaneous()
+        assert t == 1.0
+        assert [e.payload for e in batch] == ["a", "b"]
+        assert len(q) == 1
+
+
+class TestBasics:
+    def test_len_and_bool(self):
+        q = EventQueue()
+        assert not q and len(q) == 0
+        q.push(1.0, EventKind.SUBMIT)
+        assert q and len(q) == 1
+
+    def test_peek_does_not_remove(self):
+        q = EventQueue()
+        q.push(1.0, EventKind.SUBMIT, "x")
+        assert q.peek().payload == "x"
+        assert len(q) == 1
+
+    def test_peek_empty_is_none(self):
+        assert EventQueue().peek() is None
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            EventQueue().pop()
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            EventQueue().push(-1.0, EventKind.SUBMIT)
+
+    def test_nan_time_rejected(self):
+        with pytest.raises(ValueError):
+            EventQueue().push(float("nan"), EventKind.SUBMIT)
+
+    def test_payload_not_compared(self):
+        # objects without ordering must not break the heap
+        q = EventQueue()
+        q.push(1.0, EventKind.SUBMIT, object())
+        q.push(1.0, EventKind.SUBMIT, object())
+        q.pop(), q.pop()

@@ -1,0 +1,101 @@
+"""Tests for JobRecord / SimulationResult metrics (paper §5.4)."""
+
+import numpy as np
+import pytest
+
+from repro.scheduler import JobRecord, SimulationResult, percent_improvement
+
+from ..conftest import make_comm_job, make_compute_job
+
+
+def record(job_id=1, submit=0.0, start=10.0, finish=110.0, nodes=4, comm=False,
+           cost_aware=0.0, cost_default=0.0):
+    job = (
+        make_comm_job(job_id=job_id, nodes=nodes)
+        if comm
+        else make_compute_job(job_id=job_id, nodes=nodes)
+    )
+    job = job.__class__(
+        job_id=job.job_id, submit_time=submit, nodes=job.nodes,
+        runtime=finish - start, kind=job.kind, comm=job.comm,
+    )
+    return JobRecord(
+        job=job,
+        start_time=start,
+        finish_time=finish,
+        nodes=np.arange(nodes),
+        cost_jobaware={"rd": cost_aware} if comm else {},
+        cost_default={"rd": cost_default} if comm else {},
+    )
+
+
+class TestJobRecord:
+    def test_five_paper_metrics(self):
+        r = record(submit=5.0, start=10.0, finish=110.0, nodes=4)
+        assert r.execution_time == pytest.approx(100.0)
+        assert r.wait_time == pytest.approx(5.0)
+        assert r.turnaround_time == pytest.approx(105.0)
+        assert r.node_seconds == pytest.approx(400.0)
+
+    def test_cost_totals(self):
+        r = record(comm=True, cost_aware=3.0, cost_default=4.0)
+        assert r.total_cost_jobaware == pytest.approx(3.0)
+        assert r.total_cost_default == pytest.approx(4.0)
+
+
+class TestSimulationResult:
+    def test_sorted_by_job_id(self):
+        res = SimulationResult("x", [record(job_id=2), record(job_id=1)])
+        assert [r.job.job_id for r in res.records] == [1, 2]
+
+    def test_record_lookup(self):
+        res = SimulationResult("x", [record(job_id=7)])
+        assert res.record_for(7).job.job_id == 7
+        with pytest.raises(KeyError):
+            res.record_for(8)
+
+    def test_total_hours(self):
+        res = SimulationResult("x", [record(start=0, finish=3600),
+                                     record(job_id=2, start=0, finish=7200)])
+        assert res.total_execution_hours == pytest.approx(3.0)
+
+    def test_wait_hours(self):
+        res = SimulationResult("x", [record(submit=0.0, start=1800.0, finish=3600.0)])
+        assert res.total_wait_hours == pytest.approx(0.5)
+
+    def test_makespan(self):
+        res = SimulationResult("x", [record(finish=50.0), record(job_id=2, finish=99.0)])
+        assert res.makespan == pytest.approx(99.0)
+
+    def test_empty_result(self):
+        res = SimulationResult("x", [])
+        assert len(res) == 0
+        assert res.makespan == 0.0
+        assert res.mean_cost_jobaware == 0.0
+
+    def test_mean_cost_only_over_comm_jobs(self):
+        res = SimulationResult(
+            "x",
+            [
+                record(job_id=1, comm=True, cost_aware=10.0),
+                record(job_id=2, comm=False),
+            ],
+        )
+        assert res.mean_cost_jobaware == pytest.approx(10.0)
+
+    def test_summary_keys(self):
+        res = SimulationResult("x", [record()])
+        s = res.summary()
+        assert {"jobs", "total_execution_hours", "total_wait_hours",
+                "avg_turnaround_hours", "avg_node_hours"} <= set(s)
+
+
+class TestPercentImprovement:
+    def test_improvement(self):
+        assert percent_improvement(100.0, 80.0) == pytest.approx(20.0)
+
+    def test_regression_is_negative(self):
+        assert percent_improvement(100.0, 120.0) == pytest.approx(-20.0)
+
+    def test_zero_baseline(self):
+        assert percent_improvement(0.0, 5.0) == 0.0

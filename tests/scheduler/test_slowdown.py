@@ -1,0 +1,100 @@
+"""Tests for the bounded-slowdown metric (literature-standard extension)."""
+
+import numpy as np
+import pytest
+
+from repro.scheduler import JobRecord, SimulationResult, simulate
+from repro.topology import two_level_tree
+
+from ..conftest import make_compute_job
+
+
+def record(submit, start, finish, job_id=1, nodes=2):
+    job = make_compute_job(job_id=job_id, nodes=nodes, runtime=finish - start,
+                           submit_time=submit)
+    return JobRecord(job=job, start_time=start, finish_time=finish,
+                     nodes=np.arange(nodes))
+
+
+class TestBoundedSlowdown:
+    def test_no_wait_is_one(self):
+        assert record(0.0, 0.0, 100.0).bounded_slowdown() == pytest.approx(1.0)
+
+    def test_wait_equal_to_runtime_is_two(self):
+        assert record(0.0, 100.0, 200.0).bounded_slowdown() == pytest.approx(2.0)
+
+    def test_threshold_bounds_short_jobs(self):
+        # a 1-second job that waited 100 s: raw slowdown would be 101;
+        # with tau = 10 it is (100 + 1) / 10
+        r = record(0.0, 100.0, 101.0)
+        assert r.bounded_slowdown(threshold=10.0) == pytest.approx(10.1)
+
+    def test_never_below_one(self):
+        r = record(0.0, 0.0, 1.0)  # run 1 s, tau 10 -> ratio 0.1 -> clamp
+        assert r.bounded_slowdown() == 1.0
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            record(0.0, 0.0, 1.0).bounded_slowdown(threshold=0.0)
+
+
+class TestResultAggregation:
+    def test_mean_over_records(self):
+        res = SimulationResult("x", [
+            record(0.0, 0.0, 100.0, job_id=1),
+            record(0.0, 100.0, 200.0, job_id=2),
+        ])
+        assert res.mean_bounded_slowdown() == pytest.approx(1.5)
+
+    def test_empty_result_is_one(self):
+        assert SimulationResult("x", []).mean_bounded_slowdown() == 1.0
+
+    def test_summary_includes_bsld(self):
+        res = SimulationResult("x", [record(0.0, 0.0, 100.0)])
+        assert res.summary()["mean_bounded_slowdown"] == pytest.approx(1.0)
+
+    def test_congested_run_has_higher_bsld(self):
+        topo = two_level_tree(2, 4)
+        light = [make_compute_job(job_id=i, nodes=4, runtime=50.0,
+                                  submit_time=i * 100.0) for i in range(1, 6)]
+        heavy = [make_compute_job(job_id=i, nodes=8, runtime=50.0,
+                                  submit_time=0.0) for i in range(1, 6)]
+        light_res = simulate(topo, light, "default")
+        heavy_res = simulate(topo, heavy, "default")
+        assert heavy_res.mean_bounded_slowdown() > light_res.mean_bounded_slowdown()
+
+
+class TestWeibullArrivals:
+    def test_mean_matches(self):
+        from repro.workloads import weibull_arrivals
+
+        rng = np.random.default_rng(0)
+        t = weibull_arrivals(rng, 20000, mean_interarrival_seconds=60, shape=0.6)
+        assert np.diff(t).mean() == pytest.approx(60, rel=0.05)
+
+    def test_burstier_than_poisson(self):
+        from repro.workloads import exponential_arrivals, weibull_arrivals
+
+        rng1, rng2 = np.random.default_rng(1), np.random.default_rng(1)
+        w = np.diff(weibull_arrivals(rng1, 20000, mean_interarrival_seconds=60,
+                                     shape=0.5))
+        e = np.diff(exponential_arrivals(rng2, 20000, mean_interarrival_seconds=60))
+        # coefficient of variation: Weibull (k<1) > exponential (1)
+        assert w.std() / w.mean() > e.std() / e.mean()
+
+    def test_shape_one_is_poisson_like(self):
+        from repro.workloads import weibull_arrivals
+
+        rng = np.random.default_rng(2)
+        w = np.diff(weibull_arrivals(rng, 20000, mean_interarrival_seconds=60,
+                                     shape=1.0))
+        assert w.std() / w.mean() == pytest.approx(1.0, abs=0.05)
+
+    def test_invalid(self):
+        from repro.workloads import weibull_arrivals
+
+        rng = np.random.default_rng(3)
+        with pytest.raises(ValueError):
+            weibull_arrivals(rng, 10, mean_interarrival_seconds=0)
+        with pytest.raises(ValueError):
+            weibull_arrivals(rng, 10, mean_interarrival_seconds=10, shape=0)

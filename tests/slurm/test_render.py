@@ -1,0 +1,84 @@
+"""Tests for SLURM-style text rendering."""
+
+import pytest
+
+from repro.slurm import SlurmCluster
+from repro.slurm.render import format_sinfo, format_squeue, format_time, transcript
+from repro.topology import two_level_tree
+
+
+@pytest.fixture
+def cluster():
+    c = SlurmCluster(two_level_tree(2, 4), allocator="balanced")
+    c.sbatch(nodes=8, runtime=3600.0, kind="comm", pattern="rhvd")
+    c.sbatch(nodes=4, runtime=60.0)
+    c.advance(120.0)
+    return c
+
+
+class TestFormatTime:
+    def test_hms(self):
+        assert format_time(3725) == "01:02:05"
+
+    def test_days_prefix(self):
+        assert format_time(90061) == "1-01:01:01"
+
+    def test_zero(self):
+        assert format_time(0) == "00:00:00"
+
+    def test_none_is_na(self):
+        assert format_time(None) == "N/A"
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            format_time(-1)
+
+
+class TestSqueue:
+    def test_header_and_states(self, cluster):
+        out = format_squeue(cluster.squeue(), now=cluster.now)
+        lines = out.splitlines()
+        assert lines[0].split() == ["JOBID", "ST", "NODES", "TIME", "START", "END"]
+        assert any(" R " in l for l in lines[1:])
+        assert any(" PD " in l for l in lines[1:])
+
+    def test_running_time_is_elapsed(self, cluster):
+        out = format_squeue(cluster.squeue(), now=cluster.now)
+        running = next(l for l in out.splitlines() if " R " in l)
+        assert "00:02:00" in running  # advanced 120 s
+
+    def test_pending_has_na_times(self, cluster):
+        out = format_squeue(cluster.squeue(), now=cluster.now)
+        pending = next(l for l in out.splitlines() if " PD " in l)
+        assert "N/A" in pending
+
+    def test_empty_queue_header_only(self):
+        assert len(format_squeue([]).splitlines()) == 1
+
+
+class TestSinfo:
+    def test_columns_sum(self, cluster):
+        out = format_sinfo(cluster.sinfo())
+        for line in out.splitlines()[1:]:
+            parts = line.split()
+            alloc, idle, total = int(parts[1]), int(parts[2]), int(parts[5])
+            assert alloc + idle == total
+
+    def test_comm_column_tracks_state(self, cluster):
+        out = format_sinfo(cluster.sinfo())
+        comm_total = sum(int(l.split()[3]) for l in out.splitlines()[1:])
+        assert comm_total == 8
+
+
+class TestTranscript:
+    def test_contains_both_commands(self, cluster):
+        out = transcript(cluster)
+        assert "$ squeue" in out and "$ sinfo" in out
+        assert "SWITCH" in out
+
+    def test_switch_elision(self):
+        from repro.topology import tree_from_leaf_sizes
+
+        c = SlurmCluster(tree_from_leaf_sizes([2] * 20))
+        out = transcript(c, max_switches=5)
+        assert "15 more switches" in out

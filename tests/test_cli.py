@@ -1,0 +1,55 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_experiment_names(self):
+        args = build_parser().parse_args(["experiment", "table2"])
+        assert args.name == "table2"
+
+    def test_unknown_experiment(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "table99"])
+
+    def test_simulate_defaults(self):
+        args = build_parser().parse_args(["simulate"])
+        assert args.log == "theta"
+        assert args.allocator == "balanced"
+
+
+class TestCommands:
+    def test_topology_command(self, capsys):
+        assert main(["topology", "dept"]) == 0
+        out = capsys.readouterr().out
+        assert "SwitchName=" in out
+        assert "Switches=" in out
+
+    def test_table2_experiment(self, capsys):
+        assert main(["experiment", "table2"]) == 0
+        assert "exact match" in capsys.readouterr().out
+
+    def test_simulate_small(self, capsys):
+        code = main(
+            ["simulate", "--log", "theta", "--jobs", "30", "--allocator", "balanced"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "--- default ---" in out
+        assert "--- balanced ---" in out
+        assert "total_execution_hours" in out
+
+    def test_simulate_default_only(self, capsys):
+        assert main(["simulate", "--jobs", "20", "--allocator", "default"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("---") == 2  # one block
+
+    def test_experiment_with_jobs_override(self, capsys):
+        assert main(["experiment", "figure8", "--jobs", "60"]) == 0
+        assert "Figure 8" in capsys.readouterr().out

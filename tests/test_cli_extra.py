@@ -1,0 +1,78 @@
+"""Tests for the extended CLI subcommands."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def conf_file(tmp_path):
+    path = tmp_path / "topology.conf"
+    path.write_text(
+        "SwitchName=s0 Nodes=n[0-3]\n"
+        "SwitchName=s1 Nodes=n[4-7]\n"
+        "SwitchName=s2 Switches=s[0-1]\n"
+    )
+    return path
+
+
+class TestValidateConf:
+    def test_valid_file(self, conf_file, capsys):
+        assert main(["validate-conf", str(conf_file)]) == 0
+        out = capsys.readouterr().out
+        assert "OK" in out and "nodes" in out
+
+    def test_invalid_file(self, tmp_path, capsys):
+        bad = tmp_path / "bad.conf"
+        bad.write_text("SwitchName=s0 Nodes=n0\nSwitchName=s1 Nodes=n0\n")
+        assert main(["validate-conf", str(bad)]) == 1
+        assert "INVALID" in capsys.readouterr().err
+
+    def test_missing_file(self, tmp_path, capsys):
+        assert main(["validate-conf", str(tmp_path / "nope.conf")]) == 1
+
+
+class TestTrace:
+    def test_generate_to_file_and_stats(self, tmp_path, capsys):
+        out = tmp_path / "log.swf"
+        assert main(["trace", "generate", "--log", "theta", "--jobs", "40",
+                     "--output", str(out)]) == 0
+        assert out.exists()
+        assert main(["trace", "stats", str(out)]) == 0
+        stats = capsys.readouterr().out
+        assert "jobs" in stats and "40" in stats
+
+    def test_generate_to_stdout(self, capsys):
+        assert main(["trace", "generate", "--jobs", "5"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith(";")
+        assert len([l for l in out.splitlines() if not l.startswith(";")]) == 5
+
+    def test_stats_seeded_reproducible(self, tmp_path, capsys):
+        a = tmp_path / "a.swf"
+        b = tmp_path / "b.swf"
+        main(["trace", "generate", "--jobs", "20", "--seed", "3", "--output", str(a)])
+        main(["trace", "generate", "--jobs", "20", "--seed", "3", "--output", str(b)])
+        assert a.read_text() == b.read_text()
+
+
+class TestSimulateSave:
+    def test_save_writes_json_per_allocator(self, tmp_path, capsys):
+        out_dir = tmp_path / "runs"
+        assert main([
+            "simulate", "--log", "theta", "--jobs", "20",
+            "--allocator", "balanced", "--save", str(out_dir),
+        ]) == 0
+        files = sorted(p.name for p in out_dir.glob("*.json"))
+        assert files == ["theta_balanced.json", "theta_default.json"]
+        data = json.loads((out_dir / "theta_balanced.json").read_text())
+        assert data["allocator"] == "balanced"
+        assert len(data["records"]) == 20
+
+    def test_conservative_policy_accepted(self, capsys):
+        assert main([
+            "simulate", "--jobs", "15", "--allocator", "default",
+            "--policy", "conservative",
+        ]) == 0

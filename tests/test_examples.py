@@ -1,0 +1,50 @@
+"""Smoke tests: every shipped example must run cleanly end to end."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+
+def run_example(name: str, *args: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+
+
+def test_examples_directory_complete():
+    """The README promises at least these six examples."""
+    assert {
+        "quickstart.py",
+        "contention_study.py",
+        "custom_topology.py",
+        "workload_replay.py",
+        "pattern_costs.py",
+        "interactive_cluster.py",
+    } <= set(EXAMPLES)
+
+
+@pytest.mark.parametrize("name", EXAMPLES)
+def test_example_runs(name):
+    result = run_example(name)
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert result.stdout.strip(), "examples must print something"
+
+
+def test_quickstart_shows_all_allocators():
+    out = run_example("quickstart.py").stdout
+    for name in ("default", "greedy", "balanced", "adaptive"):
+        assert name in out
+
+
+def test_custom_topology_shows_pow2_chunks():
+    out = run_example("custom_topology.py").stdout
+    assert "balanced" in out
+    assert "SwitchName=" in out  # round-tripped conf printed

@@ -1,0 +1,82 @@
+"""Tests for the synthetic machine topology builders."""
+
+import pytest
+
+from repro.topology import (
+    TOPOLOGY_BUILDERS,
+    cori_like,
+    dept_cluster,
+    iitk_hpc2010,
+    intrepid_like,
+    mira_like,
+    theta_like,
+    three_level_tree,
+    tree_from_leaf_sizes,
+    two_level_tree,
+)
+
+
+class TestGenericBuilders:
+    def test_two_level_shape(self):
+        topo = two_level_tree(4, 8)
+        assert (topo.n_leaves, topo.n_nodes, topo.height) == (4, 32, 2)
+
+    def test_three_level_shape(self):
+        topo = three_level_tree(3, 4, 5)
+        assert (topo.n_leaves, topo.n_nodes, topo.height) == (12, 60, 3)
+
+    def test_tree_from_leaf_sizes_irregular(self):
+        topo = tree_from_leaf_sizes([1, 2, 3])
+        assert topo.leaf_sizes.tolist() == [1, 2, 3]
+
+    def test_empty_leaf_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            tree_from_leaf_sizes([])
+
+    @pytest.mark.parametrize("bad", [0, -1])
+    def test_nonpositive_sizes_rejected(self, bad):
+        with pytest.raises(ValueError):
+            two_level_tree(2, bad)
+        with pytest.raises(ValueError):
+            two_level_tree(bad, 2)
+
+
+class TestMachineShapes:
+    """Shapes stated in the paper (§5.1, §5.2)."""
+
+    def test_dept_cluster_is_figure1_machine(self):
+        topo = dept_cluster()
+        assert topo.n_nodes == 50
+        assert topo.n_leaves == 2
+        assert topo.height == 2
+
+    def test_iitk_16_nodes_per_leaf(self):
+        topo = iitk_hpc2010()
+        assert set(topo.leaf_sizes.tolist()) == {16}
+
+    def test_cori_at_least_300_per_leaf(self):
+        topo = cori_like()
+        assert all(s >= 300 for s in topo.leaf_sizes.tolist())
+
+    def test_theta_exact_node_count(self):
+        topo = theta_like()
+        assert topo.n_nodes == 4392  # paper: "4,392 64-core nodes"
+        # §6.1: few nodes per switch on Theta
+        assert max(topo.leaf_sizes.tolist()) == 16
+
+    def test_intrepid_can_fit_largest_log_job(self):
+        topo = intrepid_like()
+        assert topo.n_nodes >= 40960  # paper log max request
+
+    def test_intrepid_and_mira_leaf_range(self):
+        # §2: "we consider a tree topology with 330-380 nodes/switch"
+        for topo in (intrepid_like(), mira_like()):
+            assert all(330 <= s <= 380 for s in topo.leaf_sizes.tolist())
+
+    def test_mira_can_fit_largest_log_job(self):
+        assert mira_like().n_nodes >= 16384
+
+    def test_registry_builds_everything(self):
+        for name, builder in TOPOLOGY_BUILDERS.items():
+            topo = builder()
+            assert topo.n_nodes > 0, name

@@ -1,0 +1,95 @@
+"""Tests for topology.conf parsing and writing."""
+
+import pytest
+
+from repro.topology import (
+    TopologyError,
+    load_topology_conf,
+    parse_topology_conf,
+    write_topology_conf,
+    two_level_tree,
+    three_level_tree,
+)
+
+PAPER_CONF = """\
+SwitchName=s0 Nodes=n[0-3]
+SwitchName=s1 Nodes=n[4-7]
+SwitchName=s2 Switches=s[0-1]
+"""
+
+
+class TestParse:
+    def test_paper_example(self):
+        topo = parse_topology_conf(PAPER_CONF)
+        assert topo.n_nodes == 8
+        assert topo.n_leaves == 2
+        assert topo.height == 2
+        assert topo.root.name == "s2"
+
+    def test_comments_and_blank_lines(self):
+        text = "# full line comment\n\n" + PAPER_CONF + "  # trailing\n"
+        assert parse_topology_conf(text).n_nodes == 8
+
+    def test_trailing_comment_on_data_line(self):
+        text = "SwitchName=s0 Nodes=n[0-1] # two nodes\nSwitchName=root Switches=s0\n"
+        assert parse_topology_conf(text).n_nodes == 2
+
+    def test_unknown_keys_ignored(self):
+        text = "SwitchName=s0 Nodes=n[0-1] LinkSpeed=100\nSwitchName=r Switches=s0\n"
+        assert parse_topology_conf(text).n_nodes == 2
+
+    def test_missing_switchname(self):
+        with pytest.raises(TopologyError, match="missing SwitchName"):
+            parse_topology_conf("Nodes=n[0-1]\n")
+
+    def test_nodes_and_switches_rejected(self):
+        with pytest.raises(TopologyError, match="both"):
+            parse_topology_conf("SwitchName=x Nodes=n0 Switches=y\n")
+
+    def test_neither_rejected(self):
+        with pytest.raises(TopologyError, match="neither"):
+            parse_topology_conf("SwitchName=x\n")
+
+    def test_malformed_token(self):
+        with pytest.raises(TopologyError, match="malformed token"):
+            parse_topology_conf("SwitchName=s0 Nodes\n")
+
+    def test_repeated_key(self):
+        with pytest.raises(TopologyError, match="repeated key"):
+            parse_topology_conf("SwitchName=s0 Nodes=n0 Nodes=n1\n")
+
+    def test_case_insensitive_keys(self):
+        text = "switchname=s0 NODES=n[0-1]\nSwitchName=r Switches=s0\n"
+        assert parse_topology_conf(text).n_nodes == 2
+
+
+class TestWrite:
+    def test_round_trip_two_level(self):
+        topo = two_level_tree(3, 4)
+        assert parse_topology_conf(write_topology_conf(topo)) == topo
+
+    def test_round_trip_three_level(self):
+        topo = three_level_tree(2, 3, 4)
+        assert parse_topology_conf(write_topology_conf(topo)) == topo
+
+    def test_round_trip_paper_conf(self):
+        topo = parse_topology_conf(PAPER_CONF)
+        assert parse_topology_conf(write_topology_conf(topo)) == topo
+
+    def test_output_uses_compressed_hostlists(self):
+        text = write_topology_conf(two_level_tree(1, 4))
+        assert "Nodes=n[0-3]" in text
+
+    def test_leaves_listed_before_inner_switches(self):
+        lines = write_topology_conf(three_level_tree(2, 2, 2)).strip().splitlines()
+        kinds = ["Nodes=" in line for line in lines]
+        # all leaf lines precede all inner-switch lines
+        first_inner = kinds.index(False)
+        assert all(not k for k in kinds[first_inner:])
+
+
+class TestLoad:
+    def test_load_from_disk(self, tmp_path):
+        path = tmp_path / "topology.conf"
+        path.write_text(PAPER_CONF)
+        assert load_topology_conf(path).n_nodes == 8

@@ -1,0 +1,59 @@
+"""Tests for topology description rendering."""
+
+import pytest
+
+from repro.topology import (
+    describe_topology,
+    theta_like,
+    three_level_tree,
+    topology_summary,
+    tree_from_leaf_sizes,
+    two_level_tree,
+)
+
+
+class TestSummary:
+    def test_headline_facts(self):
+        s = topology_summary(tree_from_leaf_sizes([4, 8]))
+        assert s["nodes"] == 12
+        assert s["leaf_switches"] == 2
+        assert s["min_leaf_size"] == 4
+        assert s["max_leaf_size"] == 8
+        assert s["mean_leaf_size"] == pytest.approx(6.0)
+
+    def test_theta_summary(self):
+        s = topology_summary(theta_like())
+        assert s["nodes"] == 4392
+        assert s["max_leaf_size"] == 16
+
+
+class TestDescribe:
+    def test_root_first_with_capacity(self):
+        out = describe_topology(two_level_tree(2, 4))
+        first = out.splitlines()[0]
+        assert "level 2" in first and "8 nodes" in first
+
+    def test_leaf_lines_show_node_range(self):
+        out = describe_topology(two_level_tree(2, 4))
+        assert "n0..n3" in out
+        assert "n4..n7" in out
+
+    def test_indentation_tracks_depth(self):
+        out = describe_topology(three_level_tree(2, 2, 2))
+        lines = out.splitlines()
+        assert lines[0].startswith("root")
+        assert lines[1].startswith("  pod")
+        assert lines[2].startswith("    leaf")
+
+    def test_elision_of_long_sibling_runs(self):
+        out = describe_topology(tree_from_leaf_sizes([2] * 20), max_children=3)
+        assert "17 more switches elided" in out
+        assert out.count("[leaf") == 3
+
+    def test_single_node_leaf_span(self):
+        out = describe_topology(tree_from_leaf_sizes([1, 2]))
+        assert "1 nodes: n0]" in out
+
+    def test_invalid_max_children(self):
+        with pytest.raises(ValueError):
+            describe_topology(two_level_tree(1, 2), max_children=0)

@@ -1,0 +1,35 @@
+"""Tests for the k-ary fat-tree builder."""
+
+import pytest
+
+from repro.topology import TOPOLOGY_BUILDERS, fat_tree
+
+
+class TestFatTree:
+    @pytest.mark.parametrize("k", [2, 4, 8, 16])
+    def test_host_count_is_k_cubed_over_4(self, k):
+        assert fat_tree(k).n_nodes == k ** 3 // 4
+
+    def test_pod_structure(self):
+        topo = fat_tree(4)
+        assert topo.height == 3
+        assert len(topo.switches_at_level(2)) == 4      # pods
+        assert topo.n_leaves == 4 * 2                   # k/2 edge switches/pod
+        assert set(topo.leaf_sizes.tolist()) == {2}     # k/2 hosts/leaf
+
+    def test_odd_k_rejected(self):
+        with pytest.raises(ValueError, match="even"):
+            fat_tree(3)
+
+    def test_zero_k_rejected(self):
+        with pytest.raises(ValueError):
+            fat_tree(0)
+
+    def test_registered_in_builders(self):
+        assert TOPOLOGY_BUILDERS["fat-tree-8"]().n_nodes == 128
+
+    def test_distances_span_three_levels(self):
+        topo = fat_tree(4)
+        assert int(topo.distance(0, 1)) == 2   # same edge switch
+        assert int(topo.distance(0, 2)) == 4   # same pod
+        assert int(topo.distance(0, 4)) == 6   # cross pod

@@ -1,0 +1,93 @@
+"""Tests for SLURM hostlist expand/compress."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.topology.hostlist import HostlistError, compress_hostlist, expand_hostlist
+
+
+class TestExpand:
+    def test_plain_name(self):
+        assert expand_hostlist("login1") == ["login1"]
+
+    def test_simple_range(self):
+        assert expand_hostlist("n[0-3]") == ["n0", "n1", "n2", "n3"]
+
+    def test_single_value_bracket(self):
+        assert expand_hostlist("n[7]") == ["n7"]
+
+    def test_mixed_range_and_values(self):
+        assert expand_hostlist("c[1,3,5-7]") == ["c1", "c3", "c5", "c6", "c7"]
+
+    def test_zero_padding_preserved(self):
+        assert expand_hostlist("n[00-02]") == ["n00", "n01", "n02"]
+
+    def test_padding_across_width(self):
+        assert expand_hostlist("n[08-11]") == ["n08", "n09", "n10", "n11"]
+
+    def test_comma_separated_terms(self):
+        assert expand_hostlist("a1,b[0-1],c2") == ["a1", "b0", "b1", "c2"]
+
+    def test_suffix_after_bracket(self):
+        assert expand_hostlist("rack[0-1]-node") == ["rack0-node", "rack1-node"]
+
+    def test_paper_example(self):
+        """The topology.conf example of §5.2."""
+        assert expand_hostlist("n[0-7]") == [f"n{i}" for i in range(8)]
+
+    def test_switch_list(self):
+        assert expand_hostlist("s[0-1]") == ["s0", "s1"]
+
+    @pytest.mark.parametrize(
+        "bad",
+        ["n[3-1]", "n[a-b]", "n[]", "n[0-3", "n0-3]", "n[0-3][4]", "n[1,]"],
+    )
+    def test_malformed_rejected(self, bad):
+        with pytest.raises(HostlistError):
+            expand_hostlist(bad)
+
+    def test_type_error_on_non_string(self):
+        with pytest.raises(TypeError):
+            expand_hostlist(42)
+
+
+class TestCompress:
+    def test_consecutive_run(self):
+        assert compress_hostlist(["n0", "n1", "n2", "n3"]) == "n[0-3]"
+
+    def test_single_name(self):
+        assert compress_hostlist(["n5"]) == "n5"
+
+    def test_gap_produces_two_ranges(self):
+        assert compress_hostlist(["n0", "n1", "n5"]) == "n[0-1,5]"
+
+    def test_unnumbered_passthrough(self):
+        assert compress_hostlist(["login", "n0", "n1"]) == "login,n[0-1]"
+
+    def test_width_boundary_unpadded(self):
+        assert compress_hostlist(["n9", "n10"]) == "n[9-10]"
+
+    def test_zero_padded_kept_separate_group(self):
+        assert expand_hostlist(compress_hostlist(["n08", "n09"])) == ["n08", "n09"]
+
+    def test_duplicates_collapsed(self):
+        assert compress_hostlist(["n1", "n1", "n2"]) == "n[1-2]"
+
+    def test_empty(self):
+        assert compress_hostlist([]) == ""
+
+
+class TestRoundTrip:
+    @given(
+        st.lists(
+            st.integers(min_value=0, max_value=3000), min_size=1, max_size=60, unique=True
+        )
+    )
+    def test_expand_inverts_compress(self, numbers):
+        names = [f"node{i}" for i in numbers]
+        assert sorted(expand_hostlist(compress_hostlist(names))) == sorted(names)
+
+    @given(st.integers(min_value=1, max_value=200), st.integers(min_value=0, max_value=50))
+    def test_contiguous_round_trip(self, count, start):
+        names = [f"x{start + i}" for i in range(count)]
+        assert expand_hostlist(compress_hostlist(names)) == names

@@ -1,0 +1,41 @@
+"""Property-based hostlist tests beyond the round-trip basics."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.topology import compress_hostlist, expand_hostlist
+
+name_stems = st.sampled_from(["n", "node", "gpu-", "rack0-n"])
+
+
+@st.composite
+def name_lists(draw):
+    stem = draw(name_stems)
+    numbers = draw(
+        st.lists(st.integers(min_value=0, max_value=500), min_size=1, max_size=40,
+                 unique=True)
+    )
+    return [f"{stem}{i}" for i in numbers]
+
+
+@given(name_lists())
+@settings(max_examples=200, deadline=None)
+def test_compress_is_canonical(names):
+    """compress(expand(compress(x))) == compress(x): one stable form."""
+    once = compress_hostlist(names)
+    twice = compress_hostlist(expand_hostlist(once))
+    assert once == twice
+
+
+@given(name_lists())
+@settings(max_examples=200, deadline=None)
+def test_expand_preserves_multiset(names):
+    assert sorted(expand_hostlist(compress_hostlist(names))) == sorted(names)
+
+
+@given(st.integers(min_value=0, max_value=99), st.integers(min_value=1, max_value=50))
+@settings(max_examples=100, deadline=None)
+def test_contiguous_ranges_compress_to_single_term(start, count):
+    names = [f"n{start + i}" for i in range(count)]
+    out = compress_hostlist(names)
+    assert "," not in out

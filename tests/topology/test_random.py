@@ -1,0 +1,66 @@
+"""Tests for random topology generation (fuzzing substrate)."""
+
+import numpy as np
+import pytest
+
+from repro.topology import random_leaf_sizes, random_tree, parse_topology_conf, write_topology_conf
+
+
+class TestRandomLeafSizes:
+    def test_within_bounds(self):
+        rng = np.random.default_rng(0)
+        sizes = random_leaf_sizes(rng, n_leaves=8, min_size=2, max_size=5)
+        assert len(sizes) == 8
+        assert all(2 <= s <= 5 for s in sizes)
+
+    def test_random_count(self):
+        rng = np.random.default_rng(1)
+        sizes = random_leaf_sizes(rng, max_leaves=6)
+        assert 1 <= len(sizes) <= 6
+
+    def test_invalid(self):
+        rng = np.random.default_rng(2)
+        with pytest.raises(ValueError):
+            random_leaf_sizes(rng, n_leaves=3, min_size=5, max_size=2)
+
+
+class TestRandomTree:
+    def test_deterministic_per_seed(self):
+        assert random_tree(7) == random_tree(7)
+        assert random_tree(7) != random_tree(8)
+
+    @pytest.mark.parametrize("seed", range(15))
+    def test_always_valid(self, seed):
+        """Construction alone runs full validation; exercise queries too."""
+        topo = random_tree(seed)
+        assert topo.n_nodes >= 1
+        assert topo.n_leaves >= 1
+        assert topo.height >= 1
+        # distance of every node to node 0 is sane
+        d = topo.distance(np.zeros(topo.n_nodes, dtype=int),
+                          np.arange(topo.n_nodes))
+        assert int(d[0]) == 0
+        assert (d[1:] >= 2).all() if topo.n_nodes > 1 else True
+        assert (d <= 2 * topo.height).all()
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_round_trips_through_conf(self, seed):
+        """Hostlist compression may canonicalize sibling order, so the
+        round trip is structure-preserving (same names, same pairwise
+        distances) rather than leaf-index identical."""
+        topo = random_tree(seed)
+        back = parse_topology_conf(write_topology_conf(topo))
+        assert sorted(back.node_names) == sorted(topo.node_names)
+        assert sorted(back.leaf_names) == sorted(topo.leaf_names)
+        rng = np.random.default_rng(seed)
+        names = list(topo.node_names)
+        for _ in range(50):
+            a, b = rng.choice(len(names), size=2)
+            na, nb = names[a], names[b]
+            assert int(topo.distance(topo.node_id(na), topo.node_id(nb))) == int(
+                back.distance(back.node_id(na), back.node_id(nb))
+            )
+
+    def test_depth_bound_respected(self):
+        for seed in range(10):
+            assert random_tree(seed, max_depth=2).height <= 3

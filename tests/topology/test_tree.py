@@ -1,0 +1,183 @@
+"""Tests for TreeTopology construction, validation, and distance queries."""
+
+import numpy as np
+import pytest
+
+from repro.topology import SwitchSpec, TopologyError, TreeTopology
+from repro.topology import three_level_tree, tree_from_leaf_sizes, two_level_tree
+
+
+def specs_two_level():
+    return [
+        SwitchSpec("s0", nodes=["n0", "n1", "n2", "n3"]),
+        SwitchSpec("s1", nodes=["n4", "n5", "n6", "n7"]),
+        SwitchSpec("s2", switches=["s0", "s1"]),
+    ]
+
+
+class TestConstruction:
+    def test_basic_counts(self):
+        topo = TreeTopology.from_switches(specs_two_level())
+        assert topo.n_nodes == 8
+        assert topo.n_leaves == 2
+        assert topo.n_switches == 3
+        assert topo.height == 2
+
+    def test_leaf_sizes(self):
+        topo = tree_from_leaf_sizes([3, 5, 2])
+        assert topo.leaf_sizes.tolist() == [3, 5, 2]
+        assert topo.n_nodes == 10
+
+    def test_leaf_of_node_contiguous(self):
+        topo = tree_from_leaf_sizes([3, 5, 2])
+        assert topo.leaf_of_node.tolist() == [0] * 3 + [1] * 5 + [2] * 2
+
+    def test_node_name_lookup_roundtrip(self):
+        topo = TreeTopology.from_switches(specs_two_level())
+        for i in range(topo.n_nodes):
+            assert topo.node_id(topo.node_name(i)) == i
+
+    def test_unknown_node_name(self):
+        topo = TreeTopology.from_switches(specs_two_level())
+        with pytest.raises(KeyError):
+            topo.node_id("nope")
+
+    def test_switch_lookup_by_name_and_index(self):
+        topo = TreeTopology.from_switches(specs_two_level())
+        s0 = topo.switch("s0")
+        assert topo.switch(s0.index) == s0
+        assert s0.is_leaf and s0.level == 1
+
+    def test_root_is_first_switch(self):
+        topo = TreeTopology.from_switches(specs_two_level())
+        assert topo.root.name == "s2"
+        assert topo.root.parent == -1
+
+    def test_leaf_ranges_cover_all_leaves(self):
+        topo = three_level_tree(2, 3, 4)
+        root = topo.root
+        assert (root.leaf_lo, root.leaf_hi) == (0, 6)
+        pods = topo.switches_at_level(2)
+        assert len(pods) == 2
+        covered = sorted((p.leaf_lo, p.leaf_hi) for p in pods)
+        assert covered == [(0, 3), (3, 6)]
+
+    def test_capacity_per_switch(self):
+        topo = three_level_tree(2, 3, 4)
+        assert topo.root.capacity == 24
+        for pod in topo.switches_at_level(2):
+            assert pod.capacity == 12
+        for leaf in topo.switches_at_level(1):
+            assert leaf.capacity == 4
+
+    def test_leaf_nodes(self):
+        topo = tree_from_leaf_sizes([3, 5])
+        assert topo.leaf_nodes(0).tolist() == [0, 1, 2]
+        assert topo.leaf_nodes(1).tolist() == [3, 4, 5, 6, 7]
+
+
+class TestValidation:
+    def test_empty_rejected(self):
+        with pytest.raises(TopologyError, match="at least one switch"):
+            TreeTopology.from_switches([])
+
+    def test_duplicate_switch_name(self):
+        with pytest.raises(TopologyError, match="duplicate switch"):
+            TreeTopology.from_switches(
+                [SwitchSpec("s0", nodes=["n0"]), SwitchSpec("s0", nodes=["n1"])]
+            )
+
+    def test_node_on_two_switches(self):
+        specs = [
+            SwitchSpec("s0", nodes=["n0"]),
+            SwitchSpec("s1", nodes=["n0"]),
+            SwitchSpec("s2", switches=["s0", "s1"]),
+        ]
+        with pytest.raises(TopologyError, match="attached to both"):
+            TreeTopology.from_switches(specs)
+
+    def test_unknown_child(self):
+        with pytest.raises(TopologyError, match="unknown child"):
+            TreeTopology.from_switches([SwitchSpec("s0", switches=["ghost"])])
+
+    def test_two_roots_rejected(self):
+        specs = [SwitchSpec("a", nodes=["n0"]), SwitchSpec("b", nodes=["n1"])]
+        with pytest.raises(TopologyError, match="exactly one root"):
+            TreeTopology.from_switches(specs)
+
+    def test_child_with_two_parents(self):
+        specs = [
+            SwitchSpec("leaf", nodes=["n0"]),
+            SwitchSpec("p1", switches=["leaf"]),
+            SwitchSpec("p2", switches=["leaf"]),
+            SwitchSpec("root", switches=["p1", "p2"]),
+        ]
+        with pytest.raises(TopologyError, match="two parents"):
+            TreeTopology.from_switches(specs)
+
+    def test_switch_with_nodes_and_switches(self):
+        specs = [
+            SwitchSpec("leaf", nodes=["n0"]),
+            SwitchSpec("bad", nodes=["n1"], switches=["leaf"]),
+        ]
+        with pytest.raises(TopologyError, match="both Nodes and Switches"):
+            TreeTopology.from_switches(specs)
+
+    def test_empty_switch_rejected(self):
+        with pytest.raises(TopologyError, match="neither"):
+            TreeTopology.from_switches([SwitchSpec("s0")])
+
+
+class TestDistance:
+    """Paper Eq. 4: d(i, j) = 2 * level of the lowest common switch."""
+
+    def test_same_leaf_distance_2(self, paper_topology):
+        assert int(paper_topology.distance(0, 1)) == 2
+
+    def test_cross_leaf_distance_4(self, paper_topology):
+        assert int(paper_topology.distance(0, 4)) == 4
+
+    def test_self_distance_0(self, paper_topology):
+        assert int(paper_topology.distance(3, 3)) == 0
+
+    def test_symmetry(self, paper_topology):
+        i = np.arange(8)
+        j = i[::-1]
+        assert np.array_equal(
+            paper_topology.distance(i, j), paper_topology.distance(j, i)
+        )
+
+    def test_three_level_distances(self, three_level):
+        # nodes 0 and 1: same leaf -> 2
+        assert int(three_level.distance(0, 1)) == 2
+        # nodes 0 and 4: different leaves, same pod -> 4
+        assert int(three_level.distance(0, 4)) == 4
+        # nodes 0 and 12: different pods -> level-3 root -> 6
+        assert int(three_level.distance(0, 12)) == 6
+
+    def test_vectorized_matches_scalar(self, three_level):
+        rng = np.random.default_rng(0)
+        i = rng.integers(0, 24, size=50)
+        j = rng.integers(0, 24, size=50)
+        vec = three_level.distance(i, j)
+        scalar = [int(three_level.distance(int(a), int(b))) for a, b in zip(i, j)]
+        assert vec.tolist() == scalar
+
+    def test_lca_level_same_leaf_is_1(self, three_level):
+        assert int(three_level.lca_level(2, 2)) == 1
+
+    def test_lca_level_shapes(self, three_level):
+        out = three_level.lca_level(np.zeros((2, 3), dtype=int), np.ones((2, 3), dtype=int))
+        assert out.shape == (2, 3)
+        assert (out == 2).all()
+
+
+class TestEquality:
+    def test_equal_topologies(self):
+        assert two_level_tree(2, 4) == two_level_tree(2, 4)
+
+    def test_different_sizes_not_equal(self):
+        assert two_level_tree(2, 4) != two_level_tree(2, 5)
+
+    def test_hashable(self):
+        assert len({two_level_tree(2, 4), two_level_tree(2, 4)}) == 1

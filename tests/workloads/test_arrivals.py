@@ -1,0 +1,58 @@
+"""Tests for the daily-cycle arrival process."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import SECONDS_PER_DAY, daily_cycle_arrivals
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(11)
+
+
+class TestDailyCycle:
+    def test_starts_at_zero_monotone(self, rng):
+        t = daily_cycle_arrivals(rng, 200, mean_interarrival_seconds=100)
+        assert t[0] == 0.0
+        assert (np.diff(t) >= 0).all()
+
+    def test_long_run_rate_matches_mean(self, rng):
+        t = daily_cycle_arrivals(rng, 20000, mean_interarrival_seconds=60,
+                                 peak_to_trough=3.0)
+        assert np.diff(t).mean() == pytest.approx(60, rel=0.1)
+
+    def test_peak_hours_busier_than_trough(self, rng):
+        t = daily_cycle_arrivals(rng, 30000, mean_interarrival_seconds=30,
+                                 peak_to_trough=4.0, peak_hour=14.0)
+        hour = (t % SECONDS_PER_DAY) / 3600.0
+        peak_count = np.sum((hour >= 12) & (hour < 16))
+        trough_count = np.sum((hour >= 0) & (hour < 4))
+        assert peak_count > 2 * trough_count
+
+    def test_stationary_when_ratio_one(self, rng):
+        t = daily_cycle_arrivals(rng, 20000, mean_interarrival_seconds=30,
+                                 peak_to_trough=1.0)
+        hour = (t % SECONDS_PER_DAY) / 3600.0
+        day_count = np.sum(hour < 12)
+        night_count = np.sum(hour >= 12)
+        assert abs(day_count - night_count) < 0.1 * len(t)
+
+    def test_reproducible(self):
+        a = daily_cycle_arrivals(np.random.default_rng(5), 100,
+                                 mean_interarrival_seconds=10)
+        b = daily_cycle_arrivals(np.random.default_rng(5), 100,
+                                 mean_interarrival_seconds=10)
+        assert (a == b).all()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"mean_interarrival_seconds": 0},
+            {"mean_interarrival_seconds": 10, "peak_to_trough": 0.5},
+            {"mean_interarrival_seconds": 10, "peak_hour": 24.0},
+        ],
+    )
+    def test_invalid_params(self, rng, kwargs):
+        with pytest.raises(ValueError):
+            daily_cycle_arrivals(rng, 10, **kwargs)

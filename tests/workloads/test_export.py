@@ -1,0 +1,60 @@
+"""Tests for SWF export of simulation results."""
+
+import pytest
+
+from repro.scheduler import simulate
+from repro.topology import two_level_tree
+from repro.workloads import parse_swf, swf_to_trace
+from repro.workloads.export import result_to_swf, result_to_swf_records
+
+from ..conftest import make_comm_job, make_compute_job
+
+
+@pytest.fixture(scope="module")
+def result():
+    topo = two_level_tree(2, 4)
+    jobs = [
+        make_comm_job(job_id=1, nodes=8, runtime=100.0),
+        make_compute_job(job_id=2, nodes=4, runtime=50.0, submit_time=10.0),
+    ]
+    return simulate(topo, jobs, "balanced")
+
+
+class TestExport:
+    def test_record_per_job(self, result):
+        records = result_to_swf_records(result)
+        assert len(records) == 2
+
+    def test_observed_times_exported(self, result):
+        by_id = {r.job_number: r for r in result_to_swf_records(result)}
+        rec2 = result.record_for(2)
+        assert by_id[2].submit_time == 10
+        assert by_id[2].wait_time == int(round(rec2.wait_time))
+        assert by_id[2].run_time == int(round(rec2.execution_time))
+
+    def test_kind_encoded_in_queue(self, result):
+        by_id = {r.job_number: r for r in result_to_swf_records(result)}
+        assert by_id[1].queue_number == 2  # comm
+        assert by_id[2].queue_number == 1  # compute
+
+    def test_processors_per_node(self, result):
+        records = result_to_swf_records(result, processors_per_node=4)
+        assert records[0].allocated_processors == 32
+
+    def test_invalid_processors(self, result):
+        with pytest.raises(ValueError):
+            result_to_swf_records(result, processors_per_node=0)
+
+    def test_round_trip_through_parser(self, result):
+        text = result_to_swf(result)
+        trace = swf_to_trace(parse_swf(text))
+        assert len(trace) == 2
+        assert {t.job_id for t in trace} == {1, 2}
+
+    def test_header_mentions_allocator(self, result):
+        assert "balanced" in result_to_swf(result).splitlines()[0]
+
+    def test_sorted_by_submit(self, result):
+        records = result_to_swf_records(result)
+        submits = [r.submit_time for r in records]
+        assert submits == sorted(submits)

@@ -1,0 +1,140 @@
+"""Tests for the synthetic machine logs and comm/compute labelling."""
+
+import numpy as np
+import pytest
+
+from repro._validation import is_power_of_two
+from repro.cluster import JobKind
+from repro.workloads import (
+    EXPERIMENT_SETS,
+    LOG_SPECS,
+    TraceJob,
+    assign_kinds,
+    generate_log,
+    intrepid_log,
+    make_mix,
+    mira_log,
+    single_pattern_mix,
+    theta_log,
+    validate_trace,
+)
+
+
+class TestMachineLogs:
+    def test_1000_jobs_default(self):
+        assert len(theta_log()) == 1000
+
+    def test_reproducible(self):
+        assert theta_log(100, seed=5) == theta_log(100, seed=5)
+
+    def test_different_seeds_differ(self):
+        assert theta_log(100, seed=1) != theta_log(100, seed=2)
+
+    def test_theta_max_512(self):
+        """§5.1: Theta's maximum node request is 512."""
+        sizes = [t.nodes for t in theta_log(1000)]
+        assert max(sizes) <= 512
+
+    def test_mira_max_16384(self):
+        sizes = [t.nodes for t in mira_log(1000)]
+        assert max(sizes) <= 16384
+
+    def test_power_of_two_shares(self):
+        """§5.1: Theta 90%, Intrepid/Mira > 99% power-of-two jobs."""
+        theta_frac = np.mean([is_power_of_two(t.nodes) for t in theta_log(2000)])
+        assert 0.85 <= theta_frac <= 0.95
+        for log in (intrepid_log, mira_log):
+            frac = np.mean([is_power_of_two(t.nodes) for t in log(2000)])
+            assert frac >= 0.97
+
+    def test_traces_are_clean(self):
+        for name, spec in LOG_SPECS.items():
+            trace = generate_log(spec, 300, seed=0)
+            problems = validate_trace(trace, max_nodes=spec.topology().n_nodes)
+            assert problems == [], name
+
+    def test_jobs_fit_their_machines(self):
+        for name, spec in LOG_SPECS.items():
+            topo_nodes = spec.topology().n_nodes
+            trace = generate_log(spec, 500, seed=1)
+            assert all(t.nodes <= topo_nodes for t in trace), name
+
+    def test_runtimes_within_wallclock(self):
+        for t in intrepid_log(500):
+            assert 60 <= t.runtime <= 86400
+
+
+class TestValidateTrace:
+    def test_detects_duplicates(self):
+        trace = [TraceJob(1, 0.0, 2, 10.0), TraceJob(1, 1.0, 2, 10.0)]
+        assert any("duplicate" in p for p in validate_trace(trace))
+
+    def test_detects_non_monotone(self):
+        trace = [TraceJob(1, 10.0, 2, 10.0), TraceJob(2, 5.0, 2, 10.0)]
+        assert any("before" in p for p in validate_trace(trace))
+
+    def test_detects_oversize(self):
+        trace = [TraceJob(1, 0.0, 100, 10.0)]
+        assert any("> 8" in p for p in validate_trace(trace, max_nodes=8))
+
+    def test_clean_trace_empty(self):
+        trace = [TraceJob(1, 0.0, 2, 10.0), TraceJob(2, 1.0, 4, 10.0)]
+        assert validate_trace(trace, max_nodes=8) == []
+
+
+class TestAssignKinds:
+    def trace(self, n=100):
+        return [TraceJob(i + 1, float(i), 4, 100.0) for i in range(n)]
+
+    def test_percentage_respected(self):
+        jobs = assign_kinds(self.trace(200), percent_comm=90,
+                            mix=single_pattern_mix("rhvd"), seed=0)
+        n_comm = sum(j.is_comm_intensive for j in jobs)
+        assert n_comm == 180
+
+    def test_zero_percent(self):
+        jobs = assign_kinds(self.trace(), percent_comm=0,
+                            mix=single_pattern_mix("rd"), seed=0)
+        assert not any(j.is_comm_intensive for j in jobs)
+
+    def test_single_node_jobs_stay_compute(self):
+        trace = [TraceJob(1, 0.0, 1, 100.0)]
+        jobs = assign_kinds(trace, percent_comm=100,
+                            mix=single_pattern_mix("rd"), seed=0)
+        assert jobs[0].kind is JobKind.COMPUTE
+
+    def test_seeded_labels_stable(self):
+        a = assign_kinds(self.trace(), percent_comm=50, mix=single_pattern_mix("rd"), seed=3)
+        b = assign_kinds(self.trace(), percent_comm=50, mix=single_pattern_mix("rd"), seed=3)
+        assert [j.kind for j in a] == [j.kind for j in b]
+
+    def test_comm_fraction_applied(self):
+        jobs = assign_kinds(self.trace(), percent_comm=100,
+                            mix=single_pattern_mix("rhvd", 0.5), seed=0)
+        comm = [j for j in jobs if j.is_comm_intensive]
+        assert all(j.comm_fraction == pytest.approx(0.5) for j in comm)
+
+    def test_invalid_percent(self):
+        with pytest.raises(ValueError):
+            assign_kinds(self.trace(), percent_comm=150,
+                         mix=single_pattern_mix("rd"), seed=0)
+
+
+class TestExperimentSets:
+    def test_all_five_sets_defined(self):
+        assert set(EXPERIMENT_SETS) == {"A", "B", "C", "D", "E"}
+
+    def test_set_fractions_match_paper(self):
+        """§6.2: A=33%, B=50%, C=70%, D=15+35=50%, E=21+49=70%."""
+        totals = {k: sum(f for _, f in v) for k, v in EXPERIMENT_SETS.items()}
+        assert totals == pytest.approx(
+            {"A": 0.33, "B": 0.50, "C": 0.70, "D": 0.50, "E": 0.70}
+        )
+
+    def test_make_mix_instantiates_patterns(self):
+        comps = make_mix(EXPERIMENT_SETS["D"])
+        assert [c.pattern.name for c in comps] == ["rd", "binomial"]
+
+    def test_make_mix_rejects_over_one(self):
+        with pytest.raises(ValueError):
+            make_mix((("rd", 0.7), ("binomial", 0.7)))

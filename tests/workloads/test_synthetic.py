@@ -1,0 +1,109 @@
+"""Tests for the synthetic workload distribution primitives."""
+
+import numpy as np
+import pytest
+
+from repro._validation import is_power_of_two
+from repro.workloads import (
+    exponential_arrivals,
+    geometric_exponent_weights,
+    lognormal_runtimes,
+    power_of_two_sizes,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(42)
+
+
+class TestGeometricWeights:
+    def test_normalized(self):
+        w = geometric_exponent_weights(10, 0.7)
+        assert w.sum() == pytest.approx(1.0)
+        assert len(w) == 11
+
+    def test_decay_below_one_favors_small(self):
+        w = geometric_exponent_weights(5, 0.5)
+        assert (np.diff(w) < 0).all()
+
+    def test_uniform_at_one(self):
+        w = geometric_exponent_weights(4, 1.0)
+        assert np.allclose(w, 0.2)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            geometric_exponent_weights(-1)
+        with pytest.raises(ValueError):
+            geometric_exponent_weights(5, 0.0)
+
+
+class TestPowerOfTwoSizes:
+    def test_all_pow2_by_default(self, rng):
+        sizes = power_of_two_sizes(rng, 500, max_exp=10)
+        assert all(is_power_of_two(int(s)) for s in sizes)
+
+    def test_range_respected(self, rng):
+        sizes = power_of_two_sizes(rng, 500, max_exp=8, min_exp=3)
+        assert sizes.min() >= 8
+        assert sizes.max() <= 256
+
+    def test_pow2_fraction(self, rng):
+        sizes = power_of_two_sizes(rng, 2000, max_exp=10, min_exp=4, pow2_fraction=0.9)
+        frac = np.mean([is_power_of_two(int(s)) for s in sizes])
+        assert 0.85 <= frac <= 0.95
+
+    def test_non_pow2_stay_in_band(self, rng):
+        sizes = power_of_two_sizes(rng, 1000, max_exp=6, min_exp=4, pow2_fraction=0.0)
+        assert sizes.min() >= 2 ** 3  # at least half the smallest pow2
+        assert sizes.max() <= 2 ** 6
+
+    def test_custom_weights(self, rng):
+        sizes = power_of_two_sizes(rng, 300, max_exp=5, min_exp=4, weights=[0.0, 1.0])
+        assert (sizes == 32).all()
+
+    def test_weight_length_mismatch(self, rng):
+        with pytest.raises(ValueError, match="entries"):
+            power_of_two_sizes(rng, 10, max_exp=5, min_exp=4, weights=[1.0])
+
+    def test_reproducible(self):
+        a = power_of_two_sizes(np.random.default_rng(7), 100, max_exp=8)
+        b = power_of_two_sizes(np.random.default_rng(7), 100, max_exp=8)
+        assert (a == b).all()
+
+    def test_bad_exponent_order(self, rng):
+        with pytest.raises(ValueError):
+            power_of_two_sizes(rng, 10, max_exp=3, min_exp=5)
+
+
+class TestLognormalRuntimes:
+    def test_clipped_to_bounds(self, rng):
+        rt = lognormal_runtimes(rng, 5000, median_seconds=3600, sigma=2.0,
+                                min_seconds=60, max_seconds=1000)
+        assert rt.min() >= 60
+        assert rt.max() <= 1000
+
+    def test_median_approx(self, rng):
+        rt = lognormal_runtimes(rng, 20000, median_seconds=3600, sigma=0.5)
+        assert np.median(rt) == pytest.approx(3600, rel=0.05)
+
+    def test_invalid_params(self, rng):
+        with pytest.raises(ValueError):
+            lognormal_runtimes(rng, 10, median_seconds=0)
+        with pytest.raises(ValueError):
+            lognormal_runtimes(rng, 10, median_seconds=100, min_seconds=50, max_seconds=10)
+
+
+class TestArrivals:
+    def test_starts_at_zero_and_monotone(self, rng):
+        t = exponential_arrivals(rng, 100, mean_interarrival_seconds=60)
+        assert t[0] == 0.0
+        assert (np.diff(t) >= 0).all()
+
+    def test_mean_gap(self, rng):
+        t = exponential_arrivals(rng, 20000, mean_interarrival_seconds=60)
+        assert np.diff(t).mean() == pytest.approx(60, rel=0.05)
+
+    def test_invalid(self, rng):
+        with pytest.raises(ValueError):
+            exponential_arrivals(rng, 10, mean_interarrival_seconds=0)

@@ -1,0 +1,91 @@
+"""Tests for trace transformation operations."""
+
+import pytest
+
+from repro.workloads import (
+    TraceJob,
+    concatenate,
+    filter_sizes,
+    renumber,
+    scale_load,
+    slice_window,
+    validate_trace,
+)
+
+
+@pytest.fixture
+def trace():
+    return [
+        TraceJob(1, 0.0, 4, 100.0),
+        TraceJob(2, 50.0, 8, 200.0),
+        TraceJob(3, 100.0, 16, 300.0),
+        TraceJob(4, 150.0, 2, 400.0),
+    ]
+
+
+class TestSliceWindow:
+    def test_half_open_interval(self, trace):
+        kept = slice_window(trace, 50.0, 150.0, rebase=False)
+        assert [t.job_id for t in kept] == [2, 3]
+
+    def test_rebase_to_zero(self, trace):
+        kept = slice_window(trace, 50.0, 150.0)
+        assert kept[0].submit_time == 0.0
+        assert kept[1].submit_time == 50.0
+
+    def test_empty_window(self, trace):
+        assert slice_window(trace, 1000.0, 2000.0) == []
+
+    def test_invalid_window(self, trace):
+        with pytest.raises(ValueError):
+            slice_window(trace, 100.0, 100.0)
+
+
+class TestFilterSizes:
+    def test_band(self, trace):
+        kept = filter_sizes(trace, min_nodes=4, max_nodes=8)
+        assert [t.job_id for t in kept] == [1, 2]
+
+    def test_open_top(self, trace):
+        assert len(filter_sizes(trace, min_nodes=8)) == 2
+
+    def test_invalid(self, trace):
+        with pytest.raises(ValueError):
+            filter_sizes(trace, min_nodes=8, max_nodes=4)
+
+
+class TestScaleLoad:
+    def test_double_load_halves_gaps(self, trace):
+        scaled = scale_load(trace, 2.0)
+        assert scaled[1].submit_time == pytest.approx(25.0)
+        assert scaled[1].runtime == 200.0  # untouched
+
+    def test_identity(self, trace):
+        assert scale_load(trace, 1.0) == trace
+
+    def test_invalid(self, trace):
+        with pytest.raises(ValueError):
+            scale_load(trace, 0.0)
+
+
+class TestRenumber:
+    def test_sequential_from_start(self, trace):
+        out = renumber(trace[::-1], start=10)
+        assert [t.job_id for t in out] == [10, 11, 12, 13]
+        assert [t.submit_time for t in out] == [0.0, 50.0, 100.0, 150.0]
+
+
+class TestConcatenate:
+    def test_second_shifted_past_first(self, trace):
+        combined = concatenate(trace, trace, gap_seconds=100.0)
+        assert len(combined) == 8
+        assert validate_trace(combined) == []
+        # second copy starts at 150 + 100
+        assert combined[4].submit_time == pytest.approx(250.0)
+
+    def test_empty_first(self, trace):
+        assert len(concatenate([], trace)) == 4
+
+    def test_invalid_gap(self, trace):
+        with pytest.raises(ValueError):
+            concatenate(trace, trace, gap_seconds=-1.0)
