@@ -1,0 +1,154 @@
+"""Write a ``BENCH_PR1.json`` performance snapshot at Mira scale.
+
+Times the hot paths of a continuous run — one Eq. 6 cost evaluation and
+one allocation decision per job start — on the paper's largest machine
+shape (49k nodes, 136 leaves, 16384-node RecursiveDoubling job), and
+records the leaf-pair kernel's speedup over the per-node-pair baseline
+so the perf trajectory is tracked from PR 1 onward.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_bench.py [output.json]
+
+Timings are medians over several repeats of best-effort wall-clock
+loops; treat them as trend indicators, not lab-grade measurements.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import statistics
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.allocation import get_allocator
+from repro.cluster import ClusterState, CommComponent, Job, JobKind
+from repro.cost import CostModel, clear_leaf_pair_cache
+from repro.patterns import RecursiveDoubling, RecursiveHalvingVectorDoubling
+from repro.topology import mira_like
+
+JOB_NODES = 16384
+DEFAULT_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_PR1.json"
+
+
+def timeit(fn, *, repeats: int = 5, min_time: float = 0.05) -> float:
+    """Median seconds per call (auto-scaled inner loop, warm start)."""
+    fn()  # warm-up / JIT numpy caches
+    calls = 1
+    while True:
+        t0 = time.perf_counter()
+        for _ in range(calls):
+            fn()
+        elapsed = time.perf_counter() - t0
+        if elapsed >= min_time or calls >= 1_000_000:
+            break
+        calls *= 4
+    samples = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        for _ in range(calls):
+            fn()
+        samples.append((time.perf_counter() - t0) / calls)
+    return statistics.median(samples)
+
+
+def timeit_cold(fn, setup, *, repeats: int = 5) -> float:
+    """Median seconds per call with ``setup`` run (untimed) before each."""
+    samples = []
+    for _ in range(repeats):
+        setup()
+        t0 = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - t0)
+    return statistics.median(samples)
+
+
+def build_state() -> ClusterState:
+    topo = mira_like()
+    state = ClusterState(topo)
+    rng = np.random.default_rng(0)
+    nodes = rng.choice(topo.n_nodes, size=int(0.4 * topo.n_nodes), replace=False)
+    half = nodes.size // 2
+    state.allocate(9001, nodes[:half], JobKind.COMM)
+    state.allocate(9002, nodes[half:], JobKind.COMPUTE)
+    return state
+
+
+def main(argv) -> int:
+    out_path = Path(argv[1]) if len(argv) > 1 else DEFAULT_OUTPUT
+    state = build_state()
+    job = Job(1, 0.0, JOB_NODES, 3600.0, JobKind.COMM,
+              (CommComponent(RecursiveHalvingVectorDoubling(), 0.7),))
+    model = CostModel()
+    pattern = RecursiveDoubling()
+
+    trial = state.copy()
+    nodes = get_allocator("balanced").allocate(trial, job)
+    trial.allocate(1, nodes, JobKind.COMM)
+
+    def clear_all():
+        clear_leaf_pair_cache()
+        trial._cost_cache.clear()
+        trial._derived_cache.clear()
+
+    print(f"timing Eq. 6 evaluation ({JOB_NODES}-node RecursiveDoubling) ...")
+    pairwise = timeit(
+        lambda: model.allocation_cost_pairwise(trial, nodes, pattern), repeats=3
+    )
+    kernel_cold = timeit_cold(
+        lambda: model.allocation_cost(trial, nodes, pattern), clear_all
+    )
+    kernel_warm = timeit(lambda: model.allocation_cost(trial, nodes, pattern))
+
+    print("timing allocators ...")
+    allocate = {}
+    for name in ("default", "greedy", "balanced", "adaptive"):
+        allocator = get_allocator(name)
+        allocate[name] = timeit(lambda: allocator.allocate(state, job), repeats=3)
+
+    print("timing counterfactual snapshots ...")
+    copy_s = timeit(state.copy, repeats=3)
+    free = np.flatnonzero(state.node_state == 0)[:JOB_NODES]
+    overlay_s = timeit(lambda: state.comm_overlay(free, JobKind.COMM), repeats=3)
+
+    snapshot = {
+        "pr": 1,
+        "machine": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+        },
+        "scale": {
+            "topology": "mira_like",
+            "n_nodes": int(state.topology.n_nodes),
+            "n_leaves": int(state.topology.n_leaves),
+            "job_nodes": JOB_NODES,
+            "pattern": "rd",
+        },
+        "cost_eval_seconds": {
+            "pairwise_baseline": pairwise,
+            "leafpair_cold": kernel_cold,
+            "leafpair_warm": kernel_warm,
+        },
+        "speedup_over_pairwise": {
+            "leafpair_cold": pairwise / kernel_cold,
+            "leafpair_warm": pairwise / kernel_warm,
+        },
+        "allocate_seconds": allocate,
+        "counterfactual_snapshot_seconds": {
+            "state_copy": copy_s,
+            "comm_overlay": overlay_s,
+        },
+    }
+    out_path.write_text(json.dumps(snapshot, indent=2) + "\n")
+    print(json.dumps(snapshot["cost_eval_seconds"], indent=2))
+    print(json.dumps(snapshot["speedup_over_pairwise"], indent=2))
+    print(f"wrote {out_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

@@ -11,7 +11,7 @@ import pytest
 
 from repro.allocation import get_allocator
 from repro.cluster import ClusterState, CommComponent, Job, JobKind
-from repro.cost import CostModel
+from repro.cost import CostModel, clear_leaf_pair_cache
 from repro.patterns import RecursiveDoubling, RecursiveHalvingVectorDoubling
 from repro.topology import mira_like
 
@@ -51,7 +51,43 @@ def test_bench_cost_eval_16k_rd(benchmark, mira_state):
     assert cost > 0
 
 
+def test_bench_cost_eval_16k_rd_cold(benchmark, mira_state):
+    """First-evaluation cost: every cache cleared before each call."""
+    model = CostModel()
+    trial = mira_state.copy()
+    nodes = get_allocator("balanced").allocate(trial, big_job())
+    trial.allocate(1, nodes, JobKind.COMM)
+
+    def cold():
+        clear_leaf_pair_cache()
+        trial._cost_cache.clear()
+        trial._derived_cache.clear()
+        return model.allocation_cost(trial, nodes, RecursiveDoubling())
+
+    assert benchmark(cold) > 0
+
+
+def test_bench_cost_eval_16k_rd_pairwise(benchmark, mira_state):
+    """The seed's per-node-pair evaluation, kept as the baseline the
+    leaf-pair kernel's speedup is measured against."""
+    model = CostModel()
+    trial = mira_state.copy()
+    nodes = get_allocator("balanced").allocate(trial, big_job())
+    trial.allocate(1, nodes, JobKind.COMM)
+    cost = benchmark(
+        lambda: model.allocation_cost_pairwise(trial, nodes, RecursiveDoubling())
+    )
+    assert cost > 0
+
+
 def test_bench_state_copy_mira(benchmark, mira_state):
-    """Counterfactual pricing copies the state once per comm job."""
+    """Full-state snapshot (the counterfactual path before comm_overlay)."""
     clone = benchmark(mira_state.copy)
     assert clone.total_free == mira_state.total_free
+
+
+def test_bench_comm_overlay_mira(benchmark, mira_state):
+    """The overlay view that replaced copy() in counterfactual pricing."""
+    nodes = np.flatnonzero(mira_state.node_state == 0)[:16384]
+    view = benchmark(lambda: mira_state.comm_overlay(nodes, JobKind.COMM))
+    assert view.leaf_comm.sum() > mira_state.leaf_comm.sum()

@@ -6,9 +6,12 @@ communication-intensive job (the *costlier* one for a compute-intensive
 job, preserving the good placement for future communication-intensive
 work). Ties go to balanced, which the paper finds stronger on average.
 
-Costs are evaluated on a hypothetical state that includes the candidate
+Costs are evaluated on a hypothetical view that includes the candidate
 allocation itself, matching the paper's worked example where a job's own
-nodes count toward switch contention.
+nodes count toward switch contention. The view is a cheap
+:meth:`~repro.cluster.state.ClusterState.comm_overlay` (per-leaf
+counters only), not a full state copy — adaptive prices two candidates
+per job start, which made the O(n_nodes) copies a hot path of their own.
 """
 
 from __future__ import annotations
@@ -75,11 +78,10 @@ class AdaptiveAllocator(Allocator):
 
     def _candidate_cost(self, state: ClusterState, job: Job, nodes: np.ndarray) -> float:
         """Fraction-weighted Eq. 6 cost of ``nodes`` with the job applied."""
-        trial = state.copy()
-        trial.allocate(job.job_id, nodes, job.kind)
+        view = state.comm_overlay(nodes, job.kind)
         components = job.comm or (CommComponent(self.probe_pattern, 1.0),)
         return sum(
-            comp.fraction * self.cost_model.allocation_cost(trial, nodes, comp.pattern)
+            comp.fraction * self.cost_model.allocation_cost(view, nodes, comp.pattern)
             for comp in components
         )
 

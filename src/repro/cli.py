@@ -66,6 +66,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sim.add_argument("--seed", type=int, default=0)
     sim.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="run allocators in N parallel processes (results are "
+        "bit-identical to the serial path)",
+    )
+    sim.add_argument(
         "--save", default=None, metavar="DIR",
         help="write each run's records as JSON into this directory",
     )
@@ -120,7 +125,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         seed=args.seed,
         policy=args.policy,
     )
-    results = continuous_runs(cfg)
+    results = continuous_runs(cfg, workers=args.workers)
     for name, res in results.items():
         print(render_kv(sorted(res.summary().items()), title=f"--- {name} ---"))
     if args.save:

@@ -7,6 +7,7 @@ from .state import (
     NODE_FREE,
     AllocationRecord,
     ClusterState,
+    CommOverlay,
 )
 
 __all__ = [
@@ -15,6 +16,7 @@ __all__ = [
     "JobKind",
     "AllocationRecord",
     "ClusterState",
+    "CommOverlay",
     "NODE_FREE",
     "NODE_COMPUTE",
     "NODE_COMM",

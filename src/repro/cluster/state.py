@@ -8,8 +8,15 @@ leaf k" is a single vectorized scan.
 
 Allocators never mutate this class directly — the scheduler engine
 applies their returned node sets through :meth:`ClusterState.allocate`,
-and the adaptive allocator evaluates hypothetical allocations on cheap
-:meth:`copy` snapshots.
+and hypothetical allocations are priced on :meth:`copy` snapshots or —
+far cheaper — on :meth:`comm_overlay` views that only materialize the
+per-leaf counters the cost model reads.
+
+Every mutation bumps :attr:`ClusterState.version`; derived vectors
+(the Eq. 2 contention-share vector) and Eq. 6 cost results are cached
+against that counter, so the many repeated pricings of an unchanged
+state (individual runs, adaptive arbitration, counterfactuals) skip
+recomputation entirely.
 """
 
 from __future__ import annotations
@@ -24,12 +31,17 @@ from .job import JobKind
 
 __all__ = [
     "ClusterState",
+    "CommOverlay",
     "AllocationRecord",
     "NODE_FREE",
     "NODE_COMPUTE",
     "NODE_COMM",
     "NODE_IO",
 ]
+
+#: entries kept in a state's Eq. 6 cost cache before it is wiped; keys
+#: embed the priced node set, so the cap bounds memory, not correctness.
+_COST_CACHE_MAX = 256
 
 NODE_FREE = 0
 NODE_COMPUTE = 1
@@ -70,6 +82,18 @@ class ClusterState:
         self.leaf_comm = np.zeros(topology.n_leaves, dtype=np.int64)
         self.leaf_io = np.zeros(topology.n_leaves, dtype=np.int64)
         self.running: Dict[int, AllocationRecord] = {}
+        #: bumped by every :meth:`allocate` / :meth:`release`; tags the caches
+        self.version = 0
+        self._derived_cache: Dict[str, object] = {}
+        self._cost_cache: Dict[object, float] = {}
+
+    def _invalidate(self) -> None:
+        """Advance :attr:`version` and drop version-tagged caches."""
+        self.version += 1
+        if self._derived_cache:
+            self._derived_cache.clear()
+        if self._cost_cache:
+            self._cost_cache.clear()
 
     # ------------------------------------------------------------------
     # derived counters
@@ -128,8 +152,60 @@ class ClusterState:
         return first + busy / sizes
 
     def leaf_comm_share(self) -> np.ndarray:
-        """``L_comm / L_nodes`` per leaf — the per-switch contention term."""
-        return self.leaf_comm / self.topology.leaf_sizes
+        """``L_comm / L_nodes`` per leaf — the per-switch contention term.
+
+        Cached against :attr:`version`: the Eq. 6 kernel reads this
+        vector on every evaluation, and between mutations it cannot
+        change. The returned array is read-only.
+        """
+        share = self._derived_cache.get("comm_share")
+        if share is None:
+            share = self.leaf_comm / self.topology.leaf_sizes
+            share.setflags(write=False)
+            self._derived_cache["comm_share"] = share
+        return share
+
+    # ------------------------------------------------------------------
+    # version-tagged cost cache (read by the Eq. 6 kernel)
+    # ------------------------------------------------------------------
+
+    def cost_cache_get(self, key: object) -> Optional[float]:
+        """Cached Eq. 6 result for ``key``, valid for the current version."""
+        return self._cost_cache.get(key)
+
+    def cost_cache_put(self, key: object, value: float) -> None:
+        if len(self._cost_cache) >= _COST_CACHE_MAX:
+            self._cost_cache.clear()
+        self._cost_cache[key] = value
+
+    def comm_overlay(self, nodes: Iterable[int], kind: JobKind) -> "CommOverlay":
+        """A pricing view of this state plus one hypothetical allocation.
+
+        Captures only the per-leaf counters the Eq. 2-6 kernel reads —
+        O(len(nodes) + n_leaves) instead of the O(n_nodes) of a full
+        :meth:`copy`. Validates the nodes like :meth:`allocate` would
+        (in range, free, no duplicates). The view's counters are copied
+        at capture time, so it stays numerically valid even if this
+        state mutates afterwards.
+        """
+        node_arr = np.asarray(list(nodes) if not isinstance(nodes, np.ndarray) else nodes,
+                              dtype=np.int64)
+        if node_arr.ndim != 1 or node_arr.size == 0:
+            raise ValueError("overlay must contain at least one node")
+        if np.unique(node_arr).size != node_arr.size:
+            raise ValueError("duplicate node ids in overlay allocation")
+        if node_arr.min() < 0 or node_arr.max() >= self.topology.n_nodes:
+            raise ValueError("node id out of range")
+        if np.any(self.node_state[node_arr] != NODE_FREE):
+            busy = node_arr[self.node_state[node_arr] != NODE_FREE]
+            raise ValueError(f"nodes already busy: {busy[:8].tolist()}")
+        leaf_comm = self.leaf_comm.copy()
+        if kind is JobKind.COMM:
+            leaves, counts = np.unique(
+                self.topology.leaf_of_node[node_arr], return_counts=True
+            )
+            leaf_comm[leaves] += counts
+        return CommOverlay(self, leaf_comm, (kind.name, node_arr.tobytes()))
 
     # ------------------------------------------------------------------
     # node selection
@@ -156,11 +232,19 @@ class ClusterState:
         """Mark ``nodes`` as held by ``job_id``.
 
         Raises ``ValueError`` if the job id is already running, any node
-        is already busy, or a node id is out of range.
+        is already busy, a node id is out of range, or the same node id
+        appears more than once (a duplicate would silently shrink the
+        allocation — always an allocator bug).
         """
         if job_id in self.running:
             raise ValueError(f"job {job_id} is already running")
-        node_arr = np.asarray(sorted(set(int(n) for n in nodes)), dtype=np.int64)
+        raw = np.asarray([int(n) for n in nodes], dtype=np.int64)
+        node_arr = np.unique(raw)
+        if node_arr.size != raw.size:
+            raise ValueError(
+                f"duplicate node ids in allocation for job {job_id} "
+                f"({raw.size - node_arr.size} repeated)"
+            )
         if node_arr.size == 0:
             raise ValueError("allocation must contain at least one node")
         if node_arr[0] < 0 or node_arr[-1] >= self.topology.n_nodes:
@@ -177,6 +261,7 @@ class ClusterState:
             self.leaf_io[leaves] += counts
         record = AllocationRecord(job_id=job_id, nodes=node_arr, kind=kind)
         self.running[job_id] = record
+        self._invalidate()
         return record
 
     def release(self, job_id: int) -> AllocationRecord:
@@ -189,6 +274,7 @@ class ClusterState:
             self.leaf_comm[leaves] -= counts
         elif record.kind is JobKind.IO:
             self.leaf_io[leaves] -= counts
+        self._invalidate()
         return record
 
     def copy(self) -> "ClusterState":
@@ -200,6 +286,12 @@ class ClusterState:
         clone.leaf_comm = self.leaf_comm.copy()
         clone.leaf_io = self.leaf_io.copy()
         clone.running = dict(self.running)  # records are frozen, share them
+        # Caches are never shared: a snapshot starts cold so stale entries
+        # cannot leak between a state and its copies (the counterfactual
+        # pricing path depends on this).
+        clone.version = self.version
+        clone._derived_cache = {}
+        clone._cost_cache = {}
         return clone
 
     # ------------------------------------------------------------------
@@ -235,3 +327,61 @@ class ClusterState:
             f"ClusterState(free={self.total_free}/{self.topology.n_nodes}, "
             f"jobs={len(self.running)})"
         )
+
+
+class CommOverlay:
+    """Read-only pricing view: a base state plus one hypothetical job.
+
+    Exposes exactly the surface the Eq. 2-6 kernel reads from a
+    :class:`ClusterState` — ``topology``, ``leaf_comm``,
+    :meth:`leaf_comm_share`, and the cost cache — without copying any
+    node-granular state. Built via :meth:`ClusterState.comm_overlay`.
+
+    Cost-cache entries are shared with the base state (keyed by the
+    overlay's own allocation) while the base is unmutated, so e.g. the
+    default-allocator counterfactual of one job is priced once and
+    reused across every allocator of an individual run. If the base
+    state has mutated since capture, the view falls back to a private
+    cache — its copied counters stay correct, but nothing is written
+    into the base's now-unrelated epoch.
+    """
+
+    __slots__ = (
+        "topology",
+        "leaf_comm",
+        "_base",
+        "_base_version",
+        "_okey",
+        "_share",
+        "_local_cache",
+    )
+
+    def __init__(
+        self, base: ClusterState, leaf_comm: np.ndarray, okey: object
+    ) -> None:
+        self.topology = base.topology
+        self.leaf_comm = leaf_comm
+        self.leaf_comm.setflags(write=False)
+        self._base = base
+        self._base_version = base.version
+        self._okey = okey
+        self._share: Optional[np.ndarray] = None
+        self._local_cache: Dict[object, float] = {}
+
+    def leaf_comm_share(self) -> np.ndarray:
+        if self._share is None:
+            share = self.leaf_comm / self.topology.leaf_sizes
+            share.setflags(write=False)
+            self._share = share
+        return self._share
+
+    def cost_cache_get(self, key: object) -> Optional[float]:
+        if self._base.version == self._base_version:
+            return self._base.cost_cache_get((self._okey, key))
+        return self._local_cache.get(key)
+
+    def cost_cache_put(self, key: object, value: float) -> None:
+        if self._base.version == self._base_version:
+            self._base.cost_cache_put((self._okey, key), value)
+        else:
+            self._local_cache[key] = value

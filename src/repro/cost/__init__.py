@@ -2,6 +2,7 @@
 
 from .contention import ContentionModel, contention_factor, contention_factor_scalar
 from .hops import effective_hops, effective_hops_scalar, hop_bytes
+from .leafpair import clear_leaf_pair_cache, leaf_pair_cost, leaf_pair_steps
 from .model import CostModel, adjusted_runtime, allocation_cost
 
 __all__ = [
@@ -11,6 +12,9 @@ __all__ = [
     "effective_hops",
     "effective_hops_scalar",
     "hop_bytes",
+    "leaf_pair_cost",
+    "leaf_pair_steps",
+    "clear_leaf_pair_cache",
     "CostModel",
     "adjusted_runtime",
     "allocation_cost",

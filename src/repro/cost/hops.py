@@ -47,8 +47,14 @@ def effective_hops_scalar(
     return d * (1.0 + contention_factor_scalar(state, node_i, node_j, model))
 
 
-def hop_bytes(state: ClusterState, node_i, node_j, msize: float) -> np.ndarray:
+def hop_bytes(
+    state: ClusterState,
+    node_i,
+    node_j,
+    msize: float,
+    model: ContentionModel = PAPER_CONTENTION,
+) -> np.ndarray:
     """Effective hop-bytes: ``Hops(i, j) * msize`` (§5.3)."""
     if msize <= 0:
         raise ValueError(f"msize must be > 0, got {msize}")
-    return effective_hops(state, node_i, node_j) * float(msize)
+    return effective_hops(state, node_i, node_j, model) * float(msize)

@@ -17,6 +17,14 @@ Eq. 7 rescales a communication-intensive job's runtime by the ratio of
 its job-aware allocation cost to the default allocation cost::
 
     T' = T_compute + T_comm * Cost_jobaware / Cost_default
+
+Evaluation goes through the leaf-pair kernel
+(:mod:`repro.cost.leafpair`): distance and contention depend only on the
+pair's leaf switches, so each step's max is taken over unique leaf pairs
+(O(L²)) instead of node pairs (O(P)). Finished totals are memoized on
+the state against its version counter; :meth:`CostModel.
+allocation_cost_pairwise` keeps the direct per-node-pair evaluation as
+the reference the property tests compare against.
 """
 
 from __future__ import annotations
@@ -32,6 +40,7 @@ from ..cluster.state import ClusterState
 from ..patterns.base import CommunicationPattern
 from .contention import PAPER_CONTENTION, ContentionModel
 from .hops import effective_hops
+from .leafpair import leaf_pair_cost
 
 __all__ = ["CostModel", "allocation_cost", "adjusted_runtime"]
 
@@ -78,7 +87,48 @@ class CostModel:
         allocation order chosen by the allocator (which blocks of ranks
         land on which switch) is what gets priced. ``state`` should
         already include the job's own allocation — the paper's worked
-        example counts the job's own nodes in ``L_comm``.
+        example counts the job's own nodes in ``L_comm``. A
+        :class:`~repro.cluster.state.CommOverlay` view (the base state
+        plus the hypothetical job) is accepted in place of a full state.
+        """
+        node_arr = np.asarray(nodes, dtype=np.int64)
+        if node_arr.ndim != 1 or node_arr.size == 0:
+            raise ValueError("nodes must be a non-empty 1-D sequence")
+        if node_arr.size == 1:
+            return 0.0
+        cache_key = (self, pattern, node_arr.size, node_arr.tobytes())
+        cached = state.cost_cache_get(cache_key)
+        if cached is not None:
+            return cached
+        # Rank layouts (srun -m block/cyclic) legally repeat node ids —
+        # several ranks per node, intra-node pairs free. Those need the
+        # node-keyed reduction; allocations (always unique ids) share
+        # the cheaper leaf-assignment-keyed one.
+        seen = np.zeros(state.topology.n_nodes, dtype=bool)
+        seen[node_arr] = True
+        unique_nodes = int(seen.sum()) == node_arr.size
+        total = leaf_pair_cost(
+            state,
+            node_arr,
+            pattern,
+            _cached_steps(pattern, int(node_arr.size)),
+            self.contention,
+            self.weight_by_msize,
+            unique_nodes,
+        )
+        state.cost_cache_put(cache_key, total)
+        return total
+
+    def allocation_cost_pairwise(
+        self,
+        state: ClusterState,
+        nodes: Sequence[int],
+        pattern: CommunicationPattern,
+    ) -> float:
+        """Reference per-node-pair Eq. 6 evaluation (uncached, O(P)).
+
+        Kept as the ground truth the leaf-pair kernel is property-tested
+        against, and as the baseline the benchmark snapshot compares to.
         """
         node_arr = np.asarray(nodes, dtype=np.int64)
         if node_arr.ndim != 1 or node_arr.size == 0:
@@ -95,6 +145,7 @@ class CostModel:
             weight = step.msize if self.weight_by_msize else 1.0
             total += worst * weight * step.repeat
         return total
+
 
     def job_cost(
         self,

@@ -11,10 +11,16 @@ algorithm, then each sampled job is priced independently against that
 frozen snapshot under every allocator. This isolates the allocation
 quality from queueing dynamics — the paper's device for a fair
 job-by-job comparison (§5.4, Table 4, Figure 7 right panel).
+
+Both harnesses accept ``workers``: with ``workers > 1`` the independent
+(allocator, …) tasks fan out over a ``ProcessPoolExecutor``. Task specs
+are plain picklable values and results are reassembled in the serial
+order, so parallel output is bit-identical to the serial path.
 """
 
 from __future__ import annotations
 
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
@@ -86,18 +92,44 @@ def prepare_jobs(cfg: ExperimentConfig) -> List[Job]:
     )
 
 
+def _continuous_worker(
+    cfg: ExperimentConfig, name: str, jobs: List[Job]
+) -> SimulationResult:
+    """One allocator's continuous run (module-level so it pickles)."""
+    engine = SchedulerEngine(cfg.topology(), name, cfg.engine_config())
+    return engine.run(jobs)
+
+
 def continuous_runs(
     cfg: ExperimentConfig,
     jobs: Optional[Sequence[Job]] = None,
+    *,
+    workers: Optional[int] = None,
 ) -> Dict[str, SimulationResult]:
-    """Replay the log once per allocator; returns results keyed by name."""
+    """Replay the log once per allocator; returns results keyed by name.
+
+    ``workers > 1`` runs the allocators in parallel processes. Each
+    worker evolves its own engine from the same job list, so results are
+    bit-identical to the serial path and returned in ``cfg.allocators``
+    order either way.
+    """
     if jobs is None:
         jobs = prepare_jobs(cfg)
+    job_list = list(jobs)
+    if workers is not None and workers > 1 and len(cfg.allocators) > 1:
+        with ProcessPoolExecutor(
+            max_workers=min(workers, len(cfg.allocators))
+        ) as pool:
+            futures = [
+                pool.submit(_continuous_worker, cfg, name, job_list)
+                for name in cfg.allocators
+            ]
+            return {name: f.result() for name, f in zip(cfg.allocators, futures)}
     topology = cfg.topology()
     results: Dict[str, SimulationResult] = {}
     for name in cfg.allocators:
         engine = SchedulerEngine(topology, name, cfg.engine_config())
-        results[name] = engine.run(jobs)
+        results[name] = engine.run(job_list)
     return results
 
 
@@ -149,18 +181,20 @@ def evaluate_single_job(
 ) -> IndividualOutcome:
     """Price one job against a frozen cluster state under one allocator.
 
-    Applies the allocation to a *copy* of ``state``, prices it with
+    Prices the allocation on a cheap
+    :meth:`~repro.cluster.state.ClusterState.comm_overlay` view with
     Eq. 6 (and the counterfactual default allocation from the same
     state), and returns the Eq.-7-adjusted execution time. ``state`` is
-    not mutated.
+    not mutated; because it stays frozen, its version-tagged cost cache
+    makes the shared default counterfactual of a job a one-time cost
+    across all allocators.
     """
     allocator = get_allocator(allocator) if isinstance(allocator, str) else allocator
     cost_model = cost_model or CostModel()
     default_alloc = DefaultSlurmAllocator()
 
-    trial = state.copy()
-    nodes = allocator.allocate(trial, job)
-    trial.allocate(job.job_id, nodes, job.kind)
+    nodes = allocator.allocate(state, job)
+    view = state.comm_overlay(nodes, job.kind)  # validates the node set
 
     if not job.is_comm_intensive:
         return IndividualOutcome(
@@ -172,17 +206,18 @@ def evaluate_single_job(
         )
 
     aware = {
-        comp.pattern: cost_model.allocation_cost(trial, nodes, comp.pattern)
+        comp.pattern: cost_model.allocation_cost(view, nodes, comp.pattern)
         for comp in job.comm
     }
     if allocator.name == default_alloc.name:
         default = dict(aware)
     else:
-        ref = state.copy()
-        default_nodes = default_alloc.allocate(ref, job)
-        ref.allocate(job.job_id, default_nodes, job.kind)
+        default_nodes = default_alloc.allocate(state, job)
+        default_view = state.comm_overlay(default_nodes, job.kind)
         default = {
-            comp.pattern: cost_model.allocation_cost(ref, default_nodes, comp.pattern)
+            comp.pattern: cost_model.allocation_cost(
+                default_view, default_nodes, comp.pattern
+            )
             for comp in job.comm
         }
     runtime = cost_model.adjusted_runtime(job, aware, default)
@@ -225,18 +260,32 @@ def warm_state(
     return state, placed
 
 
+def _individual_worker(
+    state: ClusterState,
+    sampled: List[Job],
+    name: str,
+    cost_model: Optional[CostModel],
+) -> List[IndividualOutcome]:
+    """All sampled jobs under one allocator (module-level so it pickles)."""
+    return [evaluate_single_job(state, job, name, cost_model) for job in sampled]
+
+
 def individual_runs(
     cfg: ExperimentConfig,
     *,
     n_samples: int = 200,
     target_occupancy: float = 0.5,
     jobs: Optional[Sequence[Job]] = None,
+    workers: Optional[int] = None,
 ) -> IndividualRunResult:
     """§5.4 individual runs: one shared snapshot, one job at a time.
 
     ``n_samples`` jobs are drawn (seeded) from the non-warm-up portion
     of the log; every allocator in ``cfg.allocators`` prices each of
-    them against the same warm snapshot.
+    them against the same warm snapshot. ``workers > 1`` fans the
+    allocators out over processes; every evaluation is a pure function
+    of the frozen snapshot, and outcomes are reassembled in the serial
+    (job-major, allocator-minor) order, so results are bit-identical.
     """
     if jobs is None:
         jobs = prepare_jobs(cfg)
@@ -254,9 +303,22 @@ def individual_runs(
     sampled = [candidates[i] for i in sorted(idx)]
 
     outcomes: List[IndividualOutcome] = []
-    for job in sampled:
-        for name in cfg.allocators:
-            outcomes.append(evaluate_single_job(state, job, name, cfg.cost_model))
+    if workers is not None and workers > 1 and len(cfg.allocators) > 1:
+        with ProcessPoolExecutor(
+            max_workers=min(workers, len(cfg.allocators))
+        ) as pool:
+            futures = [
+                pool.submit(_individual_worker, state, sampled, name, cfg.cost_model)
+                for name in cfg.allocators
+            ]
+            per_allocator = [f.result() for f in futures]
+        for i in range(len(sampled)):
+            for col in per_allocator:
+                outcomes.append(col[i])
+    else:
+        for job in sampled:
+            for name in cfg.allocators:
+                outcomes.append(evaluate_single_job(state, job, name, cfg.cost_model))
     return IndividualRunResult(
         outcomes=outcomes, sampled_job_ids=[j.job_id for j in sampled]
     )

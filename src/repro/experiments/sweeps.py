@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import csv
 import io
+from concurrent.futures import ProcessPoolExecutor
 from itertools import product
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence
 
@@ -30,6 +31,7 @@ def sweep(
     *,
     allocators: Sequence[str] = ("default", "balanced"),
     defaults: Optional[Mapping[str, object]] = None,
+    workers: Optional[int] = None,
 ) -> List[Dict[str, object]]:
     """Run every combination in ``grid``; one row per (point, allocator).
 
@@ -38,6 +40,10 @@ def sweep(
     :class:`ExperimentConfig` defaults. Every row carries the sweep
     point, the paper's aggregate metrics, and the percent improvement
     over the ``"default"`` allocator when it is part of the run.
+
+    ``workers > 1`` runs the grid points in parallel processes (each
+    point's allocators run serially inside its worker); rows come back
+    in the same cross-product order as the serial path, bit-identical.
     """
     unknown = set(grid) - set(SWEEPABLE)
     if unknown:
@@ -60,20 +66,34 @@ def sweep(
         base.update(defaults)
 
     names = list(grid)
-    rows: List[Dict[str, object]] = []
+    points: List[Dict[str, object]] = []
+    configs: List[ExperimentConfig] = []
     for values in product(*(grid[n] for n in names)):
         point = dict(base)
         point.update(dict(zip(names, values)))
-        cfg = ExperimentConfig(
-            log=str(point["log"]),
-            n_jobs=int(point["n_jobs"]),
-            percent_comm=float(point["percent_comm"]),
-            mix=single_pattern_mix(str(point["pattern"]), float(point["comm_fraction"])),
-            allocators=tuple(allocators),
-            seed=int(point["seed"]),
-            policy=str(point["policy"]),
+        points.append(point)
+        configs.append(
+            ExperimentConfig(
+                log=str(point["log"]),
+                n_jobs=int(point["n_jobs"]),
+                percent_comm=float(point["percent_comm"]),
+                mix=single_pattern_mix(
+                    str(point["pattern"]), float(point["comm_fraction"])
+                ),
+                allocators=tuple(allocators),
+                seed=int(point["seed"]),
+                policy=str(point["policy"]),
+            )
         )
-        results = continuous_runs(cfg)
+
+    if workers is not None and workers > 1 and len(configs) > 1:
+        with ProcessPoolExecutor(max_workers=min(workers, len(configs))) as pool:
+            all_results = list(pool.map(continuous_runs, configs))
+    else:
+        all_results = [continuous_runs(cfg) for cfg in configs]
+
+    rows: List[Dict[str, object]] = []
+    for point, results in zip(points, all_results):
         base_exec = (
             results["default"].total_execution_hours if "default" in results else None
         )

@@ -12,8 +12,9 @@ the 2-5 day wall-clock emulation with an event loop:
 2. on every submission or completion, a scheduling pass runs the queue
    policy (FIFO or EASY backfill) over the pending queue;
 3. a started job gets nodes from the run's allocator; if it is
-   communication-intensive, the default allocator is also run against a
-   snapshot of the pre-allocation state to price the counterfactual,
+   communication-intensive, the default allocator is also run against
+   the pre-allocation state and its hypothetical placement is priced on
+   a per-leaf counter overlay (no state copy) to get the counterfactual,
    and the job's runtime is adjusted per Eq. 7;
 4. completions free nodes and trigger the next pass.
 
@@ -222,9 +223,18 @@ class SchedulerEngine:
         needs_counterfactual = (
             job.is_comm_intensive and self.allocator.name != self._default.name
         )
-        pre_state = state.copy() if needs_counterfactual else None
-
+        # Both allocators read the same pre-allocation state (neither
+        # mutates it); the counterfactual is captured as a cheap per-leaf
+        # overlay instead of an O(n_nodes) state copy.
+        default_nodes = (
+            self._default.allocate(state, job) if needs_counterfactual else None
+        )
         nodes = self.allocator.allocate(state, job)
+        default_view = (
+            state.comm_overlay(default_nodes, job.kind)
+            if needs_counterfactual
+            else None
+        )
         state.allocate(job.job_id, nodes, job.kind)
 
         cost_jobaware: Dict[str, float] = {}
@@ -236,13 +246,11 @@ class SchedulerEngine:
                 for comp in job.comm
             }
             if needs_counterfactual:
-                assert pre_state is not None
+                assert default_view is not None and default_nodes is not None
                 self.last_stats.counterfactual_evaluations += 1
-                default_nodes = self._default.allocate(pre_state, job)
-                pre_state.allocate(job.job_id, default_nodes, job.kind)
                 default = {
                     comp.pattern: cfg.cost_model.allocation_cost(
-                        pre_state, default_nodes, comp.pattern
+                        default_view, default_nodes, comp.pattern
                     )
                     for comp in job.comm
                 }

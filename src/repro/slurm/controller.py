@@ -304,8 +304,13 @@ class SlurmCluster:
         needs_counterfactual = (
             job.is_comm_intensive and self.allocator.name != self._default.name
         )
-        pre_state = self.state.copy() if needs_counterfactual else None
+        dnodes = (
+            self._default.allocate(self.state, job) if needs_counterfactual else None
+        )
         nodes = self.allocator.allocate(self.state, job)
+        default_view = (
+            self.state.comm_overlay(dnodes, job.kind) if needs_counterfactual else None
+        )
         self.state.allocate(job.job_id, nodes, job.kind)
 
         cost_jobaware: Dict[str, float] = {}
@@ -317,11 +322,9 @@ class SlurmCluster:
                 for c in job.comm
             }
             if needs_counterfactual:
-                assert pre_state is not None
-                dnodes = self._default.allocate(pre_state, job)
-                pre_state.allocate(job.job_id, dnodes, job.kind)
+                assert default_view is not None and dnodes is not None
                 default = {
-                    c.pattern: self.cost_model.allocation_cost(pre_state, dnodes, c.pattern)
+                    c.pattern: self.cost_model.allocation_cost(default_view, dnodes, c.pattern)
                     for c in job.comm
                 }
             else:

@@ -118,6 +118,10 @@ class TreeTopology:
         ).astype(np.int64)
         self.leaf_node_offset.setflags(write=False)
 
+        #: lazily built (n_leaves, n_leaves) LCA-level matrix; shared by
+        #: every ClusterState over this topology (instances are immutable)
+        self._leaf_lca_levels: np.ndarray | None = None
+
         self._name_to_node: Dict[str, int] = {n: i for i, n in enumerate(self._node_names)}
         self._name_to_switch: Dict[str, int] = {s.name: s.index for s in self._switches}
         self._levels: Dict[int, List[SwitchInfo]] = {}
@@ -380,6 +384,23 @@ class TreeTopology:
         common = (anc_a == anc_b).sum(axis=0) - 1
         lca = anc_a[common, np.arange(la.size)]
         return self._switch_levels[lca].reshape(shape)
+
+    def leaf_lca_levels(self) -> np.ndarray:
+        """Dense leaf×leaf matrix of LCA levels (read-only, built lazily).
+
+        ``M[a, b]`` is the level of the lowest common switch of leaves
+        ``a`` and ``b`` (diagonal = 1). At Mira scale this is 136×136 —
+        small enough to precompute once and index directly, which is what
+        lets the Eq. 6 leaf-pair kernel replace per-node-pair ancestor
+        walks with a single fancy-index lookup.
+        """
+        m = self._leaf_lca_levels
+        if m is None:
+            idx = np.arange(self.n_leaves, dtype=np.int64)
+            m = self.lca_level(idx[:, None], idx[None, :])
+            m.setflags(write=False)
+            self._leaf_lca_levels = m
+        return m
 
     def distance(self, node_i, node_j) -> np.ndarray:
         """Eq. 4 distance ``d(i, j) = 2 * level of lowest common switch``.

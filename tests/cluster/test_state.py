@@ -59,9 +59,14 @@ class TestAllocateRelease:
         with pytest.raises(KeyError):
             state.release(42)
 
-    def test_duplicate_node_ids_deduplicated(self, state):
-        record = state.allocate(1, [0, 0, 1], JobKind.COMPUTE)
-        assert record.nodes.tolist() == [0, 1]
+    def test_duplicate_node_ids_rejected(self, state):
+        """A duplicate id would silently shrink the allocation if it were
+        deduplicated — it is always an allocator bug, so it raises."""
+        with pytest.raises(ValueError, match="duplicate"):
+            state.allocate(1, [0, 0, 1], JobKind.COMPUTE)
+        # the failed call must not leave partial bookkeeping behind
+        assert state.total_free == 8
+        state.validate()
 
 
 class TestQueries:

@@ -49,3 +49,15 @@ class TestProperties:
     def test_hop_bytes_rejects_bad_msize(self, figure5_state):
         with pytest.raises(ValueError):
             hop_bytes(figure5_state, 0, 4, 0.0)
+
+    def test_hop_bytes_honours_contention_model(self, figure5_state):
+        """hop_bytes must thread a non-default model through to Eq. 5
+        instead of silently using the paper's contention."""
+        from repro.cost.contention import ContentionModel
+
+        plain_tree = ContentionModel(uplink_discount=1.0)
+        default = float(hop_bytes(figure5_state, 0, 4, 2.0))
+        custom = float(hop_bytes(figure5_state, 0, 4, 2.0, model=plain_tree))
+        assert custom > default
+        expected = float(effective_hops(figure5_state, 0, 4, plain_tree)) * 2.0
+        assert custom == pytest.approx(expected)
