@@ -13,6 +13,7 @@ SLURM-based system:
 * :mod:`repro.allocation` — default / greedy / balanced / adaptive;
 * :mod:`repro.scheduler` — FIFO + EASY-backfill event simulator;
 * :mod:`repro.workloads` — SWF parsing and synthetic machine logs;
+* :mod:`repro.faults` — node/switch fault injection + requeue policies;
 * :mod:`repro.netsim` — flow-level network simulation (Figure 1);
 * :mod:`repro.experiments` — one module per paper table/figure;
 * :mod:`repro.analysis` — utilization timelines, run comparison, stats;
@@ -46,6 +47,14 @@ from .allocation import (
 from .cluster import ClusterState, CommComponent, Job, JobKind
 from .cost import CostModel, allocation_cost, contention_factor, effective_hops
 from .experiments import ExperimentConfig, continuous_runs, individual_runs
+from .faults import (
+    FaultEvent,
+    FaultGeneratorConfig,
+    InterruptionBook,
+    generate_faults,
+    load_fault_trace,
+    parse_fault_trace,
+)
 from .patterns import (
     BinomialTree,
     CommunicationPattern,
@@ -118,6 +127,12 @@ __all__ = [
     "ExperimentConfig",
     "continuous_runs",
     "individual_runs",
+    "FaultEvent",
+    "FaultGeneratorConfig",
+    "InterruptionBook",
+    "generate_faults",
+    "load_fault_trace",
+    "parse_fault_trace",
     "BinomialTree",
     "CommunicationPattern",
     "RecursiveDoubling",

@@ -11,8 +11,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..cluster.job import Job
-from ..cluster.state import ClusterState
-from ..cluster.state import NODE_FREE
+from ..cluster.state import AVAIL_UP, NODE_FREE, ClusterState
 from .base import Allocator
 
 __all__ = ["LinearAllocator"]
@@ -24,5 +23,7 @@ class LinearAllocator(Allocator):
     name = "linear"
 
     def select(self, state: ClusterState, job: Job) -> np.ndarray:
-        free = np.flatnonzero(state.node_state == NODE_FREE)
+        free = np.flatnonzero(
+            (state.node_state == NODE_FREE) & (state.node_avail == AVAIL_UP)
+        )
         return free[: job.nodes].astype(np.int64)

@@ -74,6 +74,39 @@ def build_parser() -> argparse.ArgumentParser:
         "--save", default=None, metavar="DIR",
         help="write each run's records as JSON into this directory",
     )
+    sim.add_argument(
+        "--fault-trace", default=None, metavar="FILE",
+        help="replay node/switch failures from a fault trace file "
+        "(takes precedence over --fault-rate)",
+    )
+    sim.add_argument(
+        "--fault-rate", type=float, default=0.0, metavar="PER_HOUR",
+        help="generate random failures at this rate per hour "
+        "(0 = no faults, the default; bit-identical to the fault-free path)",
+    )
+    sim.add_argument(
+        "--fault-seed", type=int, default=0,
+        help="seed for the random fault generator (same seed = same faults)",
+    )
+    sim.add_argument(
+        "--mttr", type=float, default=1800.0, metavar="SECONDS",
+        help="mean downtime of a generated failure (default 1800s)",
+    )
+    sim.add_argument(
+        "--switch-fault-fraction", type=float, default=0.1, metavar="FRAC",
+        help="fraction of generated failures that take a whole leaf "
+        "switch down (default 0.1)",
+    )
+    sim.add_argument(
+        "--interrupt-policy",
+        choices=("requeue", "checkpoint", "abandon"),
+        default="requeue",
+        help="what happens to a running job killed by a failure",
+    )
+    sim.add_argument(
+        "--checkpoint-interval", type=float, default=3600.0, metavar="SECONDS",
+        help="checkpoint period for --interrupt-policy checkpoint",
+    )
 
     topo = sub.add_parser("topology", help="print a builtin machine's topology.conf")
     topo.add_argument("machine", choices=sorted(TOPOLOGY_BUILDERS))
@@ -115,17 +148,51 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _simulate_faults(args: argparse.Namespace, cfg, jobs):
+    """Fault schedule for ``simulate``: replayed trace or seeded generator."""
+    from .faults import FaultGeneratorConfig, generate_faults, load_fault_trace
+
+    if args.fault_trace is not None:
+        return tuple(load_fault_trace(args.fault_trace, cfg.topology()))
+    if args.fault_rate < 0:
+        raise ValueError(f"--fault-rate must be >= 0, got {args.fault_rate}")
+    if args.fault_rate > 0:
+        # Horizon upper-bounds the busy period; later faults hit an idle
+        # cluster and are skipped by the engine's early exit.
+        horizon = max(j.submit_time for j in jobs) + sum(j.runtime for j in jobs)
+        fault_cfg = FaultGeneratorConfig(
+            rate=args.fault_rate,
+            horizon=horizon,
+            seed=args.fault_seed,
+            mean_downtime=args.mttr,
+            switch_fraction=args.switch_fault_fraction,
+        )
+        return tuple(generate_faults(cfg.topology(), fault_cfg))
+    return ()
+
+
 def _cmd_simulate(args: argparse.Namespace) -> int:
-    cfg = ExperimentConfig(
-        log=args.log,
-        n_jobs=args.jobs,
-        percent_comm=args.percent_comm,
-        mix=single_pattern_mix(args.pattern, args.comm_fraction),
-        allocators=(args.allocator,) if args.allocator == "default" else ("default", args.allocator),
-        seed=args.seed,
-        policy=args.policy,
-    )
-    results = continuous_runs(cfg, workers=args.workers)
+    from .experiments.runner import prepare_jobs
+    from .faults.trace import FaultTraceError
+
+    try:
+        cfg = ExperimentConfig(
+            log=args.log,
+            n_jobs=args.jobs,
+            percent_comm=args.percent_comm,
+            mix=single_pattern_mix(args.pattern, args.comm_fraction),
+            allocators=(args.allocator,) if args.allocator == "default" else ("default", args.allocator),
+            seed=args.seed,
+            policy=args.policy,
+            interrupt_policy=args.interrupt_policy,
+            checkpoint_interval=args.checkpoint_interval,
+        )
+        jobs = prepare_jobs(cfg)
+        cfg = cfg.with_(faults=_simulate_faults(args, cfg, jobs))
+        results = continuous_runs(cfg, jobs, workers=args.workers)
+    except (OSError, FaultTraceError, KeyError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     for name, res in results.items():
         print(render_kv(sorted(res.summary().items()), title=f"--- {name} ---"))
     if args.save:

@@ -2,6 +2,9 @@
 
 from .job import CommComponent, Job, JobKind
 from .state import (
+    AVAIL_DOWN,
+    AVAIL_DRAINING,
+    AVAIL_UP,
     NODE_COMM,
     NODE_COMPUTE,
     NODE_FREE,
@@ -20,4 +23,7 @@ __all__ = [
     "NODE_FREE",
     "NODE_COMPUTE",
     "NODE_COMM",
+    "AVAIL_UP",
+    "AVAIL_DOWN",
+    "AVAIL_DRAINING",
 ]

@@ -17,12 +17,21 @@ Every mutation bumps :attr:`ClusterState.version`; derived vectors
 against that counter, so the many repeated pricings of an unchanged
 state (individual runs, adaptive arbitration, counterfactuals) skip
 recomputation entirely.
+
+Orthogonal to occupancy, every node carries a SLURM-style
+*availability* state (UP / DOWN / DRAINING, see :mod:`repro.faults`).
+``leaf_free`` always means *allocatable* — free **and** UP — so every
+allocator's leaf ordering routes around failed switches without
+knowing faults exist; ``leaf_offline`` counts the unoccupied non-UP
+nodes so ``leaf_busy`` (and the Eq. 1 ratios built on it) stays exact
+under failures. Availability transitions bump :attr:`version` like any
+other mutation, keeping the Eq. 6 cost caches honest.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, Optional
+from typing import Dict, Iterable, List, Optional
 
 import numpy as np
 
@@ -37,6 +46,9 @@ __all__ = [
     "NODE_COMPUTE",
     "NODE_COMM",
     "NODE_IO",
+    "AVAIL_UP",
+    "AVAIL_DOWN",
+    "AVAIL_DRAINING",
 ]
 
 #: entries kept in a state's Eq. 6 cost cache before it is wiped; keys
@@ -47,6 +59,11 @@ NODE_FREE = 0
 NODE_COMPUTE = 1
 NODE_COMM = 2
 NODE_IO = 3
+
+#: per-node availability states (orthogonal to the occupancy states above)
+AVAIL_UP = 0
+AVAIL_DOWN = 1
+AVAIL_DRAINING = 2
 
 _KIND_TO_NODE_STATE = {
     JobKind.COMPUTE: NODE_COMPUTE,
@@ -69,16 +86,22 @@ class ClusterState:
 
     Invariants (checked by :meth:`validate`):
 
-    * ``leaf_free + leaf_busy == topology.leaf_sizes`` element-wise;
+    * ``leaf_free + leaf_busy + leaf_offline == topology.leaf_sizes``;
+    * ``leaf_free`` counts exactly the free **and** UP nodes,
+      ``leaf_offline`` the free-but-not-UP ones;
     * ``leaf_comm <= leaf_busy``;
     * per-leaf counters agree with the node-granular ``node_state``;
-    * every allocated node belongs to exactly one running job.
+    * every allocated node belongs to exactly one running job;
+    * no running job occupies a DOWN node (DRAINING is allowed: the
+      node finishes its current job, then stops accepting new ones).
     """
 
     def __init__(self, topology: TreeTopology) -> None:
         self.topology = topology
         self.node_state = np.full(topology.n_nodes, NODE_FREE, dtype=np.int8)
+        self.node_avail = np.full(topology.n_nodes, AVAIL_UP, dtype=np.int8)
         self.leaf_free = topology.leaf_sizes.copy()
+        self.leaf_offline = np.zeros(topology.n_leaves, dtype=np.int64)
         self.leaf_comm = np.zeros(topology.n_leaves, dtype=np.int64)
         self.leaf_io = np.zeros(topology.n_leaves, dtype=np.int64)
         self.running: Dict[int, AllocationRecord] = {}
@@ -101,16 +124,27 @@ class ClusterState:
 
     @property
     def leaf_busy(self) -> np.ndarray:
-        """``L_busy`` per leaf (allocated nodes)."""
-        return self.topology.leaf_sizes - self.leaf_free
+        """``L_busy`` per leaf (allocated nodes; offline nodes excluded)."""
+        return self.topology.leaf_sizes - self.leaf_free - self.leaf_offline
 
     @property
     def total_free(self) -> int:
+        """Allocatable nodes: free *and* UP."""
         return int(self.leaf_free.sum())
 
     @property
     def total_busy(self) -> int:
-        return self.topology.n_nodes - self.total_free
+        return self.topology.n_nodes - self.total_free - int(self.leaf_offline.sum())
+
+    @property
+    def total_down(self) -> int:
+        """Nodes currently marked DOWN."""
+        return int(np.count_nonzero(self.node_avail == AVAIL_DOWN))
+
+    @property
+    def total_draining(self) -> int:
+        """Nodes currently marked DRAINING."""
+        return int(np.count_nonzero(self.node_avail == AVAIL_DRAINING))
 
     def subtree_free(self, switch: SwitchInfo) -> int:
         """Free nodes in ``switch``'s subtree."""
@@ -199,6 +233,9 @@ class ClusterState:
         if np.any(self.node_state[node_arr] != NODE_FREE):
             busy = node_arr[self.node_state[node_arr] != NODE_FREE]
             raise ValueError(f"nodes already busy: {busy[:8].tolist()}")
+        if np.any(self.node_avail[node_arr] != AVAIL_UP):
+            down = node_arr[self.node_avail[node_arr] != AVAIL_UP]
+            raise ValueError(f"nodes unavailable (DOWN/DRAINING): {down[:8].tolist()}")
         leaf_comm = self.leaf_comm.copy()
         if kind is JobKind.COMM:
             leaves, counts = np.unique(
@@ -212,10 +249,18 @@ class ClusterState:
     # ------------------------------------------------------------------
 
     def free_nodes_on_leaf(self, leaf_index: int, count: Optional[int] = None) -> np.ndarray:
-        """Lowest-id free node ids on ``leaf_index`` (all, or first ``count``)."""
+        """Lowest-id allocatable node ids on ``leaf_index``.
+
+        A node is allocatable when it is unoccupied *and* UP — DOWN and
+        DRAINING nodes never appear here, which is how every allocator
+        stays fault-safe without fault-specific logic.
+        """
         lo = int(self.topology.leaf_node_offset[leaf_index])
         hi = int(self.topology.leaf_node_offset[leaf_index + 1])
-        free = np.flatnonzero(self.node_state[lo:hi] == NODE_FREE) + lo
+        free = np.flatnonzero(
+            (self.node_state[lo:hi] == NODE_FREE)
+            & (self.node_avail[lo:hi] == AVAIL_UP)
+        ) + lo
         if count is not None:
             if count > free.size:
                 raise ValueError(
@@ -252,6 +297,9 @@ class ClusterState:
         if np.any(self.node_state[node_arr] != NODE_FREE):
             busy = node_arr[self.node_state[node_arr] != NODE_FREE]
             raise ValueError(f"nodes already busy: {busy[:8].tolist()}")
+        if np.any(self.node_avail[node_arr] != AVAIL_UP):
+            down = node_arr[self.node_avail[node_arr] != AVAIL_UP]
+            raise ValueError(f"nodes unavailable (DOWN/DRAINING): {down[:8].tolist()}")
         self.node_state[node_arr] = _KIND_TO_NODE_STATE[kind]
         leaves, counts = np.unique(self.topology.leaf_of_node[node_arr], return_counts=True)
         self.leaf_free[leaves] -= counts
@@ -265,11 +313,23 @@ class ClusterState:
         return record
 
     def release(self, job_id: int) -> AllocationRecord:
-        """Free the nodes of a finished job; raises ``KeyError`` if unknown."""
+        """Free the nodes of a finished job; raises ``KeyError`` if unknown.
+
+        Nodes that went DRAINING while the job ran are freed into
+        ``leaf_offline``, not ``leaf_free`` — they never become
+        allocatable again until :meth:`mark_up`.
+        """
         record = self.running.pop(job_id)
         self.node_state[record.nodes] = NODE_FREE
+        up = record.nodes[self.node_avail[record.nodes] == AVAIL_UP]
+        if up.size:
+            leaves, counts = np.unique(self.topology.leaf_of_node[up], return_counts=True)
+            self.leaf_free[leaves] += counts
+        if up.size != record.nodes.size:
+            off = record.nodes[self.node_avail[record.nodes] != AVAIL_UP]
+            leaves, counts = np.unique(self.topology.leaf_of_node[off], return_counts=True)
+            self.leaf_offline[leaves] += counts
         leaves, counts = np.unique(self.topology.leaf_of_node[record.nodes], return_counts=True)
-        self.leaf_free[leaves] += counts
         if record.kind is JobKind.COMM:
             self.leaf_comm[leaves] -= counts
         elif record.kind is JobKind.IO:
@@ -277,11 +337,102 @@ class ClusterState:
         self._invalidate()
         return record
 
+    # ------------------------------------------------------------------
+    # availability (fault subsystem, see repro.faults)
+    # ------------------------------------------------------------------
+
+    def _avail_nodes_arg(self, nodes: Iterable[int]) -> np.ndarray:
+        node_arr = np.unique(np.asarray([int(n) for n in nodes], dtype=np.int64))
+        if node_arr.size == 0:
+            return node_arr
+        if node_arr[0] < 0 or node_arr[-1] >= self.topology.n_nodes:
+            raise ValueError("node id out of range")
+        return node_arr
+
+    def jobs_on(self, nodes: Iterable[int]) -> List[int]:
+        """Ids of running jobs holding any of ``nodes`` (ascending)."""
+        node_arr = self._avail_nodes_arg(nodes)
+        hit = np.zeros(self.topology.n_nodes, dtype=bool)
+        hit[node_arr] = True
+        return sorted(
+            job_id for job_id, rec in self.running.items() if hit[rec.nodes].any()
+        )
+
+    def mark_down(self, nodes: Iterable[int]) -> np.ndarray:
+        """Transition ``nodes`` to DOWN; returns the ids actually changed.
+
+        Nodes already DOWN are left alone (overlapping faults are legal
+        in user-supplied traces). Occupied nodes are rejected — the
+        caller must interrupt/release their jobs first, which is what
+        keeps the "no running job on a DOWN node" invariant airtight.
+        """
+        node_arr = self._avail_nodes_arg(nodes)
+        occupied = node_arr[self.node_state[node_arr] != NODE_FREE]
+        if occupied.size:
+            raise ValueError(
+                f"cannot mark occupied nodes DOWN: {occupied[:8].tolist()} "
+                "(interrupt their jobs first)"
+            )
+        take = node_arr[self.node_avail[node_arr] != AVAIL_DOWN]
+        if take.size == 0:
+            return take
+        was_up = take[self.node_avail[take] == AVAIL_UP]
+        self.node_avail[take] = AVAIL_DOWN
+        if was_up.size:
+            leaves, counts = np.unique(
+                self.topology.leaf_of_node[was_up], return_counts=True
+            )
+            self.leaf_free[leaves] -= counts
+            self.leaf_offline[leaves] += counts
+        self._invalidate()
+        return take
+
+    def mark_drain(self, nodes: Iterable[int]) -> np.ndarray:
+        """Transition UP nodes to DRAINING; returns the ids changed.
+
+        A draining node may still be occupied — it finishes its current
+        job (``release`` then parks it in ``leaf_offline``) but is never
+        handed out again until :meth:`mark_up`. DOWN nodes stay DOWN.
+        """
+        node_arr = self._avail_nodes_arg(nodes)
+        take = node_arr[self.node_avail[node_arr] == AVAIL_UP]
+        if take.size == 0:
+            return take
+        free = take[self.node_state[take] == NODE_FREE]
+        self.node_avail[take] = AVAIL_DRAINING
+        if free.size:
+            leaves, counts = np.unique(
+                self.topology.leaf_of_node[free], return_counts=True
+            )
+            self.leaf_free[leaves] -= counts
+            self.leaf_offline[leaves] += counts
+        self._invalidate()
+        return take
+
+    def mark_up(self, nodes: Iterable[int]) -> np.ndarray:
+        """Transition DOWN/DRAINING nodes back to UP; returns ids changed."""
+        node_arr = self._avail_nodes_arg(nodes)
+        take = node_arr[self.node_avail[node_arr] != AVAIL_UP]
+        if take.size == 0:
+            return take
+        free = take[self.node_state[take] == NODE_FREE]
+        self.node_avail[take] = AVAIL_UP
+        if free.size:
+            leaves, counts = np.unique(
+                self.topology.leaf_of_node[free], return_counts=True
+            )
+            self.leaf_offline[leaves] -= counts
+            self.leaf_free[leaves] += counts
+        self._invalidate()
+        return take
+
     def copy(self) -> "ClusterState":
         """Independent snapshot sharing the (immutable) topology."""
         clone = ClusterState.__new__(ClusterState)
         clone.topology = self.topology
         clone.node_state = self.node_state.copy()
+        clone.node_avail = self.node_avail.copy()
+        clone.leaf_offline = self.leaf_offline.copy()
         clone.leaf_free = self.leaf_free.copy()
         clone.leaf_comm = self.leaf_comm.copy()
         clone.leaf_io = self.leaf_io.copy()
@@ -301,8 +452,13 @@ class ClusterState:
     def validate(self) -> None:
         """Assert all counter invariants; raises ``AssertionError`` on drift."""
         topo = self.topology
+        free_mask = (self.node_state == NODE_FREE) & (self.node_avail == AVAIL_UP)
+        offline_mask = (self.node_state == NODE_FREE) & (self.node_avail != AVAIL_UP)
         free_from_nodes = np.bincount(
-            topo.leaf_of_node[self.node_state == NODE_FREE], minlength=topo.n_leaves
+            topo.leaf_of_node[free_mask], minlength=topo.n_leaves
+        )
+        offline_from_nodes = np.bincount(
+            topo.leaf_of_node[offline_mask], minlength=topo.n_leaves
         )
         comm_from_nodes = np.bincount(
             topo.leaf_of_node[self.node_state == NODE_COMM], minlength=topo.n_leaves
@@ -311,21 +467,30 @@ class ClusterState:
             topo.leaf_of_node[self.node_state == NODE_IO], minlength=topo.n_leaves
         )
         assert np.array_equal(free_from_nodes, self.leaf_free), "leaf_free drifted"
+        assert np.array_equal(
+            offline_from_nodes, self.leaf_offline
+        ), "leaf_offline drifted"
         assert np.array_equal(comm_from_nodes, self.leaf_comm), "leaf_comm drifted"
         assert np.array_equal(io_from_nodes, self.leaf_io), "leaf_io drifted"
         assert np.all(self.leaf_free >= 0) and np.all(self.leaf_free <= topo.leaf_sizes)
+        assert np.all(self.leaf_offline >= 0)
         assert np.all(self.leaf_comm <= self.leaf_busy), "leaf_comm exceeds leaf_busy"
         assert np.all(self.leaf_io <= self.leaf_busy), "leaf_io exceeds leaf_busy"
         seen = np.zeros(topo.n_nodes, dtype=bool)
         for record in self.running.values():
             assert not seen[record.nodes].any(), "node held by two jobs"
             seen[record.nodes] = True
+            assert not np.any(
+                self.node_avail[record.nodes] == AVAIL_DOWN
+            ), f"running job {record.job_id} occupies a DOWN node"
         assert np.array_equal(seen, self.node_state != NODE_FREE), "running set drifted"
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper
+        down = self.total_down + self.total_draining
+        offline = f", offline={down}" if down else ""
         return (
             f"ClusterState(free={self.total_free}/{self.topology.n_nodes}, "
-            f"jobs={len(self.running)})"
+            f"jobs={len(self.running)}{offline})"
         )
 
 

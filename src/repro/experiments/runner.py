@@ -32,6 +32,7 @@ from ..allocation.registry import PAPER_ALLOCATORS, get_allocator
 from ..cluster.job import Job
 from ..cluster.state import ClusterState
 from ..cost.model import CostModel
+from ..faults.events import FaultEvent
 from ..scheduler.engine import EngineConfig, SchedulerEngine
 from ..scheduler.metrics import SimulationResult
 from ..topology.tree import TreeTopology
@@ -56,7 +57,12 @@ class ExperimentConfig:
 
     Defaults follow the paper's headline configuration: 1000 jobs, 90%
     communication-intensive, RHVD at a 0.7 communication fraction,
-    the four paper allocators, EASY backfill.
+    the four paper allocators, EASY backfill, no faults.
+
+    ``faults`` injects the same failure schedule into every allocator's
+    continuous run (individual runs price frozen snapshots and ignore
+    it); ``interrupt_policy`` / ``checkpoint_interval`` configure what
+    happens to interrupted jobs (see :mod:`repro.faults.policy`).
     """
 
     log: str = "theta"
@@ -67,12 +73,20 @@ class ExperimentConfig:
     seed: int = 0
     policy: str = "backfill"
     cost_model: CostModel = field(default_factory=CostModel)
+    faults: Tuple[FaultEvent, ...] = ()
+    interrupt_policy: str = "requeue"
+    checkpoint_interval: float = 3600.0
 
     def topology(self) -> TreeTopology:
         return LOG_SPECS[self.log].topology()
 
     def engine_config(self) -> EngineConfig:
-        return EngineConfig(policy=self.policy, cost_model=self.cost_model)
+        return EngineConfig(
+            policy=self.policy,
+            cost_model=self.cost_model,
+            interrupt_policy=self.interrupt_policy,
+            checkpoint_interval=self.checkpoint_interval,
+        )
 
     def with_(self, **kwargs) -> "ExperimentConfig":
         """Functional update (thin wrapper over dataclasses.replace)."""
@@ -97,7 +111,7 @@ def _continuous_worker(
 ) -> SimulationResult:
     """One allocator's continuous run (module-level so it pickles)."""
     engine = SchedulerEngine(cfg.topology(), name, cfg.engine_config())
-    return engine.run(jobs)
+    return engine.run(jobs, faults=cfg.faults)
 
 
 def continuous_runs(
@@ -129,7 +143,7 @@ def continuous_runs(
     results: Dict[str, SimulationResult] = {}
     for name in cfg.allocators:
         engine = SchedulerEngine(topology, name, cfg.engine_config())
-        results[name] = engine.run(job_list)
+        results[name] = engine.run(job_list, faults=cfg.faults)
     return results
 
 

@@ -1,0 +1,53 @@
+"""Fault injection and fault-tolerant scheduling support.
+
+The paper's evaluation assumes a perfectly healthy cluster; real
+machines (Intrepid, Theta, Mira — the sources of the replayed traces)
+lose nodes and switches routinely. This package supplies:
+
+* :class:`FaultEvent` — a timestamped down/up transition of a node set;
+* :func:`generate_faults` — a deterministic, seeded Poisson generator
+  with single-node and whole-leaf-switch failures;
+* :func:`parse_fault_trace` / :func:`load_fault_trace` — replayable
+  failure-log files for ``repro-sched simulate --fault-trace``;
+* :class:`InterruptionBook` and the ``requeue`` / ``checkpoint`` /
+  ``abandon`` policies deciding what happens to interrupted jobs.
+
+The availability substrate itself (per-node UP/DOWN/DRAINING, fault-
+safe ``leaf_free``) lives on :class:`~repro.cluster.state.ClusterState`;
+see ``docs/faults.md`` for the full model and accounting contract.
+"""
+
+from .events import FAULT_DOWN, FAULT_UP, FaultEvent
+from .generator import FaultGeneratorConfig, generate_faults
+from .policy import (
+    INTERRUPT_POLICIES,
+    POLICY_ABANDON,
+    POLICY_CHECKPOINT,
+    POLICY_REQUEUE,
+    InterruptionBook,
+    require_policy,
+)
+from .trace import (
+    FaultTraceError,
+    load_fault_trace,
+    parse_fault_trace,
+    write_fault_trace,
+)
+
+__all__ = [
+    "FaultEvent",
+    "FAULT_DOWN",
+    "FAULT_UP",
+    "FaultGeneratorConfig",
+    "generate_faults",
+    "INTERRUPT_POLICIES",
+    "POLICY_REQUEUE",
+    "POLICY_CHECKPOINT",
+    "POLICY_ABANDON",
+    "InterruptionBook",
+    "require_policy",
+    "FaultTraceError",
+    "parse_fault_trace",
+    "load_fault_trace",
+    "write_fault_trace",
+]

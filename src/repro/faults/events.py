@@ -1,0 +1,64 @@
+"""Fault events: the common currency of the fault subsystem.
+
+A fault trace — generated (:mod:`repro.faults.generator`), parsed from
+a file (:mod:`repro.faults.trace`), or hand-built in a test — is a list
+of :class:`FaultEvent`: at ``time``, the listed nodes go DOWN or come
+back UP. Switch failures are already *resolved* to their descendant
+node set by whoever built the event, so downstream consumers (the
+scheduler engine, the interactive controller) never need topology
+lookups to apply one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+__all__ = ["FaultEvent", "FAULT_DOWN", "FAULT_UP"]
+
+FAULT_DOWN = "down"
+FAULT_UP = "up"
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One availability transition of a set of nodes.
+
+    Attributes
+    ----------
+    time:
+        Simulation time (seconds) at which the transition happens.
+    action:
+        ``"down"`` or ``"up"``.
+    nodes:
+        The affected node ids (normalized: sorted, deduplicated). For a
+        switch failure this is every node under the failed leaf switch.
+    cause:
+        ``"node"`` / ``"switch"`` / ``"trace"`` — provenance, for
+        reporting only; semantics are fully carried by ``nodes``.
+    target:
+        Human-readable name of what failed (switch or node name).
+    """
+
+    time: float
+    action: str
+    nodes: Tuple[int, ...]
+    cause: str = "node"
+    target: str = field(default="", compare=False)
+
+    def __post_init__(self) -> None:
+        if self.action not in (FAULT_DOWN, FAULT_UP):
+            raise ValueError(
+                f"action must be {FAULT_DOWN!r} or {FAULT_UP!r}, got {self.action!r}"
+            )
+        if not self.time >= 0.0:  # rejects NaN too
+            raise ValueError(f"fault time must be >= 0, got {self.time}")
+        if not self.nodes:
+            raise ValueError("fault event must name at least one node")
+        normalized = tuple(sorted({int(n) for n in self.nodes}))
+        if normalized != self.nodes:
+            object.__setattr__(self, "nodes", normalized)
+
+    @property
+    def is_down(self) -> bool:
+        return self.action == FAULT_DOWN

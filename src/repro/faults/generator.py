@@ -1,0 +1,114 @@
+"""Deterministic, seeded fault-trace generator.
+
+Failures arrive as a Poisson process over simulated time (exponential
+interarrivals at ``rate`` events per hour, cluster-wide). Each failure
+hits either a single node or a whole leaf switch (probability
+``switch_fraction``; a switch failure takes every descendant node down,
+per the tree topology), and heals after an exponential downtime with
+mean ``mean_downtime`` seconds — producing a paired up event.
+
+The generator never overlaps outages on the same node: a drawn target
+that is still down is redrawn a bounded number of times and otherwise
+skipped, keeping every down event pairable with exactly one up event.
+Everything derives from one ``numpy`` generator seeded with ``seed``,
+so a (topology, config) pair always yields the identical event list —
+the property the CI determinism smoke test asserts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from ..topology.tree import TreeTopology
+from .._validation import require_non_negative
+from .events import FAULT_DOWN, FAULT_UP, FaultEvent
+
+__all__ = ["FaultGeneratorConfig", "generate_faults"]
+
+#: redraws before a failure landing on an already-down target is skipped
+_MAX_REDRAWS = 8
+
+SECONDS_PER_HOUR = 3600.0
+
+
+@dataclass(frozen=True)
+class FaultGeneratorConfig:
+    """Knobs of :func:`generate_faults`.
+
+    Attributes
+    ----------
+    rate:
+        Expected failure events per simulated *hour*, cluster-wide.
+        0 disables fault generation entirely.
+    horizon:
+        Generate failures in ``[0, horizon)`` seconds. Up events may
+        land past the horizon (a failure near the end heals after it).
+    seed:
+        RNG seed; same seed, same topology, same config — same trace.
+    mean_downtime:
+        Mean seconds a failed node/switch stays down (exponential).
+    switch_fraction:
+        Probability that a failure takes out a whole leaf switch
+        instead of a single node.
+    """
+
+    rate: float
+    horizon: float
+    seed: int = 0
+    mean_downtime: float = 1800.0
+    switch_fraction: float = 0.1
+
+    def __post_init__(self) -> None:
+        require_non_negative(self.rate, "rate")
+        require_non_negative(self.horizon, "horizon")
+        if self.mean_downtime <= 0:
+            raise ValueError(f"mean_downtime must be > 0, got {self.mean_downtime}")
+        if not 0.0 <= self.switch_fraction <= 1.0:
+            raise ValueError(
+                f"switch_fraction must be in [0, 1], got {self.switch_fraction}"
+            )
+
+
+def generate_faults(
+    topology: TreeTopology, config: FaultGeneratorConfig
+) -> List[FaultEvent]:
+    """Sample a fault trace for ``topology``; sorted by time.
+
+    Every down event has a matching up event over the *same* node set,
+    and no node is double-failed. Deterministic per ``config.seed``.
+    """
+    if config.rate == 0.0 or config.horizon == 0.0:
+        return []
+    rng = np.random.default_rng(config.seed)
+    mean_gap = SECONDS_PER_HOUR / config.rate
+    down_until = np.zeros(topology.n_nodes, dtype=np.float64)
+    events: List[FaultEvent] = []
+    t = rng.exponential(mean_gap)
+    while t < config.horizon:
+        for _ in range(_MAX_REDRAWS):
+            if rng.random() < config.switch_fraction:
+                leaf = int(rng.integers(topology.n_leaves))
+                lo = int(topology.leaf_node_offset[leaf])
+                hi = int(topology.leaf_node_offset[leaf + 1])
+                nodes = tuple(range(lo, hi))
+                cause, target = "switch", topology.leaf(leaf).name
+            else:
+                node = int(rng.integers(topology.n_nodes))
+                nodes = (node,)
+                cause, target = "node", topology.node_name(node)
+            if np.all(down_until[list(nodes)] <= t):
+                downtime = max(float(rng.exponential(config.mean_downtime)), 1e-3)
+                events.append(
+                    FaultEvent(t, FAULT_DOWN, nodes, cause=cause, target=target)
+                )
+                events.append(
+                    FaultEvent(t + downtime, FAULT_UP, nodes, cause=cause, target=target)
+                )
+                down_until[list(nodes)] = t + downtime
+                break
+        t += rng.exponential(mean_gap)
+    events.sort(key=lambda e: e.time)
+    return events

@@ -1,0 +1,116 @@
+"""Interruption policies and per-job fault bookkeeping.
+
+When a failure kills a running job, three SLURM-like policies decide
+what happens to its work (``--requeue`` behaviour, checkpoint/restart,
+and ``--no-requeue`` respectively):
+
+* ``requeue`` — the job is resubmitted at the failure instant and
+  restarts from scratch; everything it ran is wasted.
+* ``checkpoint`` — the job checkpoints every ``checkpoint_interval``
+  wall seconds; only the work since the last completed checkpoint is
+  lost, and the restart runs just the remainder.
+* ``abandon`` — the job is marked FAILED and never restarted.
+
+Progress is tracked as a *fraction of the job's total work*: a run
+scheduled for wall duration ``D`` that covered ``remaining`` of the job
+and dies after ``elapsed`` seconds completed ``elapsed / D`` of that
+share. The fraction form composes across restarts whose wall durations
+differ (a restarted job lands on different nodes, so its Eq. 7 adjusted
+runtime differs), and makes the headline accounting exact: under
+``requeue``, wasted node-seconds are ``(failure_time - start_time) *
+nodes`` per interruption, summed — the invariant the acceptance tests
+pin down.
+
+Shared by the batch engine and the interactive controller so both
+report identical numbers for identical histories.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "INTERRUPT_POLICIES",
+    "POLICY_REQUEUE",
+    "POLICY_CHECKPOINT",
+    "POLICY_ABANDON",
+    "InterruptionBook",
+    "require_policy",
+]
+
+POLICY_REQUEUE = "requeue"
+POLICY_CHECKPOINT = "checkpoint"
+POLICY_ABANDON = "abandon"
+
+INTERRUPT_POLICIES = (POLICY_REQUEUE, POLICY_CHECKPOINT, POLICY_ABANDON)
+
+
+def require_policy(name: str) -> str:
+    """Validate an interruption policy name, returning it."""
+    if name not in INTERRUPT_POLICIES:
+        raise ValueError(
+            f"unknown interruption policy {name!r}; known: {list(INTERRUPT_POLICIES)}"
+        )
+    return name
+
+
+@dataclass
+class InterruptionBook:
+    """Fault history of one job across restarts.
+
+    Attributes
+    ----------
+    remaining:
+        Fraction of the job's total work still to run (1.0 = untouched).
+        The next start schedules ``remaining * adjusted_runtime``.
+    requeues:
+        Restarts so far (requeue or checkpoint-resume).
+    wasted_node_seconds:
+        Node-seconds of occupancy lost to interruptions (work the
+        cluster performed that did not survive the failure).
+    failed:
+        Terminal flag set by the ``abandon`` policy.
+    """
+
+    remaining: float = 1.0
+    requeues: int = 0
+    wasted_node_seconds: float = 0.0
+    failed: bool = False
+
+    def interrupt(
+        self,
+        policy: str,
+        *,
+        start_time: float,
+        now: float,
+        duration: float,
+        nodes: int,
+        checkpoint_interval: float,
+    ) -> bool:
+        """Account one interruption; returns True if the job requeues.
+
+        ``duration`` is the wall duration the interrupted run was
+        scheduled for, ``now - start_time`` how far it got. Updates
+        ``remaining`` / ``requeues`` / ``wasted_node_seconds`` in place;
+        under ``abandon`` sets :attr:`failed` and returns False.
+        """
+        require_policy(policy)
+        elapsed = now - start_time
+        if elapsed < 0:
+            raise ValueError(f"interruption before start: {now} < {start_time}")
+        if policy == POLICY_CHECKPOINT:
+            if checkpoint_interval <= 0:
+                raise ValueError(
+                    f"checkpoint_interval must be > 0, got {checkpoint_interval}"
+                )
+            saved_wall = (elapsed // checkpoint_interval) * checkpoint_interval
+        else:
+            saved_wall = 0.0
+        self.wasted_node_seconds += (elapsed - saved_wall) * nodes
+        if policy == POLICY_ABANDON:
+            self.failed = True
+            return False
+        if duration > 0 and saved_wall > 0:
+            self.remaining -= self.remaining * (saved_wall / duration)
+        self.requeues += 1
+        return True

@@ -1,0 +1,124 @@
+"""Fault trace files: a tiny line format for replayable failure logs.
+
+Real clusters log failures; to replay one against the simulator the
+``--fault-trace`` CLI flag reads this format::
+
+    # comment (or ';' like SWF headers)
+    120.0  down  node:n3,n4
+    120.0  down  switch:leaf2
+    900.0  up    node:n3,n4
+    1800.0 up    switch:leaf2
+
+Each line is ``<time> <down|up> <target-spec>`` where the spec is
+``node:<name>[,<name>...]`` (node names or plain integer ids) or
+``switch:<leaf-switch-name>`` (resolved to every node under that leaf).
+Times are seconds of simulated time. Down/up pairing is the author's
+responsibility — unmatched downs simply never heal, and marking an
+already-down node down again is a no-op.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List, Union
+
+from ..topology.tree import TreeTopology
+from .events import FAULT_DOWN, FAULT_UP, FaultEvent
+
+__all__ = ["FaultTraceError", "parse_fault_trace", "load_fault_trace", "write_fault_trace"]
+
+
+class FaultTraceError(ValueError):
+    """Raised on malformed fault-trace content."""
+
+
+def _resolve_nodes(spec: str, topology: TreeTopology, lineno: int) -> tuple:
+    if ":" not in spec:
+        raise FaultTraceError(
+            f"line {lineno}: target must be 'node:<names>' or 'switch:<name>', got {spec!r}"
+        )
+    kind, _, rest = spec.partition(":")
+    if kind == "switch":
+        try:
+            leaf_index = list(topology.leaf_names).index(rest)
+        except ValueError:
+            raise FaultTraceError(
+                f"line {lineno}: unknown leaf switch {rest!r}"
+            ) from None
+        lo = int(topology.leaf_node_offset[leaf_index])
+        hi = int(topology.leaf_node_offset[leaf_index + 1])
+        return "switch", rest, tuple(range(lo, hi))
+    if kind == "node":
+        ids: List[int] = []
+        for name in rest.split(","):
+            name = name.strip()
+            if not name:
+                raise FaultTraceError(f"line {lineno}: empty node name")
+            if name.isdigit():
+                node = int(name)
+                if node >= topology.n_nodes:
+                    raise FaultTraceError(
+                        f"line {lineno}: node id {node} out of range"
+                    )
+            else:
+                try:
+                    node = topology.node_id(name)
+                except KeyError:
+                    raise FaultTraceError(
+                        f"line {lineno}: unknown node {name!r}"
+                    ) from None
+            ids.append(node)
+        return "node", rest, tuple(ids)
+    raise FaultTraceError(
+        f"line {lineno}: target kind must be 'node' or 'switch', got {kind!r}"
+    )
+
+
+def parse_fault_trace(text: str, topology: TreeTopology) -> List[FaultEvent]:
+    """Parse fault-trace text into events, sorted by time."""
+    events: List[FaultEvent] = []
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith(("#", ";")):
+            continue
+        parts = line.split()
+        if len(parts) != 3:
+            raise FaultTraceError(
+                f"line {lineno}: expected '<time> <down|up> <target>', got {line!r}"
+            )
+        time_str, action, spec = parts
+        try:
+            time = float(time_str)
+        except ValueError:
+            raise FaultTraceError(
+                f"line {lineno}: bad time {time_str!r}"
+            ) from None
+        if action not in (FAULT_DOWN, FAULT_UP):
+            raise FaultTraceError(
+                f"line {lineno}: action must be 'down' or 'up', got {action!r}"
+            )
+        cause, target, nodes = _resolve_nodes(spec, topology, lineno)
+        try:
+            events.append(
+                FaultEvent(time, action, nodes, cause="trace", target=target)
+            )
+        except ValueError as exc:
+            raise FaultTraceError(f"line {lineno}: {exc}") from None
+    events.sort(key=lambda e: e.time)
+    return events
+
+
+def load_fault_trace(
+    path: Union[str, Path], topology: TreeTopology
+) -> List[FaultEvent]:
+    """Read and parse a fault-trace file from disk."""
+    return parse_fault_trace(Path(path).read_text(), topology)
+
+
+def write_fault_trace(events: List[FaultEvent], topology: TreeTopology) -> str:
+    """Render events back to trace text (node names, one event per line)."""
+    lines = []
+    for event in events:
+        names = ",".join(topology.node_name(n) for n in event.nodes)
+        lines.append(f"{event.time} {event.action} node:{names}")
+    return "\n".join(lines) + ("\n" if lines else "")

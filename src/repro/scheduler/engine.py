@@ -20,6 +20,15 @@ the 2-5 day wall-clock emulation with an event loop:
 
 Wait-time improvements in the paper are *emergent*: shorter adjusted
 runtimes release nodes earlier, which this loop reproduces.
+
+Fault injection (:mod:`repro.faults`) threads through the same loop:
+``run(..., faults=...)`` queues NODE_DOWN / NODE_UP events alongside
+the workload. A down event interrupts every running job holding an
+affected node, applies the configured interruption policy (requeue /
+checkpoint / abandon, see :mod:`repro.faults.policy`), marks the nodes
+DOWN on the state, and lets the following scheduling pass route new
+work around the hole. With no faults the loop is byte-for-byte the
+pre-fault behaviour — fault handling only runs when fault events exist.
 """
 
 from __future__ import annotations
@@ -35,6 +44,8 @@ from ..allocation.registry import get_allocator
 from ..cluster.job import Job
 from ..cluster.state import ClusterState
 from ..cost.model import CostModel
+from ..faults.events import FaultEvent
+from ..faults.policy import POLICY_ABANDON, InterruptionBook, require_policy
 from ..topology.tree import TreeTopology
 from .events import EventKind, EventQueue
 from .metrics import JobRecord, SimulationResult
@@ -56,11 +67,25 @@ class SchedulerStats:
     counterfactual_evaluations:
         Default-allocator counterfactual pricings performed (one per
         communication-intensive start under a non-default allocator).
+    faults_injected:
+        NODE_DOWN events processed.
+    jobs_interrupted:
+        Running jobs killed by a failure (counted per interruption, so
+        one job can contribute several).
+    jobs_requeued:
+        Interruptions that put the job back on the queue (requeue or
+        checkpoint policy).
+    jobs_failed:
+        Interruptions that abandoned the job (``abandon`` policy).
     """
 
     schedule_passes: int = 0
     jobs_backfilled: int = 0
     counterfactual_evaluations: int = 0
+    faults_injected: int = 0
+    jobs_interrupted: int = 0
+    jobs_requeued: int = 0
+    jobs_failed: int = 0
 
 
 @dataclass(frozen=True)
@@ -79,12 +104,29 @@ class EngineConfig:
     validate_state:
         Run :meth:`ClusterState.validate` after every mutation — O(nodes)
         per event, for tests and debugging only.
+    interrupt_policy:
+        What happens to a running job killed by a failure: ``"requeue"``
+        (restart from scratch), ``"checkpoint"`` (restart from the last
+        completed checkpoint), or ``"abandon"`` (job FAILED). See
+        :mod:`repro.faults.policy`.
+    checkpoint_interval:
+        Wall seconds between checkpoints under the ``checkpoint``
+        policy; ignored by the other policies.
     """
 
     policy: str = "backfill"
     cost_model: CostModel = field(default_factory=CostModel)
     adjust_runtimes: bool = True
     validate_state: bool = False
+    interrupt_policy: str = "requeue"
+    checkpoint_interval: float = 3600.0
+
+    def __post_init__(self) -> None:
+        require_policy(self.interrupt_policy)
+        if self.checkpoint_interval <= 0:
+            raise ValueError(
+                f"checkpoint_interval must be > 0, got {self.checkpoint_interval}"
+            )
 
 
 @dataclass
@@ -120,6 +162,7 @@ class SchedulerEngine:
         self,
         jobs: Iterable[Job],
         initial_state: Optional[ClusterState] = None,
+        faults: Optional[Sequence[FaultEvent]] = None,
     ) -> SimulationResult:
         """Simulate ``jobs`` to completion and return all records.
 
@@ -127,6 +170,15 @@ class SchedulerEngine:
         cluster (the paper's *individual runs*, §5.4); pre-existing jobs
         in it are never released — they model long-running background
         load. The input state is copied, not mutated.
+
+        ``faults`` injects NODE_DOWN / NODE_UP transitions (from
+        :func:`repro.faults.generate_faults` or a replayed trace). A
+        down event interrupts every running job holding an affected
+        node per ``config.interrupt_policy``, then marks the nodes DOWN
+        so subsequent allocations route around them. Jobs that can no
+        longer fit by the time all events drain are returned in
+        ``SimulationResult.unstarted``. Passing ``faults=None`` or an
+        empty sequence reproduces the fault-free schedule exactly.
         """
         job_list = sorted(jobs, key=lambda j: (j.submit_time, j.job_id))
         if not job_list:
@@ -148,18 +200,35 @@ class SchedulerEngine:
         events = EventQueue()
         for job in job_list:
             events.push(job.submit_time, EventKind.SUBMIT, job)
+        for fault in faults or ():
+            for node in fault.nodes:
+                if not 0 <= node < self.topology.n_nodes:
+                    raise ValueError(
+                        f"fault at t={fault.time} names node {node}; the "
+                        f"cluster has {self.topology.n_nodes} nodes"
+                    )
+            events.push(
+                fault.time,
+                EventKind.NODE_DOWN if fault.is_down else EventKind.NODE_UP,
+                fault,
+            )
 
         queue: List[Job] = []
         running: Dict[int, _Running] = {}
         records: List[JobRecord] = []
+        books: Dict[int, InterruptionBook] = {}
+        submits_left = len(job_list)
 
         while events:
             now, batch = events.pop_simultaneous()
             for event in batch:
                 if event.kind is EventKind.FINISH:
                     finished: _Running = event.payload
+                    if running.get(finished.job.job_id) is not finished:
+                        continue  # stale: this run was interrupted by a fault
                     state.release(finished.job.job_id)
                     del running[finished.job.job_id]
+                    book = books.get(finished.job.job_id)
                     records.append(
                         JobRecord(
                             job=finished.job,
@@ -168,15 +237,76 @@ class SchedulerEngine:
                             nodes=finished.nodes,
                             cost_jobaware=finished.cost_jobaware,
                             cost_default=finished.cost_default,
+                            requeues=book.requeues if book else 0,
+                            wasted_node_seconds=book.wasted_node_seconds if book else 0.0,
                         )
                     )
+                elif event.kind is EventKind.NODE_DOWN:
+                    self._apply_fault_down(now, state, event.payload, queue, running, records, books)
+                elif event.kind is EventKind.NODE_UP:
+                    state.mark_up(np.asarray(event.payload.nodes, dtype=np.int64))
                 else:
                     queue.append(event.payload)
-            self._schedule_pass(now, state, queue, running, events)
+                    submits_left -= 1
+            self._schedule_pass(now, state, queue, running, events, books)
             if self.config.validate_state:
                 state.validate()
+            if submits_left == 0 and not queue and not running:
+                break  # only fault events (or stale finishes) remain
 
-        return SimulationResult(self.allocator.name, records)
+        return SimulationResult(self.allocator.name, records, unstarted=list(queue))
+
+    def _apply_fault_down(
+        self,
+        now: float,
+        state: ClusterState,
+        fault: FaultEvent,
+        queue: List[Job],
+        running: Dict[int, _Running],
+        records: List[JobRecord],
+        books: Dict[int, InterruptionBook],
+    ) -> None:
+        """Interrupt jobs touching the failed nodes, then mark them DOWN."""
+        cfg = self.config
+        nodes = np.asarray(fault.nodes, dtype=np.int64)
+        self.last_stats.faults_injected += 1
+        for job_id in state.jobs_on(nodes):
+            entry = running.pop(job_id, None)
+            if entry is None:
+                raise RuntimeError(
+                    f"node {fault.nodes} occupied by job {job_id} not tracked as "
+                    "running — faults cannot interrupt initial_state background jobs"
+                )
+            state.release(job_id)
+            book = books.setdefault(job_id, InterruptionBook())
+            self.last_stats.jobs_interrupted += 1
+            requeued = book.interrupt(
+                cfg.interrupt_policy,
+                start_time=entry.start_time,
+                now=now,
+                duration=entry.finish_time - entry.start_time,
+                nodes=entry.job.nodes,
+                checkpoint_interval=cfg.checkpoint_interval,
+            )
+            if requeued:
+                self.last_stats.jobs_requeued += 1
+                queue.append(entry.job)
+            else:
+                self.last_stats.jobs_failed += 1
+                records.append(
+                    JobRecord(
+                        job=entry.job,
+                        start_time=entry.start_time,
+                        finish_time=now,
+                        nodes=entry.nodes,
+                        cost_jobaware=entry.cost_jobaware,
+                        cost_default=entry.cost_default,
+                        requeues=book.requeues,
+                        wasted_node_seconds=book.wasted_node_seconds,
+                        failed=True,
+                    )
+                )
+        state.mark_down(nodes)
 
     # ------------------------------------------------------------------
 
@@ -187,6 +317,7 @@ class SchedulerEngine:
         queue: List[Job],
         running: Dict[int, _Running],
         events: EventQueue,
+        books: Optional[Dict[int, InterruptionBook]] = None,
     ) -> None:
         if not queue:
             return
@@ -208,7 +339,15 @@ class SchedulerEngine:
         for idx in sorted(picks, reverse=True):
             del queue[idx]
         for job in started:
-            self.start_job(now, state, job, running, events)
+            book = books.get(job.job_id) if books else None
+            self.start_job(
+                now,
+                state,
+                job,
+                running,
+                events,
+                remaining=book.remaining if book else 1.0,
+            )
 
     def start_job(
         self,
@@ -217,8 +356,14 @@ class SchedulerEngine:
         job: Job,
         running: Dict[int, _Running],
         events: EventQueue,
+        remaining: float = 1.0,
     ) -> _Running:
-        """Allocate, price, Eq.-7-adjust, and schedule completion of ``job``."""
+        """Allocate, price, Eq.-7-adjust, and schedule completion of ``job``.
+
+        ``remaining`` scales the scheduled wall duration for
+        checkpoint-resumed jobs (fraction of total work left, from
+        :class:`~repro.faults.policy.InterruptionBook`).
+        """
         cfg = self.config
         needs_counterfactual = (
             job.is_comm_intensive and self.allocator.name != self._default.name
@@ -264,7 +409,7 @@ class SchedulerEngine:
         entry = _Running(
             job=job,
             start_time=now,
-            finish_time=now + runtime,
+            finish_time=now + runtime * remaining,
             nodes=nodes,
             cost_jobaware=cost_jobaware,
             cost_default=cost_default,
@@ -281,6 +426,7 @@ def simulate(
     *,
     config: Optional[EngineConfig] = None,
     initial_state: Optional[ClusterState] = None,
+    faults: Optional[Sequence[FaultEvent]] = None,
 ) -> SimulationResult:
     """One-call convenience wrapper around :class:`SchedulerEngine`."""
-    return SchedulerEngine(topology, allocator, config).run(jobs, initial_state)
+    return SchedulerEngine(topology, allocator, config).run(jobs, initial_state, faults)

@@ -5,6 +5,12 @@ A tiny heap wrapper with fully deterministic ordering: events sort by
 submissions at the same instant so freed nodes are visible to the
 scheduling pass that considers the newly submitted jobs — the same
 order SLURM's event loop effectively produces.
+
+Fault events slot in between: at the same instant a job that finishes
+exactly when its node dies counts as finished (FINISH first), a node
+whose outage ends as another begins stays down (NODE_UP before
+NODE_DOWN, so back-to-back windows in a fault trace compose), and
+submissions observe post-fault availability (SUBMIT last).
 """
 
 from __future__ import annotations
@@ -22,7 +28,9 @@ class EventKind(enum.IntEnum):
     """Event kinds; the integer value is the same-time tiebreak priority."""
 
     FINISH = 0
-    SUBMIT = 1
+    NODE_UP = 1
+    NODE_DOWN = 2
+    SUBMIT = 3
 
 
 @dataclass(frozen=True, order=True)

@@ -29,6 +29,11 @@ class JobRecord:
     job's communication components under the run's allocator and under
     the counterfactual default allocation from the same cluster state
     (identical for compute-intensive jobs: both zero).
+
+    For a job interrupted by failures, ``start_time`` / ``finish_time``
+    / ``nodes`` describe its *final* run (the one that completed — or,
+    for ``failed=True``, the aborted one); occupancy burned by earlier
+    interrupted runs is accounted in ``wasted_node_seconds``.
     """
 
     job: Job
@@ -37,6 +42,12 @@ class JobRecord:
     nodes: np.ndarray
     cost_jobaware: Dict[str, float] = field(default_factory=dict)
     cost_default: Dict[str, float] = field(default_factory=dict)
+    #: times the job was interrupted by a failure and restarted
+    requeues: int = 0
+    #: node-seconds of occupancy lost to interruptions (never completed work)
+    wasted_node_seconds: float = 0.0
+    #: True when the job was abandoned after a failure (never completed)
+    failed: bool = False
 
     @property
     def execution_time(self) -> float:
@@ -72,6 +83,11 @@ class JobRecord:
         return max((self.wait_time + self.execution_time) / denom, 1.0)
 
     @property
+    def gross_node_seconds(self) -> float:
+        """Final-run occupancy plus interruption waste, node-seconds."""
+        return self.node_seconds + self.wasted_node_seconds
+
+    @property
     def total_cost_jobaware(self) -> float:
         """Summed Eq. 6 cost over communication components (paper metric 5)."""
         return float(sum(self.cost_jobaware.values()))
@@ -82,11 +98,22 @@ class JobRecord:
 
 
 class SimulationResult:
-    """All job records of one run plus the paper's aggregate metrics."""
+    """All job records of one run plus the paper's aggregate metrics.
 
-    def __init__(self, allocator_name: str, records: Sequence[JobRecord]) -> None:
+    ``unstarted`` holds jobs that could never start before the event
+    horizon closed — possible only under fault injection, when enough
+    of the machine stays DOWN that a request no longer fits.
+    """
+
+    def __init__(
+        self,
+        allocator_name: str,
+        records: Sequence[JobRecord],
+        unstarted: Sequence[Job] = (),
+    ) -> None:
         self.allocator_name = allocator_name
         self.records: List[JobRecord] = sorted(records, key=lambda r: r.job.job_id)
+        self.unstarted: List[Job] = sorted(unstarted, key=lambda j: j.job_id)
 
     def __len__(self) -> int:
         return len(self.records)
@@ -148,12 +175,17 @@ class SimulationResult:
 
     @property
     def avg_turnaround_hours(self) -> float:
-        """Mean turnaround, hours (Figure 9 left panel)."""
+        """Mean turnaround, hours (Figure 9 left panel). 0 with no records
+        (possible under fault injection when every job ends unstarted)."""
+        if not self.records:
+            return 0.0
         return float(self.turnaround_times.mean()) / SECONDS_PER_HOUR
 
     @property
     def avg_node_hours(self) -> float:
-        """Mean node-hours per job (Figure 9 right panel)."""
+        """Mean node-hours per job (Figure 9 right panel); 0 with no records."""
+        if not self.records:
+            return 0.0
         return float(self.node_seconds.mean()) / SECONDS_PER_HOUR
 
     @property
@@ -183,6 +215,31 @@ class SimulationResult:
         comm = [r.total_cost_jobaware for r in self.records if r.job.is_comm_intensive]
         return float(np.mean(comm)) if comm else 0.0
 
+    # ------------------------------------------------------------------
+    # fault / availability aggregates
+    # ------------------------------------------------------------------
+
+    @property
+    def failed_count(self) -> int:
+        """Jobs abandoned after a failure (interrupt policy ``abandon``)."""
+        return sum(1 for r in self.records if r.failed)
+
+    @property
+    def requeue_count(self) -> int:
+        """Total failure-triggered restarts across all jobs."""
+        return sum(r.requeues for r in self.records)
+
+    @property
+    def wasted_node_hours(self) -> float:
+        """Node-hours burned by interrupted runs that never completed."""
+        return float(sum(r.wasted_node_seconds for r in self.records)) / SECONDS_PER_HOUR
+
+    @property
+    def goodput_node_hours(self) -> float:
+        """Node-hours of completed (non-failed) final runs — useful work."""
+        good = sum(r.node_seconds for r in self.records if not r.failed)
+        return float(good) / SECONDS_PER_HOUR
+
     def summary(self) -> Dict[str, float]:
         """All headline aggregates as one dict (for reports / CLI)."""
         return {
@@ -194,6 +251,11 @@ class SimulationResult:
             "makespan_hours": self.makespan / SECONDS_PER_HOUR,
             "mean_cost_jobaware": self.mean_cost_jobaware,
             "mean_bounded_slowdown": self.mean_bounded_slowdown(),
+            "failed_jobs": float(self.failed_count),
+            "total_requeues": float(self.requeue_count),
+            "wasted_node_hours": self.wasted_node_hours,
+            "goodput_node_hours": self.goodput_node_hours,
+            "unstarted_jobs": float(len(self.unstarted)),
         }
 
 

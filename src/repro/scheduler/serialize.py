@@ -21,7 +21,11 @@ from .metrics import JobRecord, SimulationResult
 
 __all__ = ["result_to_dict", "result_from_dict", "dump_result", "load_result"]
 
-_FORMAT_VERSION = 1
+#: v2 adds per-record fault fields (requeues / wasted_node_seconds /
+#: failed) and the top-level ``unstarted`` job list; v1 files load with
+#: fault-free defaults.
+_FORMAT_VERSION = 2
+_READABLE_VERSIONS = (1, 2)
 
 
 def _job_to_dict(job: Job) -> Dict[str, Any]:
@@ -65,19 +69,23 @@ def result_to_dict(result: SimulationResult) -> Dict[str, Any]:
                 "nodes": r.nodes.tolist(),
                 "cost_jobaware": dict(r.cost_jobaware),
                 "cost_default": dict(r.cost_default),
+                "requeues": r.requeues,
+                "wasted_node_seconds": r.wasted_node_seconds,
+                "failed": r.failed,
             }
             for r in result.records
         ],
+        "unstarted": [_job_to_dict(j) for j in result.unstarted],
     }
 
 
 def result_from_dict(data: Dict[str, Any]) -> SimulationResult:
     """Inverse of :func:`result_to_dict`; validates the format version."""
     version = data.get("format_version")
-    if version != _FORMAT_VERSION:
+    if version not in _READABLE_VERSIONS:
         raise ValueError(
             f"unsupported result format version {version!r} "
-            f"(this build reads {_FORMAT_VERSION})"
+            f"(this build reads {list(_READABLE_VERSIONS)})"
         )
     records: List[JobRecord] = []
     for rec in data["records"]:
@@ -89,9 +97,13 @@ def result_from_dict(data: Dict[str, Any]) -> SimulationResult:
                 nodes=np.asarray(rec["nodes"], dtype=np.int64),
                 cost_jobaware={k: float(v) for k, v in rec["cost_jobaware"].items()},
                 cost_default={k: float(v) for k, v in rec["cost_default"].items()},
+                requeues=int(rec.get("requeues", 0)),
+                wasted_node_seconds=float(rec.get("wasted_node_seconds", 0.0)),
+                failed=bool(rec.get("failed", False)),
             )
         )
-    return SimulationResult(data["allocator"], records)
+    unstarted = [_job_from_dict(j) for j in data.get("unstarted", [])]
+    return SimulationResult(data["allocator"], records, unstarted=unstarted)
 
 
 def dump_result(result: SimulationResult, path) -> None:

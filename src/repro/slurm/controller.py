@@ -8,6 +8,13 @@ per-switch occupancy, cancel jobs. It drives the same substrate — one
 policy, Eq. 7 runtime adjustment against the counterfactual default
 allocation — so its scheduling decisions are bit-identical to the batch
 engine given the same inputs.
+
+Availability management mirrors ``scontrol update nodename=... state=``:
+:meth:`SlurmCluster.scontrol_down` fails nodes immediately (interrupting
+their jobs per the configured policy), :meth:`SlurmCluster.scontrol_drain`
+stops new work without killing running jobs, and
+:meth:`SlurmCluster.scontrol_resume` returns nodes to service. ``sinfo``
+reports per-switch DOWN/DRAIN counts alongside occupancy.
 """
 
 from __future__ import annotations
@@ -23,8 +30,9 @@ from ..allocation.base import Allocator
 from ..allocation.default_slurm import DefaultSlurmAllocator
 from ..allocation.registry import get_allocator
 from ..cluster.job import CommComponent, Job, JobKind
-from ..cluster.state import ClusterState
+from ..cluster.state import AVAIL_DOWN, AVAIL_DRAINING, ClusterState
 from ..cost.model import CostModel
+from ..faults.policy import InterruptionBook, require_policy
 from ..patterns.base import CommunicationPattern
 from ..patterns.registry import get_pattern
 from ..scheduler.metrics import JobRecord
@@ -49,7 +57,7 @@ class QueueEntry:
 
 @dataclass(frozen=True)
 class SinfoRow:
-    """One ``sinfo`` line: occupancy of a leaf switch."""
+    """One ``sinfo`` line: occupancy and availability of a leaf switch."""
 
     switch: str
     nodes: int
@@ -57,6 +65,8 @@ class SinfoRow:
     busy: int
     comm_busy: int
     io_busy: int = 0
+    down: int = 0
+    draining: int = 0
 
 
 class JobState:
@@ -64,6 +74,7 @@ class JobState:
     PENDING = "PENDING"
     COMPLETED = "COMPLETED"
     CANCELLED = "CANCELLED"
+    FAILED = "FAILED"
 
 
 @dataclass
@@ -95,6 +106,8 @@ class SlurmCluster:
         *,
         policy: str = "backfill",
         cost_model: Optional[CostModel] = None,
+        interrupt_policy: str = "requeue",
+        checkpoint_interval: float = 3600.0,
     ) -> None:
         self.topology = topology
         self.allocator = get_allocator(allocator) if isinstance(allocator, str) else allocator
@@ -102,6 +115,12 @@ class SlurmCluster:
         self.cost_model = cost_model or CostModel()
         self._policy: QueuePolicy = get_policy(policy)
         self._default = DefaultSlurmAllocator()
+        self.interrupt_policy = require_policy(interrupt_policy)
+        if checkpoint_interval <= 0:
+            raise ValueError(
+                f"checkpoint_interval must be > 0, got {checkpoint_interval}"
+            )
+        self.checkpoint_interval = checkpoint_interval
         self._now = 0.0
         self._ids = itertools.count(1)
         self._pending: List[Job] = []
@@ -109,6 +128,7 @@ class SlurmCluster:
         self._finish_heap: List[Tuple[float, int]] = []
         self._history: List[JobRecord] = []
         self._states: Dict[int, str] = {}
+        self._books: Dict[int, InterruptionBook] = {}
 
     # ------------------------------------------------------------------
     # commands
@@ -163,7 +183,14 @@ class SlurmCluster:
         return job_id
 
     def scancel(self, job_id: int) -> str:
-        """Cancel a pending or running job; returns its previous state."""
+        """Cancel a pending or running job; returns its previous state.
+
+        A job id that was never submitted raises ``KeyError``; one that
+        already reached a terminal state (COMPLETED / CANCELLED /
+        FAILED) raises ``ValueError`` naming that state, matching real
+        ``scancel``'s distinct "invalid job id" vs "job already done"
+        diagnostics.
+        """
         for i, job in enumerate(self._pending):
             if job.job_id == job_id:
                 del self._pending[i]
@@ -175,7 +202,10 @@ class SlurmCluster:
             self._states[job_id] = JobState.CANCELLED
             self._schedule_pass()
             return JobState.RUNNING
-        raise KeyError(f"job {job_id} is not pending or running")
+        finished = self._states.get(job_id)
+        if finished is not None:
+            raise ValueError(f"job {job_id} is already {finished}")
+        raise KeyError(f"unknown job {job_id}")
 
     def squeue(self) -> List[QueueEntry]:
         """Running jobs (by expected end) then pending jobs (FIFO)."""
@@ -204,9 +234,18 @@ class SlurmCluster:
         return rows
 
     def sinfo(self) -> List[SinfoRow]:
-        """Per-leaf-switch occupancy."""
+        """Per-leaf-switch occupancy and availability."""
+        n_leaves = self.topology.n_leaves
+        down = np.bincount(
+            self.topology.leaf_of_node[self.state.node_avail == AVAIL_DOWN],
+            minlength=n_leaves,
+        )
+        draining = np.bincount(
+            self.topology.leaf_of_node[self.state.node_avail == AVAIL_DRAINING],
+            minlength=n_leaves,
+        )
         rows = []
-        for k in range(self.topology.n_leaves):
+        for k in range(n_leaves):
             info = self.topology.leaf(k)
             rows.append(
                 SinfoRow(
@@ -216,6 +255,8 @@ class SlurmCluster:
                     busy=int(self.state.leaf_busy[k]),
                     comm_busy=int(self.state.leaf_comm[k]),
                     io_busy=int(self.state.leaf_io[k]),
+                    down=int(down[k]),
+                    draining=int(draining[k]),
                 )
             )
         return rows
@@ -231,6 +272,84 @@ class SlurmCluster:
     def history(self) -> List[JobRecord]:
         """Records of completed jobs, completion order."""
         return list(self._history)
+
+    # ------------------------------------------------------------------
+    # node availability (scontrol update state=DOWN / DRAIN / RESUME)
+    # ------------------------------------------------------------------
+
+    def _resolve_nodes(self, nodes) -> np.ndarray:
+        """Node ids from an int, node name, leaf-switch name, or sequence."""
+        if isinstance(nodes, (int, np.integer)):
+            return np.asarray([int(nodes)], dtype=np.int64)
+        if isinstance(nodes, str):
+            try:
+                return np.asarray([self.topology.node_id(nodes)], dtype=np.int64)
+            except KeyError:
+                pass
+            info = self.topology.switch(nodes)  # raises KeyError if unknown
+            if not info.is_leaf:
+                raise ValueError(
+                    f"switch {nodes!r} is not a leaf; name a leaf switch or nodes"
+                )
+            return self.topology.leaf_nodes(info.leaf_lo)
+        out: List[int] = []
+        for n in nodes:
+            out.extend(int(x) for x in self._resolve_nodes(n))
+        return np.asarray(sorted(set(out)), dtype=np.int64)
+
+    def scontrol_down(self, nodes) -> np.ndarray:
+        """Fail nodes now (``scontrol update state=DOWN reason=...``).
+
+        ``nodes`` may be a node id, a node name, a leaf-switch name
+        (failing the whole switch), or a sequence of those. Running jobs
+        touching the nodes are interrupted per ``interrupt_policy``
+        (requeued at the current time, checkpoint-resumed, or FAILED).
+        Returns the node ids newly marked DOWN.
+        """
+        arr = self._resolve_nodes(nodes)
+        for job_id in self.state.jobs_on(arr):
+            entry = self._running.pop(job_id)
+            self.state.release(job_id)
+            book = self._books.setdefault(job_id, InterruptionBook())
+            requeued = book.interrupt(
+                self.interrupt_policy,
+                start_time=entry.start_time,
+                now=self._now,
+                duration=entry.finish_time - entry.start_time,
+                nodes=entry.job.nodes,
+                checkpoint_interval=self.checkpoint_interval,
+            )
+            if requeued:
+                self._pending.append(entry.job)
+                self._states[job_id] = JobState.PENDING
+            else:
+                self._states[job_id] = JobState.FAILED
+                self._history.append(
+                    JobRecord(
+                        job=entry.job,
+                        start_time=entry.start_time,
+                        finish_time=self._now,
+                        nodes=entry.nodes,
+                        cost_jobaware=entry.cost_jobaware,
+                        cost_default=entry.cost_default,
+                        requeues=book.requeues,
+                        wasted_node_seconds=book.wasted_node_seconds,
+                        failed=True,
+                    )
+                )
+        transitioned = self.state.mark_down(arr)
+        self._schedule_pass()
+        return transitioned
+
+    def scontrol_drain(self, nodes) -> np.ndarray:
+        """Drain nodes: running jobs finish, nothing new lands on them."""
+        return self.state.mark_drain(self._resolve_nodes(nodes))
+
+    def scontrol_resume(self, nodes) -> np.ndarray:
+        """Return DOWN/DRAINING nodes to service and reschedule."""
+        transitioned = self.state.mark_up(self._resolve_nodes(nodes))
+        self._schedule_pass()
+        return transitioned
 
     # ------------------------------------------------------------------
     # time
@@ -273,6 +392,7 @@ class SlurmCluster:
         self.state.release(entry.job.job_id)
         del self._running[entry.job.job_id]
         self._states[entry.job.job_id] = JobState.COMPLETED
+        book = self._books.get(entry.job.job_id)
         self._history.append(
             JobRecord(
                 job=entry.job,
@@ -281,6 +401,8 @@ class SlurmCluster:
                 nodes=entry.nodes,
                 cost_jobaware=entry.cost_jobaware,
                 cost_default=entry.cost_default,
+                requeues=book.requeues if book else 0,
+                wasted_node_seconds=book.wasted_node_seconds if book else 0.0,
             )
         )
 
@@ -333,10 +455,12 @@ class SlurmCluster:
             cost_jobaware = {p.name: v for p, v in aware.items()}
             cost_default = {p.name: v for p, v in default.items()}
 
+        book = self._books.get(job.job_id)
+        remaining = book.remaining if book else 1.0
         entry = _Running(
             job=job,
             start_time=self._now,
-            finish_time=self._now + runtime,
+            finish_time=self._now + runtime * remaining,
             nodes=nodes,
             cost_jobaware=cost_jobaware,
             cost_default=cost_default,

@@ -60,12 +60,15 @@ def format_sinfo(rows: Sequence[SinfoRow]) -> str:
     "other" column is split into the comm/io interference counters the
     paper's algorithms care about.
     """
-    header = f"{'SWITCH':>12} {'ALLOC':>6} {'IDLE':>6} {'COMM':>6} {'IO':>6} {'TOTAL':>6}"
+    header = (
+        f"{'SWITCH':>12} {'ALLOC':>6} {'IDLE':>6} {'COMM':>6} {'IO':>6} "
+        f"{'TOTAL':>6} {'DOWN':>6} {'DRAIN':>6}"
+    )
     lines: List[str] = [header]
     for r in rows:
         lines.append(
             f"{r.switch:>12} {r.busy:>6} {r.free:>6} {r.comm_busy:>6} "
-            f"{r.io_busy:>6} {r.nodes:>6}"
+            f"{r.io_busy:>6} {r.nodes:>6} {r.down:>6} {r.draining:>6}"
         )
     return "\n".join(lines)
 

@@ -13,6 +13,7 @@ every experiment unchanged.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterable, List, Optional, Union
@@ -79,29 +80,51 @@ class SwfRecord:
         return " ".join(str(getattr(self, f)) for f in SWF_FIELDS)
 
 
-def parse_swf(text: str) -> List[SwfRecord]:
-    """Parse SWF text into records; header comments (``;``) are skipped."""
+def parse_swf(text: str, *, strict: bool = True) -> List[SwfRecord]:
+    """Parse SWF text into records; header comments (``;``) are skipped.
+
+    ``strict=True`` (the default) raises :class:`SwfError` on the first
+    malformed data line. Real archive traces occasionally carry truncated
+    or corrupt lines; ``strict=False`` skips those instead and emits one
+    :class:`UserWarning` with the skip count and the first offender.
+    """
     records: List[SwfRecord] = []
+    skipped = 0
+    first_bad: Optional[str] = None
     for lineno, raw in enumerate(text.splitlines(), start=1):
         line = raw.strip()
         if not line or line.startswith(";"):
             continue
         parts = line.split()
+        problem: Optional[str] = None
+        values: List[int] = []
         if len(parts) != len(SWF_FIELDS):
-            raise SwfError(
-                f"line {lineno}: expected {len(SWF_FIELDS)} fields, got {len(parts)}"
-            )
-        try:
-            values = [int(float(p)) for p in parts]
-        except ValueError as exc:
-            raise SwfError(f"line {lineno}: non-numeric field ({exc})") from None
+            problem = f"line {lineno}: expected {len(SWF_FIELDS)} fields, got {len(parts)}"
+        else:
+            try:
+                values = [int(float(p)) for p in parts]
+            except ValueError as exc:
+                problem = f"line {lineno}: non-numeric field ({exc})"
+        if problem is not None:
+            if strict:
+                raise SwfError(problem)
+            skipped += 1
+            if first_bad is None:
+                first_bad = problem
+            continue
         records.append(SwfRecord(*values))
+    if skipped:
+        warnings.warn(
+            f"skipped {skipped} malformed SWF line(s); first: {first_bad}",
+            UserWarning,
+            stacklevel=2,
+        )
     return records
 
 
-def load_swf(path: Union[str, Path]) -> List[SwfRecord]:
-    """Read and parse an SWF file from disk."""
-    return parse_swf(Path(path).read_text())
+def load_swf(path: Union[str, Path], *, strict: bool = True) -> List[SwfRecord]:
+    """Read and parse an SWF file from disk (see :func:`parse_swf`)."""
+    return parse_swf(Path(path).read_text(), strict=strict)
 
 
 def write_swf(records: Iterable[SwfRecord], header: Optional[str] = None) -> str:

@@ -1,0 +1,98 @@
+"""InterruptionBook accounting: the exact wasted-work arithmetic."""
+
+import pytest
+
+from repro.faults import (
+    INTERRUPT_POLICIES,
+    POLICY_ABANDON,
+    POLICY_CHECKPOINT,
+    POLICY_REQUEUE,
+    InterruptionBook,
+    require_policy,
+)
+
+
+class TestRequirePolicy:
+    def test_known_names_pass_through(self):
+        for name in INTERRUPT_POLICIES:
+            assert require_policy(name) == name
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError, match="unknown interruption policy"):
+            require_policy("retry")
+
+
+class TestRequeue:
+    def test_wasted_is_elapsed_times_nodes(self):
+        book = InterruptionBook()
+        assert book.interrupt(
+            POLICY_REQUEUE, start_time=100.0, now=400.0, duration=1000.0,
+            nodes=16, checkpoint_interval=3600.0,
+        )
+        assert book.wasted_node_seconds == 300.0 * 16
+        assert book.requeues == 1
+        assert book.remaining == 1.0  # restart from scratch
+        assert not book.failed
+
+    def test_interruptions_accumulate(self):
+        book = InterruptionBook()
+        book.interrupt(POLICY_REQUEUE, start_time=0.0, now=200.0, duration=1000.0,
+                       nodes=4, checkpoint_interval=3600.0)
+        book.interrupt(POLICY_REQUEUE, start_time=250.0, now=550.0, duration=1000.0,
+                       nodes=4, checkpoint_interval=3600.0)
+        assert book.wasted_node_seconds == (200.0 + 300.0) * 4
+        assert book.requeues == 2
+
+
+class TestCheckpoint:
+    def test_only_work_since_last_checkpoint_is_lost(self):
+        book = InterruptionBook()
+        book.interrupt(POLICY_CHECKPOINT, start_time=0.0, now=450.0, duration=1000.0,
+                       nodes=8, checkpoint_interval=200.0)
+        # 2 checkpoints completed (400s saved), 50s lost
+        assert book.wasted_node_seconds == 50.0 * 8
+        assert book.remaining == pytest.approx(0.6)
+
+    def test_remaining_composes_across_restarts(self):
+        book = InterruptionBook()
+        book.interrupt(POLICY_CHECKPOINT, start_time=0.0, now=500.0, duration=1000.0,
+                       nodes=1, checkpoint_interval=250.0)
+        assert book.remaining == pytest.approx(0.5)
+        # second run covers the remaining half in 600 wall seconds
+        book.interrupt(POLICY_CHECKPOINT, start_time=0.0, now=300.0, duration=600.0,
+                       nodes=1, checkpoint_interval=300.0)
+        assert book.remaining == pytest.approx(0.25)
+
+    def test_failure_before_first_checkpoint_wastes_everything(self):
+        book = InterruptionBook()
+        book.interrupt(POLICY_CHECKPOINT, start_time=0.0, now=199.0, duration=1000.0,
+                       nodes=2, checkpoint_interval=200.0)
+        assert book.wasted_node_seconds == 199.0 * 2
+        assert book.remaining == 1.0
+
+    def test_bad_interval_raises(self):
+        with pytest.raises(ValueError, match="checkpoint_interval"):
+            InterruptionBook().interrupt(
+                POLICY_CHECKPOINT, start_time=0.0, now=1.0, duration=10.0,
+                nodes=1, checkpoint_interval=0.0,
+            )
+
+
+class TestAbandon:
+    def test_sets_failed_and_does_not_requeue(self):
+        book = InterruptionBook()
+        assert not book.interrupt(
+            POLICY_ABANDON, start_time=0.0, now=300.0, duration=1000.0,
+            nodes=4, checkpoint_interval=3600.0,
+        )
+        assert book.failed
+        assert book.requeues == 0
+        assert book.wasted_node_seconds == 300.0 * 4
+
+
+def test_interrupt_before_start_raises():
+    with pytest.raises(ValueError, match="before start"):
+        InterruptionBook().interrupt(
+            POLICY_REQUEUE, start_time=100.0, now=50.0, duration=10.0,
+            nodes=1, checkpoint_interval=1.0,
+        )

@@ -1,0 +1,84 @@
+"""Fault trace parsing, rendering, and error reporting."""
+
+import pytest
+
+from repro.faults import (
+    FaultGeneratorConfig,
+    FaultTraceError,
+    generate_faults,
+    load_fault_trace,
+    parse_fault_trace,
+    write_fault_trace,
+)
+from repro.topology import two_level_tree
+
+
+@pytest.fixture
+def topo():
+    return two_level_tree(n_leaves=2, nodes_per_leaf=4)
+
+
+class TestParse:
+    def test_node_ids_and_comments(self, topo):
+        text = "# header\n; swf-style too\n\n120 down node:1,2\n900 up node:1,2\n"
+        events = parse_fault_trace(text, topo)
+        assert len(events) == 2
+        assert events[0].is_down and events[0].nodes == (1, 2)
+        assert events[1].action == "up" and events[1].time == 900.0
+
+    def test_node_names_resolve(self, topo):
+        name = topo.node_name(5)
+        events = parse_fault_trace(f"10 down node:{name}", topo)
+        assert events[0].nodes == (5,)
+
+    def test_switch_expands_to_all_descendants(self, topo):
+        leaf = topo.leaf_names[1]
+        events = parse_fault_trace(f"10 down switch:{leaf}", topo)
+        assert events[0].nodes == (4, 5, 6, 7)
+        assert events[0].cause == "trace"
+        assert events[0].target == leaf
+
+    def test_sorted_by_time(self, topo):
+        events = parse_fault_trace("900 up node:0\n100 down node:0", topo)
+        assert [e.time for e in events] == [100.0, 900.0]
+
+    @pytest.mark.parametrize(
+        "line,match",
+        [
+            ("oops down node:0", "bad time"),
+            ("10 sideways node:0", "down"),
+            ("10 down", "expected"),
+            ("10 down gpu:0", "kind"),
+            ("10 down node:999", "out of range"),
+            ("10 down node:nope", "unknown node"),
+            ("10 down switch:nope", "unknown leaf"),
+            ("10 down node:", "empty"),
+        ],
+    )
+    def test_malformed_lines_raise_with_line_number(self, topo, line, match):
+        with pytest.raises(FaultTraceError, match=match):
+            parse_fault_trace(line, topo)
+        with pytest.raises(FaultTraceError, match="line 2"):
+            parse_fault_trace("5 down node:0\n" + line, topo)
+
+
+class TestRoundTrip:
+    def test_write_then_parse_preserves_events(self, topo):
+        events = generate_faults(
+            topo, FaultGeneratorConfig(rate=30.0, horizon=36000.0, seed=9)
+        )
+        assert events, "want a non-empty trace"
+        text = write_fault_trace(events, topo)
+        back = parse_fault_trace(text, topo)
+        assert [(e.time, e.action, e.nodes) for e in back] == [
+            (e.time, e.action, e.nodes) for e in events
+        ]
+
+    def test_load_from_file(self, topo, tmp_path):
+        path = tmp_path / "faults.trace"
+        path.write_text("60 down node:0\n120 up node:0\n")
+        events = load_fault_trace(path, topo)
+        assert len(events) == 2
+
+    def test_empty_trace_renders_empty(self, topo):
+        assert write_fault_trace([], topo) == ""

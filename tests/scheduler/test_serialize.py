@@ -61,10 +61,35 @@ class TestRoundTrip:
         dump_result(result, path)
         data = json.loads(path.read_text())
         assert data["allocator"] == "adaptive"
-        assert data["format_version"] == 1
+        assert data["format_version"] == 2
 
     def test_unknown_version_rejected(self, result):
         data = result_to_dict(result)
         data["format_version"] = 99
         with pytest.raises(ValueError, match="version"):
             result_from_dict(data)
+
+
+class TestVersionCompat:
+    def test_v1_files_load_with_fault_free_defaults(self, result):
+        data = result_to_dict(result)
+        data["format_version"] = 1
+        data.pop("unstarted")
+        for rec in data["records"]:
+            rec.pop("requeues")
+            rec.pop("wasted_node_seconds")
+            rec.pop("failed")
+        back = result_from_dict(data)
+        assert back.unstarted == []
+        assert all(r.requeues == 0 and not r.failed for r in back.records)
+
+    def test_fault_fields_round_trip(self, result):
+        data = result_to_dict(result)
+        data["records"][0]["requeues"] = 2
+        data["records"][0]["wasted_node_seconds"] = 123.5
+        data["records"][0]["failed"] = True
+        back = result_from_dict(data)
+        rec = back.record_for(data["records"][0]["job"]["job_id"])
+        assert rec.requeues == 2
+        assert rec.wasted_node_seconds == 123.5
+        assert rec.failed

@@ -97,3 +97,34 @@ class TestLoad:
         p = tmp_path / "log.swf"
         p.write_text(SAMPLE)
         assert len(load_swf(p)) == 4
+
+
+class TestStrictFalse:
+    BAD = SAMPLE + "truncated line with too few fields\n" + \
+        "x 0 0 10 1 -1 -1 1 10 -1 1 1 1 -1 1 1 -1 -1\n"
+
+    def test_strict_default_raises(self):
+        with pytest.raises(SwfError):
+            parse_swf(self.BAD)
+
+    def test_lenient_skips_and_warns_once_with_count(self):
+        with pytest.warns(UserWarning, match=r"skipped 2 malformed"):
+            records = parse_swf(self.BAD, strict=False)
+        assert len(records) == 4  # the good SAMPLE lines survive
+        assert [r.job_number for r in records] == [1, 2, 3, 4]
+
+    def test_warning_names_the_first_offender(self):
+        with pytest.warns(UserWarning, match="line 7"):
+            parse_swf(self.BAD, strict=False)
+
+    def test_clean_input_warns_nothing(self, recwarn):
+        parse_swf(SAMPLE, strict=False)
+        assert not [w for w in recwarn.list if issubclass(w.category, UserWarning)]
+
+    def test_load_swf_passes_strict_through(self, tmp_path):
+        p = tmp_path / "bad.swf"
+        p.write_text(self.BAD)
+        with pytest.raises(SwfError):
+            load_swf(p)
+        with pytest.warns(UserWarning):
+            assert len(load_swf(p, strict=False)) == 4
