@@ -26,6 +26,7 @@ from pathlib import Path
 import numpy as np
 
 from repro.allocation import get_allocator
+from repro.runs import atomic_write_text
 from repro.cluster import ClusterState, CommComponent, Job, JobKind
 from repro.cost import CostModel, clear_leaf_pair_cache
 from repro.patterns import RecursiveDoubling, RecursiveHalvingVectorDoubling
@@ -143,7 +144,7 @@ def main(argv) -> int:
             "comm_overlay": overlay_s,
         },
     }
-    out_path.write_text(json.dumps(snapshot, indent=2) + "\n")
+    atomic_write_text(out_path, json.dumps(snapshot, indent=2) + "\n")
     print(json.dumps(snapshot["cost_eval_seconds"], indent=2))
     print(json.dumps(snapshot["speedup_over_pairwise"], indent=2))
     print(f"wrote {out_path}")

@@ -11,16 +11,25 @@ Subcommands:
 * ``validate-conf <file>`` — lint a ``topology.conf`` file.
 * ``trace`` — generate a synthetic machine log (SWF) or print the
   statistics of an existing one.
+* ``verify-run`` — replay journaled tasks of a finished run and diff
+  their digests against the journal (determinism check).
+
+``simulate`` is crash-safe: ``--checkpoint-path``/``--checkpoint-every``
+periodically write an atomic engine checkpoint, ``--resume-from``
+continues one bit-identically, and SIGINT/SIGTERM write a final
+checkpoint (when enabled) and exit 130 with a one-line message instead
+of a traceback. See ``docs/resilience.md``.
 """
 
 from __future__ import annotations
 
 import argparse
+import signal
 import sys
 from typing import List, Optional
 
 from .experiments import EXPERIMENT_RUNNERS, ExperimentConfig, continuous_runs
-from .experiments.report import render_kv
+from .experiments.report import render_kv, write_report
 from .scheduler.serialize import dump_result
 from .topology.builders import TOPOLOGY_BUILDERS
 from .topology.config import load_topology_conf, write_topology_conf
@@ -45,6 +54,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="jobs per log (default: the experiment's paper-scale default)",
     )
     exp.add_argument("--seed", type=int, default=0)
+    exp.add_argument(
+        "--output", default=None, metavar="FILE",
+        help="also write the rendered report to FILE (atomic write)",
+    )
 
     sim = sub.add_parser("simulate", help="run one log through one allocator")
     sim.add_argument("--log", choices=sorted(LOG_SPECS), default="theta")
@@ -107,6 +120,44 @@ def build_parser() -> argparse.ArgumentParser:
         "--checkpoint-interval", type=float, default=3600.0, metavar="SECONDS",
         help="checkpoint period for --interrupt-policy checkpoint",
     )
+    sim.add_argument(
+        "--checkpoint-path", default=None, metavar="FILE",
+        help="write engine checkpoints to FILE (atomic; single-allocator "
+        "runs only). SIGINT/SIGTERM write a final checkpoint here.",
+    )
+    sim.add_argument(
+        "--checkpoint-every", type=int, default=None, metavar="N",
+        help="checkpoint every N event batches (requires --checkpoint-path)",
+    )
+    sim.add_argument(
+        "--resume-from", default=None, metavar="FILE",
+        help="resume a checkpointed run; the completed result is "
+        "bit-identical to an uninterrupted one",
+    )
+    sim.add_argument(
+        "--stop-after-events", type=int, default=None, metavar="N",
+        help="pause the run after N event batches (writes a checkpoint "
+        "when --checkpoint-path is set) — mainly for crash/resume tests",
+    )
+    sim.add_argument(
+        "--journal", default=None, metavar="FILE",
+        help="append task specs, attempts, and result digests to this "
+        "JSONL run journal (enables 'repro-sched verify-run' later)",
+    )
+    sim.add_argument(
+        "--max-retries", type=int, default=0, metavar="N",
+        help="retry a failed allocator run up to N times with backoff",
+    )
+    sim.add_argument(
+        "--on-task-error", choices=("retry", "skip", "raise"), default="retry",
+        help="what to do when an allocator run exhausts its retries: "
+        "skip reports partial results naming the missing cells",
+    )
+    sim.add_argument(
+        "--task-timeout", type=float, default=None, metavar="SECONDS",
+        help="per-task timeout for parallel runs (hung workers are "
+        "terminated and the task retried)",
+    )
 
     topo = sub.add_parser("topology", help="print a builtin machine's topology.conf")
     topo.add_argument("machine", choices=sorted(TOPOLOGY_BUILDERS))
@@ -129,6 +180,17 @@ def build_parser() -> argparse.ArgumentParser:
     stats.add_argument("path")
     stats.add_argument("--processors-per-node", type=int, default=1)
 
+    verify = sub.add_parser(
+        "verify-run",
+        help="replay journaled tasks and diff digests (determinism check)",
+    )
+    verify.add_argument("path", help="run journal written with --journal")
+    verify.add_argument(
+        "--sample", type=int, default=None, metavar="N",
+        help="replay a seeded sample of N completed tasks (default: all)",
+    )
+    verify.add_argument("--seed", type=int, default=0, help="sampling seed")
+
     return parser
 
 
@@ -144,7 +206,11 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     if args.name == "all" and args.jobs is None:
         kwargs["n_jobs"] = 200  # keep the run-everything command snappy
     result = runner(**kwargs)
-    print(result.render())
+    text = result.render()
+    print(text)
+    if args.output:
+        write_report(text, args.output)
+        print(f"wrote {args.output}")
     return 0
 
 
@@ -171,11 +237,115 @@ def _simulate_faults(args: argparse.Namespace, cfg, jobs):
     return ()
 
 
+class _StopRequested:
+    """Signal-set flag the engine polls between event batches."""
+
+    def __init__(self) -> None:
+        self.tripped = False
+
+    def __call__(self) -> bool:
+        return self.tripped
+
+
+def _save_results(args: argparse.Namespace, results) -> None:
+    import pathlib
+
+    out_dir = pathlib.Path(args.save)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    for name, res in results.items():
+        path = out_dir / f"{args.log}_{name}.json"
+        dump_result(res, path)
+        print(f"wrote {path}")
+
+
+def _simulate_engine_path(args: argparse.Namespace) -> int:
+    """Single-engine simulate with checkpoint/resume and signal safety."""
+    from .experiments.runner import prepare_jobs
+    from .scheduler.engine import SchedulerEngine, SimulationInterrupted
+    from .scheduler.serialize import load_snapshot
+
+    flag = _StopRequested()
+
+    def _handler(signum, frame):  # pragma: no cover - exercised via SIGINT test
+        flag.tripped = True
+
+    previous = {
+        sig: signal.signal(sig, _handler) for sig in (signal.SIGINT, signal.SIGTERM)
+    }
+    try:
+        if args.resume_from is not None:
+            data = load_snapshot(args.resume_from)
+            engine = SchedulerEngine.from_snapshot(data)
+            result = engine.run(
+                resume_from=data,
+                checkpoint_every=args.checkpoint_every,
+                checkpoint_path=args.checkpoint_path,
+                stop_after=args.stop_after_events,
+                interrupt=flag,
+            )
+        else:
+            cfg = ExperimentConfig(
+                log=args.log,
+                n_jobs=args.jobs,
+                percent_comm=args.percent_comm,
+                mix=single_pattern_mix(args.pattern, args.comm_fraction),
+                allocators=(args.allocator,),
+                seed=args.seed,
+                policy=args.policy,
+                interrupt_policy=args.interrupt_policy,
+                checkpoint_interval=args.checkpoint_interval,
+            )
+            jobs = prepare_jobs(cfg)
+            faults = _simulate_faults(args, cfg, jobs)
+            engine = SchedulerEngine(cfg.topology(), args.allocator, cfg.engine_config())
+            result = engine.run(
+                jobs,
+                faults=faults,
+                checkpoint_every=args.checkpoint_every,
+                checkpoint_path=args.checkpoint_path,
+                stop_after=args.stop_after_events,
+                interrupt=flag,
+            )
+    except SimulationInterrupted as exc:
+        print(exc, file=sys.stderr)
+        return 130
+    finally:
+        for sig, old in previous.items():
+            signal.signal(sig, old)
+    if result is None:
+        where = (
+            f"; checkpoint written to {args.checkpoint_path}"
+            if args.checkpoint_path
+            else " (no checkpoint path — state discarded)"
+        )
+        print(f"paused after {args.stop_after_events} event batches{where}")
+        return 0
+    print(
+        render_kv(
+            sorted(result.summary().items()),
+            title=f"--- {engine.allocator.name} ---",
+        )
+    )
+    if args.save:
+        _save_results(args, {engine.allocator.name: result})
+    return 0
+
+
 def _cmd_simulate(args: argparse.Namespace) -> int:
     from .experiments.runner import prepare_jobs
     from .faults.trace import FaultTraceError
 
+    engine_path = (
+        args.resume_from is not None
+        or args.checkpoint_path is not None
+        or args.stop_after_events is not None
+    )
+    if args.checkpoint_every is not None and args.checkpoint_path is None:
+        print("error: --checkpoint-every requires --checkpoint-path", file=sys.stderr)
+        return 2
     try:
+        if engine_path:
+            return _simulate_engine_path(args)
         cfg = ExperimentConfig(
             log=args.log,
             n_jobs=args.jobs,
@@ -189,21 +359,30 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         )
         jobs = prepare_jobs(cfg)
         cfg = cfg.with_(faults=_simulate_faults(args, cfg, jobs))
-        results = continuous_runs(cfg, jobs, workers=args.workers)
+        results = continuous_runs(
+            cfg,
+            jobs,
+            workers=args.workers,
+            max_retries=args.max_retries,
+            on_task_error=args.on_task_error,
+            journal=args.journal,
+            task_timeout=args.task_timeout,
+        )
+    except KeyboardInterrupt:
+        print("simulation interrupted (no checkpoint configured)", file=sys.stderr)
+        return 130
     except (OSError, FaultTraceError, KeyError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     for name, res in results.items():
         print(render_kv(sorted(res.summary().items()), title=f"--- {name} ---"))
     if args.save:
-        import pathlib
-
-        out_dir = pathlib.Path(args.save)
-        out_dir.mkdir(parents=True, exist_ok=True)
-        for name, res in results.items():
-            path = out_dir / f"{args.log}_{name}.json"
-            dump_result(res, path)
-            print(f"wrote {path}")
+        _save_results(args, results)
+    missing = getattr(results, "missing", None)
+    if missing:
+        for name, error in missing.items():
+            print(f"missing cell {name!r}: {error}", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -263,8 +442,9 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         if args.output == "-":
             sys.stdout.write(text)
         else:
-            with open(args.output, "w") as fh:
-                fh.write(text)
+            from .runs.atomic import atomic_write_text
+
+            atomic_write_text(args.output, text)
             print(f"wrote {len(records)} jobs to {args.output}")
         return 0
 
@@ -301,6 +481,18 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_verify_run(args: argparse.Namespace) -> int:
+    from .runs import verify_journal
+
+    try:
+        report = verify_journal(args.path, sample=args.sample, seed=args.seed)
+    except (OSError, KeyError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(report.render())
+    return 0 if report.ok else 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "experiment":
@@ -313,6 +505,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_validate_conf(args)
     if args.command == "trace":
         return _cmd_trace(args)
+    if args.command == "verify-run":
+        return _cmd_verify_run(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

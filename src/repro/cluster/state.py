@@ -426,6 +426,75 @@ class ClusterState:
         self._invalidate()
         return take
 
+    # ------------------------------------------------------------------
+    # checkpoint support (engine snapshot/restore)
+    # ------------------------------------------------------------------
+
+    def snapshot_dict(self) -> Dict[str, object]:
+        """Plain-JSON state for engine checkpoints.
+
+        Only the node-granular arrays, the running set (in insertion
+        order — scheduling iterates it), and the version counter are
+        stored; the per-leaf counters are derived quantities and are
+        rebuilt from the arrays on restore, so a checkpoint can never
+        smuggle in a counter that violates the class invariants.
+        """
+        return {
+            "node_state": self.node_state.tolist(),
+            "node_avail": self.node_avail.tolist(),
+            "version": self.version,
+            "running": [
+                {
+                    "job_id": rec.job_id,
+                    "nodes": rec.nodes.tolist(),
+                    "kind": rec.kind.value,
+                }
+                for rec in self.running.values()
+            ],
+        }
+
+    @classmethod
+    def from_snapshot_dict(
+        cls, topology: TreeTopology, data: Dict[str, object]
+    ) -> "ClusterState":
+        """Inverse of :meth:`snapshot_dict`; validates every invariant."""
+        state = cls(topology)
+        node_state = np.asarray(data["node_state"], dtype=np.int8)
+        node_avail = np.asarray(data["node_avail"], dtype=np.int8)
+        if node_state.shape != (topology.n_nodes,) or node_avail.shape != (
+            topology.n_nodes,
+        ):
+            raise ValueError(
+                f"checkpoint state has {node_state.size} nodes; the "
+                f"topology has {topology.n_nodes}"
+            )
+        state.node_state = node_state
+        state.node_avail = node_avail
+        free_mask = (node_state == NODE_FREE) & (node_avail == AVAIL_UP)
+        offline_mask = (node_state == NODE_FREE) & (node_avail != AVAIL_UP)
+        leaf_of = topology.leaf_of_node
+        state.leaf_free = np.bincount(
+            leaf_of[free_mask], minlength=topology.n_leaves
+        ).astype(np.int64)
+        state.leaf_offline = np.bincount(
+            leaf_of[offline_mask], minlength=topology.n_leaves
+        ).astype(np.int64)
+        state.leaf_comm = np.bincount(
+            leaf_of[node_state == NODE_COMM], minlength=topology.n_leaves
+        ).astype(np.int64)
+        state.leaf_io = np.bincount(
+            leaf_of[node_state == NODE_IO], minlength=topology.n_leaves
+        ).astype(np.int64)
+        for rec in data["running"]:
+            state.running[int(rec["job_id"])] = AllocationRecord(
+                job_id=int(rec["job_id"]),
+                nodes=np.asarray(rec["nodes"], dtype=np.int64),
+                kind=JobKind(rec["kind"]),
+            )
+        state.version = int(data["version"])
+        state.validate()
+        return state
+
     def copy(self) -> "ClusterState":
         """Independent snapshot sharing the (immutable) topology."""
         clone = ClusterState.__new__(ClusterState)

@@ -8,9 +8,12 @@ reported as their underlying data series.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence, Union
 
-__all__ = ["render_table", "format_value", "render_kv"]
+from ..runs.atomic import atomic_write_text
+
+__all__ = ["render_table", "format_value", "render_kv", "write_report"]
 
 
 def format_value(value) -> str:
@@ -66,3 +69,12 @@ def render_kv(pairs: Sequence[tuple], *, title: Optional[str] = None) -> str:
     out: List[str] = [title] if title else []
     out.extend(f"{str(k).ljust(width)} : {format_value(v)}" for k, v in pairs)
     return "\n".join(out)
+
+
+def write_report(text: str, path: Union[str, Path]) -> None:
+    """Atomically write rendered report text to ``path``.
+
+    A crash mid-write leaves the previous report intact instead of a
+    truncated table (``repro.runs.atomic``).
+    """
+    atomic_write_text(path, text if text.endswith("\n") else text + "\n")

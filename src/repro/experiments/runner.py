@@ -16,13 +16,23 @@ Both harnesses accept ``workers``: with ``workers > 1`` the independent
 (allocator, …) tasks fan out over a ``ProcessPoolExecutor``. Task specs
 are plain picklable values and results are reassembled in the serial
 order, so parallel output is bit-identical to the serial path.
+
+Crash resilience (``docs/resilience.md``): ``max_retries``,
+``on_task_error``, ``task_timeout``, and ``journal`` route the fan-out
+through :func:`repro.runs.run_tasks` — worker crashes rebuild the pool
+and resubmit only unfinished cells, failed cells retry with exponential
+backoff, and every task spec/attempt/result digest is journaled so
+``repro-sched verify-run`` can replay and diff the run later. Because
+each cell is a pure function of its spec, the recovered output stays
+bit-identical to a serial run. With none of those arguments given, the
+pre-existing fast paths run unchanged.
 """
 
 from __future__ import annotations
 
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -31,21 +41,36 @@ from ..allocation.default_slurm import DefaultSlurmAllocator
 from ..allocation.registry import PAPER_ALLOCATORS, get_allocator
 from ..cluster.job import Job
 from ..cluster.state import ClusterState
+from ..cost.contention import ContentionModel
 from ..cost.model import CostModel
 from ..faults.events import FaultEvent
+from ..runs import (
+    PartialResults,
+    RetryPolicy,
+    RunJournal,
+    TaskSpec,
+    digest_obj,
+    result_digest,
+    run_tasks,
+)
+from ..runs.retry import ON_ERROR_RETRY
 from ..scheduler.engine import EngineConfig, SchedulerEngine
 from ..scheduler.metrics import SimulationResult
+from ..scheduler.serialize import fault_from_dict, fault_to_dict, job_to_dict
 from ..topology.tree import TreeTopology
 from ..workloads.classify import CommMix, assign_kinds, single_pattern_mix
 from ..workloads.logs import LOG_SPECS, generate_log
 
 __all__ = [
     "ExperimentConfig",
+    "config_to_dict",
+    "config_from_dict",
     "continuous_runs",
     "IndividualOutcome",
     "IndividualRunResult",
     "individual_runs",
     "evaluate_single_job",
+    "outcomes_digest",
     "warm_state",
     "prepare_jobs",
 ]
@@ -93,6 +118,90 @@ class ExperimentConfig:
         return replace(self, **kwargs)
 
 
+def config_to_dict(cfg: ExperimentConfig) -> Dict[str, Any]:
+    """Plain-JSON representation of a config (for run journals)."""
+    return {
+        "log": cfg.log,
+        "n_jobs": cfg.n_jobs,
+        "percent_comm": cfg.percent_comm,
+        "mix": [[name, fraction] for name, fraction in cfg.mix],
+        "allocators": list(cfg.allocators),
+        "seed": cfg.seed,
+        "policy": cfg.policy,
+        "cost_model": {
+            "weight_by_msize": cfg.cost_model.weight_by_msize,
+            "contention": {
+                "uplink_discount": cfg.cost_model.contention.uplink_discount,
+                "per_level": cfg.cost_model.contention.per_level,
+            },
+        },
+        "faults": [fault_to_dict(f) for f in cfg.faults],
+        "interrupt_policy": cfg.interrupt_policy,
+        "checkpoint_interval": cfg.checkpoint_interval,
+    }
+
+
+def config_from_dict(data: Dict[str, Any]) -> ExperimentConfig:
+    """Inverse of :func:`config_to_dict` (``verify-run`` replays)."""
+    cm = data["cost_model"]
+    return ExperimentConfig(
+        log=str(data["log"]),
+        n_jobs=int(data["n_jobs"]),
+        percent_comm=float(data["percent_comm"]),
+        mix=tuple((str(name), float(fraction)) for name, fraction in data["mix"]),
+        allocators=tuple(str(a) for a in data["allocators"]),
+        seed=int(data["seed"]),
+        policy=str(data["policy"]),
+        cost_model=CostModel(
+            weight_by_msize=bool(cm["weight_by_msize"]),
+            contention=ContentionModel(
+                uplink_discount=float(cm["contention"]["uplink_discount"]),
+                per_level=bool(cm["contention"]["per_level"]),
+            ),
+        ),
+        faults=tuple(fault_from_dict(f) for f in data["faults"]),
+        interrupt_policy=str(data["interrupt_policy"]),
+        checkpoint_interval=float(data["checkpoint_interval"]),
+    )
+
+
+def _journal_context(
+    cfg: ExperimentConfig,
+    explicit_jobs: Optional[Sequence[Job]],
+    **extra: Any,
+) -> Dict[str, Any]:
+    """Everything a journal needs to replay its tasks from scratch.
+
+    Explicitly supplied job lists are embedded; ``jobs: null`` means
+    :func:`prepare_jobs` regenerates them from the config.
+    """
+    context: Dict[str, Any] = {
+        "config": config_to_dict(cfg),
+        "jobs": (
+            [job_to_dict(j) for j in explicit_jobs]
+            if explicit_jobs is not None
+            else None
+        ),
+    }
+    context.update(extra)
+    return context
+
+
+def _resilient(
+    max_retries: int,
+    on_task_error: str,
+    journal: Optional[object],
+    task_timeout: Optional[float],
+) -> bool:
+    """Whether any crash-resilience feature was requested."""
+    return (
+        max_retries > 0
+        or on_task_error != ON_ERROR_RETRY
+        or journal is not None
+        or task_timeout is not None
+    )
+
+
 def prepare_jobs(cfg: ExperimentConfig) -> List[Job]:
     """Generate the trace and apply comm/compute labels, reproducibly.
 
@@ -119,6 +228,10 @@ def continuous_runs(
     jobs: Optional[Sequence[Job]] = None,
     *,
     workers: Optional[int] = None,
+    max_retries: int = 0,
+    on_task_error: str = ON_ERROR_RETRY,
+    journal: Optional[Union[str, "os.PathLike"]] = None,
+    task_timeout: Optional[float] = None,
 ) -> Dict[str, SimulationResult]:
     """Replay the log once per allocator; returns results keyed by name.
 
@@ -126,10 +239,55 @@ def continuous_runs(
     worker evolves its own engine from the same job list, so results are
     bit-identical to the serial path and returned in ``cfg.allocators``
     order either way.
+
+    ``max_retries`` / ``on_task_error`` / ``task_timeout`` / ``journal``
+    route the fan-out through the resilient executor (crashed workers
+    rebuild the pool, failed cells retry with backoff, attempts and
+    digests are journaled). With ``on_task_error="skip"`` the return
+    value is a :class:`~repro.runs.PartialResults` whose ``missing``
+    names the allocators that exhausted their attempts.
     """
-    if jobs is None:
-        jobs = prepare_jobs(cfg)
-    job_list = list(jobs)
+    explicit_jobs = None if jobs is None else list(jobs)
+    job_list = prepare_jobs(cfg) if explicit_jobs is None else explicit_jobs
+    if _resilient(max_retries, on_task_error, journal, task_timeout):
+        tasks = [
+            TaskSpec(
+                key=name,
+                fn=_continuous_worker,
+                args=(cfg, name, job_list),
+                spec={"allocator": name},
+            )
+            for name in cfg.allocators
+        ]
+        jrn = (
+            RunJournal(
+                journal,
+                run_type="continuous_runs",
+                context=_journal_context(cfg, explicit_jobs),
+            )
+            if journal is not None
+            else None
+        )
+        try:
+            batch = run_tasks(
+                tasks,
+                workers=workers,
+                policy=RetryPolicy(max_retries=max_retries, timeout=task_timeout),
+                on_task_error=on_task_error,
+                journal=jrn,
+                digest=result_digest,
+            )
+        finally:
+            if jrn is not None:
+                jrn.close()
+        ordered = {
+            name: batch.results[name]
+            for name in cfg.allocators
+            if name in batch.results
+        }
+        if batch.complete:
+            return ordered
+        return PartialResults(ordered, batch.missing)
     if workers is not None and workers > 1 and len(cfg.allocators) > 1:
         with ProcessPoolExecutor(
             max_workers=min(workers, len(cfg.allocators))
@@ -165,10 +323,21 @@ class IndividualOutcome:
 
 @dataclass
 class IndividualRunResult:
-    """All individual-run outcomes plus convenience aggregation."""
+    """All individual-run outcomes plus convenience aggregation.
+
+    ``missing`` is only populated by resilient runs under
+    ``on_task_error="skip"``: it maps each allocator whose evaluations
+    exhausted their attempts to the error that ended them; its outcomes
+    are absent from ``outcomes``.
+    """
 
     outcomes: List[IndividualOutcome]
     sampled_job_ids: List[int]
+    missing: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def complete(self) -> bool:
+        return not self.missing
 
     def execution_times(self, allocator: str) -> np.ndarray:
         by_job = {
@@ -284,25 +453,24 @@ def _individual_worker(
     return [evaluate_single_job(state, job, name, cost_model) for job in sampled]
 
 
-def individual_runs(
+def outcomes_digest(outcomes: Sequence[IndividualOutcome]) -> str:
+    """Canonical digest of one allocator's individual-run outcomes."""
+    return digest_obj(
+        [
+            [o.job_id, o.allocator, o.execution_time, o.cost_jobaware, o.cost_default]
+            for o in outcomes
+        ]
+    )
+
+
+def _individual_setup(
     cfg: ExperimentConfig,
     *,
-    n_samples: int = 200,
-    target_occupancy: float = 0.5,
-    jobs: Optional[Sequence[Job]] = None,
-    workers: Optional[int] = None,
-) -> IndividualRunResult:
-    """§5.4 individual runs: one shared snapshot, one job at a time.
-
-    ``n_samples`` jobs are drawn (seeded) from the non-warm-up portion
-    of the log; every allocator in ``cfg.allocators`` prices each of
-    them against the same warm snapshot. ``workers > 1`` fans the
-    allocators out over processes; every evaluation is a pure function
-    of the frozen snapshot, and outcomes are reassembled in the serial
-    (job-major, allocator-minor) order, so results are bit-identical.
-    """
-    if jobs is None:
-        jobs = prepare_jobs(cfg)
+    n_samples: int,
+    target_occupancy: float,
+    jobs: Sequence[Job],
+) -> Tuple[ClusterState, List[Job]]:
+    """Warm the cluster and draw the sampled jobs (shared with replay)."""
     topology = cfg.topology()
     state, warm_ids = warm_state(topology, jobs, target_occupancy=target_occupancy)
     warm = set(warm_ids)
@@ -315,8 +483,88 @@ def individual_runs(
     take = min(n_samples, len(candidates))
     idx = rng.choice(len(candidates), size=take, replace=False)
     sampled = [candidates[i] for i in sorted(idx)]
+    return state, sampled
+
+
+def individual_runs(
+    cfg: ExperimentConfig,
+    *,
+    n_samples: int = 200,
+    target_occupancy: float = 0.5,
+    jobs: Optional[Sequence[Job]] = None,
+    workers: Optional[int] = None,
+    max_retries: int = 0,
+    on_task_error: str = ON_ERROR_RETRY,
+    journal: Optional[Union[str, "os.PathLike"]] = None,
+    task_timeout: Optional[float] = None,
+) -> IndividualRunResult:
+    """§5.4 individual runs: one shared snapshot, one job at a time.
+
+    ``n_samples`` jobs are drawn (seeded) from the non-warm-up portion
+    of the log; every allocator in ``cfg.allocators`` prices each of
+    them against the same warm snapshot. ``workers > 1`` fans the
+    allocators out over processes; every evaluation is a pure function
+    of the frozen snapshot, and outcomes are reassembled in the serial
+    (job-major, allocator-minor) order, so results are bit-identical.
+
+    The resilience arguments behave as in :func:`continuous_runs`; under
+    ``on_task_error="skip"`` the result's ``missing`` names allocators
+    whose column could not be computed.
+    """
+    explicit_jobs = None if jobs is None else list(jobs)
+    job_list = prepare_jobs(cfg) if explicit_jobs is None else explicit_jobs
+    state, sampled = _individual_setup(
+        cfg, n_samples=n_samples, target_occupancy=target_occupancy, jobs=job_list
+    )
 
     outcomes: List[IndividualOutcome] = []
+    if _resilient(max_retries, on_task_error, journal, task_timeout):
+        tasks = [
+            TaskSpec(
+                key=name,
+                fn=_individual_worker,
+                args=(state, sampled, name, cfg.cost_model),
+                spec={"allocator": name},
+            )
+            for name in cfg.allocators
+        ]
+        jrn = (
+            RunJournal(
+                journal,
+                run_type="individual_runs",
+                context=_journal_context(
+                    cfg,
+                    explicit_jobs,
+                    n_samples=n_samples,
+                    target_occupancy=target_occupancy,
+                ),
+            )
+            if journal is not None
+            else None
+        )
+        try:
+            batch = run_tasks(
+                tasks,
+                workers=workers,
+                policy=RetryPolicy(max_retries=max_retries, timeout=task_timeout),
+                on_task_error=on_task_error,
+                journal=jrn,
+                digest=outcomes_digest,
+            )
+        finally:
+            if jrn is not None:
+                jrn.close()
+        columns = [
+            batch.results[name] for name in cfg.allocators if name in batch.results
+        ]
+        for i in range(len(sampled)):
+            for col in columns:
+                outcomes.append(col[i])
+        return IndividualRunResult(
+            outcomes=outcomes,
+            sampled_job_ids=[j.job_id for j in sampled],
+            missing=dict(batch.missing),
+        )
     if workers is not None and workers > 1 and len(cfg.allocators) > 1:
         with ProcessPoolExecutor(
             max_workers=min(workers, len(cfg.allocators))

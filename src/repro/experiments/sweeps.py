@@ -14,16 +14,56 @@ import csv
 import io
 from concurrent.futures import ProcessPoolExecutor
 from itertools import product
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Union
 
-from ..scheduler.metrics import percent_improvement
+from ..runs import (
+    PartialRows,
+    RetryPolicy,
+    RunJournal,
+    TaskSpec,
+    digest_obj,
+    result_digest,
+    run_tasks,
+)
+from ..runs.retry import ON_ERROR_RETRY
+from ..scheduler.metrics import SimulationResult, percent_improvement
 from ..workloads.classify import single_pattern_mix
-from .runner import ExperimentConfig, continuous_runs
+from .runner import ExperimentConfig, _resilient, continuous_runs
 
-__all__ = ["sweep", "rows_to_csv", "SWEEPABLE"]
+__all__ = ["sweep", "rows_to_csv", "point_config", "SWEEPABLE"]
 
 #: parameters `sweep` understands, with how they map onto the config
 SWEEPABLE = ("log", "n_jobs", "percent_comm", "pattern", "comm_fraction", "seed", "policy")
+
+
+def point_config(
+    point: Mapping[str, object], allocators: Sequence[str]
+) -> ExperimentConfig:
+    """Build the config for one fully resolved sweep point."""
+    return ExperimentConfig(
+        log=str(point["log"]),
+        n_jobs=int(point["n_jobs"]),
+        percent_comm=float(point["percent_comm"]),
+        mix=single_pattern_mix(str(point["pattern"]), float(point["comm_fraction"])),
+        allocators=tuple(allocators),
+        seed=int(point["seed"]),
+        policy=str(point["policy"]),
+    )
+
+
+def _sweep_point_worker(cfg: ExperimentConfig) -> Dict[str, SimulationResult]:
+    """One grid point's continuous runs (module-level so it pickles)."""
+    return continuous_runs(cfg)
+
+
+def _point_digest(results: Dict[str, SimulationResult]) -> str:
+    """Digest of one point's per-allocator results (journal / replay)."""
+    return digest_obj({name: result_digest(res) for name, res in results.items()})
+
+
+def _point_key(point: Mapping[str, object], names: Sequence[str]) -> str:
+    """Stable human-readable journal key for one grid point."""
+    return "|".join(f"{n}={point[n]}" for n in names)
 
 
 def sweep(
@@ -32,6 +72,10 @@ def sweep(
     allocators: Sequence[str] = ("default", "balanced"),
     defaults: Optional[Mapping[str, object]] = None,
     workers: Optional[int] = None,
+    max_retries: int = 0,
+    on_task_error: str = ON_ERROR_RETRY,
+    journal: Optional[Union[str, "os.PathLike"]] = None,
+    task_timeout: Optional[float] = None,
 ) -> List[Dict[str, object]]:
     """Run every combination in ``grid``; one row per (point, allocator).
 
@@ -44,6 +88,12 @@ def sweep(
     ``workers > 1`` runs the grid points in parallel processes (each
     point's allocators run serially inside its worker); rows come back
     in the same cross-product order as the serial path, bit-identical.
+
+    The resilience arguments behave as in
+    :func:`~repro.experiments.runner.continuous_runs`, per grid point;
+    under ``on_task_error="skip"`` the return value is a
+    :class:`~repro.runs.PartialRows` whose ``missing`` names the grid
+    points whose rows are absent.
     """
     unknown = set(grid) - set(SWEEPABLE)
     if unknown:
@@ -72,28 +122,51 @@ def sweep(
         point = dict(base)
         point.update(dict(zip(names, values)))
         points.append(point)
-        configs.append(
-            ExperimentConfig(
-                log=str(point["log"]),
-                n_jobs=int(point["n_jobs"]),
-                percent_comm=float(point["percent_comm"]),
-                mix=single_pattern_mix(
-                    str(point["pattern"]), float(point["comm_fraction"])
-                ),
-                allocators=tuple(allocators),
-                seed=int(point["seed"]),
-                policy=str(point["policy"]),
-            )
-        )
+        configs.append(point_config(point, allocators))
 
-    if workers is not None and workers > 1 and len(configs) > 1:
+    missing: Dict[str, str] = {}
+    if _resilient(max_retries, on_task_error, journal, task_timeout):
+        keys = [_point_key(point, names) for point in points]
+        tasks = [
+            TaskSpec(
+                key=key,
+                fn=_sweep_point_worker,
+                args=(cfg,),
+                spec={"point": point, "allocators": list(allocators)},
+            )
+            for key, point, cfg in zip(keys, points, configs)
+        ]
+        jrn = (
+            RunJournal(journal, run_type="sweep", context={})
+            if journal is not None
+            else None
+        )
+        try:
+            result_batch = run_tasks(
+                tasks,
+                workers=workers,
+                policy=RetryPolicy(max_retries=max_retries, timeout=task_timeout),
+                on_task_error=on_task_error,
+                journal=jrn,
+                digest=_point_digest,
+            )
+        finally:
+            if jrn is not None:
+                jrn.close()
+        missing = dict(result_batch.missing)
+        kept = [
+            (point, result_batch.results[key])
+            for key, point in zip(keys, points)
+            if key in result_batch.results
+        ]
+    elif workers is not None and workers > 1 and len(configs) > 1:
         with ProcessPoolExecutor(max_workers=min(workers, len(configs))) as pool:
-            all_results = list(pool.map(continuous_runs, configs))
+            kept = list(zip(points, pool.map(continuous_runs, configs)))
     else:
-        all_results = [continuous_runs(cfg) for cfg in configs]
+        kept = [(point, continuous_runs(cfg)) for point, cfg in zip(points, configs)]
 
     rows: List[Dict[str, object]] = []
-    for point, results in zip(points, all_results):
+    for point, results in kept:
         base_exec = (
             results["default"].total_execution_hours if "default" in results else None
         )
@@ -107,6 +180,8 @@ def sweep(
                 else None
             )
             rows.append(row)
+    if missing:
+        return PartialRows(rows, missing)
     return rows
 
 

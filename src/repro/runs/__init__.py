@@ -1,0 +1,64 @@
+"""Crash-safe run infrastructure.
+
+The simulator replaces the paper's 2-5 day SLURM emulation with an
+event loop, but our own sweeps are still the longest-running path in
+the repo — and until this package existed, a single worker crash or
+Ctrl-C threw away every completed cell. ``repro.runs`` is the
+robustness layer the experiment harnesses build on:
+
+* :mod:`~repro.runs.atomic` — write-temp/fsync/rename file writes: no
+  crash ever leaves a truncated artifact.
+* :mod:`~repro.runs.retry` — deterministic exponential-backoff retry
+  policy and the ``retry`` / ``skip`` / ``raise`` degradation modes.
+* :mod:`~repro.runs.journal` — append-only JSONL manifest of task
+  specs, attempts, and result digests.
+* :mod:`~repro.runs.executor` — process-pool task runner that survives
+  worker crashes (``BrokenProcessPool`` rebuild), hung workers
+  (per-task timeout), and transient errors, with bit-identical output.
+* :mod:`~repro.runs.digest` — canonical SHA-256 digests of results.
+* :mod:`~repro.runs.verify` — re-execute journaled tasks and compare
+  digests (``repro-sched verify-run``).
+
+Engine-level checkpoint/resume lives with the engine
+(:meth:`repro.scheduler.engine.SchedulerEngine.snapshot`) and the v3
+serialization format (:mod:`repro.scheduler.serialize`); see
+``docs/resilience.md`` for the full picture.
+"""
+
+from .atomic import atomic_write, atomic_write_json, atomic_write_text
+from .digest import canonical_json, digest_obj, result_digest
+from .executor import (
+    PartialResults,
+    PartialRows,
+    TaskBatchResult,
+    TaskFailedError,
+    TaskSpec,
+    run_tasks,
+)
+from .journal import JournalData, RunJournal, load_journal
+from .retry import ON_ERROR_MODES, RetryPolicy, require_on_error
+from .verify import VerifyReport, replay_task, verify_journal
+
+__all__ = [
+    "atomic_write",
+    "atomic_write_json",
+    "atomic_write_text",
+    "canonical_json",
+    "digest_obj",
+    "result_digest",
+    "PartialResults",
+    "PartialRows",
+    "TaskBatchResult",
+    "TaskFailedError",
+    "TaskSpec",
+    "run_tasks",
+    "JournalData",
+    "RunJournal",
+    "load_journal",
+    "ON_ERROR_MODES",
+    "RetryPolicy",
+    "require_on_error",
+    "VerifyReport",
+    "replay_task",
+    "verify_journal",
+]

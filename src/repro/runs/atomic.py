@@ -1,0 +1,74 @@
+"""Crash-safe file writes.
+
+Every durable artifact in the repo (result JSON, engine checkpoints,
+benchmark snapshots, rendered reports) goes through one discipline:
+write a temporary file *in the same directory*, flush and fsync it,
+then ``os.replace`` it over the destination. ``os.replace`` is atomic
+on POSIX, so a crash — a SIGKILL, an OOM kill, a power cut — at any
+instant leaves either the previous complete file or the new complete
+file, never a truncated hybrid. The temp file lives next to the target
+(not in ``/tmp``) because ``rename`` is only atomic within one
+filesystem.
+
+The directory entry itself is not fsynced: a crash in the tiny window
+after the replace can lose the *rename* (you see the old file), but it
+can never surface a partial *write* — which is the invariant the rest
+of the robustness subsystem builds on.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Any, Iterator, Union
+
+__all__ = ["atomic_write", "atomic_write_text", "atomic_write_json"]
+
+
+@contextmanager
+def atomic_write(path: Union[str, Path], *, mode: str = "w") -> Iterator[Any]:
+    """Context manager yielding a handle whose contents replace ``path``.
+
+    The handle writes to a temp file in ``path``'s directory; on a clean
+    exit the temp file is fsynced and atomically renamed over ``path``.
+    On *any* exception the temp file is removed and ``path`` is left
+    exactly as it was. ``mode`` must be a write mode (``"w"``/``"wb"``).
+    """
+    if "r" in mode or "a" in mode or "+" in mode:
+        raise ValueError(f"atomic_write needs a plain write mode, got {mode!r}")
+    target = Path(path)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=target.parent, prefix=target.name + ".", suffix=".tmp"
+    )
+    try:
+        # mkstemp creates 0600; match what a plain open() would have done.
+        umask = os.umask(0)
+        os.umask(umask)
+        os.chmod(tmp_name, 0o666 & ~umask)
+        with os.fdopen(fd, mode) as fh:
+            yield fh
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp_name, target)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+
+
+def atomic_write_text(path: Union[str, Path], text: str) -> None:
+    """Atomically replace ``path`` with ``text``."""
+    with atomic_write(path) as fh:
+        fh.write(text)
+
+
+def atomic_write_json(path: Union[str, Path], obj: Any, *, indent: int = 1) -> None:
+    """Atomically replace ``path`` with ``obj`` rendered as JSON."""
+    with atomic_write(path) as fh:
+        json.dump(obj, fh, indent=indent)
+        fh.write("\n")

@@ -1,0 +1,49 @@
+"""Canonical digests of run artifacts.
+
+A digest is a SHA-256 over a *canonical* JSON rendering (sorted keys,
+no whitespace), so two structurally equal values always hash the same
+regardless of dict construction order. Digests are the currency of the
+run journal: a cell's result is recorded as its digest, and
+``repro-sched verify-run`` re-executes sampled cells and compares —
+bitwise — against the journaled value. Any nondeterminism anywhere in
+the simulator shows up as a digest mismatch.
+
+Floats are hashed through their shortest round-trip ``repr`` (what
+``json.dumps`` emits), which is exact: two floats digest equal iff they
+are bit-equal.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any
+
+__all__ = ["canonical_json", "digest_obj", "result_digest"]
+
+
+def canonical_json(obj: Any) -> str:
+    """Deterministic JSON text for ``obj`` (sorted keys, no whitespace)."""
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+def digest_obj(obj: Any) -> str:
+    """``sha256:<hex>`` of the canonical JSON rendering of ``obj``."""
+    payload = canonical_json(obj).encode("utf-8")
+    return "sha256:" + hashlib.sha256(payload).hexdigest()
+
+
+def result_digest(result) -> str:
+    """Digest of a :class:`~repro.scheduler.metrics.SimulationResult`.
+
+    Hashes the full v3 serialized form minus the embedded ``digest``
+    field itself, so a dumped file's stored digest equals
+    ``result_digest(load_result(path))``.
+    """
+    # Imported lazily: serialize writes digests into its own output, so
+    # a top-level import here would be circular.
+    from ..scheduler.serialize import result_to_dict
+
+    data = result_to_dict(result)
+    data.pop("digest", None)
+    return digest_obj(data)

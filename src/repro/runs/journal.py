@@ -1,0 +1,204 @@
+"""Append-only JSONL run journal.
+
+A journal is the manifest of one harness run (`continuous_runs`,
+`individual_runs`, or `sweep`): what tasks the run consists of, every
+attempt each task made, and a digest of every result produced. It is
+written as JSON Lines — one self-contained JSON object per line,
+flushed per entry — so a crash at any instant loses at most the final
+partial line, which the reader tolerates. Nothing in a journal is ever
+rewritten: recovery and auditing work by *replaying* the log.
+
+Entry kinds (all carry ``"kind"``):
+
+* header (first line): ``{"kind": "journal", "journal_version": 1,
+  "run_type": ..., "context": {...}}`` — ``context`` holds everything
+  needed to re-execute the run's tasks (serialized config, explicit job
+  list, sampling parameters).
+* ``task``    — ``{"key", "spec"}``: one cell of the run.
+* ``attempt`` — ``{"key", "attempt", "status": "start"|"error",
+  "error"?}``: the lifecycle of one submission.
+* ``result``  — ``{"key", "attempt", "digest"}``: a completed cell and
+  the digest of its value (see :mod:`repro.runs.digest`).
+* ``note``    — free-form executor diagnostics (pool rebuilds, etc.).
+
+``repro-sched verify-run`` re-executes journaled tasks and compares
+digests, catching nondeterminism regressions (see
+:mod:`repro.runs.verify`).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+__all__ = ["RunJournal", "JournalData", "load_journal", "JOURNAL_VERSION"]
+
+JOURNAL_VERSION = 1
+
+
+class RunJournal:
+    """Writer half: append entries to a JSONL journal file.
+
+    Opens the file in append mode and writes the header only when the
+    file is new or empty, so a journal can span several process
+    invocations of the same run. Use as a context manager or call
+    :meth:`close`.
+    """
+
+    def __init__(
+        self,
+        path: Union[str, Path],
+        *,
+        run_type: str = "tasks",
+        context: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        self.path = Path(path)
+        fresh = not self.path.exists() or self.path.stat().st_size == 0
+        self._fh = open(self.path, "a")
+        if fresh:
+            self._append(
+                {
+                    "kind": "journal",
+                    "journal_version": JOURNAL_VERSION,
+                    "run_type": run_type,
+                    "context": context or {},
+                    "created": time.time(),
+                }
+            )
+
+    def _append(self, entry: Dict[str, Any]) -> None:
+        self._fh.write(json.dumps(entry, sort_keys=True) + "\n")
+        self._fh.flush()
+
+    # ------------------------------------------------------------------
+
+    def task(self, key: str, spec: Dict[str, Any]) -> None:
+        """Declare one cell of the run before any attempt at it."""
+        self._append({"kind": "task", "key": key, "spec": spec})
+
+    def attempt_start(self, key: str, attempt: int) -> None:
+        self._append(
+            {"kind": "attempt", "key": key, "attempt": attempt, "status": "start"}
+        )
+
+    def attempt_error(self, key: str, attempt: int, error: str) -> None:
+        self._append(
+            {
+                "kind": "attempt",
+                "key": key,
+                "attempt": attempt,
+                "status": "error",
+                "error": error,
+            }
+        )
+
+    def result(self, key: str, attempt: int, digest: str) -> None:
+        self._append(
+            {"kind": "result", "key": key, "attempt": attempt, "digest": digest}
+        )
+
+    def note(self, event: str, **fields: Any) -> None:
+        """Free-form executor diagnostic (pool rebuilt, task timed out...)."""
+        entry = {"kind": "note", "event": event}
+        entry.update(fields)
+        self._append(entry)
+
+    def close(self) -> None:
+        if not self._fh.closed:
+            self._fh.close()
+
+    def __enter__(self) -> "RunJournal":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+
+@dataclass
+class JournalData:
+    """Reader half: the parsed content of a journal file.
+
+    ``truncated`` is True when the final line was cut mid-write (the
+    expected signature of a crash); everything before it is intact.
+    """
+
+    header: Dict[str, Any]
+    tasks: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+    attempts: Dict[str, List[Dict[str, Any]]] = field(default_factory=dict)
+    digests: Dict[str, str] = field(default_factory=dict)
+    notes: List[Dict[str, Any]] = field(default_factory=list)
+    truncated: bool = False
+
+    @property
+    def run_type(self) -> str:
+        return str(self.header.get("run_type", "tasks"))
+
+    @property
+    def context(self) -> Dict[str, Any]:
+        return dict(self.header.get("context", {}))
+
+    def attempt_count(self, key: str) -> int:
+        """Submissions recorded for ``key`` (``status == "start"``)."""
+        return sum(1 for a in self.attempts.get(key, []) if a["status"] == "start")
+
+    def completed_keys(self) -> List[str]:
+        """Task keys with a recorded result digest, in task order."""
+        return [k for k in self.tasks if k in self.digests]
+
+    def missing_keys(self) -> List[str]:
+        """Declared tasks that never produced a result."""
+        return [k for k in self.tasks if k not in self.digests]
+
+
+def load_journal(path: Union[str, Path]) -> JournalData:
+    """Parse a journal file, tolerating a torn final line.
+
+    Raises ``ValueError`` when the file does not start with a journal
+    header or was written by a newer journal version.
+    """
+    header: Optional[Dict[str, Any]] = None
+    data = JournalData(header={})
+    with open(path) as fh:
+        for lineno, line in enumerate(fh, start=1):
+            stripped = line.strip()
+            if not stripped:
+                continue
+            try:
+                entry = json.loads(stripped)
+            except json.JSONDecodeError:
+                # Only the final line may be torn; anything earlier is
+                # real corruption.
+                if fh.readline():
+                    raise ValueError(
+                        f"{path}: line {lineno} is not valid JSON "
+                        "(corrupt journal)"
+                    )
+                data.truncated = True
+                break
+            kind = entry.get("kind")
+            if header is None:
+                if kind != "journal":
+                    raise ValueError(f"{path}: first line is not a journal header")
+                version = entry.get("journal_version")
+                if version != JOURNAL_VERSION:
+                    raise ValueError(
+                        f"{path}: journal version {version!r} not supported "
+                        f"(this build reads {JOURNAL_VERSION})"
+                    )
+                header = entry
+                data.header = entry
+            elif kind == "task":
+                data.tasks[entry["key"]] = entry.get("spec", {})
+            elif kind == "attempt":
+                data.attempts.setdefault(entry["key"], []).append(entry)
+            elif kind == "result":
+                data.digests[entry["key"]] = entry["digest"]
+            elif kind == "note":
+                data.notes.append(entry)
+            # unknown kinds are skipped: forward compatibility
+    if header is None:
+        raise ValueError(f"{path}: empty journal")
+    return data

@@ -29,12 +29,19 @@ checkpoint / abandon, see :mod:`repro.faults.policy`), marks the nodes
 DOWN on the state, and lets the following scheduling pass route new
 work around the hole. With no faults the loop is byte-for-byte the
 pre-fault behaviour — fault handling only runs when fault events exist.
+
+The engine itself is crash-safe: because every source of ordering is
+deterministic (the event heap totally orders by (time, kind, seq) and
+no RNG runs inside the loop), the full mid-run state can be serialized
+(:meth:`SchedulerEngine.snapshot`, format v3 in
+:mod:`repro.scheduler.serialize`) and a resumed run completes
+bit-identically to an uninterrupted one. See ``docs/resilience.md``.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Union
+from dataclasses import asdict, dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -43,15 +50,51 @@ from ..allocation.default_slurm import DefaultSlurmAllocator
 from ..allocation.registry import get_allocator
 from ..cluster.job import Job
 from ..cluster.state import ClusterState
+from ..cost.contention import ContentionModel
 from ..cost.model import CostModel
 from ..faults.events import FaultEvent
 from ..faults.policy import POLICY_ABANDON, InterruptionBook, require_policy
+from ..topology.config import parse_topology_conf, write_topology_conf
 from ..topology.tree import TreeTopology
-from .events import EventKind, EventQueue
+from .events import Event, EventKind, EventQueue
 from .metrics import JobRecord, SimulationResult
+from .serialize import (
+    SNAPSHOT_KIND,
+    dump_snapshot,
+    fault_from_dict,
+    fault_to_dict,
+    job_from_dict,
+    job_to_dict,
+    record_from_dict,
+    record_to_dict,
+)
+
 from .queue_policy import QueuePolicy, RunningJobView, get_policy
 
-__all__ = ["EngineConfig", "SchedulerEngine", "SchedulerStats", "simulate"]
+__all__ = [
+    "EngineConfig",
+    "SchedulerEngine",
+    "SchedulerStats",
+    "SimulationInterrupted",
+    "simulate",
+]
+
+
+class SimulationInterrupted(RuntimeError):
+    """A run was stopped by its ``interrupt`` callback (e.g. SIGINT).
+
+    ``checkpoint_path`` names the final checkpoint written before
+    stopping, or ``None`` when checkpointing was not enabled.
+    """
+
+    def __init__(self, checkpoint_path: Optional[str] = None) -> None:
+        suffix = (
+            f"; checkpoint written to {checkpoint_path}"
+            if checkpoint_path
+            else " (no checkpoint configured)"
+        )
+        super().__init__(f"simulation interrupted{suffix}")
+        self.checkpoint_path = checkpoint_path
 
 
 @dataclass
@@ -139,6 +182,26 @@ class _Running:
     cost_default: Dict[str, float]
 
 
+@dataclass
+class _RunState:
+    """Everything one in-progress :meth:`SchedulerEngine.run` owns.
+
+    Extracted from the run loop's former local variables so a run can
+    be paused, snapshotted, and resumed. ``batches_done`` counts the
+    simultaneous-event batches processed — the unit ``checkpoint_every``
+    and ``stop_after`` are measured in.
+    """
+
+    state: ClusterState
+    events: EventQueue
+    queue: List[Job]
+    running: Dict[int, _Running]
+    records: List[JobRecord]
+    books: Dict[int, InterruptionBook]
+    submits_left: int
+    batches_done: int = 0
+
+
 class SchedulerEngine:
     """One reusable (topology, allocator, config) simulation harness."""
 
@@ -155,15 +218,23 @@ class SchedulerEngine:
         self._default = DefaultSlurmAllocator()
         #: statistics of the most recent :meth:`run` (reset per run)
         self.last_stats = SchedulerStats()
+        #: the paused/in-progress run, when one exists
+        self._run_state: Optional[_RunState] = None
 
     # ------------------------------------------------------------------
 
     def run(
         self,
-        jobs: Iterable[Job],
+        jobs: Optional[Iterable[Job]] = None,
         initial_state: Optional[ClusterState] = None,
         faults: Optional[Sequence[FaultEvent]] = None,
-    ) -> SimulationResult:
+        *,
+        resume_from: Optional[Dict[str, Any]] = None,
+        checkpoint_every: Optional[int] = None,
+        checkpoint_path: Optional[Union[str, "os.PathLike"]] = None,
+        stop_after: Optional[int] = None,
+        interrupt: Optional[Callable[[], bool]] = None,
+    ) -> Optional[SimulationResult]:
         """Simulate ``jobs`` to completion and return all records.
 
         ``initial_state`` lets callers start from a partially occupied
@@ -179,10 +250,54 @@ class SchedulerEngine:
         longer fit by the time all events drain are returned in
         ``SimulationResult.unstarted``. Passing ``faults=None`` or an
         empty sequence reproduces the fault-free schedule exactly.
+
+        Crash safety (see ``docs/resilience.md``):
+
+        * ``checkpoint_path`` + ``checkpoint_every=N`` atomically write
+          an engine checkpoint (:meth:`snapshot`) every N event batches;
+        * ``resume_from`` (a checkpoint dict from
+          :func:`~repro.scheduler.serialize.load_snapshot`) continues a
+          checkpointed run — ``jobs``/``initial_state``/``faults`` must
+          then be omitted, and the completed run is **bit-identical** to
+          an uninterrupted one;
+        * ``stop_after=N`` pauses the run after N event batches (writing
+          a final checkpoint when ``checkpoint_path`` is set) and
+          returns ``None``; the paused state stays on the engine for
+          :meth:`snapshot`;
+        * ``interrupt`` is polled once per batch; when it returns True
+          the run writes a final checkpoint (if configured) and raises
+          :class:`SimulationInterrupted`.
         """
-        job_list = sorted(jobs, key=lambda j: (j.submit_time, j.job_id))
-        if not job_list:
-            return SimulationResult(self.allocator.name, [])
+        if checkpoint_every is not None and checkpoint_every <= 0:
+            raise ValueError(f"checkpoint_every must be > 0, got {checkpoint_every}")
+        if checkpoint_every is not None and checkpoint_path is None:
+            raise ValueError("checkpoint_every requires checkpoint_path")
+        if stop_after is not None and stop_after <= 0:
+            raise ValueError(f"stop_after must be > 0, got {stop_after}")
+
+        if resume_from is not None:
+            if jobs is not None or initial_state is not None or faults is not None:
+                raise ValueError(
+                    "resume_from replaces jobs/initial_state/faults — "
+                    "they all live inside the checkpoint"
+                )
+            rs = self._restore_run_state(resume_from)
+        else:
+            if jobs is None:
+                raise ValueError("run() needs jobs (or resume_from=...)")
+            job_list = sorted(jobs, key=lambda j: (j.submit_time, j.job_id))
+            if not job_list:
+                return SimulationResult(self.allocator.name, [])
+            rs = self._begin_run(job_list, initial_state, faults)
+
+        return self._drive(rs, checkpoint_every, checkpoint_path, stop_after, interrupt)
+
+    def _begin_run(
+        self,
+        job_list: List[Job],
+        initial_state: Optional[ClusterState],
+        faults: Optional[Sequence[FaultEvent]],
+    ) -> _RunState:
         seen_ids = set(r for r in ([] if initial_state is None else initial_state.running))
         for job in job_list:
             if job.nodes > self.topology.n_nodes:
@@ -212,14 +327,40 @@ class SchedulerEngine:
                 EventKind.NODE_DOWN if fault.is_down else EventKind.NODE_UP,
                 fault,
             )
+        return _RunState(
+            state=state,
+            events=events,
+            queue=[],
+            running={},
+            records=[],
+            books={},
+            submits_left=len(job_list),
+        )
 
-        queue: List[Job] = []
-        running: Dict[int, _Running] = {}
-        records: List[JobRecord] = []
-        books: Dict[int, InterruptionBook] = {}
-        submits_left = len(job_list)
-
+    def _drive(
+        self,
+        rs: _RunState,
+        checkpoint_every: Optional[int],
+        checkpoint_path: Optional[Union[str, "os.PathLike"]],
+        stop_after: Optional[int],
+        interrupt: Optional[Callable[[], bool]],
+    ) -> Optional[SimulationResult]:
+        self._run_state = rs
+        state, queue, running, records, books = (
+            rs.state,
+            rs.queue,
+            rs.running,
+            rs.records,
+            rs.books,
+        )
+        events = rs.events
         while events:
+            if interrupt is not None and interrupt():
+                if checkpoint_path is not None:
+                    self._write_checkpoint(checkpoint_path)
+                raise SimulationInterrupted(
+                    str(checkpoint_path) if checkpoint_path is not None else None
+                )
             now, batch = events.pop_simultaneous()
             for event in batch:
                 if event.kind is EventKind.FINISH:
@@ -247,14 +388,245 @@ class SchedulerEngine:
                     state.mark_up(np.asarray(event.payload.nodes, dtype=np.int64))
                 else:
                     queue.append(event.payload)
-                    submits_left -= 1
+                    rs.submits_left -= 1
             self._schedule_pass(now, state, queue, running, events, books)
             if self.config.validate_state:
                 state.validate()
-            if submits_left == 0 and not queue and not running:
+            rs.batches_done += 1
+            if rs.submits_left == 0 and not queue and not running:
                 break  # only fault events (or stale finishes) remain
+            if not events:
+                break
+            if (
+                checkpoint_every is not None
+                and rs.batches_done % checkpoint_every == 0
+            ):
+                self._write_checkpoint(checkpoint_path)
+            if stop_after is not None and rs.batches_done >= stop_after:
+                if checkpoint_path is not None:
+                    self._write_checkpoint(checkpoint_path)
+                return None  # paused; self._run_state holds the frozen run
 
-        return SimulationResult(self.allocator.name, records, unstarted=list(queue))
+        result = SimulationResult(self.allocator.name, records, unstarted=list(queue))
+        self._run_state = None
+        return result
+
+    # ------------------------------------------------------------------
+    # checkpoint / resume
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Serialize the paused/in-progress run as a checkpoint dict.
+
+        The snapshot captures the *entire* simulation state — pending
+        event heap (in internal heap-array order, with the sequence
+        counter), queue, running set, per-job interruption books,
+        completed records, cluster node arrays, engine stats — plus the
+        engine configuration and topology, so
+        :meth:`from_snapshot` + ``run(resume_from=...)`` continues the
+        run **bit-identically** to one that was never stopped.
+
+        ``_Running`` entries are stored once in a reference table and
+        pointed at by index: the engine detects stale FINISH events (a
+        job interrupted by a fault and restarted) by object *identity*,
+        so the heap's payload references and the running dict must
+        resolve to the same objects after restore.
+        """
+        rs = self._run_state
+        if rs is None:
+            raise RuntimeError(
+                "no run in progress — snapshot() only works on a run "
+                "paused with stop_after or polled via checkpoint_every"
+            )
+        cfg = self.config
+        entry_refs: Dict[int, int] = {}
+        entries: List[Dict[str, Any]] = []
+
+        def ref(entry: _Running) -> int:
+            key = id(entry)
+            idx = entry_refs.get(key)
+            if idx is None:
+                idx = len(entries)
+                entry_refs[key] = idx
+                entries.append(
+                    {
+                        "job": job_to_dict(entry.job),
+                        "start_time": entry.start_time,
+                        "finish_time": entry.finish_time,
+                        "nodes": entry.nodes.tolist(),
+                        "cost_jobaware": dict(entry.cost_jobaware),
+                        "cost_default": dict(entry.cost_default),
+                    }
+                )
+            return idx
+
+        running_refs = [[job_id, ref(entry)] for job_id, entry in rs.running.items()]
+        heap: List[Dict[str, Any]] = []
+        for event in rs.events.snapshot_entries():
+            if event.kind is EventKind.FINISH:
+                payload: Dict[str, Any] = {"type": "finish", "ref": ref(event.payload)}
+            elif event.kind is EventKind.SUBMIT:
+                payload = {"type": "submit", "job": job_to_dict(event.payload)}
+            else:
+                payload = {"type": "fault", "fault": fault_to_dict(event.payload)}
+            heap.append(
+                {
+                    "time": event.time,
+                    "kind": int(event.kind),
+                    "seq": event.seq,
+                    "payload": payload,
+                }
+            )
+
+        return {
+            "kind": SNAPSHOT_KIND,
+            "format_version": 3,
+            "engine": {
+                "allocator": self.allocator.name,
+                "policy": cfg.policy,
+                "adjust_runtimes": cfg.adjust_runtimes,
+                "validate_state": cfg.validate_state,
+                "interrupt_policy": cfg.interrupt_policy,
+                "checkpoint_interval": cfg.checkpoint_interval,
+                "cost_model": {
+                    "weight_by_msize": cfg.cost_model.weight_by_msize,
+                    "contention": {
+                        "uplink_discount": cfg.cost_model.contention.uplink_discount,
+                        "per_level": cfg.cost_model.contention.per_level,
+                    },
+                },
+            },
+            "topology_conf": write_topology_conf(self.topology),
+            "heap": heap,
+            "next_seq": rs.events.next_seq,
+            "running_entries": entries,
+            "running_refs": running_refs,
+            "queue": [job_to_dict(j) for j in rs.queue],
+            "records": [record_to_dict(r) for r in rs.records],
+            "books": [[job_id, asdict(book)] for job_id, book in rs.books.items()],
+            "submits_left": rs.submits_left,
+            "batches_done": rs.batches_done,
+            "stats": asdict(self.last_stats),
+            "state": rs.state.snapshot_dict(),
+            # Reserved: the engine is RNG-free today; a future stochastic
+            # extension must checkpoint its generator state here.
+            "rng": None,
+        }
+
+    def _write_checkpoint(self, path: Union[str, "os.PathLike"]) -> None:
+        dump_snapshot(self.snapshot(), path)
+
+    def _restore_run_state(self, data: Dict[str, Any]) -> _RunState:
+        """Rebuild a :class:`_RunState` from a checkpoint dict."""
+        if data.get("kind") != SNAPSHOT_KIND:
+            raise ValueError(f"not an engine checkpoint: kind={data.get('kind')!r}")
+        meta = data["engine"]
+        if meta["allocator"] != self.allocator.name:
+            raise ValueError(
+                f"checkpoint was taken under allocator {meta['allocator']!r}; "
+                f"this engine uses {self.allocator.name!r}"
+            )
+        if meta["policy"] != self.config.policy:
+            raise ValueError(
+                f"checkpoint was taken under policy {meta['policy']!r}; "
+                f"this engine uses {self.config.policy!r}"
+            )
+        ckpt_topology = parse_topology_conf(data["topology_conf"])
+        if ckpt_topology.n_nodes != self.topology.n_nodes:
+            raise ValueError(
+                f"checkpoint topology has {ckpt_topology.n_nodes} nodes; "
+                f"this engine's has {self.topology.n_nodes}"
+            )
+
+        entries = [
+            _Running(
+                job=job_from_dict(e["job"]),
+                start_time=float(e["start_time"]),
+                finish_time=float(e["finish_time"]),
+                nodes=np.asarray(e["nodes"], dtype=np.int64),
+                cost_jobaware={k: float(v) for k, v in e["cost_jobaware"].items()},
+                cost_default={k: float(v) for k, v in e["cost_default"].items()},
+            )
+            for e in data["running_entries"]
+        ]
+        heap_events: List[Event] = []
+        for ev in data["heap"]:
+            payload_data = ev["payload"]
+            ptype = payload_data["type"]
+            if ptype == "finish":
+                payload: Any = entries[payload_data["ref"]]
+            elif ptype == "submit":
+                payload = job_from_dict(payload_data["job"])
+            elif ptype == "fault":
+                payload = fault_from_dict(payload_data["fault"])
+            else:
+                raise ValueError(f"unknown checkpoint event payload type {ptype!r}")
+            heap_events.append(
+                Event(
+                    time=float(ev["time"]),
+                    kind=EventKind(ev["kind"]),
+                    seq=int(ev["seq"]),
+                    payload=payload,
+                )
+            )
+        events = EventQueue.restore(heap_events, int(data["next_seq"]))
+        running = {int(job_id): entries[idx] for job_id, idx in data["running_refs"]}
+        books = {
+            int(job_id): InterruptionBook(**book) for job_id, book in data["books"]
+        }
+        self.last_stats = SchedulerStats(**data["stats"])
+        return _RunState(
+            state=ClusterState.from_snapshot_dict(self.topology, data["state"]),
+            events=events,
+            queue=[job_from_dict(j) for j in data["queue"]],
+            running=running,
+            records=[record_from_dict(r) for r in data["records"]],
+            books=books,
+            submits_left=int(data["submits_left"]),
+            batches_done=int(data["batches_done"]),
+        )
+
+    @classmethod
+    def from_snapshot(
+        cls,
+        data: Dict[str, Any],
+        *,
+        topology: Optional[TreeTopology] = None,
+        allocator: Optional[Union[str, Allocator]] = None,
+        config: Optional[EngineConfig] = None,
+    ) -> "SchedulerEngine":
+        """Build an engine whose configuration matches a checkpoint.
+
+        By default everything — topology, allocator, engine config —
+        is reconstructed from the checkpoint itself, so
+        ``SchedulerEngine.from_snapshot(ckpt).run(resume_from=ckpt)``
+        is all a resume takes. Each piece can be overridden (e.g. to
+        reuse an already-parsed topology object).
+        """
+        if data.get("kind") != SNAPSHOT_KIND:
+            raise ValueError(f"not an engine checkpoint: kind={data.get('kind')!r}")
+        meta = data["engine"]
+        if topology is None:
+            topology = parse_topology_conf(data["topology_conf"])
+        if allocator is None:
+            allocator = meta["allocator"]
+        if config is None:
+            cm = meta["cost_model"]
+            config = EngineConfig(
+                policy=meta["policy"],
+                cost_model=CostModel(
+                    weight_by_msize=bool(cm["weight_by_msize"]),
+                    contention=ContentionModel(
+                        uplink_discount=float(cm["contention"]["uplink_discount"]),
+                        per_level=bool(cm["contention"]["per_level"]),
+                    ),
+                ),
+                adjust_runtimes=bool(meta["adjust_runtimes"]),
+                validate_state=bool(meta["validate_state"]),
+                interrupt_policy=meta["interrupt_policy"],
+                checkpoint_interval=float(meta["checkpoint_interval"]),
+            )
+        return cls(topology, allocator, config)
 
     def _apply_fault_down(
         self,

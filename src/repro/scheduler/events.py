@@ -17,7 +17,6 @@ from __future__ import annotations
 
 import enum
 import heapq
-import itertools
 from dataclasses import dataclass, field
 from typing import Any, List, Optional, Tuple
 
@@ -48,15 +47,51 @@ class EventQueue:
 
     def __init__(self) -> None:
         self._heap: List[Event] = []
-        self._seq = itertools.count()
+        self._next_seq = 0
 
     def push(self, time: float, kind: EventKind, payload: Any = None) -> Event:
         """Schedule an event; returns it (mainly for tests)."""
         if not time >= 0.0:  # rejects NaN too
             raise ValueError(f"event time must be >= 0, got {time}")
-        event = Event(time=float(time), kind=kind, seq=next(self._seq), payload=payload)
+        event = Event(time=float(time), kind=kind, seq=self._next_seq, payload=payload)
+        self._next_seq += 1
         heapq.heappush(self._heap, event)
         return event
+
+    # ------------------------------------------------------------------
+    # checkpoint support (engine snapshot/restore)
+    # ------------------------------------------------------------------
+
+    @property
+    def next_seq(self) -> int:
+        """The sequence number the next :meth:`push` will assign."""
+        return self._next_seq
+
+    def snapshot_entries(self) -> List[Event]:
+        """The pending events in internal heap-array order.
+
+        The returned list *is* a valid heap array; feeding it back to
+        :meth:`restore` reproduces this queue exactly — same pop order,
+        same tiebreaks — which is what makes engine checkpoints
+        bit-deterministic.
+        """
+        return list(self._heap)
+
+    @classmethod
+    def restore(cls, entries: List[Event], next_seq: int) -> "EventQueue":
+        """Rebuild a queue from :meth:`snapshot_entries` output."""
+        queue = cls()
+        queue._heap = list(entries)
+        heapq.heapify(queue._heap)  # no-op on a valid heap array
+        if entries:
+            max_seq = max(e.seq for e in entries)
+            if next_seq <= max_seq:
+                raise ValueError(
+                    f"next_seq {next_seq} collides with pending event "
+                    f"seq {max_seq}"
+                )
+        queue._next_seq = next_seq
+        return queue
 
     def pop(self) -> Event:
         """Remove and return the earliest event; raises ``IndexError`` if empty."""

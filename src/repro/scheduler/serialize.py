@@ -1,4 +1,4 @@
-"""JSON persistence for simulation results.
+"""JSON persistence for simulation results and engine checkpoints.
 
 Long sweeps (seed grids, paper-scale tables) are worth keeping; this
 module round-trips :class:`~repro.scheduler.metrics.SimulationResult`
@@ -6,29 +6,68 @@ through plain JSON so results can be archived, diffed, and re-analyzed
 without rerunning the simulator. Jobs serialize with their pattern
 *names*; deserialization rebuilds pattern objects from the registry, so
 custom patterns must be registered before loading.
+
+Format history:
+
+* **v1** — records only.
+* **v2** — per-record fault fields (``requeues`` /
+  ``wasted_node_seconds`` / ``failed``) and the top-level ``unstarted``
+  job list.
+* **v3** — a top-level ``digest`` (canonical SHA-256 of the payload,
+  verified on load so a corrupted artifact is rejected instead of
+  silently mis-analyzed), and a second artifact kind: the **engine
+  checkpoint** (``kind: "engine-checkpoint"``) produced by
+  :meth:`~repro.scheduler.engine.SchedulerEngine.snapshot` — the fully
+  deterministic mid-run state that ``repro-sched simulate
+  --resume-from`` continues from. v1/v2 result files still load (they
+  simply carry no digest to verify).
+
+All file writes go through :func:`repro.runs.atomic.atomic_write`: a
+crash mid-dump never leaves a truncated JSON artifact.
 """
 
 from __future__ import annotations
 
 import json
-from typing import Any, Dict, List
+from typing import Any, Dict, List, Union
 
 import numpy as np
 
 from ..cluster.job import CommComponent, Job, JobKind
+from ..faults.events import FaultEvent
 from ..patterns.registry import get_pattern
+from ..runs.atomic import atomic_write
+from ..runs.digest import digest_obj
 from .metrics import JobRecord, SimulationResult
 
-__all__ = ["result_to_dict", "result_from_dict", "dump_result", "load_result"]
+__all__ = [
+    "result_to_dict",
+    "result_from_dict",
+    "dump_result",
+    "load_result",
+    "job_to_dict",
+    "job_from_dict",
+    "fault_to_dict",
+    "fault_from_dict",
+    "record_to_dict",
+    "record_from_dict",
+    "dump_snapshot",
+    "load_snapshot",
+    "SNAPSHOT_KIND",
+]
 
-#: v2 adds per-record fault fields (requeues / wasted_node_seconds /
-#: failed) and the top-level ``unstarted`` job list; v1 files load with
-#: fault-free defaults.
-_FORMAT_VERSION = 2
-_READABLE_VERSIONS = (1, 2)
+#: v3 adds the verified top-level ``digest`` and the engine-checkpoint
+#: artifact kind; v1/v2 result files load unchanged (v1 with fault-free
+#: defaults).
+_FORMAT_VERSION = 3
+_READABLE_VERSIONS = (1, 2, 3)
+_SNAPSHOT_READABLE_VERSIONS = (3,)
+
+SNAPSHOT_KIND = "engine-checkpoint"
 
 
-def _job_to_dict(job: Job) -> Dict[str, Any]:
+def job_to_dict(job: Job) -> Dict[str, Any]:
+    """Plain-JSON representation of one :class:`Job`."""
     return {
         "job_id": job.job_id,
         "submit_time": job.submit_time,
@@ -41,7 +80,8 @@ def _job_to_dict(job: Job) -> Dict[str, Any]:
     }
 
 
-def _job_from_dict(data: Dict[str, Any]) -> Job:
+def job_from_dict(data: Dict[str, Any]) -> Job:
+    """Inverse of :func:`job_to_dict` (patterns rebuilt from the registry)."""
     comm = tuple(
         CommComponent(get_pattern(c["pattern"]), float(c["fraction"]))
         for c in data["comm"]
@@ -56,59 +96,99 @@ def _job_from_dict(data: Dict[str, Any]) -> Job:
     )
 
 
-def result_to_dict(result: SimulationResult) -> Dict[str, Any]:
-    """Plain-JSON-serializable representation of a result."""
+def fault_to_dict(fault: FaultEvent) -> Dict[str, Any]:
+    """Plain-JSON representation of one :class:`FaultEvent`."""
     return {
-        "format_version": _FORMAT_VERSION,
-        "allocator": result.allocator_name,
-        "records": [
-            {
-                "job": _job_to_dict(r.job),
-                "start_time": r.start_time,
-                "finish_time": r.finish_time,
-                "nodes": r.nodes.tolist(),
-                "cost_jobaware": dict(r.cost_jobaware),
-                "cost_default": dict(r.cost_default),
-                "requeues": r.requeues,
-                "wasted_node_seconds": r.wasted_node_seconds,
-                "failed": r.failed,
-            }
-            for r in result.records
-        ],
-        "unstarted": [_job_to_dict(j) for j in result.unstarted],
+        "time": fault.time,
+        "action": fault.action,
+        "nodes": list(fault.nodes),
+        "cause": fault.cause,
+        "target": fault.target,
     }
 
 
+def fault_from_dict(data: Dict[str, Any]) -> FaultEvent:
+    """Inverse of :func:`fault_to_dict`."""
+    return FaultEvent(
+        time=float(data["time"]),
+        action=str(data["action"]),
+        nodes=tuple(int(n) for n in data["nodes"]),
+        cause=str(data.get("cause", "node")),
+        target=str(data.get("target", "")),
+    )
+
+
+def record_to_dict(record: JobRecord) -> Dict[str, Any]:
+    """Plain-JSON representation of one :class:`JobRecord`."""
+    return {
+        "job": job_to_dict(record.job),
+        "start_time": record.start_time,
+        "finish_time": record.finish_time,
+        "nodes": record.nodes.tolist(),
+        "cost_jobaware": dict(record.cost_jobaware),
+        "cost_default": dict(record.cost_default),
+        "requeues": record.requeues,
+        "wasted_node_seconds": record.wasted_node_seconds,
+        "failed": record.failed,
+    }
+
+
+def record_from_dict(rec: Dict[str, Any]) -> JobRecord:
+    """Inverse of :func:`record_to_dict`; v1 records get fault-free defaults."""
+    return JobRecord(
+        job=job_from_dict(rec["job"]),
+        start_time=float(rec["start_time"]),
+        finish_time=float(rec["finish_time"]),
+        nodes=np.asarray(rec["nodes"], dtype=np.int64),
+        cost_jobaware={k: float(v) for k, v in rec["cost_jobaware"].items()},
+        cost_default={k: float(v) for k, v in rec["cost_default"].items()},
+        requeues=int(rec.get("requeues", 0)),
+        wasted_node_seconds=float(rec.get("wasted_node_seconds", 0.0)),
+        failed=bool(rec.get("failed", False)),
+    )
+
+
+def result_to_dict(result: SimulationResult) -> Dict[str, Any]:
+    """Plain-JSON-serializable representation of a result (format v3).
+
+    The embedded ``digest`` covers everything else in the dict, so a
+    truncated or bit-flipped artifact is detected on load.
+    """
+    data = {
+        "format_version": _FORMAT_VERSION,
+        "allocator": result.allocator_name,
+        "records": [record_to_dict(r) for r in result.records],
+        "unstarted": [job_to_dict(j) for j in result.unstarted],
+    }
+    data["digest"] = digest_obj(data)
+    return data
+
+
 def result_from_dict(data: Dict[str, Any]) -> SimulationResult:
-    """Inverse of :func:`result_to_dict`; validates the format version."""
+    """Inverse of :func:`result_to_dict`; validates version and digest."""
     version = data.get("format_version")
     if version not in _READABLE_VERSIONS:
         raise ValueError(
             f"unsupported result format version {version!r} "
             f"(this build reads {list(_READABLE_VERSIONS)})"
         )
-    records: List[JobRecord] = []
-    for rec in data["records"]:
-        records.append(
-            JobRecord(
-                job=_job_from_dict(rec["job"]),
-                start_time=float(rec["start_time"]),
-                finish_time=float(rec["finish_time"]),
-                nodes=np.asarray(rec["nodes"], dtype=np.int64),
-                cost_jobaware={k: float(v) for k, v in rec["cost_jobaware"].items()},
-                cost_default={k: float(v) for k, v in rec["cost_default"].items()},
-                requeues=int(rec.get("requeues", 0)),
-                wasted_node_seconds=float(rec.get("wasted_node_seconds", 0.0)),
-                failed=bool(rec.get("failed", False)),
+    stored_digest = data.get("digest")
+    if stored_digest is not None:
+        payload = {k: v for k, v in data.items() if k != "digest"}
+        actual = digest_obj(payload)
+        if actual != stored_digest:
+            raise ValueError(
+                f"result digest mismatch: file says {stored_digest}, "
+                f"content hashes to {actual} — the artifact is corrupt"
             )
-        )
-    unstarted = [_job_from_dict(j) for j in data.get("unstarted", [])]
+    records: List[JobRecord] = [record_from_dict(rec) for rec in data["records"]]
+    unstarted = [job_from_dict(j) for j in data.get("unstarted", [])]
     return SimulationResult(data["allocator"], records, unstarted=unstarted)
 
 
 def dump_result(result: SimulationResult, path) -> None:
-    """Write a result as JSON to ``path``."""
-    with open(path, "w") as fh:
+    """Atomically write a result as JSON to ``path``."""
+    with atomic_write(path) as fh:
         json.dump(result_to_dict(result), fh, indent=1)
 
 
@@ -116,3 +196,49 @@ def load_result(path) -> SimulationResult:
     """Read a result JSON written by :func:`dump_result`."""
     with open(path) as fh:
         return result_from_dict(json.load(fh))
+
+
+# ----------------------------------------------------------------------
+# engine checkpoints
+# ----------------------------------------------------------------------
+
+
+def dump_snapshot(snapshot: Dict[str, Any], path) -> None:
+    """Atomically write an engine checkpoint produced by ``snapshot()``.
+
+    Atomicity is the point: checkpoints are written *mid-run*, exactly
+    when a crash is most likely, and a resumable run is only as good as
+    its last uncorrupted checkpoint.
+    """
+    if snapshot.get("kind") != SNAPSHOT_KIND:
+        raise ValueError(
+            f"not an engine checkpoint: kind={snapshot.get('kind')!r}"
+        )
+    if "digest" not in snapshot:
+        snapshot = dict(snapshot)
+        snapshot["digest"] = digest_obj(snapshot)
+    with atomic_write(path) as fh:
+        json.dump(snapshot, fh, indent=1)
+
+
+def load_snapshot(path) -> Dict[str, Any]:
+    """Read and validate an engine checkpoint file."""
+    with open(path) as fh:
+        data = json.load(fh)
+    if not isinstance(data, dict) or data.get("kind") != SNAPSHOT_KIND:
+        raise ValueError(f"{path}: not an engine checkpoint file")
+    version = data.get("format_version")
+    if version not in _SNAPSHOT_READABLE_VERSIONS:
+        raise ValueError(
+            f"unsupported checkpoint format version {version!r} "
+            f"(this build reads {list(_SNAPSHOT_READABLE_VERSIONS)})"
+        )
+    stored_digest = data.get("digest")
+    if stored_digest is not None:
+        payload = {k: v for k, v in data.items() if k != "digest"}
+        actual = digest_obj(payload)
+        if actual != stored_digest:
+            raise ValueError(
+                f"{path}: checkpoint digest mismatch — the file is corrupt"
+            )
+    return data

@@ -1,0 +1,84 @@
+"""Atomic write discipline: a crash never leaves a truncated artifact."""
+
+import json
+import os
+
+import pytest
+
+from repro.runs.atomic import atomic_write, atomic_write_json, atomic_write_text
+
+
+class TestAtomicWrite:
+    def test_creates_file(self, tmp_path):
+        target = tmp_path / "out.txt"
+        with atomic_write(target) as fh:
+            fh.write("hello")
+        assert target.read_text() == "hello"
+
+    def test_replaces_existing_file(self, tmp_path):
+        target = tmp_path / "out.txt"
+        target.write_text("old")
+        with atomic_write(target) as fh:
+            fh.write("new")
+        assert target.read_text() == "new"
+
+    def test_failure_preserves_previous_contents(self, tmp_path):
+        target = tmp_path / "out.txt"
+        target.write_text("survives")
+        with pytest.raises(RuntimeError):
+            with atomic_write(target) as fh:
+                fh.write("partial garbage")
+                raise RuntimeError("crash mid-write")
+        assert target.read_text() == "survives"
+
+    def test_failure_leaves_no_temp_files(self, tmp_path):
+        target = tmp_path / "out.txt"
+        with pytest.raises(ValueError):
+            with atomic_write(target) as fh:
+                fh.write("x")
+                raise ValueError("boom")
+        assert list(tmp_path.iterdir()) == []
+
+    def test_binary_mode(self, tmp_path):
+        target = tmp_path / "out.bin"
+        with atomic_write(target, mode="wb") as fh:
+            fh.write(b"\x00\x01\x02")
+        assert target.read_bytes() == b"\x00\x01\x02"
+
+    @pytest.mark.parametrize("mode", ["r", "a", "r+", "w+"])
+    def test_non_write_modes_rejected(self, tmp_path, mode):
+        with pytest.raises(ValueError, match="write mode"):
+            with atomic_write(tmp_path / "out.txt", mode=mode):
+                pass
+
+    def test_permissions_match_plain_open(self, tmp_path):
+        target = tmp_path / "out.txt"
+        plain = tmp_path / "plain.txt"
+        with atomic_write(target) as fh:
+            fh.write("x")
+        plain.write_text("x")
+        assert (target.stat().st_mode & 0o777) == (plain.stat().st_mode & 0o777)
+
+
+class TestHelpers:
+    def test_atomic_write_text(self, tmp_path):
+        target = tmp_path / "t.txt"
+        atomic_write_text(target, "abc")
+        assert target.read_text() == "abc"
+
+    def test_atomic_write_json_round_trips(self, tmp_path):
+        target = tmp_path / "t.json"
+        obj = {"a": [1, 2.5], "b": None}
+        atomic_write_json(target, obj)
+        assert json.loads(target.read_text()) == obj
+
+    def test_temp_file_lives_next_to_target(self, tmp_path):
+        # rename() is only atomic within one filesystem, so the temp
+        # file must be created in the target's own directory.
+        target = tmp_path / "sub" / "out.txt"
+        os.makedirs(target.parent)
+        seen = []
+        with atomic_write(target) as fh:
+            seen = [p.name for p in target.parent.iterdir()]
+            fh.write("x")
+        assert any(name.startswith("out.txt.") for name in seen)

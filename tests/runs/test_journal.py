@@ -1,0 +1,117 @@
+"""Run journal: append-only JSONL, torn-tail tolerance, attempt accounting."""
+
+import json
+
+import pytest
+
+from repro.runs.journal import JOURNAL_VERSION, RunJournal, load_journal
+
+
+def read_lines(path):
+    return [line for line in path.read_text().splitlines() if line]
+
+
+class TestWriting:
+    def test_header_written_once(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with RunJournal(path, run_type="continuous_runs"):
+            pass
+        lines = read_lines(path)
+        assert len(lines) == 1
+        header = json.loads(lines[0])
+        assert header["kind"] == "journal"
+        assert header["journal_version"] == JOURNAL_VERSION
+        assert header["run_type"] == "continuous_runs"
+
+    def test_reopen_appends_without_second_header(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with RunJournal(path, run_type="tasks") as jrn:
+            jrn.task("a", {"allocator": "default"})
+        with RunJournal(path, run_type="tasks") as jrn:
+            jrn.attempt_start("a", 1)
+        kinds = [json.loads(l)["kind"] for l in read_lines(path)]
+        assert kinds == ["journal", "task", "attempt"]
+
+    def test_entries_flushed_immediately(self, tmp_path):
+        # The journal is the crash record; an entry buffered in memory
+        # when the process dies never happened as far as recovery is
+        # concerned.
+        path = tmp_path / "run.jsonl"
+        jrn = RunJournal(path, run_type="tasks")
+        jrn.task("a", {"x": 1})
+        assert len(read_lines(path)) == 2
+        jrn.close()
+
+    def test_context_recorded_in_header(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with RunJournal(path, run_type="sweep", context={"grid": {"n_jobs": [10]}}):
+            pass
+        data = load_journal(path)
+        assert data.run_type == "sweep"
+        assert data.context == {"grid": {"n_jobs": [10]}}
+
+
+class TestLoading:
+    def write_journal(self, path):
+        with RunJournal(path, run_type="tasks") as jrn:
+            jrn.task("a", {"allocator": "default"})
+            jrn.task("b", {"allocator": "greedy"})
+            jrn.attempt_start("a", 1)
+            jrn.attempt_error("a", 1, "BrokenProcessPool: worker died")
+            jrn.attempt_start("a", 2)
+            jrn.result("a", 2, "sha256:abc")
+            jrn.attempt_start("b", 1)
+
+    def test_attempt_count(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        self.write_journal(path)
+        data = load_journal(path)
+        assert data.attempt_count("a") == 2
+        assert data.attempt_count("b") == 1
+        assert data.attempt_count("missing") == 0
+
+    def test_completed_and_missing_keys(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        self.write_journal(path)
+        data = load_journal(path)
+        assert data.completed_keys() == ["a"]
+        assert data.missing_keys() == ["b"]
+
+    def test_torn_final_line_tolerated(self, tmp_path):
+        # A crash mid-append leaves a half-written last line; loading
+        # must salvage everything before it rather than refuse the file.
+        path = tmp_path / "run.jsonl"
+        self.write_journal(path)
+        with open(path, "a") as fh:
+            fh.write('{"kind": "result", "key": "b", "dig')
+        data = load_journal(path)
+        assert data.truncated
+        assert data.completed_keys() == ["a"]
+
+    def test_mid_file_corruption_rejected(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        self.write_journal(path)
+        lines = path.read_text().splitlines()
+        lines[2] = "not json at all"
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(ValueError, match="line 3"):
+            load_journal(path)
+
+    def test_missing_header_rejected(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        path.write_text('{"kind": "task", "key": "a"}\n')
+        with pytest.raises(ValueError, match="header"):
+            load_journal(path)
+
+    def test_unsupported_version_rejected(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        header = {"kind": "journal", "journal_version": 99, "run_type": "t"}
+        path.write_text(json.dumps(header) + "\n")
+        with pytest.raises(ValueError, match="version"):
+            load_journal(path)
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        path.write_text("")
+        with pytest.raises(ValueError, match="empty"):
+            load_journal(path)

@@ -1,6 +1,7 @@
 """Tests for result JSON persistence."""
 
 import json
+from pathlib import Path
 
 import numpy as np
 import pytest
@@ -12,6 +13,8 @@ from repro.scheduler.serialize import (
     result_from_dict,
     result_to_dict,
 )
+
+DATA_DIR = Path(__file__).parent / "data"
 from repro.topology import two_level_tree
 
 from ..conftest import make_comm_job, make_compute_job
@@ -61,7 +64,7 @@ class TestRoundTrip:
         dump_result(result, path)
         data = json.loads(path.read_text())
         assert data["allocator"] == "adaptive"
-        assert data["format_version"] == 2
+        assert data["format_version"] == 3
 
     def test_unknown_version_rejected(self, result):
         data = result_to_dict(result)
@@ -75,6 +78,7 @@ class TestVersionCompat:
         data = result_to_dict(result)
         data["format_version"] = 1
         data.pop("unstarted")
+        data.pop("digest")  # v1 files predate the digest field
         for rec in data["records"]:
             rec.pop("requeues")
             rec.pop("wasted_node_seconds")
@@ -83,11 +87,22 @@ class TestVersionCompat:
         assert back.unstarted == []
         assert all(r.requeues == 0 and not r.failed for r in back.records)
 
+    @pytest.mark.parametrize("name", ["result_v1.json", "result_v2.json"])
+    def test_committed_legacy_fixtures_load(self, name):
+        # Real files written by older builds, frozen in the repo so a
+        # future format change cannot silently orphan existing results.
+        back = load_result(DATA_DIR / name)
+        assert back.allocator_name == "adaptive"
+        assert sorted(r.job.job_id for r in back.records) == [1, 2]
+        assert back.unstarted == []
+        assert all(r.requeues == 0 and not r.failed for r in back.records)
+
     def test_fault_fields_round_trip(self, result):
         data = result_to_dict(result)
         data["records"][0]["requeues"] = 2
         data["records"][0]["wasted_node_seconds"] = 123.5
         data["records"][0]["failed"] = True
+        data.pop("digest")  # hand-edited payload no longer matches it
         back = result_from_dict(data)
         rec = back.record_for(data["records"][0]["job"]["job_id"])
         assert rec.requeues == 2

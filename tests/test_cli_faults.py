@@ -66,7 +66,7 @@ class TestFaultInjection:
                      "--save", str(out_dir)]) == 0
         capsys.readouterr()
         data = json.loads(next(out_dir.glob("*.json")).read_text())
-        assert data["format_version"] == 2
+        assert data["format_version"] == 3
         assert "unstarted" in data
         assert all("requeues" in rec for rec in data["records"])
 

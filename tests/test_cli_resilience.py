@@ -1,0 +1,99 @@
+"""CLI crash-safety: checkpoint/resume, signals, journals, verify-run."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.experiments import runner as runner_module
+
+
+SMALL = ["simulate", "--log", "theta", "--jobs", "30", "--allocator", "balanced"]
+
+
+def saved_json(tmp_path, name="theta_balanced.json"):
+    return json.loads((tmp_path / name).read_text())
+
+
+class TestPauseResume:
+    def test_pause_then_resume_matches_uninterrupted(self, tmp_path, capsys):
+        straight = tmp_path / "straight"
+        assert main(SMALL + ["--save", str(straight)]) == 0
+
+        ckpt = tmp_path / "ckpt.json"
+        code = main(
+            SMALL
+            + [
+                "--checkpoint-path", str(ckpt),
+                "--stop-after-events", "10",
+            ]
+        )
+        assert code == 0
+        assert "paused after 10 event batches" in capsys.readouterr().out
+        assert ckpt.exists()
+
+        resumed = tmp_path / "resumed"
+        code = main(
+            [
+                "simulate",
+                "--log", "theta",
+                "--resume-from", str(ckpt),
+                "--save", str(resumed),
+            ]
+        )
+        assert code == 0
+        assert saved_json(resumed) == saved_json(straight)
+
+    def test_checkpoint_every_requires_path(self, capsys):
+        assert main(SMALL + ["--checkpoint-every", "5"]) == 2
+        assert "--checkpoint-path" in capsys.readouterr().err
+
+    def test_resume_from_missing_file(self, tmp_path, capsys):
+        code = main(["simulate", "--resume-from", str(tmp_path / "nope.json")])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestInterrupt:
+    def test_keyboard_interrupt_exits_130(self, monkeypatch, capsys):
+        def boom(*args, **kwargs):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(runner_module, "continuous_runs", boom)
+        monkeypatch.setattr("repro.cli.continuous_runs", boom)
+        assert main(SMALL) == 130
+        err = capsys.readouterr().err
+        assert "interrupted" in err
+        assert "Traceback" not in err
+
+
+class TestVerifyRun:
+    def journal(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        assert main(SMALL + ["--journal", str(path), "--max-retries", "1"]) == 0
+        return path
+
+    def test_verify_ok(self, tmp_path, capsys):
+        path = self.journal(tmp_path)
+        assert main(["verify-run", str(path)]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_verify_sample(self, tmp_path, capsys):
+        path = self.journal(tmp_path)
+        assert main(["verify-run", str(path), "--sample", "1"]) == 0
+
+    def test_verify_detects_digest_drift(self, tmp_path, capsys):
+        path = self.journal(tmp_path)
+        lines = path.read_text().splitlines()
+        for i, line in enumerate(lines):
+            entry = json.loads(line)
+            if entry["kind"] == "result":
+                entry["digest"] = "sha256:" + "0" * 64
+                lines[i] = json.dumps(entry, sort_keys=True)
+                break
+        path.write_text("\n".join(lines) + "\n")
+        assert main(["verify-run", str(path)]) == 1
+
+    def test_verify_missing_journal(self, tmp_path, capsys):
+        assert main(["verify-run", str(tmp_path / "nope.jsonl")]) == 2
+        assert "error:" in capsys.readouterr().err
