@@ -1,17 +1,28 @@
-"""Write a ``BENCH_PR1.json`` performance snapshot at Mira scale.
+"""Write a ``BENCH_PR1.json`` / ``BENCH_PR4.json`` performance snapshot.
 
-Times the hot paths of a continuous run — one Eq. 6 cost evaluation and
-one allocation decision per job start — on the paper's largest machine
-shape (49k nodes, 136 leaves, 16384-node RecursiveDoubling job), and
-records the leaf-pair kernel's speedup over the per-node-pair baseline
-so the perf trajectory is tracked from PR 1 onward.
+Two modes:
+
+* default — the PR 1 micro snapshot: hot paths of a continuous run (one
+  Eq. 6 cost evaluation and one allocation decision per job start) on
+  the paper's largest machine shape (49k nodes, 136 leaves, 16384-node
+  RecursiveDoubling job), with the leaf-pair kernel's speedup over the
+  per-node-pair baseline.
+* ``--e2e [n_jobs]`` — the PR 4 end-to-end trace replay: a seeded
+  ``large_trace`` workload on the Theta shape, scheduled twice per
+  allocator — once on the optimized default engine, once on the
+  pre-change engine (``legacy_mode()`` + ``force_full_pass=True``, the
+  exact code paths PR 4 replaced) — recording events/sec, jobs/sec,
+  pass counts (full/extended/skipped), the end-to-end speedup, and a
+  bit-identity check of the two schedules. Writes ``BENCH_PR4.json``.
 
 Usage::
 
     PYTHONPATH=src python benchmarks/run_bench.py [output.json]
+    PYTHONPATH=src python benchmarks/run_bench.py --e2e [n_jobs] [output.json]
 
 Timings are medians over several repeats of best-effort wall-clock
-loops; treat them as trend indicators, not lab-grade measurements.
+loops (single-shot for the e2e replay); treat them as trend indicators,
+not lab-grade measurements.
 """
 
 from __future__ import annotations
@@ -34,6 +45,9 @@ from repro.topology import mira_like
 
 JOB_NODES = 16384
 DEFAULT_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_PR1.json"
+DEFAULT_E2E_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_PR4.json"
+E2E_JOBS = 100_000
+E2E_SMOKE_JOBS = 2_000
 
 
 def timeit(fn, *, repeats: int = 5, min_time: float = 0.05) -> float:
@@ -79,7 +93,135 @@ def build_state() -> ClusterState:
     return state
 
 
+def e2e_jobs(n_jobs: int):
+    """The PR 4 reference workload: seeded 90%-comm rhvd large_trace."""
+    from repro.workloads import large_trace, single_pattern_mix
+    from repro.workloads.classify import assign_kinds
+
+    trace = large_trace(n_jobs)
+    return assign_kinds(
+        trace, percent_comm=90.0, mix=single_pattern_mix("rhvd"), seed=2
+    )
+
+
+def replay(jobs, allocator: str, *, legacy: bool) -> dict:
+    """One full simulation; returns timing + perf counters + records."""
+    from repro._perfflags import legacy_mode
+    from repro.perf import PerfRecorder, collecting
+    from repro.scheduler.engine import EngineConfig, SchedulerEngine
+    from repro.topology import theta_like
+
+    clear_leaf_pair_cache()
+    cfg = EngineConfig(policy="backfill", force_full_pass=legacy)
+    engine = SchedulerEngine(theta_like(), allocator, cfg)
+    recorder = PerfRecorder()
+    t0 = time.perf_counter()
+    with collecting(recorder):
+        if legacy:
+            with legacy_mode():
+                result = engine.run(jobs)
+        else:
+            result = engine.run(jobs)
+    seconds = time.perf_counter() - t0
+    counters = recorder.counters
+    return {
+        "records": result.records,
+        "stats": {
+            "seconds": seconds,
+            "jobs_per_sec": len(jobs) / seconds,
+            "events_per_sec": counters.get("engine.events", 0) / seconds,
+            "passes_full": int(counters.get("engine.passes_full", 0)),
+            "passes_incremental": int(counters.get("engine.passes_incremental", 0)),
+            "passes_skipped": int(counters.get("engine.passes_skipped", 0)),
+        },
+    }
+
+
+def records_identical(a, b) -> bool:
+    for ra, rb in zip(a, b):
+        if (
+            ra.start_time != rb.start_time
+            or ra.finish_time != rb.finish_time
+            or not np.array_equal(ra.nodes, rb.nodes)
+            or ra.cost_jobaware != rb.cost_jobaware
+            or ra.cost_default != rb.cost_default
+        ):
+            return False
+    return len(a) == len(b)
+
+
+def e2e_section(n_jobs: int, allocators=("adaptive", "greedy")) -> dict:
+    jobs = e2e_jobs(n_jobs)
+    section: dict = {"n_jobs": n_jobs}
+    for allocator in allocators:
+        print(f"  replaying {n_jobs} jobs, backfill/{allocator} (optimized) ...")
+        new = replay(jobs, allocator, legacy=False)
+        print(f"  replaying {n_jobs} jobs, backfill/{allocator} (pre-change) ...")
+        old = replay(jobs, allocator, legacy=True)
+        identical = records_identical(new["records"], old["records"])
+        section[allocator] = {
+            "new": new["stats"],
+            "legacy": old["stats"],
+            "speedup_jobs_per_sec": (
+                new["stats"]["jobs_per_sec"] / old["stats"]["jobs_per_sec"]
+            ),
+            "bit_identical": identical,
+        }
+        print(
+            f"    {allocator}: {new['stats']['jobs_per_sec']:.0f} jobs/s vs "
+            f"{old['stats']['jobs_per_sec']:.0f} jobs/s -> "
+            f"{section[allocator]['speedup_jobs_per_sec']:.2f}x "
+            f"(bit-identical: {identical})"
+        )
+    return section
+
+
+def main_e2e(argv) -> int:
+    n_jobs = int(argv[2]) if len(argv) > 2 else E2E_JOBS
+    out_path = Path(argv[3]) if len(argv) > 3 else DEFAULT_E2E_OUTPUT
+    print(f"e2e trace replay (theta_like, backfill, {n_jobs} jobs) ...")
+    full = e2e_section(n_jobs)
+    print(f"e2e smoke replay ({E2E_SMOKE_JOBS} jobs, CI regression baseline) ...")
+    smoke = e2e_section(E2E_SMOKE_JOBS, allocators=("adaptive",))
+    adaptive = full["adaptive"]
+    greedy = full["greedy"]
+    snapshot = {
+        "pr": 4,
+        "machine": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+        },
+        "workload": {
+            "generator": "large_trace",
+            "topology": "theta_like",
+            "policy": "backfill",
+            "percent_comm": 90.0,
+            "pattern": "rhvd",
+            "kind_seed": 2,
+        },
+        "e2e": full,
+        "smoke": smoke,
+        "criteria": {
+            "adaptive_speedup_jobs_per_sec": adaptive["speedup_jobs_per_sec"],
+            "adaptive_speedup_target": 5.0,
+            "adaptive_within_2x_of_greedy": (
+                adaptive["new"]["jobs_per_sec"] * 2.0
+                >= greedy["new"]["jobs_per_sec"]
+            ),
+            "bit_identical": all(
+                full[a]["bit_identical"] for a in ("adaptive", "greedy")
+            ),
+        },
+    }
+    atomic_write_text(out_path, json.dumps(snapshot, indent=2) + "\n")
+    print(json.dumps(snapshot["criteria"], indent=2))
+    print(f"wrote {out_path}")
+    return 0
+
+
 def main(argv) -> int:
+    if len(argv) > 1 and argv[1] == "--e2e":
+        return main_e2e(argv)
     out_path = Path(argv[1]) if len(argv) > 1 else DEFAULT_OUTPUT
     state = build_state()
     job = Job(1, 0.0, JOB_NODES, 3600.0, JobKind.COMM,

@@ -1,0 +1,115 @@
+"""End-to-end engine throughput benchmarks and the PR 4 regression gate.
+
+Three jobs:
+
+* time a whole-trace replay (seeded ``large_trace`` workload, Theta
+  shape, backfill + adaptive — the configuration ``BENCH_PR4.json`` is
+  committed against) under pytest-benchmark;
+* fail CI if jobs/sec regresses more than 2x below the committed
+  ``BENCH_PR4.json`` smoke baseline — machines differ, a 2x cliff does
+  not happen by scheduling noise;
+* run the engine's ``verify_incremental`` self-check mode over a fault-
+  laden trace: every skipped or extended scheduling pass is recomputed
+  from scratch in-engine and any divergence raises.
+
+Scale knob: ``REPRO_BENCH_E2E_JOBS`` (default 2000, matching the smoke
+section of ``BENCH_PR4.json``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.cost import clear_leaf_pair_cache
+from repro.faults import FaultGeneratorConfig, generate_faults
+from repro.scheduler.engine import EngineConfig, SchedulerEngine
+from repro.topology import theta_like
+from repro.workloads import large_trace, single_pattern_mix
+from repro.workloads.classify import assign_kinds
+
+BENCH_PR4 = Path(__file__).resolve().parent.parent / "BENCH_PR4.json"
+
+
+def e2e_n_jobs(default: int = 2000) -> int:
+    return int(os.environ.get("REPRO_BENCH_E2E_JOBS", default))
+
+
+@pytest.fixture(scope="module")
+def workload():
+    trace = large_trace(e2e_n_jobs())
+    return assign_kinds(
+        trace, percent_comm=90.0, mix=single_pattern_mix("rhvd"), seed=2
+    )
+
+
+def run_trace(jobs, *, config=None, faults=None):
+    clear_leaf_pair_cache()
+    cfg = config or EngineConfig(policy="backfill")
+    engine = SchedulerEngine(theta_like(), "adaptive", cfg)
+    return engine.run(jobs, faults=faults)
+
+
+def test_bench_e2e_backfill_adaptive(benchmark, workload):
+    result = benchmark.pedantic(
+        lambda: run_trace(workload), rounds=1, iterations=1, warmup_rounds=0
+    )
+    assert len(result.records) == len(workload)
+
+
+def test_e2e_regression_vs_committed_baseline(workload):
+    """The optimized engine must stay within 2x of the committed
+    smoke-scale jobs/sec; anything slower is a real regression."""
+    if not BENCH_PR4.exists():
+        pytest.skip("no committed BENCH_PR4.json baseline")
+    baseline = json.loads(BENCH_PR4.read_text())
+    smoke = baseline["smoke"]["adaptive"]["new"]
+    expected_scale = baseline["smoke"]["n_jobs"]
+    if e2e_n_jobs() != expected_scale:
+        pytest.skip(
+            f"baseline was committed at {expected_scale} jobs, "
+            f"running {e2e_n_jobs()}"
+        )
+    t0 = time.perf_counter()
+    result = run_trace(workload)
+    seconds = time.perf_counter() - t0
+    jobs_per_sec = len(workload) / seconds
+    assert len(result.records) == len(workload)
+    assert jobs_per_sec * 2.0 >= smoke["jobs_per_sec"], (
+        f"end-to-end throughput regressed: {jobs_per_sec:.0f} jobs/s vs "
+        f"committed {smoke['jobs_per_sec']:.0f} jobs/s baseline"
+    )
+
+
+def test_e2e_incremental_invariant_under_faults(workload):
+    """verify_incremental recomputes every skipped/extended pass from
+    scratch inside the engine and raises on any divergence; a fault
+    trace makes sure out-of-scheduler mutations are covered too."""
+    jobs = workload[: min(len(workload), 500)]
+    topo = theta_like()
+    horizon = 1.5 * max(j.submit_time for j in jobs) + 1000.0
+    faults = generate_faults(
+        topo, FaultGeneratorConfig(rate=5.0, horizon=horizon, seed=7)
+    )
+    cfg = EngineConfig(
+        policy="backfill",
+        verify_incremental=True,
+        collect_perf=True,
+        interrupt_policy="requeue",
+    )
+    clear_leaf_pair_cache()
+    engine = SchedulerEngine(topo, "adaptive", cfg)
+    result = engine.run(jobs, faults=faults)
+    counters = result.perf["counters"]
+    # the run must actually have exercised the machinery being verified
+    assert counters.get("engine.passes_full", 0) > 0
+    total_counted = (
+        counters.get("engine.passes_full", 0)
+        + counters.get("engine.passes_incremental", 0)
+        + counters.get("engine.passes_skipped", 0)
+    )
+    assert total_counted <= counters["engine.batches"]

@@ -91,3 +91,41 @@ def test_bench_comm_overlay_mira(benchmark, mira_state):
     nodes = np.flatnonzero(mira_state.node_state == 0)[:16384]
     view = benchmark(lambda: mira_state.comm_overlay(nodes, JobKind.COMM))
     assert view.leaf_comm.sum() > mira_state.leaf_comm.sum()
+
+
+@pytest.fixture(scope="module")
+def crowded_state():
+    """Mira with ~1500 small running jobs: the shape that exposed the
+    O(running_jobs x n_nodes) cost of the legacy jobs_on scan."""
+    topo = mira_like()
+    state = ClusterState(topo)
+    rng = np.random.default_rng(1)
+    nodes = rng.choice(topo.n_nodes, size=int(0.9 * topo.n_nodes), replace=False)
+    job_id = 1
+    pos = 0
+    while pos + 29 <= nodes.size:
+        state.allocate(job_id, nodes[pos : pos + 29], JobKind.COMPUTE)
+        job_id += 1
+        pos += 29
+    return state
+
+
+def test_bench_jobs_on_index(benchmark, crowded_state):
+    """PR 4 path: read the node->job index, no per-record scan."""
+    probe = np.arange(0, crowded_state.topology.n_nodes, 97)
+    held = benchmark(lambda: crowded_state.jobs_on(probe))
+    assert len(held) > 0
+
+
+def test_bench_jobs_on_legacy_scan(benchmark, crowded_state):
+    """Pre-change path: hit-mask scan over every running record."""
+    from repro._perfflags import legacy_mode
+
+    probe = np.arange(0, crowded_state.topology.n_nodes, 97)
+
+    def scan():
+        with legacy_mode():
+            return crowded_state.jobs_on(probe)
+
+    held = benchmark(scan)
+    assert held == crowded_state.jobs_on(probe)

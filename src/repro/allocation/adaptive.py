@@ -21,13 +21,15 @@ from typing import Optional
 
 import numpy as np
 
+from .. import perf
+from .._perfflags import is_legacy
 from ..cluster.job import CommComponent, Job, JobKind
 from ..cluster.state import ClusterState
 from ..cost.model import CostModel
 from ..patterns.base import CommunicationPattern
 from ..patterns.recursive_doubling import RecursiveDoubling
 from .balanced import BalancedAllocator
-from .base import Allocator
+from .base import Allocator, AllocationError, find_lowest_level_switch
 from .greedy import GreedyAllocator
 
 __all__ = ["AdaptiveAllocator", "AdaptiveDecision"]
@@ -78,19 +80,47 @@ class AdaptiveAllocator(Allocator):
 
     def _candidate_cost(self, state: ClusterState, job: Job, nodes: np.ndarray) -> float:
         """Fraction-weighted Eq. 6 cost of ``nodes`` with the job applied."""
-        view = state.comm_overlay(nodes, job.kind)
-        components = job.comm or (CommComponent(self.probe_pattern, 1.0),)
-        return sum(
-            comp.fraction * self.cost_model.allocation_cost(view, nodes, comp.pattern)
-            for comp in components
-        )
+        with perf.timer("adaptive.pricing"):
+            view = state.comm_overlay(nodes, job.kind, validate=is_legacy())
+            components = job.comm or (CommComponent(self.probe_pattern, 1.0),)
+            return sum(
+                comp.fraction * self.cost_model.allocation_cost(view, nodes, comp.pattern)
+                for comp in components
+            )
 
     def decide(self, state: ClusterState, job: Job) -> AdaptiveDecision:
-        """Run both allocators and price their placements."""
-        greedy_nodes = self._greedy.allocate(state, job)
-        balanced_nodes = self._balanced.allocate(state, job)
+        """Run both allocators and price their placements.
+
+        The lowest-level switch search (identical for both candidates:
+        it only reads subtree free counts) runs once and is shared, and
+        both candidates rank leaves off the same version-cached Eq. 1
+        vector — together with the overlay-based pricing this is what
+        closed the ~9x adaptive-vs-greedy gap BENCH_PR1 exposed.
+        """
+        if is_legacy():
+            greedy_nodes = self._greedy.allocate(state, job)
+            balanced_nodes = self._balanced.allocate(state, job)
+        else:
+            self._greedy.precheck(state, job)
+            switch = find_lowest_level_switch(state, job.nodes)
+            if switch is None:
+                raise AllocationError(
+                    f"no switch with {job.nodes} free nodes for job {job.job_id}"
+                )
+            greedy_nodes = self._greedy.postcheck(
+                job, self._greedy.select_under(state, job, switch)
+            )
+            balanced_nodes = self._balanced.postcheck(
+                job, self._balanced.select_under(state, job, switch)
+            )
         greedy_cost = self._candidate_cost(state, job, greedy_nodes)
-        balanced_cost = self._candidate_cost(state, job, balanced_nodes)
+        if not is_legacy() and np.array_equal(greedy_nodes, balanced_nodes):
+            # identical candidate -> identical cost; ties always go to
+            # balanced, so the arbitration outcome is already decided
+            # (common for small jobs that fit inside one leaf)
+            balanced_cost = greedy_cost
+        else:
+            balanced_cost = self._candidate_cost(state, job, balanced_nodes)
         if job.kind is JobKind.COMM:
             chosen = "greedy" if greedy_cost < balanced_cost else "balanced"
         else:

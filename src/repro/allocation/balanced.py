@@ -26,24 +26,31 @@ import numpy as np
 
 from ..cluster.job import Job
 from ..cluster.state import ClusterState
+from .._perfflags import is_legacy
 from .._validation import floor_power_of_two
-from .base import Allocator, AllocationError, find_lowest_level_switch, gather_nodes, leaves_below
+from ..topology.tree import SwitchInfo
+from .base import (
+    Allocator,
+    AllocationError,
+    find_lowest_level_switch,
+    gather_nodes,
+    leaves_below,
+    ordered_takes,
+)
 
-__all__ = ["BalancedAllocator", "balanced_split"]
+__all__ = ["BalancedAllocator", "balanced_split", "balanced_split_reference"]
+
+#: sentinel chunk exponent for empty leaves — larger than any real free
+#: count's floor-log2, so it never shrinks the running chunk minimum.
+_EMPTY_LEAF_EXP = 63
 
 
-def balanced_split(free_counts: np.ndarray, n_nodes: int) -> np.ndarray:
-    """Pure power-of-two split logic (lines 8-28 of Algorithm 2).
-
-    ``free_counts`` must already be in the traversal order (descending
-    free nodes for the paper's comm-intensive branch). Returns the nodes
-    taken per leaf, same order. This is factored out of the allocator so
-    the Table 2 example and property tests can exercise it directly.
+def balanced_split_reference(free_counts: np.ndarray, n_nodes: int) -> np.ndarray:
+    """Sweep-loop form of Algorithm 2 lines 8-28 (the vectorized oracle).
 
     The first sweep walks the leaves halving the chunk ``S`` until it
     fits; the remainder sweep walks the leaves in reverse, consuming
-    leftover free nodes. Raises ``ValueError`` when the free counts
-    cannot satisfy the request (the caller guarantees they can).
+    leftover free nodes.
     """
     free = np.asarray(free_counts, dtype=np.int64).copy()
     if n_nodes < 1:
@@ -79,6 +86,46 @@ def balanced_split(free_counts: np.ndarray, n_nodes: int) -> np.ndarray:
     return taken
 
 
+def balanced_split(free_counts: np.ndarray, n_nodes: int) -> np.ndarray:
+    """Pure power-of-two split logic (lines 8-28 of Algorithm 2).
+
+    ``free_counts`` must already be in the traversal order (descending
+    free nodes for the paper's comm-intensive branch). Returns the nodes
+    taken per leaf, same order. This is factored out of the allocator so
+    the Table 2 example and property tests can exercise it directly.
+
+    Vectorized equivalent of :func:`balanced_split_reference`. The chunk
+    trajectory is a running minimum — ``S`` never grows back and on each
+    non-empty leaf it halves down to the largest power of two that fits,
+    so ``S_i = min(S_{i-1}, 2^floor(log2(free_i)))`` — computable with
+    one ``minimum.accumulate`` over the floor-log2 exponents (empty
+    leaves keep a sentinel exponent so they leave ``S`` untouched,
+    mirroring the loop's ``continue``). Both sweeps then reduce to the
+    prefix-sum take formula of :func:`ordered_takes`: greedy fill against
+    capacity ``S_i`` forward, leftover free nodes in reverse.
+    """
+    if is_legacy():
+        return balanced_split_reference(free_counts, n_nodes)
+    free = np.asarray(free_counts, dtype=np.int64)
+    if n_nodes < 1:
+        raise ValueError(f"n_nodes must be >= 1, got {n_nodes}")
+    if free.sum() < n_nodes:
+        raise ValueError(f"free counts sum to {free.sum()} < request {n_nodes}")
+    # floor(log2(free)) via frexp — exact for integers (log2 rounds).
+    exps = np.where(
+        free > 0, np.frexp(free.astype(np.float64))[1] - 1, _EMPTY_LEAF_EXP
+    )
+    start_exp = floor_power_of_two(int(n_nodes)).bit_length() - 1
+    chunk_exp = np.minimum.accumulate(np.minimum(exps, start_exp))
+    capacity = np.where(free > 0, np.int64(1) << chunk_exp, 0)
+    taken = ordered_takes(capacity, n_nodes)
+    remaining = int(n_nodes - taken.sum())
+    if remaining > 0:
+        leftover = free - taken
+        taken = taken + ordered_takes(leftover[::-1], remaining)[::-1]
+    return taken
+
+
 class BalancedAllocator(Allocator):
     """Power-of-two-per-switch placement for communication-intensive jobs."""
 
@@ -90,6 +137,14 @@ class BalancedAllocator(Allocator):
             raise AllocationError(
                 f"no switch with {job.nodes} free nodes for job {job.job_id}"
             )
+        return self.select_under(state, job, switch)
+
+    def select_under(self, state: ClusterState, job: Job, switch: SwitchInfo) -> np.ndarray:
+        """Algorithm 2 body below an already-chosen switch.
+
+        Split from :meth:`select` so the adaptive allocator can run the
+        lowest-level switch search once and reuse it for both candidates.
+        """
         if switch.is_leaf:
             return state.free_nodes_on_leaf(switch.leaf_lo, job.nodes)
 
@@ -99,7 +154,7 @@ class BalancedAllocator(Allocator):
             # descending free count; leaf index breaks ties
             order = np.lexsort((leaves, -free))
             ordered = leaves[order]
-            taken = balanced_split(state.leaf_free[ordered], job.nodes)
+            taken = balanced_split(free[order], job.nodes)
             takes: List[Tuple[int, int]] = [
                 (int(leaf), int(t)) for leaf, t in zip(ordered, taken) if t > 0
             ]
@@ -107,12 +162,19 @@ class BalancedAllocator(Allocator):
 
         # compute-intensive: pack fullest leaves first, no constraint
         order = np.lexsort((leaves, free))
-        remaining = job.nodes
-        takes = []
-        for leaf in leaves[order]:
-            take = min(int(state.leaf_free[leaf]), remaining)
-            takes.append((int(leaf), take))
-            remaining -= take
-            if remaining == 0:
-                break
-        return gather_nodes(state, takes)
+        if is_legacy():
+            remaining = job.nodes
+            takes = []
+            for leaf in leaves[order]:
+                take = min(int(state.leaf_free[leaf]), remaining)
+                takes.append((int(leaf), take))
+                remaining -= take
+                if remaining == 0:
+                    break
+            return gather_nodes(state, takes)
+        ordered = leaves[order]
+        counts = ordered_takes(free[order], job.nodes)
+        used = counts > 0
+        return gather_nodes(
+            state, list(zip(ordered[used].tolist(), counts[used].tolist()))
+        )

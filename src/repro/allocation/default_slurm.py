@@ -11,9 +11,17 @@ from __future__ import annotations
 
 import numpy as np
 
+from .._perfflags import is_legacy
 from ..cluster.job import Job
 from ..cluster.state import ClusterState
-from .base import Allocator, AllocationError, find_lowest_level_switch, gather_nodes, leaves_below
+from .base import (
+    Allocator,
+    AllocationError,
+    find_lowest_level_switch,
+    gather_nodes,
+    leaves_below,
+    ordered_takes,
+)
 
 __all__ = ["DefaultSlurmAllocator"]
 
@@ -36,12 +44,19 @@ class DefaultSlurmAllocator(Allocator):
         free = state.leaf_free[leaves]
         # best-fit: fewest free nodes first, leaf index breaks ties
         order = np.lexsort((leaves, free))
-        remaining = job.nodes
-        takes = []
-        for leaf in leaves[order]:
-            take = min(int(state.leaf_free[leaf]), remaining)
-            takes.append((int(leaf), take))
-            remaining -= take
-            if remaining == 0:
-                break
-        return gather_nodes(state, takes)
+        if is_legacy():
+            remaining = job.nodes
+            takes = []
+            for leaf in leaves[order]:
+                take = min(int(state.leaf_free[leaf]), remaining)
+                takes.append((int(leaf), take))
+                remaining -= take
+                if remaining == 0:
+                    break
+            return gather_nodes(state, takes)
+        ordered = leaves[order]
+        counts = ordered_takes(free[order], job.nodes)
+        used = counts > 0
+        return gather_nodes(
+            state, list(zip(ordered[used].tolist(), counts[used].tolist()))
+        )

@@ -15,9 +15,18 @@ from __future__ import annotations
 
 import numpy as np
 
+from .._perfflags import is_legacy
 from ..cluster.job import Job
 from ..cluster.state import ClusterState
-from .base import Allocator, AllocationError, find_lowest_level_switch, gather_nodes, leaves_below
+from ..topology.tree import SwitchInfo
+from .base import (
+    Allocator,
+    AllocationError,
+    find_lowest_level_switch,
+    gather_nodes,
+    leaves_below,
+    ordered_takes,
+)
 
 __all__ = ["GreedyAllocator"]
 
@@ -33,23 +42,46 @@ class GreedyAllocator(Allocator):
             raise AllocationError(
                 f"no switch with {job.nodes} free nodes for job {job.job_id}"
             )
+        return self.select_under(state, job, switch)
+
+    def select_under(self, state: ClusterState, job: Job, switch: SwitchInfo) -> np.ndarray:
+        """Algorithm 1 body below an already-chosen switch.
+
+        Split from :meth:`select` so the adaptive allocator can run the
+        lowest-level switch search once and reuse it for both candidates.
+        """
         if switch.is_leaf:
             return state.free_nodes_on_leaf(switch.leaf_lo, job.nodes)
 
         leaves = leaves_below(state, switch)
-        ratio = state.communication_ratio(leaves)
+        if is_legacy():
+            ratio = state.communication_ratio(leaves)
+            free = state.leaf_free[leaves]
+            if job.is_comm_intensive:
+                # ascending ratio; among equals prefer more free nodes
+                order = np.lexsort((leaves, -free, ratio))
+            else:
+                order = np.lexsort((leaves, free, -ratio))
+            remaining = job.nodes
+            takes = []
+            for leaf in leaves[order]:
+                take = min(int(state.leaf_free[leaf]), remaining)
+                takes.append((int(leaf), take))
+                remaining -= take
+                if remaining == 0:
+                    break
+            return gather_nodes(state, takes)
+
+        ratio = state.communication_ratio_cached()[leaves]
         free = state.leaf_free[leaves]
         if job.is_comm_intensive:
             # ascending ratio; among equals prefer more free nodes
             order = np.lexsort((leaves, -free, ratio))
         else:
             order = np.lexsort((leaves, free, -ratio))
-        remaining = job.nodes
-        takes = []
-        for leaf in leaves[order]:
-            take = min(int(state.leaf_free[leaf]), remaining)
-            takes.append((int(leaf), take))
-            remaining -= take
-            if remaining == 0:
-                break
-        return gather_nodes(state, takes)
+        ordered = leaves[order]
+        takes = ordered_takes(free[order], job.nodes)
+        used = takes > 0
+        return gather_nodes(
+            state, list(zip(ordered[used].tolist(), takes[used].tolist()))
+        )

@@ -21,9 +21,17 @@ from __future__ import annotations
 
 import numpy as np
 
+from .._perfflags import is_legacy
 from ..cluster.job import Job, JobKind
 from ..cluster.state import ClusterState
-from .base import Allocator, AllocationError, find_lowest_level_switch, gather_nodes, leaves_below
+from .base import (
+    Allocator,
+    AllocationError,
+    find_lowest_level_switch,
+    gather_nodes,
+    leaves_below,
+    ordered_takes,
+)
 
 __all__ = ["IOAwareAllocator"]
 
@@ -46,7 +54,7 @@ class IOAwareAllocator(Allocator):
         self.cross_weight = float(cross_weight)
 
     def _scores(self, state: ClusterState, leaves: np.ndarray, kind: JobKind) -> np.ndarray:
-        busy = state.leaf_busy[leaves]
+        busy = (state.leaf_busy if is_legacy() else state.leaf_busy_cached())[leaves]
         sizes = state.topology.leaf_sizes[leaves]
         comm = state.leaf_comm[leaves]
         io = state.leaf_io[leaves]
@@ -78,12 +86,19 @@ class IOAwareAllocator(Allocator):
             order = np.lexsort((leaves, free, -scores))
         else:
             order = np.lexsort((leaves, -free, scores))
-        remaining = job.nodes
-        takes = []
-        for leaf in leaves[order]:
-            take = min(int(state.leaf_free[leaf]), remaining)
-            takes.append((int(leaf), take))
-            remaining -= take
-            if remaining == 0:
-                break
-        return gather_nodes(state, takes)
+        if is_legacy():
+            remaining = job.nodes
+            takes = []
+            for leaf in leaves[order]:
+                take = min(int(state.leaf_free[leaf]), remaining)
+                takes.append((int(leaf), take))
+                remaining -= take
+                if remaining == 0:
+                    break
+            return gather_nodes(state, takes)
+        ordered = leaves[order]
+        counts = ordered_takes(free[order], job.nodes)
+        used = counts > 0
+        return gather_nodes(
+            state, list(zip(ordered[used].tolist(), counts[used].tolist()))
+        )

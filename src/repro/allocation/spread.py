@@ -15,6 +15,7 @@ from typing import List, Tuple
 
 import numpy as np
 
+from .._perfflags import is_legacy
 from ..cluster.job import Job
 from ..cluster.state import ClusterState
 from .base import Allocator, AllocationError, find_lowest_level_switch, gather_nodes, leaves_below
@@ -42,20 +43,50 @@ class SpreadAllocator(Allocator):
         order = np.lexsort((leaves, -free))
         ordered = leaves[order]
         remaining_free = free[order]
-        counts = np.zeros(len(ordered), dtype=np.int64)
-        remaining = job.nodes
-        while remaining > 0:
-            progressed = False
-            for i in range(len(ordered)):
-                if remaining == 0:
-                    break
-                if counts[i] < remaining_free[i]:
-                    counts[i] += 1
-                    remaining -= 1
-                    progressed = True
-            if not progressed:  # pragma: no cover - guarded by precondition
-                raise AllocationError("spread failed to place all nodes")
+        counts = self._stripe_counts(remaining_free, job.nodes)
         takes: List[Tuple[int, int]] = [
             (int(leaf), int(c)) for leaf, c in zip(ordered, counts) if c > 0
         ]
         return gather_nodes(state, takes)
+
+    @staticmethod
+    def _stripe_counts(remaining_free: np.ndarray, n_nodes: int) -> np.ndarray:
+        """Per-leaf counts of the round-robin stripe, in traversal order.
+
+        The sweep loop gives every leaf at most one node per pass, so
+        after ``s`` complete sweeps leaf ``i`` holds ``min(free_i, s)``
+        nodes. Closed form: binary-search the largest ``s`` whose total
+        still fits the request, then hand the leftover out one node each
+        to the first eligible leaves of sweep ``s + 1`` — exactly where
+        the loop would have stopped mid-sweep.
+        """
+        if is_legacy():
+            counts = np.zeros(len(remaining_free), dtype=np.int64)
+            remaining = n_nodes
+            while remaining > 0:
+                progressed = False
+                for i in range(len(remaining_free)):
+                    if remaining == 0:
+                        break
+                    if counts[i] < remaining_free[i]:
+                        counts[i] += 1
+                        remaining -= 1
+                        progressed = True
+                if not progressed:  # pragma: no cover - guarded by precondition
+                    raise AllocationError("spread failed to place all nodes")
+            return counts
+        if remaining_free.sum() < n_nodes:  # pragma: no cover - precondition
+            raise AllocationError("spread failed to place all nodes")
+        lo, hi = 0, int(remaining_free.max(initial=0))
+        while lo < hi:
+            mid = (lo + hi + 1) // 2
+            if int(np.minimum(remaining_free, mid).sum()) <= n_nodes:
+                lo = mid
+            else:
+                hi = mid - 1
+        counts = np.minimum(remaining_free, lo).astype(np.int64)
+        leftover = n_nodes - int(counts.sum())
+        if leftover > 0:
+            eligible = np.flatnonzero(remaining_free > lo)[:leftover]
+            counts[eligible] += 1
+        return counts

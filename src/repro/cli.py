@@ -26,6 +26,7 @@ from __future__ import annotations
 import argparse
 import signal
 import sys
+from dataclasses import replace
 from typing import List, Optional
 
 from .experiments import EXPERIMENT_RUNNERS, ExperimentConfig, continuous_runs
@@ -158,6 +159,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-task timeout for parallel runs (hung workers are "
         "terminated and the task retried)",
     )
+    sim.add_argument(
+        "--perf", action="store_true",
+        help="trace scheduler hot paths (passes run/skipped, allocator "
+        "and cost-kernel time, events/sec) and print the report after "
+        "the summary; forces the single-engine path",
+    )
 
     topo = sub.add_parser("topology", help="print a builtin machine's topology.conf")
     topo.add_argument("machine", choices=sorted(TOPOLOGY_BUILDERS))
@@ -276,6 +283,8 @@ def _simulate_engine_path(args: argparse.Namespace) -> int:
         if args.resume_from is not None:
             data = load_snapshot(args.resume_from)
             engine = SchedulerEngine.from_snapshot(data)
+            if args.perf:
+                engine.config = replace(engine.config, collect_perf=True)
             result = engine.run(
                 resume_from=data,
                 checkpoint_every=args.checkpoint_every,
@@ -297,7 +306,10 @@ def _simulate_engine_path(args: argparse.Namespace) -> int:
             )
             jobs = prepare_jobs(cfg)
             faults = _simulate_faults(args, cfg, jobs)
-            engine = SchedulerEngine(cfg.topology(), args.allocator, cfg.engine_config())
+            engine_cfg = cfg.engine_config()
+            if args.perf:
+                engine_cfg = replace(engine_cfg, collect_perf=True)
+            engine = SchedulerEngine(cfg.topology(), args.allocator, engine_cfg)
             result = engine.run(
                 jobs,
                 faults=faults,
@@ -326,6 +338,10 @@ def _simulate_engine_path(args: argparse.Namespace) -> int:
             title=f"--- {engine.allocator.name} ---",
         )
     )
+    if args.perf and result.perf is not None:
+        from .perf import render_perf
+
+        print(render_perf(result.perf))
     if args.save:
         _save_results(args, {engine.allocator.name: result})
     return 0
@@ -339,6 +355,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         args.resume_from is not None
         or args.checkpoint_path is not None
         or args.stop_after_events is not None
+        or args.perf
     )
     if args.checkpoint_every is not None and args.checkpoint_path is None:
         print("error: --checkpoint-every requires --checkpoint-path", file=sys.stderr)

@@ -35,6 +35,7 @@ from typing import Dict, Iterable, List, Optional
 
 import numpy as np
 
+from .._perfflags import is_legacy
 from ..topology.tree import SwitchInfo, TreeTopology
 from .job import JobKind
 
@@ -104,6 +105,10 @@ class ClusterState:
         self.leaf_offline = np.zeros(topology.n_leaves, dtype=np.int64)
         self.leaf_comm = np.zeros(topology.n_leaves, dtype=np.int64)
         self.leaf_io = np.zeros(topology.n_leaves, dtype=np.int64)
+        #: node id -> owning job id, -1 when unoccupied; the node->job
+        #: index the fault path reads (jobs_on) instead of scanning all
+        #: running records against an O(n_nodes) hit mask.
+        self.node_job = np.full(topology.n_nodes, -1, dtype=np.int64)
         self.running: Dict[int, AllocationRecord] = {}
         #: bumped by every :meth:`allocate` / :meth:`release`; tags the caches
         self.version = 0
@@ -199,6 +204,64 @@ class ClusterState:
             self._derived_cache["comm_share"] = share
         return share
 
+    def _derived(self, key: str, builder) -> np.ndarray:
+        """Version-tagged read-only derived vector (see ``_derived_cache``)."""
+        value = self._derived_cache.get(key)
+        if value is None:
+            value = builder()
+            value.setflags(write=False)
+            self._derived_cache[key] = value
+        return value
+
+    def leaf_free_cumsum(self) -> np.ndarray:
+        """``[0, cumsum(leaf_free)]`` — subtree free counts in O(1) each.
+
+        ``cs[hi] - cs[lo]`` is the free-node count under any switch with
+        leaf range ``[lo, hi)``; the vectorized lowest-level-switch
+        search evaluates a whole level at once from this. Cached against
+        :attr:`version` like every derived vector.
+        """
+        return self._derived(
+            "free_cumsum",
+            lambda: np.concatenate(
+                ([0], np.cumsum(self.leaf_free))
+            ).astype(np.int64),
+        )
+
+    def leaf_busy_cached(self) -> np.ndarray:
+        """Read-only :attr:`leaf_busy`, cached against :attr:`version`."""
+        return self._derived("leaf_busy", lambda: np.asarray(self.leaf_busy))
+
+    def allocatable_mask(self) -> np.ndarray:
+        """Per-node boolean: unoccupied *and* UP, cached against :attr:`version`.
+
+        One vector op shared by a whole node-gathering pass (see
+        :func:`repro.allocation.base.gather_nodes`) instead of two
+        comparisons per leaf inside :meth:`free_nodes_on_leaf`.
+        """
+        return self._derived(
+            "allocatable",
+            lambda: (self.node_state == NODE_FREE) & (self.node_avail == AVAIL_UP),
+        )
+
+    def communication_ratio_cached(self) -> np.ndarray:
+        """Full Eq. 1 ratio vector, cached against :attr:`version`.
+
+        The adaptive allocator prices a greedy and a balanced candidate
+        from the same state: with the ranking version-tagged here, the
+        second candidate (and any pass over an unmutated state) reuses
+        the scan instead of recomputing ``L_comm/L_busy + L_busy/L_n``
+        per call. Same numbers as :meth:`communication_ratio` — the
+        vectorized allocators index into this vector, the legacy loop
+        path recomputes per call, and the equivalence tests hold both
+        to identical node sets.
+        """
+        return self._derived("comm_ratio", self.communication_ratio)
+
+    def io_ratio_cached(self) -> np.ndarray:
+        """Full I/O-analogue ratio vector, cached against :attr:`version`."""
+        return self._derived("io_ratio", self.io_ratio)
+
     # ------------------------------------------------------------------
     # version-tagged cost cache (read by the Eq. 6 kernel)
     # ------------------------------------------------------------------
@@ -212,7 +275,9 @@ class ClusterState:
             self._cost_cache.clear()
         self._cost_cache[key] = value
 
-    def comm_overlay(self, nodes: Iterable[int], kind: JobKind) -> "CommOverlay":
+    def comm_overlay(
+        self, nodes: Iterable[int], kind: JobKind, *, validate: bool = True
+    ) -> "CommOverlay":
         """A pricing view of this state plus one hypothetical allocation.
 
         Captures only the per-leaf counters the Eq. 2-6 kernel reads —
@@ -221,27 +286,53 @@ class ClusterState:
         (in range, free, no duplicates). The view's counters are copied
         at capture time, so it stays numerically valid even if this
         state mutates afterwards.
+
+        ``validate=False`` skips the checks; only for node sets that
+        just came out of an allocator against this same state (the
+        adaptive pricing and counterfactual hot paths — the checks cost
+        more than the capture itself there, and allocators already
+        guarantee validity).
         """
         node_arr = np.asarray(list(nodes) if not isinstance(nodes, np.ndarray) else nodes,
                               dtype=np.int64)
         if node_arr.ndim != 1 or node_arr.size == 0:
             raise ValueError("overlay must contain at least one node")
-        if np.unique(node_arr).size != node_arr.size:
-            raise ValueError("duplicate node ids in overlay allocation")
-        if node_arr.min() < 0 or node_arr.max() >= self.topology.n_nodes:
-            raise ValueError("node id out of range")
-        if np.any(self.node_state[node_arr] != NODE_FREE):
-            busy = node_arr[self.node_state[node_arr] != NODE_FREE]
-            raise ValueError(f"nodes already busy: {busy[:8].tolist()}")
-        if np.any(self.node_avail[node_arr] != AVAIL_UP):
-            down = node_arr[self.node_avail[node_arr] != AVAIL_UP]
-            raise ValueError(f"nodes unavailable (DOWN/DRAINING): {down[:8].tolist()}")
+        if validate:
+            if is_legacy():
+                if np.unique(node_arr).size != node_arr.size:
+                    raise ValueError("duplicate node ids in overlay allocation")
+                if node_arr.min() < 0 or node_arr.max() >= self.topology.n_nodes:
+                    raise ValueError("node id out of range")
+            else:
+                # BENCH_PR1 measured this capture at ~1.9 ms against a 3 us
+                # state copy — both np.unique calls (the duplicate check and
+                # the leaf histogram below) sort the node set. A scatter
+                # into a seen-mask and an unsorted bincount do the same jobs
+                # in O(len(nodes) + n_leaves) without sorting.
+                if node_arr.min() < 0 or node_arr.max() >= self.topology.n_nodes:
+                    raise ValueError("node id out of range")
+                seen = np.zeros(self.topology.n_nodes, dtype=bool)
+                seen[node_arr] = True
+                if int(np.count_nonzero(seen)) != node_arr.size:
+                    raise ValueError("duplicate node ids in overlay allocation")
+            if np.any(self.node_state[node_arr] != NODE_FREE):
+                busy = node_arr[self.node_state[node_arr] != NODE_FREE]
+                raise ValueError(f"nodes already busy: {busy[:8].tolist()}")
+            if np.any(self.node_avail[node_arr] != AVAIL_UP):
+                down = node_arr[self.node_avail[node_arr] != AVAIL_UP]
+                raise ValueError(f"nodes unavailable (DOWN/DRAINING): {down[:8].tolist()}")
         leaf_comm = self.leaf_comm.copy()
         if kind is JobKind.COMM:
-            leaves, counts = np.unique(
-                self.topology.leaf_of_node[node_arr], return_counts=True
-            )
-            leaf_comm[leaves] += counts
+            if is_legacy():
+                leaves, counts = np.unique(
+                    self.topology.leaf_of_node[node_arr], return_counts=True
+                )
+                leaf_comm[leaves] += counts
+            else:
+                leaf_comm += np.bincount(
+                    self.topology.leaf_of_node[node_arr],
+                    minlength=self.topology.n_leaves,
+                )
         return CommOverlay(self, leaf_comm, (kind.name, node_arr.tobytes()))
 
     # ------------------------------------------------------------------
@@ -257,17 +348,22 @@ class ClusterState:
         """
         lo = int(self.topology.leaf_node_offset[leaf_index])
         hi = int(self.topology.leaf_node_offset[leaf_index + 1])
-        free = np.flatnonzero(
-            (self.node_state[lo:hi] == NODE_FREE)
-            & (self.node_avail[lo:hi] == AVAIL_UP)
-        ) + lo
+        if is_legacy():
+            free = np.flatnonzero(
+                (self.node_state[lo:hi] == NODE_FREE)
+                & (self.node_avail[lo:hi] == AVAIL_UP)
+            ) + lo
+        else:
+            free = np.flatnonzero(self.allocatable_mask()[lo:hi]) + lo
         if count is not None:
             if count > free.size:
                 raise ValueError(
                     f"leaf {leaf_index} has {free.size} free nodes, requested {count}"
                 )
             free = free[:count]
-        return free.astype(np.int64)
+        # flatnonzero yields a fresh intp array (int64 here), so this
+        # normalizes dtype without copying on the common platform
+        return free.astype(np.int64, copy=False)
 
     # ------------------------------------------------------------------
     # mutation
@@ -283,12 +379,18 @@ class ClusterState:
         """
         if job_id in self.running:
             raise ValueError(f"job {job_id} is already running")
-        raw = np.asarray([int(n) for n in nodes], dtype=np.int64)
-        node_arr = np.unique(raw)
-        if node_arr.size != raw.size:
+        if isinstance(nodes, np.ndarray) and nodes.dtype == np.int64:
+            raw = nodes
+        else:
+            raw = np.asarray([int(n) for n in nodes], dtype=np.int64)
+        # np.sort + adjacent-equality replaces np.unique (same sorted
+        # result, same error, half the per-call overhead on the ~10^5
+        # allocations of a long trace)
+        node_arr = np.sort(raw)
+        if node_arr.size and np.any(node_arr[1:] == node_arr[:-1]):
             raise ValueError(
                 f"duplicate node ids in allocation for job {job_id} "
-                f"({raw.size - node_arr.size} repeated)"
+                f"({raw.size - np.unique(raw).size} repeated)"
             )
         if node_arr.size == 0:
             raise ValueError("allocation must contain at least one node")
@@ -301,12 +403,25 @@ class ClusterState:
             down = node_arr[self.node_avail[node_arr] != AVAIL_UP]
             raise ValueError(f"nodes unavailable (DOWN/DRAINING): {down[:8].tolist()}")
         self.node_state[node_arr] = _KIND_TO_NODE_STATE[kind]
-        leaves, counts = np.unique(self.topology.leaf_of_node[node_arr], return_counts=True)
-        self.leaf_free[leaves] -= counts
-        if kind is JobKind.COMM:
-            self.leaf_comm[leaves] += counts
-        elif kind is JobKind.IO:
-            self.leaf_io[leaves] += counts
+        self.node_job[node_arr] = job_id
+        if is_legacy():
+            leaves, counts = np.unique(
+                self.topology.leaf_of_node[node_arr], return_counts=True
+            )
+            self.leaf_free[leaves] -= counts
+            if kind is JobKind.COMM:
+                self.leaf_comm[leaves] += counts
+            elif kind is JobKind.IO:
+                self.leaf_io[leaves] += counts
+        else:
+            counts = np.bincount(
+                self.topology.leaf_of_node[node_arr], minlength=self.topology.n_leaves
+            )
+            self.leaf_free -= counts
+            if kind is JobKind.COMM:
+                self.leaf_comm += counts
+            elif kind is JobKind.IO:
+                self.leaf_io += counts
         record = AllocationRecord(job_id=job_id, nodes=node_arr, kind=kind)
         self.running[job_id] = record
         self._invalidate()
@@ -321,19 +436,46 @@ class ClusterState:
         """
         record = self.running.pop(job_id)
         self.node_state[record.nodes] = NODE_FREE
-        up = record.nodes[self.node_avail[record.nodes] == AVAIL_UP]
-        if up.size:
-            leaves, counts = np.unique(self.topology.leaf_of_node[up], return_counts=True)
-            self.leaf_free[leaves] += counts
-        if up.size != record.nodes.size:
-            off = record.nodes[self.node_avail[record.nodes] != AVAIL_UP]
-            leaves, counts = np.unique(self.topology.leaf_of_node[off], return_counts=True)
-            self.leaf_offline[leaves] += counts
-        leaves, counts = np.unique(self.topology.leaf_of_node[record.nodes], return_counts=True)
+        self.node_job[record.nodes] = -1
+        if is_legacy():
+            up = record.nodes[self.node_avail[record.nodes] == AVAIL_UP]
+            if up.size:
+                leaves, counts = np.unique(
+                    self.topology.leaf_of_node[up], return_counts=True
+                )
+                self.leaf_free[leaves] += counts
+            if up.size != record.nodes.size:
+                off = record.nodes[self.node_avail[record.nodes] != AVAIL_UP]
+                leaves, counts = np.unique(
+                    self.topology.leaf_of_node[off], return_counts=True
+                )
+                self.leaf_offline[leaves] += counts
+            leaves, counts = np.unique(
+                self.topology.leaf_of_node[record.nodes], return_counts=True
+            )
+            if record.kind is JobKind.COMM:
+                self.leaf_comm[leaves] -= counts
+            elif record.kind is JobKind.IO:
+                self.leaf_io[leaves] -= counts
+            self._invalidate()
+            return record
+        n_leaves = self.topology.n_leaves
+        job_leaves = self.topology.leaf_of_node[record.nodes]
+        counts = np.bincount(job_leaves, minlength=n_leaves)
+        up_mask = self.node_avail[record.nodes] == AVAIL_UP
+        if up_mask.all():
+            self.leaf_free += counts
+        else:
+            self.leaf_free += np.bincount(
+                job_leaves[up_mask], minlength=n_leaves
+            )
+            self.leaf_offline += np.bincount(
+                job_leaves[~up_mask], minlength=n_leaves
+            )
         if record.kind is JobKind.COMM:
-            self.leaf_comm[leaves] -= counts
+            self.leaf_comm -= counts
         elif record.kind is JobKind.IO:
-            self.leaf_io[leaves] -= counts
+            self.leaf_io -= counts
         self._invalidate()
         return record
 
@@ -352,11 +494,16 @@ class ClusterState:
     def jobs_on(self, nodes: Iterable[int]) -> List[int]:
         """Ids of running jobs holding any of ``nodes`` (ascending)."""
         node_arr = self._avail_nodes_arg(nodes)
-        hit = np.zeros(self.topology.n_nodes, dtype=bool)
-        hit[node_arr] = True
-        return sorted(
-            job_id for job_id, rec in self.running.items() if hit[rec.nodes].any()
-        )
+        if is_legacy():
+            hit = np.zeros(self.topology.n_nodes, dtype=bool)
+            hit[node_arr] = True
+            return sorted(
+                job_id for job_id, rec in self.running.items() if hit[rec.nodes].any()
+            )
+        if node_arr.size == 0:
+            return []
+        ids = np.unique(self.node_job[node_arr])
+        return ids[ids >= 0].tolist()
 
     def mark_down(self, nodes: Iterable[int]) -> np.ndarray:
         """Transition ``nodes`` to DOWN; returns the ids actually changed.
@@ -486,11 +633,13 @@ class ClusterState:
             leaf_of[node_state == NODE_IO], minlength=topology.n_leaves
         ).astype(np.int64)
         for rec in data["running"]:
-            state.running[int(rec["job_id"])] = AllocationRecord(
+            record = AllocationRecord(
                 job_id=int(rec["job_id"]),
                 nodes=np.asarray(rec["nodes"], dtype=np.int64),
                 kind=JobKind(rec["kind"]),
             )
+            state.running[record.job_id] = record
+            state.node_job[record.nodes] = record.job_id
         state.version = int(data["version"])
         state.validate()
         return state
@@ -501,6 +650,7 @@ class ClusterState:
         clone.topology = self.topology
         clone.node_state = self.node_state.copy()
         clone.node_avail = self.node_avail.copy()
+        clone.node_job = self.node_job.copy()
         clone.leaf_offline = self.leaf_offline.copy()
         clone.leaf_free = self.leaf_free.copy()
         clone.leaf_comm = self.leaf_comm.copy()
@@ -549,10 +699,14 @@ class ClusterState:
         for record in self.running.values():
             assert not seen[record.nodes].any(), "node held by two jobs"
             seen[record.nodes] = True
+            assert np.all(
+                self.node_job[record.nodes] == record.job_id
+            ), f"node_job index drifted for job {record.job_id}"
             assert not np.any(
                 self.node_avail[record.nodes] == AVAIL_DOWN
             ), f"running job {record.job_id} occupies a DOWN node"
         assert np.array_equal(seen, self.node_state != NODE_FREE), "running set drifted"
+        assert np.array_equal(seen, self.node_job >= 0), "node_job index drifted"
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper
         down = self.total_down + self.total_draining

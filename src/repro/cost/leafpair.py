@@ -32,6 +32,7 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
+from .._perfflags import is_legacy
 from ..patterns.base import CommunicationPattern
 from .contention import ContentionModel
 
@@ -43,6 +44,24 @@ _LEAF_STEP_CACHE: "OrderedDict[Tuple, List[Optional[Tuple[np.ndarray, np.ndarray
 )
 _LEAF_STEP_CACHE_MAX = 128
 
+#: cached flattened form of the same reduction: all steps' leaf pairs in
+#: one segmented array pair, for a single vectorized evaluation. Keys
+#: embed the leaf assignment, so distinct placements never collide —
+#: but that same cardinality means a long trace touches tens of
+#: thousands of keys, and a small cap thrashes. Entries are a few KB
+#: (segment arrays over at most min(P, L^2) leaf pairs), so a much
+#: larger cap than the per-step cache costs tens of MB, not more. The
+#: per-step cache keeps its original cap: it also backs the legacy
+#: evaluation path, whose behaviour benchmarks use as the pre-change
+#: baseline.
+_LEAF_FLAT_CACHE: "OrderedDict[Tuple, Optional[Tuple]]" = OrderedDict()
+_LEAF_FLAT_CACHE_MAX = 8192
+
+#: cached (pattern, nranks) -> concatenated inter-rank pairs of every
+#: step (rank-equal pairs dropped), with a step id per pair — the
+#: state-independent half of the flat reduction's build
+_PATTERN_PAIRS_CACHE: "OrderedDict[Tuple, Optional[Tuple]]" = OrderedDict()
+
 #: above this many leaf-pair slots, unique-finding falls back from a
 #: dense boolean scatter (O(P + L²)) to sort-based np.unique (O(P log P))
 _DENSE_UNIQUE_LIMIT = 4_000_000
@@ -51,6 +70,8 @@ _DENSE_UNIQUE_LIMIT = 4_000_000
 def clear_leaf_pair_cache() -> None:
     """Drop all cached leaf-pair reductions (tests and cold benchmarks)."""
     _LEAF_STEP_CACHE.clear()
+    _LEAF_FLAT_CACHE.clear()
+    _PATTERN_PAIRS_CACHE.clear()
 
 
 def _unique_leaf_pairs(
@@ -125,6 +146,141 @@ def leaf_pair_steps(
     return per_step
 
 
+def _pattern_pairs(
+    pattern: CommunicationPattern, steps: Tuple, nranks: int
+) -> Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]]:
+    """All steps' inter-rank pairs concatenated: ``(src, dst, step id)``.
+
+    State-independent and leaf-assignment-independent (for unique-node
+    allocations rank inequality is node inequality), so it is cached per
+    ``(pattern, nranks)`` and shared by every allocation of that size.
+    ``None`` when no step carries an inter-rank pair.
+    """
+    key = (pattern, nranks)
+    cached = _PATTERN_PAIRS_CACHE.get(key, _PATTERN_PAIRS_CACHE)
+    if cached is not _PATTERN_PAIRS_CACHE:
+        _PATTERN_PAIRS_CACHE.move_to_end(key)
+        return cached
+    src_parts: List[np.ndarray] = []
+    dst_parts: List[np.ndarray] = []
+    sid_parts: List[np.ndarray] = []
+    for i, step in enumerate(steps):
+        if step.n_pairs == 0:
+            continue
+        pairs = step.pairs
+        keep = pairs[:, 0] != pairs[:, 1]
+        if not keep.all():
+            pairs = pairs[keep]
+        if pairs.shape[0] == 0:
+            continue
+        src_parts.append(pairs[:, 0].astype(np.int64))
+        dst_parts.append(pairs[:, 1].astype(np.int64))
+        sid_parts.append(np.full(pairs.shape[0], i, dtype=np.int64))
+    if src_parts:
+        result = (
+            np.concatenate(src_parts),
+            np.concatenate(dst_parts),
+            np.concatenate(sid_parts),
+        )
+    else:
+        result = None
+    if len(_PATTERN_PAIRS_CACHE) >= _LEAF_STEP_CACHE_MAX:
+        _PATTERN_PAIRS_CACHE.popitem(last=False)
+    _PATTERN_PAIRS_CACHE[key] = result
+    return result
+
+
+def _leaf_pair_flat(
+    pattern: CommunicationPattern,
+    steps: Tuple,
+    node_arr: np.ndarray,
+    leaf_assign: np.ndarray,
+    n_leaves: int,
+    unique_nodes: bool,
+) -> Optional[Tuple[np.ndarray, np.ndarray, np.ndarray, Tuple[int, ...]]]:
+    """Concatenated ``(ula, ulb, segment offsets, step index per segment)``.
+
+    The per-step evaluation in :func:`leaf_pair_cost` launches ~15 numpy
+    kernels per step on arrays of a few dozen pairs — call overhead, not
+    arithmetic, dominates. Flattening every non-empty step into one pair
+    array lets the whole cost evaluate in a single batch with a
+    ``maximum.reduceat`` per-segment max. Returns ``None`` when no step
+    carries an inter-node pair (cost 0). Cached like the per-step form.
+
+    For unique-node allocations the build itself is one vectorized
+    dedup over ``(step, leaf pair)`` codes instead of a per-step loop;
+    rank layouts with repeated nodes fall back to concatenating the
+    per-step reduction.
+    """
+    if unique_nodes:
+        key = (pattern, leaf_assign.size, True, leaf_assign.tobytes())
+    else:
+        key = (pattern, node_arr.size, False, node_arr.tobytes())
+    cached = _LEAF_FLAT_CACHE.get(key, _LEAF_FLAT_CACHE)
+    if cached is not _LEAF_FLAT_CACHE:
+        _LEAF_FLAT_CACHE.move_to_end(key)
+        return cached
+    n_codes = n_leaves * n_leaves
+    flat: Optional[Tuple]
+    if unique_nodes:
+        pp = _pattern_pairs(pattern, steps, leaf_assign.size)
+        if pp is None:
+            flat = None
+        else:
+            src, dst, sid = pp
+            la = leaf_assign[src]
+            lb = leaf_assign[dst]
+            lo = np.minimum(la, lb)
+            hi = np.maximum(la, lb)
+            # sort-based dedup over (step, leaf-pair) codes: same sorted
+            # unique codes a dense boolean scatter would produce, but
+            # O(pairs log pairs) instead of O(steps * n_leaves^2) — the
+            # dense array dominated build time on wide topologies
+            ucodes = np.unique(sid * n_codes + lo * n_leaves + hi)
+            step_of = ucodes // n_codes
+            rem = ucodes - step_of * n_codes
+            boundaries = np.flatnonzero(np.diff(step_of)) + 1
+            offsets = np.concatenate(
+                (np.zeros(1, dtype=np.int64), boundaries)
+            )
+            flat = (
+                rem // n_leaves,
+                rem % n_leaves,
+                offsets,
+                tuple(int(s) for s in step_of[offsets]),
+            )
+    else:
+        per_step = leaf_pair_steps(
+            pattern, steps, node_arr, leaf_assign, n_leaves, unique_nodes
+        )
+        la_parts: List[np.ndarray] = []
+        lb_parts: List[np.ndarray] = []
+        seg_idx: List[int] = []
+        offs: List[int] = []
+        pos = 0
+        for i, meta in enumerate(per_step):
+            if meta is None or meta[0].size == 0:
+                continue
+            la_parts.append(meta[0])
+            lb_parts.append(meta[1])
+            seg_idx.append(i)
+            offs.append(pos)
+            pos += meta[0].size
+        if not la_parts:
+            flat = None
+        else:
+            flat = (
+                np.concatenate(la_parts),
+                np.concatenate(lb_parts),
+                np.asarray(offs, dtype=np.int64),
+                tuple(seg_idx),
+            )
+    if len(_LEAF_FLAT_CACHE) >= _LEAF_FLAT_CACHE_MAX:
+        _LEAF_FLAT_CACHE.popitem(last=False)
+    _LEAF_FLAT_CACHE[key] = flat
+    return flat
+
+
 def leaf_pair_cost(
     view,
     node_arr: np.ndarray,
@@ -145,13 +301,42 @@ def leaf_pair_cost(
     """
     topo = view.topology
     leaf_assign = topo.leaf_of_node[node_arr]
-    per_step = leaf_pair_steps(
-        pattern, steps, node_arr, leaf_assign, topo.n_leaves, unique_nodes
-    )
     lca_levels = topo.leaf_lca_levels()
     share = view.leaf_comm_share()
     comm = view.leaf_comm
     sizes = topo.leaf_sizes
+    if not is_legacy():
+        flat = _leaf_pair_flat(
+            pattern, steps, node_arr, leaf_assign, topo.n_leaves, unique_nodes
+        )
+        if flat is None:
+            return 0.0
+        ula, ulb, offsets, seg_idx = flat
+        lvl = lca_levels[ula, ulb]
+        share_a = share[ula]
+        share_b = share[ulb]
+        if contention.per_level:
+            weight = contention.shared_weight(lvl)
+        else:
+            weight = contention.uplink_discount
+        # identical elementwise arithmetic to the per-step loop below;
+        # reduceat takes each segment's exact max, and the final
+        # accumulation walks segments in the same step order, so the
+        # result is bit-identical to the legacy evaluation.
+        cross = share_a + share_b + weight * (comm[ula] + comm[ulb]) / (
+            sizes[ula] + sizes[ulb]
+        )
+        c = np.where(ula == ulb, share_a, cross)
+        worst = np.maximum.reduceat(2 * lvl * (1.0 + c), offsets)
+        total = 0.0
+        for k, i in enumerate(seg_idx):
+            step = steps[i]
+            step_weight = step.msize if weight_by_msize else 1.0
+            total += float(worst[k]) * step_weight * step.repeat
+        return total
+    per_step = leaf_pair_steps(
+        pattern, steps, node_arr, leaf_assign, topo.n_leaves, unique_nodes
+    )
     total = 0.0
     for step, meta in zip(steps, per_step):
         if meta is None:

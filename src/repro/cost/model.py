@@ -35,6 +35,7 @@ from typing import Dict, Sequence, Tuple
 
 import numpy as np
 
+from .. import perf
 from ..cluster.job import Job
 from ..cluster.state import ClusterState
 from ..patterns.base import CommunicationPattern
@@ -99,23 +100,26 @@ class CostModel:
         cache_key = (self, pattern, node_arr.size, node_arr.tobytes())
         cached = state.cost_cache_get(cache_key)
         if cached is not None:
+            perf.count("cost.cache_hits")
             return cached
+        perf.count("cost.cache_misses")
         # Rank layouts (srun -m block/cyclic) legally repeat node ids —
         # several ranks per node, intra-node pairs free. Those need the
         # node-keyed reduction; allocations (always unique ids) share
         # the cheaper leaf-assignment-keyed one.
-        seen = np.zeros(state.topology.n_nodes, dtype=bool)
-        seen[node_arr] = True
-        unique_nodes = int(seen.sum()) == node_arr.size
-        total = leaf_pair_cost(
-            state,
-            node_arr,
-            pattern,
-            _cached_steps(pattern, int(node_arr.size)),
-            self.contention,
-            self.weight_by_msize,
-            unique_nodes,
-        )
+        with perf.timer("cost.kernel"):
+            seen = np.zeros(state.topology.n_nodes, dtype=bool)
+            seen[node_arr] = True
+            unique_nodes = int(seen.sum()) == node_arr.size
+            total = leaf_pair_cost(
+                state,
+                node_arr,
+                pattern,
+                _cached_steps(pattern, int(node_arr.size)),
+                self.contention,
+                self.weight_by_msize,
+                unique_nodes,
+            )
         state.cost_cache_put(cache_key, total)
         return total
 

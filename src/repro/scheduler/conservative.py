@@ -12,17 +12,33 @@ availability over future time is a step function seeded from running
 jobs' expected completions; queued jobs are processed in FIFO order,
 each placed at the earliest interval that fits and *reserved* there —
 jobs whose reservation lands at the current instant start now.
+
+The profile is seeded with one cumulative walk over the finish-sorted
+running jobs (O(R log R) overall) instead of re-adding each job to
+every later segment (O(R^2)); and a failed pass carries its fully
+*reserved* profile forward, so jobs that arrive before anything else
+changes are placed against the stored timeline instead of rebuilding
+and re-reserving the whole queue from scratch (the O(Q^2) hot path this
+policy showed on large traces). Replaying the carry is sound because
+every stored breakpoint beyond the leading segment is strictly in the
+future: availability only rises at running-job finish estimates (all
+later than any carried-to instant — an earlier finish would have fired
+a FINISH event and invalidated the carry) and reservations start at
+those rises (a reservation starting "now" means the job started, which
+also invalidates the carry).
 """
 
 from __future__ import annotations
 
 import bisect
-from typing import List, Sequence
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
 
+from .._perfflags import is_legacy
 from ..cluster.job import Job
-from .queue_policy import RunningJobView
+from .queue_policy import RunningFacts, iter_running_by_finish
 
-__all__ = ["ConservativeBackfillPolicy"]
+__all__ = ["ConservativeBackfillPolicy", "ConservativeCarry"]
 
 
 class _AvailabilityProfile:
@@ -32,14 +48,51 @@ class _AvailabilityProfile:
     extends to infinity.
     """
 
-    def __init__(self, now: float, free: int, running: Sequence[RunningJobView]) -> None:
+    def __init__(self, now: float, free: int, running: RunningFacts) -> None:
         self.times: List[float] = [now]
         self.avail: List[int] = [free]
-        for view in sorted(running, key=lambda v: v.finish_estimate):
-            t = max(view.finish_estimate, now)
-            i = self._breakpoint(t)
-            for j in range(i, len(self.avail)):
-                self.avail[j] += view.nodes
+        if is_legacy():
+            for finish, nodes in iter_running_by_finish(running):
+                t = max(finish, now)
+                i = self._breakpoint(t)
+                for j in range(i, len(self.avail)):
+                    self.avail[j] += nodes
+            return
+        # One cumulative walk over the finish-sorted jobs: availability
+        # at time t is free + sum(nodes finishing at or before t), so
+        # grouping equal (clamped) finish times and accumulating builds
+        # every segment directly.
+        pairs = list(iter_running_by_finish(running))
+        cum = free
+        i = 0
+        while i < len(pairs):
+            t = max(pairs[i][0], now)
+            add = 0
+            while i < len(pairs) and max(pairs[i][0], now) == t:
+                add += pairs[i][1]
+                i += 1
+            cum += add
+            if t == now:
+                self.avail[0] = cum
+            else:
+                self.times.append(t)
+                self.avail.append(cum)
+
+    @classmethod
+    def from_carry(
+        cls, now: float, times: Sequence[float], avail: Sequence[int]
+    ) -> "_AvailabilityProfile":
+        """Rehydrate a carried (already reserved) profile at a later now.
+
+        Only the leading segment's start is moved up to ``now`` — every
+        other breakpoint is strictly later (see module docstring), so
+        the step function over ``[now, inf)`` is unchanged.
+        """
+        profile = cls.__new__(cls)
+        profile.times = list(times)
+        profile.avail = list(avail)
+        profile.times[0] = now
+        return profile
 
     def _breakpoint(self, t: float) -> int:
         """Index of the segment starting exactly at ``t``, inserting it."""
@@ -82,21 +135,66 @@ class _AvailabilityProfile:
             self.avail[k] -= nodes
 
 
+@dataclass
+class ConservativeCarry:
+    """A failed pass's reserved availability timeline, for extensions."""
+
+    scanned: int
+    times: Tuple[float, ...]
+    avail: Tuple[int, ...]
+
+
 class ConservativeBackfillPolicy:
     """Backfill with a reservation for every queued job."""
 
     name = "conservative"
+    incremental_ok = True
 
     def select_startable(
         self,
         now: float,
         queue: Sequence[Job],
         free_nodes: int,
-        running: Sequence[RunningJobView],
+        running: RunningFacts,
     ) -> List[int]:
+        picks, _ = self.begin_pass(now, queue, free_nodes, running)
+        return picks
+
+    def begin_pass(
+        self,
+        now: float,
+        queue: Sequence[Job],
+        free_nodes: int,
+        running: RunningFacts,
+    ) -> Tuple[List[int], ConservativeCarry]:
         profile = _AvailabilityProfile(now, free_nodes, running)
+        picks = self._process(now, queue, 0, profile)
+        carry = ConservativeCarry(
+            scanned=len(queue), times=tuple(profile.times), avail=tuple(profile.avail)
+        )
+        return picks, carry
+
+    def extend_pass(
+        self,
+        now: float,
+        queue: Sequence[Job],
+        running: RunningFacts,
+        carry: ConservativeCarry,
+    ) -> Tuple[List[int], ConservativeCarry]:
+        profile = _AvailabilityProfile.from_carry(now, carry.times, carry.avail)
+        picks = self._process(now, queue, carry.scanned, profile)
+        new_carry = ConservativeCarry(
+            scanned=len(queue), times=tuple(profile.times), avail=tuple(profile.avail)
+        )
+        return picks, new_carry
+
+    @staticmethod
+    def _process(
+        now: float, queue: Sequence[Job], start_idx: int, profile: _AvailabilityProfile
+    ) -> List[int]:
         picks: List[int] = []
-        for idx, job in enumerate(queue):
+        for idx in range(start_idx, len(queue)):
+            job = queue[idx]
             duration = max(job.runtime, 1e-9)
             start = profile.earliest_fit(job.nodes, duration)
             if start == float("inf"):

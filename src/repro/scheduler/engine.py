@@ -45,6 +45,8 @@ from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Unio
 
 import numpy as np
 
+from .. import perf
+from .._perfflags import is_legacy
 from ..allocation.base import Allocator
 from ..allocation.default_slurm import DefaultSlurmAllocator
 from ..allocation.registry import get_allocator
@@ -69,7 +71,7 @@ from .serialize import (
     record_to_dict,
 )
 
-from .queue_policy import QueuePolicy, RunningJobView, get_policy
+from .queue_policy import QueuePolicy, RunningJobView, RunningViews, get_policy
 
 __all__ = [
     "EngineConfig",
@@ -104,7 +106,14 @@ class SchedulerStats:
     Attributes
     ----------
     schedule_passes:
-        How many times the queue policy was consulted.
+        Full queue-policy scans (the first pass of a run is always one).
+    schedule_passes_incremental:
+        Passes that evaluated only jobs appended since a failed full
+        pass, against that pass's carried facts (see
+        :mod:`repro.scheduler.queue_policy`).
+    schedule_passes_skipped:
+        Passes skipped entirely: the previous pass picked nothing and
+        neither the cluster state version nor the queue changed since.
     jobs_backfilled:
         Starts that jumped at least one earlier-submitted queued job.
     counterfactual_evaluations:
@@ -123,6 +132,8 @@ class SchedulerStats:
     """
 
     schedule_passes: int = 0
+    schedule_passes_incremental: int = 0
+    schedule_passes_skipped: int = 0
     jobs_backfilled: int = 0
     counterfactual_evaluations: int = 0
     faults_injected: int = 0
@@ -155,6 +166,19 @@ class EngineConfig:
     checkpoint_interval:
         Wall seconds between checkpoints under the ``checkpoint``
         policy; ignored by the other policies.
+    force_full_pass:
+        Disable incremental scheduling: every pass is a from-scratch
+        policy scan over rebuilt running-job views, reproducing the
+        pre-incremental engine exactly. Reference mode for the
+        equivalence property tests and the "before" benchmark numbers.
+    verify_incremental:
+        Self-checking mode: every skipped or extended pass is shadowed
+        by a full reference scan and any divergence raises
+        ``AssertionError``. O(full pass) per event — CI and debugging
+        only.
+    collect_perf:
+        Install a :mod:`repro.perf` recorder around the run and attach
+        its report as ``SimulationResult.perf``.
     """
 
     policy: str = "backfill"
@@ -163,6 +187,9 @@ class EngineConfig:
     validate_state: bool = False
     interrupt_policy: str = "requeue"
     checkpoint_interval: float = 3600.0
+    force_full_pass: bool = False
+    verify_incremental: bool = False
+    collect_perf: bool = False
 
     def __post_init__(self) -> None:
         require_policy(self.interrupt_policy)
@@ -190,6 +217,15 @@ class _RunState:
     be paused, snapshotted, and resumed. ``batches_done`` counts the
     simultaneous-event batches processed — the unit ``checkpoint_every``
     and ``stop_after`` are measured in.
+
+    The incremental-scheduling fields never enter a checkpoint: they
+    are a pure optimization whose absence only costs one full pass
+    after resume (``clean_version=None`` means "dirty"), keeping the
+    snapshot format stable. ``queue_rev`` bumps on every queue append
+    (submits and fault requeues); together with the state's version
+    counter it is the scheduling dirty bit: an unchanged
+    ``(version, queue_rev)`` pair after a pass that picked nothing
+    proves the next pass would pick nothing too.
     """
 
     state: ClusterState
@@ -200,6 +236,11 @@ class _RunState:
     books: Dict[int, InterruptionBook]
     submits_left: int
     batches_done: int = 0
+    views: RunningViews = field(default_factory=RunningViews)
+    queue_rev: int = 0
+    clean_version: Optional[int] = None
+    clean_queue_rev: Optional[int] = None
+    carry: Any = None
 
 
 class SchedulerEngine:
@@ -290,6 +331,14 @@ class SchedulerEngine:
                 return SimulationResult(self.allocator.name, [])
             rs = self._begin_run(job_list, initial_state, faults)
 
+        if self.config.collect_perf and perf.active() is None:
+            with perf.collecting() as recorder:
+                result = self._drive(
+                    rs, checkpoint_every, checkpoint_path, stop_after, interrupt
+                )
+            if result is not None:
+                result.perf = recorder.snapshot()
+            return result
         return self._drive(rs, checkpoint_every, checkpoint_path, stop_after, interrupt)
 
     def _begin_run(
@@ -362,6 +411,8 @@ class SchedulerEngine:
                     str(checkpoint_path) if checkpoint_path is not None else None
                 )
             now, batch = events.pop_simultaneous()
+            perf.count("engine.events", len(batch))
+            perf.count("engine.batches")
             for event in batch:
                 if event.kind is EventKind.FINISH:
                     finished: _Running = event.payload
@@ -369,6 +420,7 @@ class SchedulerEngine:
                         continue  # stale: this run was interrupted by a fault
                     state.release(finished.job.job_id)
                     del running[finished.job.job_id]
+                    rs.views.remove(finished.job.job_id)
                     book = books.get(finished.job.job_id)
                     records.append(
                         JobRecord(
@@ -383,13 +435,14 @@ class SchedulerEngine:
                         )
                     )
                 elif event.kind is EventKind.NODE_DOWN:
-                    self._apply_fault_down(now, state, event.payload, queue, running, records, books)
+                    self._apply_fault_down(now, rs, event.payload)
                 elif event.kind is EventKind.NODE_UP:
                     state.mark_up(np.asarray(event.payload.nodes, dtype=np.int64))
                 else:
                     queue.append(event.payload)
                     rs.submits_left -= 1
-            self._schedule_pass(now, state, queue, running, events, books)
+                    rs.queue_rev += 1
+            self._schedule_pass(now, rs)
             if self.config.validate_state:
                 state.validate()
             rs.batches_done += 1
@@ -488,6 +541,9 @@ class SchedulerEngine:
                 "validate_state": cfg.validate_state,
                 "interrupt_policy": cfg.interrupt_policy,
                 "checkpoint_interval": cfg.checkpoint_interval,
+                "force_full_pass": cfg.force_full_pass,
+                "verify_incremental": cfg.verify_incremental,
+                "collect_perf": cfg.collect_perf,
                 "cost_model": {
                     "weight_by_msize": cfg.cost_model.weight_by_msize,
                     "contention": {
@@ -575,7 +631,7 @@ class SchedulerEngine:
             int(job_id): InterruptionBook(**book) for job_id, book in data["books"]
         }
         self.last_stats = SchedulerStats(**data["stats"])
-        return _RunState(
+        rs = _RunState(
             state=ClusterState.from_snapshot_dict(self.topology, data["state"]),
             events=events,
             queue=[job_from_dict(j) for j in data["queue"]],
@@ -585,6 +641,12 @@ class SchedulerEngine:
             submits_left=int(data["submits_left"]),
             batches_done=int(data["batches_done"]),
         )
+        # Rebuild the finish-ordered views in the stored start order; the
+        # incremental carry is deliberately not checkpointed, so a resumed
+        # run starts "dirty" and re-proves cleanliness with one full pass.
+        for job_id, entry in running.items():
+            rs.views.add(job_id, entry.finish_time, len(entry.nodes))
+        return rs
 
     @classmethod
     def from_snapshot(
@@ -625,21 +687,23 @@ class SchedulerEngine:
                 validate_state=bool(meta["validate_state"]),
                 interrupt_policy=meta["interrupt_policy"],
                 checkpoint_interval=float(meta["checkpoint_interval"]),
+                # absent in pre-PR-4 (still format v3) checkpoints
+                force_full_pass=bool(meta.get("force_full_pass", False)),
+                verify_incremental=bool(meta.get("verify_incremental", False)),
+                collect_perf=bool(meta.get("collect_perf", False)),
             )
         return cls(topology, allocator, config)
 
-    def _apply_fault_down(
-        self,
-        now: float,
-        state: ClusterState,
-        fault: FaultEvent,
-        queue: List[Job],
-        running: Dict[int, _Running],
-        records: List[JobRecord],
-        books: Dict[int, InterruptionBook],
-    ) -> None:
+    def _apply_fault_down(self, now: float, rs: _RunState, fault: FaultEvent) -> None:
         """Interrupt jobs touching the failed nodes, then mark them DOWN."""
         cfg = self.config
+        state, queue, running, records, books = (
+            rs.state,
+            rs.queue,
+            rs.running,
+            rs.records,
+            rs.books,
+        )
         nodes = np.asarray(fault.nodes, dtype=np.int64)
         self.last_stats.faults_injected += 1
         for job_id in state.jobs_on(nodes):
@@ -650,6 +714,7 @@ class SchedulerEngine:
                     "running — faults cannot interrupt initial_state background jobs"
                 )
             state.release(job_id)
+            rs.views.remove(job_id)
             book = books.setdefault(job_id, InterruptionBook())
             self.last_stats.jobs_interrupted += 1
             requeued = book.interrupt(
@@ -663,6 +728,7 @@ class SchedulerEngine:
             if requeued:
                 self.last_stats.jobs_requeued += 1
                 queue.append(entry.job)
+                rs.queue_rev += 1
             else:
                 self.last_stats.jobs_failed += 1
                 records.append(
@@ -682,26 +748,107 @@ class SchedulerEngine:
 
     # ------------------------------------------------------------------
 
-    def _schedule_pass(
-        self,
-        now: float,
-        state: ClusterState,
-        queue: List[Job],
-        running: Dict[int, _Running],
-        events: EventQueue,
-        books: Optional[Dict[int, InterruptionBook]] = None,
-    ) -> None:
+    def _schedule_pass(self, now: float, rs: _RunState) -> None:
+        queue = rs.queue
         if not queue:
             return
+        state = rs.state
+        cfg = self.config
+        policy = self._policy
+        incremental_ok = not cfg.force_full_pass and getattr(
+            policy, "incremental_ok", False
+        )
+
+        if incremental_ok and rs.clean_version == state.version:
+            # No job started/finished/faulted since a pass that picked
+            # nothing. If the queue is also unchanged, the pass would
+            # reproduce that nothing; if only appends happened, the
+            # carried facts evaluate just the appended suffix.
+            if rs.clean_queue_rev == rs.queue_rev:
+                self.last_stats.schedule_passes_skipped += 1
+                perf.count("engine.passes_skipped")
+                if cfg.verify_incremental:
+                    self._verify_no_picks(now, rs, "skipped")
+                return
+            if rs.carry is not None:
+                self.last_stats.schedule_passes_incremental += 1
+                perf.count("engine.passes_incremental")
+                with perf.timer("engine.schedule_pass"):
+                    picks, carry = policy.extend_pass(now, queue, rs.views, rs.carry)
+                if cfg.verify_incremental:
+                    self._verify_picks(now, rs, picks, "extended")
+                if not picks:
+                    rs.carry = carry
+                    rs.clean_queue_rev = rs.queue_rev
+                    return
+                self._mark_dirty(rs)
+                self._apply_picks(now, rs, picks)
+                return
+
         self.last_stats.schedule_passes += 1
+        perf.count("engine.passes_full")
+        free = state.total_free
+        if incremental_ok:
+            with perf.timer("engine.schedule_pass"):
+                picks, carry = policy.begin_pass(now, queue, free, rs.views)
+            if not picks:
+                rs.carry = carry
+                rs.clean_version = state.version
+                rs.clean_queue_rev = rs.queue_rev
+                return
+            self._mark_dirty(rs)
+        else:
+            # Reference path (force_full_pass or a policy without the
+            # incremental protocol): rebuild plain views every pass and
+            # never skip — the pre-incremental engine, verbatim.
+            views = [
+                RunningJobView(finish_estimate=r.finish_time, nodes=len(r.nodes))
+                for r in rs.running.values()
+            ]
+            with perf.timer("engine.schedule_pass"):
+                picks = policy.select_startable(now, queue, free, views)
+            if not picks:
+                return
+        self._apply_picks(now, rs, picks)
+
+    @staticmethod
+    def _mark_dirty(rs: _RunState) -> None:
+        rs.carry = None
+        rs.clean_version = None
+        rs.clean_queue_rev = None
+
+    def _reference_picks(self, rs: _RunState, now: float) -> List[int]:
         views = [
             RunningJobView(finish_estimate=r.finish_time, nodes=len(r.nodes))
-            for r in running.values()
+            for r in rs.running.values()
         ]
-        picks = self._policy.select_startable(now, queue, state.total_free, views)
-        picked_set = set(picks)
-        for idx in picks:
-            if any(j not in picked_set for j in range(idx)):
+        return self._policy.select_startable(now, rs.queue, rs.state.total_free, views)
+
+    def _verify_no_picks(self, now: float, rs: _RunState, what: str) -> None:
+        reference = self._reference_picks(rs, now)
+        if reference:
+            raise AssertionError(
+                f"pass-skip invariant violated: {what} pass at t={now} "
+                f"but a full reference pass picks {reference}"
+            )
+
+    def _verify_picks(
+        self, now: float, rs: _RunState, picks: List[int], what: str
+    ) -> None:
+        reference = self._reference_picks(rs, now)
+        if reference != picks:
+            raise AssertionError(
+                f"pass-skip invariant violated: {what} pass at t={now} "
+                f"picks {picks} but a full reference pass picks {reference}"
+            )
+
+    def _apply_picks(self, now: float, rs: _RunState, picks: List[int]) -> None:
+        queue = rs.queue
+        # A pick is a backfill when any earlier-queued job was left
+        # behind, i.e. its index exceeds its position among the
+        # (ascending) picked indices.
+        for pos, idx in enumerate(sorted(picks)):
+            if idx != pos:
                 self.last_stats.jobs_backfilled += 1
         # Start in policy order; remove from the queue afterwards so the
         # policy's indices stay valid.
@@ -711,14 +858,15 @@ class SchedulerEngine:
         for idx in sorted(picks, reverse=True):
             del queue[idx]
         for job in started:
-            book = books.get(job.job_id) if books else None
+            book = rs.books.get(job.job_id)
             self.start_job(
                 now,
-                state,
+                rs.state,
                 job,
-                running,
-                events,
+                rs.running,
+                rs.events,
                 remaining=book.remaining if book else 1.0,
+                views=rs.views,
             )
 
     def start_job(
@@ -729,48 +877,80 @@ class SchedulerEngine:
         running: Dict[int, _Running],
         events: EventQueue,
         remaining: float = 1.0,
+        views: Optional[RunningViews] = None,
     ) -> _Running:
         """Allocate, price, Eq.-7-adjust, and schedule completion of ``job``.
 
         ``remaining`` scales the scheduled wall duration for
         checkpoint-resumed jobs (fraction of total work left, from
-        :class:`~repro.faults.policy.InterruptionBook`).
+        :class:`~repro.faults.policy.InterruptionBook`). ``views`` is the
+        run's incrementally maintained :class:`RunningViews`, updated in
+        lockstep with ``running`` when given.
         """
         cfg = self.config
+        perf.count("engine.jobs_started")
         needs_counterfactual = (
             job.is_comm_intensive and self.allocator.name != self._default.name
         )
         # Both allocators read the same pre-allocation state (neither
         # mutates it); the counterfactual is captured as a cheap per-leaf
         # overlay instead of an O(n_nodes) state copy.
-        default_nodes = (
-            self._default.allocate(state, job) if needs_counterfactual else None
-        )
-        nodes = self.allocator.allocate(state, job)
-        default_view = (
-            state.comm_overlay(default_nodes, job.kind)
-            if needs_counterfactual
-            else None
-        )
+        with perf.timer("engine.allocator"):
+            default_nodes = (
+                self._default.allocate(state, job) if needs_counterfactual else None
+            )
+            nodes = self.allocator.allocate(state, job)
+        with perf.timer("engine.counterfactual"):
+            # the node set came straight out of the default allocator
+            # against this same state, so skip the overlay's validation
+            default_view = (
+                state.comm_overlay(default_nodes, job.kind, validate=is_legacy())
+                if needs_counterfactual
+                else None
+            )
+        aware: Optional[Dict] = None
+        if job.is_comm_intensive and not is_legacy():
+            # Price the chosen allocation on a pre-allocation overlay:
+            # its per-leaf counters equal the post-allocation state's,
+            # so the costs are bit-identical — but pricing *before*
+            # ``state.allocate`` (which clears the version-tagged cost
+            # cache) turns the adaptive allocator's pricing of this
+            # same candidate into cache hits instead of re-evaluations.
+            aware_view = state.comm_overlay(nodes, job.kind, validate=False)
+            aware = {
+                comp.pattern: cfg.cost_model.allocation_cost(
+                    aware_view, nodes, comp.pattern
+                )
+                for comp in job.comm
+            }
         state.allocate(job.job_id, nodes, job.kind)
 
         cost_jobaware: Dict[str, float] = {}
         cost_default: Dict[str, float] = {}
         runtime = job.runtime
         if job.is_comm_intensive:
-            aware = {
-                comp.pattern: cfg.cost_model.allocation_cost(state, nodes, comp.pattern)
-                for comp in job.comm
-            }
-            if needs_counterfactual:
-                assert default_view is not None and default_nodes is not None
-                self.last_stats.counterfactual_evaluations += 1
-                default = {
+            if aware is None:
+                aware = {
                     comp.pattern: cfg.cost_model.allocation_cost(
-                        default_view, default_nodes, comp.pattern
+                        state, nodes, comp.pattern
                     )
                     for comp in job.comm
                 }
+            if needs_counterfactual:
+                assert default_view is not None and default_nodes is not None
+                self.last_stats.counterfactual_evaluations += 1
+                if not is_legacy() and np.array_equal(default_nodes, nodes):
+                    # the job-aware allocator picked exactly the default
+                    # placement — same nodes, same overlay counters,
+                    # same costs, so the aware prices carry over
+                    default = dict(aware)
+                else:
+                    default = {
+                        comp.pattern: cfg.cost_model.allocation_cost(
+                            default_view, default_nodes, comp.pattern
+                        )
+                        for comp in job.comm
+                    }
             else:
                 default = dict(aware)
             if cfg.adjust_runtimes:
@@ -787,6 +967,8 @@ class SchedulerEngine:
             cost_default=cost_default,
         )
         running[job.job_id] = entry
+        if views is not None:
+            views.add(job.job_id, entry.finish_time, len(nodes))
         events.push(entry.finish_time, EventKind.FINISH, entry)
         return entry
 

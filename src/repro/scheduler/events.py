@@ -43,10 +43,17 @@ class Event:
 
 
 class EventQueue:
-    """Min-heap of :class:`Event` with stable insertion tiebreak."""
+    """Min-heap of :class:`Event` with stable insertion tiebreak.
+
+    Internally the heap holds ``(time, kind, seq, event)`` tuples — the
+    exact key :class:`Event` ordering compares, but as plain floats and
+    ints, so the heap's O(log n) comparisons per operation never pay
+    for dataclass ``__lt__`` tuple construction. ``seq`` is unique, so
+    a comparison never reaches the event itself.
+    """
 
     def __init__(self) -> None:
-        self._heap: List[Event] = []
+        self._heap: List[Tuple[float, int, int, Event]] = []
         self._next_seq = 0
 
     def push(self, time: float, kind: EventKind, payload: Any = None) -> Event:
@@ -55,7 +62,7 @@ class EventQueue:
             raise ValueError(f"event time must be >= 0, got {time}")
         event = Event(time=float(time), kind=kind, seq=self._next_seq, payload=payload)
         self._next_seq += 1
-        heapq.heappush(self._heap, event)
+        heapq.heappush(self._heap, (event.time, int(kind), event.seq, event))
         return event
 
     # ------------------------------------------------------------------
@@ -70,18 +77,19 @@ class EventQueue:
     def snapshot_entries(self) -> List[Event]:
         """The pending events in internal heap-array order.
 
-        The returned list *is* a valid heap array; feeding it back to
+        The returned list *is* a valid heap array (the internal tuple
+        keys order exactly as :class:`Event` does); feeding it back to
         :meth:`restore` reproduces this queue exactly — same pop order,
         same tiebreaks — which is what makes engine checkpoints
         bit-deterministic.
         """
-        return list(self._heap)
+        return [entry[3] for entry in self._heap]
 
     @classmethod
     def restore(cls, entries: List[Event], next_seq: int) -> "EventQueue":
         """Rebuild a queue from :meth:`snapshot_entries` output."""
         queue = cls()
-        queue._heap = list(entries)
+        queue._heap = [(e.time, int(e.kind), e.seq, e) for e in entries]
         heapq.heapify(queue._heap)  # no-op on a valid heap array
         if entries:
             max_seq = max(e.seq for e in entries)
@@ -95,17 +103,17 @@ class EventQueue:
 
     def pop(self) -> Event:
         """Remove and return the earliest event; raises ``IndexError`` if empty."""
-        return heapq.heappop(self._heap)
+        return heapq.heappop(self._heap)[3]
 
     def peek(self) -> Optional[Event]:
         """Earliest event without removing it, or ``None`` when empty."""
-        return self._heap[0] if self._heap else None
+        return self._heap[0][3] if self._heap else None
 
     def pop_simultaneous(self) -> Tuple[float, List[Event]]:
         """Pop every event sharing the earliest timestamp, in priority order."""
         first = self.pop()
         batch = [first]
-        while self._heap and self._heap[0].time == first.time:
+        while self._heap and self._heap[0][0] == first.time:
             batch.append(self.pop())
         return first.time, batch
 

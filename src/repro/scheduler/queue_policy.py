@@ -10,16 +10,50 @@ never delayed.
 
 The policy objects are pure: they look at queue + running-job facts and
 return which jobs to start now, leaving all mutation to the engine.
+
+Incremental passes
+------------------
+Policies additionally expose an *incremental* protocol the engine uses
+to avoid re-scanning the queue when provably nothing changed:
+
+* :meth:`begin_pass` — a full scan that also returns a *carry*: the
+  scan's final internal facts (remaining free nodes, EASY's shadow
+  window, conservative's reserved availability profile) plus how much
+  of the queue was scanned.
+* :meth:`extend_pass` — given a carry from a pass that picked nothing,
+  evaluate only jobs appended since, against the carried facts.
+
+A carry is only ever replayed by the engine when (a) the prior pass
+picked nothing, (b) the cluster state version is unchanged (no job
+started, finished, or faulted), and (c) time only moved forward. Under
+those conditions every previously rejected job is rejected again — a
+blocked FIFO head stays blocked, ``now + runtime <= shadow`` only gets
+harder as ``now`` grows while shadow/extra/free are frozen, and every
+conservative reservation lies strictly in the future — so scanning just
+the appended suffix reproduces the full pass bit-for-bit (property-
+tested in ``tests/scheduler/test_incremental_equivalence.py``, and
+assertable at runtime via ``EngineConfig(verify_incremental=True)``).
 """
 
 from __future__ import annotations
 
+import bisect
 from dataclasses import dataclass
-from typing import List, Protocol, Sequence, Tuple
+from typing import Iterable, Iterator, List, Optional, Protocol, Sequence, Tuple, Union
 
 from ..cluster.job import Job
 
-__all__ = ["RunningJobView", "QueuePolicy", "FifoPolicy", "EasyBackfillPolicy", "get_policy"]
+__all__ = [
+    "RunningJobView",
+    "RunningViews",
+    "QueuePolicy",
+    "FifoPolicy",
+    "EasyBackfillPolicy",
+    "FifoCarry",
+    "EasyCarry",
+    "iter_running_by_finish",
+    "get_policy",
+]
 
 
 @dataclass(frozen=True)
@@ -28,6 +62,66 @@ class RunningJobView:
 
     finish_estimate: float
     nodes: int
+
+
+class RunningViews:
+    """Finish-ordered running-job facts, maintained incrementally.
+
+    The engine adds an entry when a job starts and removes it when the
+    job finishes (or is killed by a fault), instead of rebuilding a
+    view list on every scheduling pass. Entries carry a monotonically
+    increasing insertion sequence so that ordering by ``(finish, seq)``
+    reproduces exactly what policies previously saw from a stable sort
+    of the per-pass list (which was built in start order): jobs with
+    equal finish estimates stay in start order.
+    """
+
+    __slots__ = ("_entries", "_sorted", "_seq")
+
+    def __init__(self) -> None:
+        self._entries: dict = {}  # job_id -> (finish, seq, nodes)
+        self._sorted: List[Tuple[float, int, int]] = []
+        self._seq = 0
+
+    def add(self, job_id: int, finish_estimate: float, nodes: int) -> None:
+        entry = (float(finish_estimate), self._seq, int(nodes))
+        self._seq += 1
+        self._entries[job_id] = entry
+        bisect.insort(self._sorted, entry)
+
+    def remove(self, job_id: int) -> None:
+        entry = self._entries.pop(job_id)
+        i = bisect.bisect_left(self._sorted, entry)
+        del self._sorted[i]  # entries are unique: seq is never reused
+
+    def __len__(self) -> int:
+        return len(self._sorted)
+
+    def iter_by_finish(self) -> Iterator[Tuple[float, int]]:
+        """Yield ``(finish_estimate, nodes)`` in ascending finish order."""
+        for finish, _seq, nodes in self._sorted:
+            yield finish, nodes
+
+
+RunningFacts = Union[Sequence[RunningJobView], RunningViews]
+
+
+def iter_running_by_finish(
+    running: RunningFacts,
+) -> Iterable[Tuple[float, int]]:
+    """``(finish_estimate, nodes)`` pairs in ascending finish order.
+
+    Accepts either the engine's incrementally sorted :class:`RunningViews`
+    (already ordered — no sort) or any plain sequence of
+    :class:`RunningJobView` (sorted here, stably, like the policies
+    always did), so `select_startable` stays a pure standalone API.
+    """
+    if isinstance(running, RunningViews):
+        return running.iter_by_finish()
+    return (
+        (view.finish_estimate, view.nodes)
+        for view in sorted(running, key=lambda v: v.finish_estimate)
+    )
 
 
 class QueuePolicy(Protocol):
@@ -40,7 +134,7 @@ class QueuePolicy(Protocol):
         now: float,
         queue: Sequence[Job],
         free_nodes: int,
-        running: Sequence[RunningJobView],
+        running: RunningFacts,
     ) -> List[int]:
         """Return queue indices to start *now*, in start order."""
         ...
@@ -58,38 +152,104 @@ def _head_run(queue: Sequence[Job], free_nodes: int) -> Tuple[List[int], int]:
     return picks, free_nodes
 
 
+@dataclass
+class FifoCarry:
+    """Facts a failed FIFO pass leaves for arrival-only extensions."""
+
+    scanned: int  # queue length when the carry was taken
+    free_nodes: int  # free nodes after the scan (== all free: no picks)
+    blocked: bool  # a queued job already failed to fit (head blocks)
+
+
+@dataclass
+class EasyCarry:
+    """Facts a failed EASY pass leaves for arrival-only extensions."""
+
+    scanned: int
+    free_nodes: int
+    shadow: Optional[float]  # None: no reservation (oversized head)
+    extra: int
+    empty: bool  # the queue was empty — no head, no shadow window
+
+
 class FifoPolicy:
     """Strict first-in-first-out: the head blocks everyone behind it."""
 
     name = "fifo"
+    incremental_ok = True
 
     def select_startable(
         self,
         now: float,
         queue: Sequence[Job],
         free_nodes: int,
-        running: Sequence[RunningJobView],
+        running: RunningFacts,
     ) -> List[int]:
         picks, _ = _head_run(queue, free_nodes)
         return picks
+
+    def begin_pass(
+        self,
+        now: float,
+        queue: Sequence[Job],
+        free_nodes: int,
+        running: RunningFacts,
+    ) -> Tuple[List[int], FifoCarry]:
+        picks, free = _head_run(queue, free_nodes)
+        carry = FifoCarry(
+            scanned=len(queue), free_nodes=free, blocked=len(picks) < len(queue)
+        )
+        return picks, carry
+
+    def extend_pass(
+        self,
+        now: float,
+        queue: Sequence[Job],
+        running: RunningFacts,
+        carry: FifoCarry,
+    ) -> Tuple[List[int], FifoCarry]:
+        picks: List[int] = []
+        free = carry.free_nodes
+        blocked = carry.blocked
+        for idx in range(carry.scanned, len(queue)):
+            if blocked:
+                break
+            job = queue[idx]
+            if job.nodes <= free:
+                picks.append(idx)
+                free -= job.nodes
+            else:
+                blocked = True
+        return picks, FifoCarry(scanned=len(queue), free_nodes=free, blocked=blocked)
 
 
 class EasyBackfillPolicy:
     """FIFO + EASY backfilling with a one-job reservation."""
 
     name = "backfill"
+    incremental_ok = True
 
     def select_startable(
         self,
         now: float,
         queue: Sequence[Job],
         free_nodes: int,
-        running: Sequence[RunningJobView],
+        running: RunningFacts,
     ) -> List[int]:
+        picks, _ = self.begin_pass(now, queue, free_nodes, running)
+        return picks
+
+    def begin_pass(
+        self,
+        now: float,
+        queue: Sequence[Job],
+        free_nodes: int,
+        running: RunningFacts,
+    ) -> Tuple[List[int], EasyCarry]:
         picks, free_nodes = _head_run(queue, free_nodes)
         head_idx = len(picks)
         if head_idx >= len(queue):
-            return picks
+            return picks, EasyCarry(len(queue), free_nodes, None, 0, empty=True)
         head = queue[head_idx]
 
         # Shadow time: walk running jobs by expected completion until
@@ -97,17 +257,17 @@ class EasyBackfillPolicy:
         shadow = None
         extra = 0
         accumulated = free_nodes
-        for view in sorted(running, key=lambda v: v.finish_estimate):
-            accumulated += view.nodes
+        for finish, nodes in iter_running_by_finish(running):
+            accumulated += nodes
             if accumulated >= head.nodes:
-                shadow = view.finish_estimate
+                shadow = finish
                 extra = accumulated - head.nodes
                 break
         if shadow is None:
             # Head job can never start (larger than the machine); engine
             # rejects such jobs up front, but stay safe: no backfilling
             # guarantees exist without a reservation.
-            return picks
+            return picks, EasyCarry(len(queue), free_nodes, None, 0, empty=False)
 
         for idx in range(head_idx + 1, len(queue)):
             job = queue[idx]
@@ -120,7 +280,37 @@ class EasyBackfillPolicy:
                 free_nodes -= job.nodes
                 if not ends_before_shadow:
                     extra -= job.nodes
-        return picks
+        return picks, EasyCarry(len(queue), free_nodes, shadow, extra, empty=False)
+
+    def extend_pass(
+        self,
+        now: float,
+        queue: Sequence[Job],
+        running: RunningFacts,
+        carry: EasyCarry,
+    ) -> Tuple[List[int], EasyCarry]:
+        if carry.empty:
+            # The whole queue arrived since the carry: a full pass over
+            # it is exactly the suffix evaluation.
+            return self.begin_pass(now, queue, carry.free_nodes, running)
+        if carry.shadow is None:
+            return [], EasyCarry(len(queue), carry.free_nodes, None, 0, empty=False)
+        picks: List[int] = []
+        free = carry.free_nodes
+        shadow = carry.shadow
+        extra = carry.extra
+        for idx in range(carry.scanned, len(queue)):
+            job = queue[idx]
+            if job.nodes > free:
+                continue
+            ends_before_shadow = now + job.runtime <= shadow
+            fits_in_extra = job.nodes <= extra
+            if ends_before_shadow or fits_in_extra:
+                picks.append(idx)
+                free -= job.nodes
+                if not ends_before_shadow:
+                    extra -= job.nodes
+        return picks, EasyCarry(len(queue), free, shadow, extra, empty=False)
 
 
 def _conservative():

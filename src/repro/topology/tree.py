@@ -127,6 +127,9 @@ class TreeTopology:
         self._levels: Dict[int, List[SwitchInfo]] = {}
         for info in self._switches:
             self._levels.setdefault(info.level, []).append(info)
+        #: lazily built per-level (switch index, leaf_lo, leaf_hi) arrays
+        #: for the vectorized lowest-level-switch search
+        self._level_arrays: Dict[int, Tuple[np.ndarray, np.ndarray, np.ndarray]] = {}
 
     # ------------------------------------------------------------------
     # construction
@@ -324,6 +327,30 @@ class TreeTopology:
     def switches_at_level(self, level: int) -> List[SwitchInfo]:
         """Switches whose level equals ``level`` (1 = leaves)."""
         return list(self._levels.get(level, []))
+
+    def level_switch_arrays(
+        self, level: int
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """``(switch_index, leaf_lo, leaf_hi)`` arrays for one level.
+
+        Same switches, same order as :meth:`switches_at_level`, but as
+        flat int64 arrays so subtree-free counts for a whole level are
+        one vectorized cumulative-sum difference instead of a Python
+        loop over :meth:`~repro.cluster.state.ClusterState.subtree_free`.
+        Built lazily and cached — instances are immutable.
+        """
+        arrays = self._level_arrays.get(level)
+        if arrays is None:
+            infos = self._levels.get(level, [])
+            arrays = (
+                np.array([s.index for s in infos], dtype=np.int64),
+                np.array([s.leaf_lo for s in infos], dtype=np.int64),
+                np.array([s.leaf_hi for s in infos], dtype=np.int64),
+            )
+            for arr in arrays:
+                arr.setflags(write=False)
+            self._level_arrays[level] = arrays
+        return arrays
 
     def switch(self, name_or_index) -> SwitchInfo:
         """Look up a switch by name or global index."""

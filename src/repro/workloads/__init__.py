@@ -7,6 +7,7 @@ from .arrivals import SECONDS_PER_DAY, daily_cycle_arrivals
 from .synthetic import (
     exponential_arrivals,
     geometric_exponent_weights,
+    large_trace,
     lognormal_runtimes,
     power_of_two_sizes,
     weibull_arrivals,
@@ -47,6 +48,7 @@ __all__ = [
     "daily_cycle_arrivals",
     "exponential_arrivals",
     "geometric_exponent_weights",
+    "large_trace",
     "lognormal_runtimes",
     "power_of_two_sizes",
     "weibull_arrivals",

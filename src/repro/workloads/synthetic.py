@@ -14,11 +14,12 @@ logs are reproducible from a seed.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 
 from .._validation import require_positive_int
+from .trace import TraceJob
 
 __all__ = [
     "power_of_two_sizes",
@@ -26,6 +27,7 @@ __all__ = [
     "exponential_arrivals",
     "weibull_arrivals",
     "geometric_exponent_weights",
+    "large_trace",
 ]
 
 
@@ -137,6 +139,62 @@ def weibull_arrivals(
     gaps = scale * rng.weibull(shape, size=n)
     gaps[0] = 0.0
     return np.cumsum(gaps)
+
+
+def large_trace(
+    n_jobs: int = 100_000,
+    *,
+    seed: int = 0,
+    max_nodes: int = 4392,
+    min_exp: int = 0,
+    max_exp: int = 9,
+    size_decay: float = 0.8,
+    pow2_fraction: float = 0.9,
+    runtime_median_s: float = 1800.0,
+    runtime_sigma: float = 1.0,
+    mean_interarrival_s: float = 31.0,
+    arrival_shape: float = 0.7,
+) -> List[TraceJob]:
+    """Seeded benchmark trace with paper-like distributions (default 100k jobs).
+
+    The defaults describe a Theta-scale workload (4392 nodes, 8-512 node
+    requests, 90% powers of two) at a heavy but schedulable load — the
+    end-to-end throughput benchmark's standard input (``BENCH_PR4``).
+    Sizes follow the geometric power-of-two mix of §5.1, runtimes the
+    standard lognormal fit, and submits a bursty Weibull process
+    (shape < 1), so queue depth fluctuates the way real logs do.
+
+    Everything derives from ``seed``; the same arguments always produce
+    the bit-identical trace.
+    """
+    require_positive_int(n_jobs, "n_jobs")
+    require_positive_int(max_nodes, "max_nodes")
+    rng = np.random.default_rng(seed)
+    weights = geometric_exponent_weights(max_exp, size_decay)[min_exp:]
+    sizes = power_of_two_sizes(
+        rng,
+        n_jobs,
+        max_exp=max_exp,
+        min_exp=min_exp,
+        weights=weights / weights.sum(),
+        pow2_fraction=pow2_fraction,
+    )
+    sizes = np.minimum(sizes, max_nodes)
+    runtimes = lognormal_runtimes(
+        rng, n_jobs, median_seconds=runtime_median_s, sigma=runtime_sigma
+    )
+    submits = weibull_arrivals(
+        rng, n_jobs, mean_interarrival_seconds=mean_interarrival_s, shape=arrival_shape
+    )
+    return [
+        TraceJob(
+            job_id=i + 1,
+            submit_time=float(submits[i]),
+            nodes=int(sizes[i]),
+            runtime=float(runtimes[i]),
+        )
+        for i in range(n_jobs)
+    ]
 
 
 def exponential_arrivals(
