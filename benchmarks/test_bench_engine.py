@@ -85,6 +85,43 @@ def test_e2e_regression_vs_committed_baseline(workload):
     )
 
 
+def test_e2e_regression_with_observability(workload):
+    """The same 2x throughput gate, but with the full observability stack
+    on: perf counters collected and every hot-path span traced. Keeping
+    this under the same gate as the bare run bounds the instrumentation
+    overhead — if tracing ever makes the engine 2x slower than the
+    committed baseline, this fails before users feel it."""
+    from repro.obs import SpanTracer, validate_spans
+    from repro.obs import runtime as obs_runtime
+
+    if not BENCH_PR4.exists():
+        pytest.skip("no committed BENCH_PR4.json baseline")
+    baseline = json.loads(BENCH_PR4.read_text())
+    smoke = baseline["smoke"]["adaptive"]["new"]
+    expected_scale = baseline["smoke"]["n_jobs"]
+    if e2e_n_jobs() != expected_scale:
+        pytest.skip(
+            f"baseline was committed at {expected_scale} jobs, "
+            f"running {e2e_n_jobs()}"
+        )
+    tracer = SpanTracer()
+    cfg = EngineConfig(policy="backfill", collect_perf=True)
+    t0 = time.perf_counter()
+    with obs_runtime.tracing(tracer):
+        result = run_trace(workload, config=cfg)
+    seconds = time.perf_counter() - t0
+    jobs_per_sec = len(workload) / seconds
+    assert len(result.records) == len(workload)
+    # the instrumentation must have actually fired
+    assert result.perf["counters"]["engine.batches"] > 0
+    assert tracer.spans
+    validate_spans(tracer.spans)
+    assert jobs_per_sec * 2.0 >= smoke["jobs_per_sec"], (
+        f"throughput with observability on regressed: {jobs_per_sec:.0f} "
+        f"jobs/s vs committed {smoke['jobs_per_sec']:.0f} jobs/s baseline"
+    )
+
+
 def test_e2e_incremental_invariant_under_faults(workload):
     """verify_incremental recomputes every skipped/extended pass from
     scratch inside the engine and raises on any divergence; a fault

@@ -1,0 +1,116 @@
+#!/usr/bin/env python
+"""Docstring-coverage lint for the public surface (stdlib ast only).
+
+Walks ``src/repro`` and counts docstrings on public modules, public
+classes, and public functions/methods (a name is public when no
+component of its dotted path starts with ``_``). Coverage below the
+committed threshold fails CI — the floor only ratchets up:
+
+    python scripts/check_docstrings.py             # report + pass/fail
+    python scripts/check_docstrings.py --missing   # list undocumented names
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import sys
+from pathlib import Path
+from typing import Iterator, List, Tuple
+
+#: Fraction of public modules+classes+functions that must carry a
+#: docstring. Raise it when coverage improves; never lower it.
+THRESHOLD = 0.97
+
+SRC = Path(__file__).resolve().parent.parent / "src" / "repro"
+
+
+def _is_public(name: str) -> bool:
+    return not name.startswith("_")
+
+
+def _module_name(path: Path) -> str:
+    rel = path.relative_to(SRC.parent)
+    parts = list(rel.with_suffix("").parts)
+    if parts[-1] == "__init__":
+        parts.pop()
+    return ".".join(parts)
+
+
+def _iter_defs(
+    node: ast.AST, prefix: str
+) -> Iterator[Tuple[str, str, bool]]:
+    """Yield ``(kind, dotted name, has_docstring)`` for public defs."""
+    for child in ast.iter_child_nodes(node):
+        if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if not _is_public(child.name):
+                continue
+            yield (
+                "function",
+                f"{prefix}.{child.name}",
+                ast.get_docstring(child) is not None,
+            )
+            # Nested defs inside functions are implementation detail.
+        elif isinstance(child, ast.ClassDef):
+            if not _is_public(child.name):
+                continue
+            dotted = f"{prefix}.{child.name}"
+            yield ("class", dotted, ast.get_docstring(child) is not None)
+            yield from _iter_defs(child, dotted)
+
+
+def collect(src: Path = SRC) -> List[Tuple[str, str, bool]]:
+    """All public (kind, dotted name, documented) triples under ``src``."""
+    rows: List[Tuple[str, str, bool]] = []
+    for path in sorted(src.rglob("*.py")):
+        if any(part.startswith("_") and part != "__init__.py" for part in path.parts):
+            continue
+        module = _module_name(path)
+        tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+        rows.append(("module", module, ast.get_docstring(tree) is not None))
+        rows.extend(_iter_defs(tree, module))
+    return rows
+
+
+def main(argv: List[str] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--missing", action="store_true", help="list undocumented public names"
+    )
+    args = parser.parse_args(argv)
+
+    rows = collect()
+    by_kind = {}
+    for kind, _name, documented in rows:
+        total, done = by_kind.get(kind, (0, 0))
+        by_kind[kind] = (total + 1, done + (1 if documented else 0))
+    total = len(rows)
+    documented = sum(1 for _k, _n, d in rows if d)
+    coverage = documented / total if total else 1.0
+
+    plurals = {"module": "modules", "class": "classes", "function": "functions"}
+    for kind in ("module", "class", "function"):
+        kind_total, kind_done = by_kind.get(kind, (0, 0))
+        pct = 100.0 * kind_done / kind_total if kind_total else 100.0
+        print(f"{plurals[kind]:10s} {kind_done:4d}/{kind_total:4d}  {pct:6.1f}%")
+    print(f"{'overall':10s} {documented:4d}/{total:4d}  {100.0 * coverage:6.1f}%"
+          f"  (threshold {100.0 * THRESHOLD:.1f}%)")
+
+    if args.missing or coverage < THRESHOLD:
+        missing = [(k, n) for k, n, d in rows if not d]
+        if missing:
+            print("\nundocumented public names:")
+            for kind, name in missing:
+                print(f"  {kind:8s} {name}")
+    if coverage < THRESHOLD:
+        print(
+            f"\nFAIL: docstring coverage {100.0 * coverage:.1f}% "
+            f"< threshold {100.0 * THRESHOLD:.1f}%",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -47,6 +47,7 @@ class AdaptiveDecision:
 
     @property
     def nodes(self) -> np.ndarray:
+        """Node ids of the placement that won the arbitration."""
         return self.greedy_nodes if self.chosen == "greedy" else self.balanced_nodes
 
 
@@ -134,6 +135,7 @@ class AdaptiveAllocator(Allocator):
         )
 
     def select(self, state: ClusterState, job: Job) -> np.ndarray:
+        """Return the cheaper of greedy's and balanced's placements (§4.3)."""
         decision = self.decide(state, job)
         self.last_decision = decision
         return decision.nodes

@@ -132,6 +132,7 @@ class BalancedAllocator(Allocator):
     name = "balanced"
 
     def select(self, state: ClusterState, job: Job) -> np.ndarray:
+        """Place ``job`` in power-of-two chunks per switch (Alg. 2)."""
         switch = find_lowest_level_switch(state, job.nodes)
         if switch is None:
             raise AllocationError(

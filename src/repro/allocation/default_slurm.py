@@ -32,6 +32,7 @@ class DefaultSlurmAllocator(Allocator):
     name = "default"
 
     def select(self, state: ClusterState, job: Job) -> np.ndarray:
+        """Best-fit-fill leaves under the lowest feasible switch."""
         switch = find_lowest_level_switch(state, job.nodes)
         if switch is None:
             raise AllocationError(

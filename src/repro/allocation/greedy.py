@@ -37,6 +37,7 @@ class GreedyAllocator(Allocator):
     name = "greedy"
 
     def select(self, state: ClusterState, job: Job) -> np.ndarray:
+        """Fill leaves in contention order under the lowest feasible switch (Alg. 1)."""
         switch = find_lowest_level_switch(state, job.nodes)
         if switch is None:
             raise AllocationError(

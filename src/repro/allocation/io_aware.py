@@ -71,6 +71,7 @@ class IOAwareAllocator(Allocator):
         return w_comm * comm_share + w_io * io_share + busy / sizes
 
     def select(self, state: ClusterState, job: Job) -> np.ndarray:
+        """Fill leaves by combined communication + I/O score (§7)."""
         switch = find_lowest_level_switch(state, job.nodes)
         if switch is None:
             raise AllocationError(

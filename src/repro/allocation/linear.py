@@ -23,6 +23,7 @@ class LinearAllocator(Allocator):
     name = "linear"
 
     def select(self, state: ClusterState, job: Job) -> np.ndarray:
+        """Take the first ``job.nodes`` free node ids, topology-blind."""
         free = np.flatnonzero(
             (state.node_state == NODE_FREE) & (state.node_avail == AVAIL_UP)
         )

@@ -29,6 +29,7 @@ class SpreadAllocator(Allocator):
     name = "spread"
 
     def select(self, state: ClusterState, job: Job) -> np.ndarray:
+        """Stripe ``job`` round-robin across leaves under the lowest feasible switch."""
         switch = find_lowest_level_switch(state, job.nodes)
         if switch is None:
             raise AllocationError(

@@ -38,6 +38,7 @@ class MetricComparison:
     improvements: Dict[str, Dict[str, float]]
 
     def render(self) -> str:
+        """ASCII table: one row per allocator, one column per metric."""
         headers = ["allocator"] + [f"{m}" for m in METRICS] + ["exec impr %"]
         rows: List[List[object]] = []
         for name, vals in self.values.items():

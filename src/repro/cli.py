@@ -13,6 +13,9 @@ Subcommands:
   statistics of an existing one.
 * ``verify-run`` — replay journaled tasks of a finished run and diff
   their digests against the journal (determinism check).
+* ``obs render`` — summarize observability artifacts written by
+  ``simulate --metrics-out`` / ``--trace-out`` (see
+  ``docs/observability.md``).
 
 ``simulate`` is crash-safe: ``--checkpoint-path``/``--checkpoint-every``
 periodically write an atomic engine checkpoint, ``--resume-from``
@@ -24,6 +27,7 @@ of a traceback. See ``docs/resilience.md``.
 from __future__ import annotations
 
 import argparse
+import os
 import signal
 import sys
 from dataclasses import replace
@@ -42,6 +46,7 @@ __all__ = ["main", "build_parser"]
 
 
 def build_parser() -> argparse.ArgumentParser:
+    """Build the ``repro-sched`` argument parser (all subcommands)."""
     parser = argparse.ArgumentParser(
         prog="repro-sched",
         description="Reproduction of 'Communication-aware Job Scheduling using SLURM' (ICPP-W 2020)",
@@ -165,6 +170,22 @@ def build_parser() -> argparse.ArgumentParser:
         "and cost-kernel time, events/sec) and print the report after "
         "the summary; forces the single-engine path",
     )
+    sim.add_argument(
+        "--metrics-out", default=None, metavar="FILE",
+        help="write run metrics (paper aggregates, distributions, perf "
+        "counters) as Prometheus text exposition to FILE; forces the "
+        "single-engine path and implies perf collection",
+    )
+    sim.add_argument(
+        "--trace-out", default=None, metavar="FILE",
+        help="record nested wall-clock spans of the hot paths and write "
+        "them as JSONL to FILE; forces the single-engine path",
+    )
+    sim.add_argument(
+        "--progress", action="store_true",
+        help="print a throttled progress heartbeat (events, jobs, "
+        "sim-clock, ETA) to stderr while the simulation runs",
+    )
 
     topo = sub.add_parser("topology", help="print a builtin machine's topology.conf")
     topo.add_argument("machine", choices=sorted(TOPOLOGY_BUILDERS))
@@ -197,6 +218,23 @@ def build_parser() -> argparse.ArgumentParser:
         help="replay a seeded sample of N completed tasks (default: all)",
     )
     verify.add_argument("--seed", type=int, default=0, help="sampling seed")
+
+    obs_cmd = sub.add_parser(
+        "obs", help="inspect observability artifacts (metrics, span traces)"
+    )
+    obs_sub = obs_cmd.add_subparsers(dest="obs_command", required=True)
+    render = obs_sub.add_parser(
+        "render",
+        help="summarize a metrics dump and/or span trace as a table",
+    )
+    render.add_argument(
+        "--metrics", default=None, metavar="FILE",
+        help="Prometheus text file written by 'simulate --metrics-out'",
+    )
+    render.add_argument(
+        "--trace", default=None, metavar="FILE",
+        help="span-trace JSONL written by 'simulate --trace-out'",
+    )
 
     return parser
 
@@ -267,10 +305,14 @@ def _save_results(args: argparse.Namespace, results) -> None:
 
 def _simulate_engine_path(args: argparse.Namespace) -> int:
     """Single-engine simulate with checkpoint/resume and signal safety."""
+    from contextlib import ExitStack
+
     from .experiments.runner import prepare_jobs
+    from .obs import ProgressReporter, SpanTracer, tracing
     from .scheduler.engine import SchedulerEngine, SimulationInterrupted
     from .scheduler.serialize import load_snapshot
 
+    collect = bool(args.perf or args.metrics_out)
     flag = _StopRequested()
 
     def _handler(signum, frame):  # pragma: no cover - exercised via SIGINT test
@@ -279,51 +321,70 @@ def _simulate_engine_path(args: argparse.Namespace) -> int:
     previous = {
         sig: signal.signal(sig, _handler) for sig in (signal.SIGINT, signal.SIGTERM)
     }
+    tracer = SpanTracer() if args.trace_out is not None else None
     try:
-        if args.resume_from is not None:
-            data = load_snapshot(args.resume_from)
-            engine = SchedulerEngine.from_snapshot(data)
-            if args.perf:
-                engine.config = replace(engine.config, collect_perf=True)
-            result = engine.run(
-                resume_from=data,
-                checkpoint_every=args.checkpoint_every,
-                checkpoint_path=args.checkpoint_path,
-                stop_after=args.stop_after_events,
-                interrupt=flag,
-            )
-        else:
-            cfg = ExperimentConfig(
-                log=args.log,
-                n_jobs=args.jobs,
-                percent_comm=args.percent_comm,
-                mix=single_pattern_mix(args.pattern, args.comm_fraction),
-                allocators=(args.allocator,),
-                seed=args.seed,
-                policy=args.policy,
-                interrupt_policy=args.interrupt_policy,
-                checkpoint_interval=args.checkpoint_interval,
-            )
-            jobs = prepare_jobs(cfg)
-            faults = _simulate_faults(args, cfg, jobs)
-            engine_cfg = cfg.engine_config()
-            if args.perf:
-                engine_cfg = replace(engine_cfg, collect_perf=True)
-            engine = SchedulerEngine(cfg.topology(), args.allocator, engine_cfg)
-            result = engine.run(
-                jobs,
-                faults=faults,
-                checkpoint_every=args.checkpoint_every,
-                checkpoint_path=args.checkpoint_path,
-                stop_after=args.stop_after_events,
-                interrupt=flag,
-            )
+        with ExitStack() as stack:
+            if tracer is not None:
+                stack.enter_context(tracing(tracer))
+                stack.enter_context(tracer.span("engine.run"))
+            if args.resume_from is not None:
+                data = load_snapshot(args.resume_from)
+                engine = SchedulerEngine.from_snapshot(data)
+                if collect:
+                    engine.config = replace(engine.config, collect_perf=True)
+                reporter = (
+                    ProgressReporter(total_jobs=None) if args.progress else None
+                )
+                result = engine.run(
+                    resume_from=data,
+                    checkpoint_every=args.checkpoint_every,
+                    checkpoint_path=args.checkpoint_path,
+                    stop_after=args.stop_after_events,
+                    interrupt=flag,
+                    progress=reporter,
+                )
+            else:
+                cfg = ExperimentConfig(
+                    log=args.log,
+                    n_jobs=args.jobs,
+                    percent_comm=args.percent_comm,
+                    mix=single_pattern_mix(args.pattern, args.comm_fraction),
+                    allocators=(args.allocator,),
+                    seed=args.seed,
+                    policy=args.policy,
+                    interrupt_policy=args.interrupt_policy,
+                    checkpoint_interval=args.checkpoint_interval,
+                )
+                jobs = prepare_jobs(cfg)
+                faults = _simulate_faults(args, cfg, jobs)
+                engine_cfg = cfg.engine_config()
+                if collect:
+                    engine_cfg = replace(engine_cfg, collect_perf=True)
+                engine = SchedulerEngine(cfg.topology(), args.allocator, engine_cfg)
+                reporter = (
+                    ProgressReporter(total_jobs=len(jobs)) if args.progress else None
+                )
+                result = engine.run(
+                    jobs,
+                    faults=faults,
+                    checkpoint_every=args.checkpoint_every,
+                    checkpoint_path=args.checkpoint_path,
+                    stop_after=args.stop_after_events,
+                    interrupt=flag,
+                    progress=reporter,
+                )
     except SimulationInterrupted as exc:
         print(exc, file=sys.stderr)
         return 130
     finally:
         for sig, old in previous.items():
             signal.signal(sig, old)
+    if tracer is not None:
+        tracer.write_jsonl(args.trace_out)
+        print(
+            f"wrote {len(tracer.spans)} spans to {args.trace_out}"
+            + (f" ({tracer.dropped} dropped)" if tracer.dropped else "")
+        )
     if result is None:
         where = (
             f"; checkpoint written to {args.checkpoint_path}"
@@ -331,6 +392,11 @@ def _simulate_engine_path(args: argparse.Namespace) -> int:
             else " (no checkpoint path — state discarded)"
         )
         print(f"paused after {args.stop_after_events} event batches{where}")
+        if args.metrics_out:
+            print(
+                "note: --metrics-out skipped (run paused before completion)",
+                file=sys.stderr,
+            )
         return 0
     print(
         render_kv(
@@ -342,6 +408,15 @@ def _simulate_engine_path(args: argparse.Namespace) -> int:
         from .perf import render_perf
 
         print(render_perf(result.perf))
+    if args.metrics_out:
+        from .obs import metrics_from_result
+        from .runs.atomic import atomic_write_text
+
+        # --metrics-out implies perf collection, so result.perf carries
+        # engine.events / engine.batches alongside the paper aggregates.
+        registry = metrics_from_result(result)
+        atomic_write_text(args.metrics_out, registry.render_prometheus())
+        print(f"wrote metrics to {args.metrics_out}")
     if args.save:
         _save_results(args, {engine.allocator.name: result})
     return 0
@@ -356,6 +431,8 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         or args.checkpoint_path is not None
         or args.stop_after_events is not None
         or args.perf
+        or args.metrics_out is not None
+        or args.trace_out is not None
     )
     if args.checkpoint_every is not None and args.checkpoint_path is None:
         print("error: --checkpoint-every requires --checkpoint-path", file=sys.stderr)
@@ -376,6 +453,11 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         )
         jobs = prepare_jobs(cfg)
         cfg = cfg.with_(faults=_simulate_faults(args, cfg, jobs))
+        reporter = None
+        if args.progress:
+            from .obs import ProgressReporter
+
+            reporter = ProgressReporter()
         results = continuous_runs(
             cfg,
             jobs,
@@ -384,7 +466,10 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             on_task_error=args.on_task_error,
             journal=args.journal,
             task_timeout=args.task_timeout,
+            progress=reporter,
         )
+        if reporter is not None:
+            reporter.finish()
     except KeyboardInterrupt:
         print("simulation interrupted (no checkpoint configured)", file=sys.stderr)
         return 130
@@ -510,8 +595,45 @@ def _cmd_verify_run(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_obs(args: argparse.Namespace) -> int:
+    from .obs import PromParseError, load_spans, parse_prometheus, render_obs_summary
+
+    if args.obs_command != "render":  # pragma: no cover - argparse enforces
+        raise AssertionError(f"unhandled obs command {args.obs_command!r}")
+    if args.metrics is None and args.trace is None:
+        print("error: obs render needs --metrics and/or --trace", file=sys.stderr)
+        return 2
+    samples = types = spans = None
+    try:
+        if args.metrics is not None:
+            with open(args.metrics, "r", encoding="utf-8") as handle:
+                samples, types = parse_prometheus(handle.read())
+        if args.trace is not None:
+            spans = load_spans(args.trace)
+            from .obs import validate_spans
+
+            validate_spans(spans)
+    except (OSError, PromParseError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(render_obs_summary(samples=samples, types=types, spans=spans))
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
-    args = build_parser().parse_args(argv)
+    """CLI entry point; returns the process exit code."""
+    try:
+        return _dispatch(build_parser().parse_args(argv))
+    except BrokenPipeError:
+        # stdout was closed early (e.g. piped into `head`); the output
+        # already produced is all the consumer wanted. Detach stdout so
+        # the interpreter's exit-time flush does not raise again.
+        devnull = open(os.devnull, "w")
+        os.dup2(devnull.fileno(), sys.stdout.fileno())
+        return 0
+
+
+def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "experiment":
         return _cmd_experiment(args)
     if args.command == "simulate":
@@ -524,6 +646,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_trace(args)
     if args.command == "verify-run":
         return _cmd_verify_run(args)
+    if args.command == "obs":
+        return _cmd_obs(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

@@ -103,10 +103,12 @@ class Job:
 
     @property
     def compute_fraction(self) -> float:
+        """Share of runtime not spent communicating (``1 - comm_fraction``)."""
         return 1.0 - self.comm_fraction
 
     @property
     def is_comm_intensive(self) -> bool:
+        """True when the job is labelled communication-intensive."""
         return self.kind is JobKind.COMM
 
     def with_kind(

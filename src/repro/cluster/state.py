@@ -139,6 +139,7 @@ class ClusterState:
 
     @property
     def total_busy(self) -> int:
+        """Number of occupied nodes (UP or not)."""
         return self.topology.n_nodes - self.total_free - int(self.leaf_offline.sum())
 
     @property
@@ -271,6 +272,7 @@ class ClusterState:
         return self._cost_cache.get(key)
 
     def cost_cache_put(self, key: object, value: float) -> None:
+        """Memoize an Eq. 6 total for the current state version (capped FIFO)."""
         if len(self._cost_cache) >= _COST_CACHE_MAX:
             self._cost_cache.clear()
         self._cost_cache[key] = value
@@ -757,6 +759,7 @@ class CommOverlay:
         self._local_cache: Dict[object, float] = {}
 
     def leaf_comm_share(self) -> np.ndarray:
+        """Per-leaf communication share with the overlay job included (Eq. 1)."""
         if self._share is None:
             share = self.leaf_comm / self.topology.leaf_sizes
             share.setflags(write=False)
@@ -764,11 +767,13 @@ class CommOverlay:
         return self._share
 
     def cost_cache_get(self, key: object) -> Optional[float]:
+        """Read through to the base state's Eq. 6 cache unless it went stale."""
         if self._base.version == self._base_version:
             return self._base.cost_cache_get((self._okey, key))
         return self._local_cache.get(key)
 
     def cost_cache_put(self, key: object, value: float) -> None:
+        """Write to the base state's Eq. 6 cache unless it went stale."""
         if self._base.version == self._base_version:
             self._base.cost_cache_put((self._okey, key), value)
         else:

@@ -103,6 +103,7 @@ class CostModel:
             perf.count("cost.cache_hits")
             return cached
         perf.count("cost.cache_misses")
+        perf.count("cost.kernel_nodes", node_arr.size)
         # Rank layouts (srun -m block/cyclic) legally repeat node ids —
         # several ranks per node, intra-node pairs free. Those need the
         # node-keyed reduction; allocations (always unique ids) share

@@ -61,6 +61,7 @@ class Figure1Result:
         return self.j1_contended_duration / self.j1_base_duration
 
     def render(self) -> str:
+        """Interference study report: timings, slowdowns, ASCII chart."""
         kv = render_kv(
             [
                 ("J1 iterations", len(self.j1_series)),

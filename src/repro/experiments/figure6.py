@@ -41,6 +41,7 @@ SET_ORDER = ("A", "B", "C", "D", "E")
 
 @dataclass
 class Figure6Result:
+    """Mix-sweep (§6.2) improvements per pattern set, per allocator."""
     log: str
     #: {set: {allocator: % exec improvement over default}}
     improvements: Dict[str, Dict[str, float]]
@@ -55,6 +56,7 @@ class Figure6Result:
         return sum(vals) / len(vals) if vals else 0.0
 
     def render(self) -> str:
+        """ASCII table of percent improvements per pattern set."""
         headers = ["set", "greedy %", "balanced %", "adaptive %", "mean %", "paper mean %"]
         paper = PAPER_FIGURE6_MEAN_GAIN.get(self.log, {})
         rows = []

@@ -28,6 +28,7 @@ PAPER_MAX_REDUCTION = {"continuous": 70.0, "individual": 15.0}
 
 @dataclass
 class Figure7Result:
+    """Continuous-vs-individual (§6.3) mean execution times per mode."""
     log: str
     job_ids: List[int]
     #: {"continuous"|"individual": {allocator: exec seconds per job}}
@@ -43,6 +44,7 @@ class Figure7Result:
         return float((100.0 * (base[ok] - cand[ok]) / base[ok]).max())
 
     def mean_reduction_pct(self, mode: str, allocator: str = "adaptive") -> float:
+        """Percent reduction of ``allocator`` vs default in ``mode``."""
         base = self.series[mode]["default"]
         cand = self.series[mode][allocator]
         ok = base > 0
@@ -51,6 +53,7 @@ class Figure7Result:
         return float((100.0 * (base[ok] - cand[ok]) / base[ok]).mean())
 
     def render(self) -> str:
+        """ASCII table of mean execution times and reductions per mode."""
         headers = ["mode", "allocator", "mean exec (s)", "mean reduction %", "max reduction %"]
         rows: List[List[object]] = []
         for mode in ("continuous", "individual"):

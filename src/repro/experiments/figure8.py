@@ -44,6 +44,7 @@ def _bucket_edges(max_nodes: int) -> List[Tuple[int, int]]:
 
 @dataclass
 class Figure8Result:
+    """Cost-by-node-range (§6.4) mean Eq. 6 costs per bucket."""
     log: str
     pattern: str
     #: bucket label -> {allocator: mean Eq. 6 cost}
@@ -52,6 +53,7 @@ class Figure8Result:
     avg_reduction: Dict[str, float]
 
     def render(self) -> str:
+        """ASCII table of mean Eq. 6 cost per node-range bucket."""
         allocators = ("default", "greedy", "balanced", "adaptive")
         headers = ["node range", *allocators]
         rows: List[List[object]] = []

@@ -31,6 +31,7 @@ PAPER_FIGURE9 = {
 
 @dataclass
 class Figure9Result:
+    """%comm sweep (§6.5) aggregate metrics per level, per allocator."""
     log: str
     #: {percent_comm: {allocator: (avg turnaround h, avg node-hours)}}
     points: Dict[float, Dict[str, Tuple[float, float]]]
@@ -54,6 +55,7 @@ class Figure9Result:
         return percent_improvement(base, cand)
 
     def render(self) -> str:
+        """ASCII table of the sweep metrics per %comm level."""
         headers = [
             "%comm",
             "allocator",

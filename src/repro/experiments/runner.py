@@ -44,6 +44,8 @@ from ..cluster.state import ClusterState
 from ..cost.contention import ContentionModel
 from ..cost.model import CostModel
 from ..faults.events import FaultEvent
+from ..obs import runtime as obs_runtime
+from ..obs.progress import ProgressReporter
 from ..runs import (
     PartialResults,
     RetryPolicy,
@@ -103,9 +105,11 @@ class ExperimentConfig:
     checkpoint_interval: float = 3600.0
 
     def topology(self) -> TreeTopology:
+        """Build the configured log's machine topology."""
         return LOG_SPECS[self.log].topology()
 
     def engine_config(self) -> EngineConfig:
+        """Translate the experiment knobs into an :class:`EngineConfig`."""
         return EngineConfig(
             policy=self.policy,
             cost_model=self.cost_model,
@@ -232,6 +236,7 @@ def continuous_runs(
     on_task_error: str = ON_ERROR_RETRY,
     journal: Optional[Union[str, "os.PathLike"]] = None,
     task_timeout: Optional[float] = None,
+    progress: Optional[ProgressReporter] = None,
 ) -> Dict[str, SimulationResult]:
     """Replay the log once per allocator; returns results keyed by name.
 
@@ -246,9 +251,15 @@ def continuous_runs(
     digests are journaled). With ``on_task_error="skip"`` the return
     value is a :class:`~repro.runs.PartialResults` whose ``missing``
     names the allocators that exhausted their attempts.
+
+    ``progress`` (or an ambient reporter installed via
+    :func:`repro.obs.progressing`) receives one update per finished
+    allocator cell; purely diagnostic.
     """
     explicit_jobs = None if jobs is None else list(jobs)
     job_list = prepare_jobs(cfg) if explicit_jobs is None else explicit_jobs
+    if progress is None:
+        progress = obs_runtime.progress()
     if _resilient(max_retries, on_task_error, journal, task_timeout):
         tasks = [
             TaskSpec(
@@ -276,6 +287,7 @@ def continuous_runs(
                 on_task_error=on_task_error,
                 journal=jrn,
                 digest=result_digest,
+                progress=progress,
             )
         finally:
             if jrn is not None:
@@ -296,12 +308,21 @@ def continuous_runs(
                 pool.submit(_continuous_worker, cfg, name, job_list)
                 for name in cfg.allocators
             ]
-            return {name: f.result() for name, f in zip(cfg.allocators, futures)}
+            gathered: Dict[str, SimulationResult] = {}
+            for done, (name, future) in enumerate(
+                zip(cfg.allocators, futures), start=1
+            ):
+                gathered[name] = future.result()
+                if progress is not None:
+                    progress.task_update(done, len(cfg.allocators), name)
+            return gathered
     topology = cfg.topology()
     results: Dict[str, SimulationResult] = {}
-    for name in cfg.allocators:
+    for done, name in enumerate(cfg.allocators, start=1):
         engine = SchedulerEngine(topology, name, cfg.engine_config())
         results[name] = engine.run(job_list, faults=cfg.faults)
+        if progress is not None:
+            progress.task_update(done, len(cfg.allocators), name)
     return results
 
 
@@ -337,9 +358,11 @@ class IndividualRunResult:
 
     @property
     def complete(self) -> bool:
+        """True when no sampled job is missing a result."""
         return not self.missing
 
     def execution_times(self, allocator: str) -> np.ndarray:
+        """Per-sampled-job execution times under ``allocator``, in job order."""
         by_job = {
             o.job_id: o.execution_time
             for o in self.outcomes
@@ -497,6 +520,7 @@ def individual_runs(
     on_task_error: str = ON_ERROR_RETRY,
     journal: Optional[Union[str, "os.PathLike"]] = None,
     task_timeout: Optional[float] = None,
+    progress: Optional[ProgressReporter] = None,
 ) -> IndividualRunResult:
     """§5.4 individual runs: one shared snapshot, one job at a time.
 
@@ -516,6 +540,8 @@ def individual_runs(
     state, sampled = _individual_setup(
         cfg, n_samples=n_samples, target_occupancy=target_occupancy, jobs=job_list
     )
+    if progress is None:
+        progress = obs_runtime.progress()
 
     outcomes: List[IndividualOutcome] = []
     if _resilient(max_retries, on_task_error, journal, task_timeout):
@@ -550,6 +576,7 @@ def individual_runs(
                 on_task_error=on_task_error,
                 journal=jrn,
                 digest=outcomes_digest,
+                progress=progress,
             )
         finally:
             if jrn is not None:
@@ -573,14 +600,22 @@ def individual_runs(
                 pool.submit(_individual_worker, state, sampled, name, cfg.cost_model)
                 for name in cfg.allocators
             ]
-            per_allocator = [f.result() for f in futures]
+            per_allocator = []
+            for done, (name, future) in enumerate(
+                zip(cfg.allocators, futures), start=1
+            ):
+                per_allocator.append(future.result())
+                if progress is not None:
+                    progress.task_update(done, len(cfg.allocators), name)
         for i in range(len(sampled)):
             for col in per_allocator:
                 outcomes.append(col[i])
     else:
-        for job in sampled:
+        for done, job in enumerate(sampled, start=1):
             for name in cfg.allocators:
                 outcomes.append(evaluate_single_job(state, job, name, cfg.cost_model))
+            if progress is not None:
+                progress.task_update(done, len(sampled), job.job_id)
     return IndividualRunResult(
         outcomes=outcomes, sampled_job_ids=[j.job_id for j in sampled]
     )

@@ -32,6 +32,7 @@ class SummaryResult:
     reports: Dict[str, str]
 
     def render(self) -> str:
+        """Concatenated report of every experiment that ran."""
         blocks: List[str] = []
         for name, report in self.reports.items():
             blocks.append(f"{_RULE}\n{name}\n{_RULE}\n{report}")

@@ -61,14 +61,17 @@ def build_table2_state() -> Tuple[ClusterState, Job]:
 
 @dataclass
 class Table2Result:
+    """Worked allocation example (§4.2): leaf frees and chosen counts."""
     free_nodes: Tuple[int, ...]
     allocated: Tuple[int, ...]
 
     @property
     def matches_paper(self) -> bool:
+        """True when the allocation equals the paper's worked answer."""
         return self.allocated == PAPER_ALLOCATED
 
     def render(self) -> str:
+        """ASCII table of free and allocated nodes per leaf."""
         headers = ["leaf"] + [f"L[{i+1}]" for i in range(len(self.free_nodes))]
         rows = [
             ["free nodes", *self.free_nodes],

@@ -68,15 +68,18 @@ class Table3Cell:
 
 @dataclass
 class Table3Result:
+    """Exec/wait grid (§6.1): one cell per (log, pattern, allocator)."""
     cells: List[Table3Cell]
 
     def cell(self, log: str, pattern: str, allocator: str) -> Table3Cell:
+        """Look up the cell for ``(log, pattern, allocator)``."""
         for c in self.cells:
             if (c.log, c.pattern, c.allocator) == (log, pattern, allocator):
                 return c
         raise KeyError((log, pattern, allocator))
 
     def render(self) -> str:
+        """ASCII table of execution/wait hours and improvements."""
         headers = [
             "log",
             "pattern",

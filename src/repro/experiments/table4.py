@@ -52,9 +52,11 @@ PATTERNS = ("rhvd", "rd")
 @dataclass
 class Table4Result:
     #: {(log, pattern): {allocator: mean % improvement}}
+    """Individual-runs (§6.3) percent improvements per (log, pattern)."""
     improvements: Dict[Tuple[str, str], Dict[str, float]]
 
     def render(self) -> str:
+        """ASCII table of improvement percentages."""
         headers = [
             "log",
             "pattern",

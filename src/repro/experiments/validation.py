@@ -52,6 +52,7 @@ class ValidationResult:
     spearman: float
 
     def render(self) -> str:
+        """Key-value report of the Eq. 6 vs network-simulation correlation."""
         return render_kv(
             [
                 ("pattern", self.pattern),

@@ -61,4 +61,5 @@ class FaultEvent:
 
     @property
     def is_down(self) -> bool:
+        """True for a failure event, False for a repair."""
         return self.action == FAULT_DOWN

@@ -51,6 +51,7 @@ class MappingResult:
 
     @property
     def improvement_pct(self) -> float:
+        """Percent cost reduction of the remapping (0 when cost was 0)."""
         if self.cost_before == 0:
             return 0.0
         return 100.0 * (self.cost_before - self.cost_after) / self.cost_before

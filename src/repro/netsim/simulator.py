@@ -72,6 +72,7 @@ class IterationRecord:
 
     @property
     def duration(self) -> float:
+        """Wall-clock seconds this iteration took."""
         return self.end - self.start
 
 

@@ -1,0 +1,162 @@
+"""Live run progress: a throttled heartbeat for long simulations.
+
+A 100k-job replay runs for minutes with no output at all; a large
+experiment sweep runs for longer. :class:`ProgressReporter` gives both
+a heartbeat on stderr (by default) without perturbing results:
+
+* the engine calls :meth:`engine_batch` once per event batch — events
+  processed, jobs finished, and the simulation clock, with an ETA
+  extrapolated from the jobs fraction when the total is known;
+* the task executor and the experiment runners call
+  :meth:`task_update` as cells complete — done/total with the most
+  recent cell's key.
+
+Updates are rate-limited to one line per ``interval`` seconds of wall
+time (measured with an injectable clock, so tests don't sleep), and
+:meth:`finish` always emits a final line so short runs still report.
+Lines are plain, newline-terminated text — safe for logs and CI
+output, no terminal control codes.
+
+Install a reporter process-wide with :func:`repro.obs.progressing`;
+the instrumented call sites poll :func:`repro.obs.progress` and do
+nothing when no reporter is installed.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Any, Callable, Optional, TextIO
+
+__all__ = ["ProgressReporter", "format_eta"]
+
+
+def format_eta(seconds: float) -> str:
+    """Compact ``1h02m`` / ``4m07s`` / ``12s`` rendering of a duration."""
+    seconds = max(0.0, seconds)
+    if seconds >= 3600:
+        hours, rem = divmod(int(seconds + 0.5), 3600)
+        return f"{hours}h{rem // 60:02d}m"
+    if seconds >= 60:
+        minutes, rem = divmod(int(seconds + 0.5), 60)
+        return f"{minutes}m{rem:02d}s"
+    return f"{seconds:.0f}s"
+
+
+class ProgressReporter:
+    """Throttled progress lines for engine runs and task batches.
+
+    ``interval`` is the minimum wall-clock spacing between emitted
+    lines; ``total_jobs`` (when known) enables the percent and ETA
+    fields. ``clock`` and ``stream`` are injectable for tests.
+    """
+
+    def __init__(
+        self,
+        stream: Optional[TextIO] = None,
+        interval: float = 1.0,
+        total_jobs: Optional[int] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if interval < 0:
+            raise ValueError(f"interval must be >= 0, got {interval}")
+        self.stream = stream if stream is not None else sys.stderr
+        self.interval = interval
+        self.total_jobs = total_jobs
+        self._clock = clock
+        self._started = clock()
+        self._last_emit: Optional[float] = None
+        self._last_line = ""
+        self.lines_emitted = 0
+        # most recent engine observation, re-rendered by finish()
+        self._engine_state: Optional[tuple] = None
+        self._events_total = 0
+        self._task_state: Optional[tuple] = None
+        self._finished = False
+
+    # ------------------------------------------------------------------
+    # reporting entry points
+    # ------------------------------------------------------------------
+
+    def engine_batch(
+        self, sim_time: float, n_events: int, jobs_finished: int
+    ) -> None:
+        """One engine event batch: advance totals, maybe emit a line."""
+        self._events_total += n_events
+        self._engine_state = (sim_time, jobs_finished)
+        if self._should_emit():
+            self._emit(self._engine_line())
+
+    def task_update(self, done: int, total: int, key: Any = None) -> None:
+        """One completed task/cell out of ``total``; ``key`` names it."""
+        self._task_state = (done, total, key)
+        if self._should_emit():
+            self._emit(self._task_line())
+
+    def finish(self) -> None:
+        """Emit the final state unconditionally (idempotent)."""
+        if self._finished:
+            return
+        self._finished = True
+        line = None
+        if self._task_state is not None:
+            line = self._task_line()
+        elif self._engine_state is not None:
+            line = self._engine_line(final=True)
+        if line is not None and line != self._last_line:
+            self._emit(line)
+
+    # ------------------------------------------------------------------
+    # rendering
+    # ------------------------------------------------------------------
+
+    def _should_emit(self) -> bool:
+        now = self._clock()
+        if self._last_emit is not None and now - self._last_emit < self.interval:
+            return False
+        return True
+
+    def _emit(self, line: str) -> None:
+        self._last_emit = self._clock()
+        self._last_line = line
+        self.lines_emitted += 1
+        self.stream.write(line + "\n")
+        try:
+            self.stream.flush()
+        except (AttributeError, ValueError):  # closed or flushless stream
+            pass
+
+    def _engine_line(self, final: bool = False) -> str:
+        assert self._engine_state is not None
+        sim_time, jobs_finished = self._engine_state
+        elapsed = self._clock() - self._started
+        parts = [
+            f"progress: events={self._events_total}",
+            f"jobs={jobs_finished}"
+            + (f"/{self.total_jobs}" if self.total_jobs else ""),
+            f"sim_clock={sim_time:.0f}s",
+            f"elapsed={format_eta(elapsed)}",
+        ]
+        if self.total_jobs and jobs_finished > 0 and not final:
+            fraction = min(1.0, jobs_finished / self.total_jobs)
+            if 0 < fraction < 1:
+                eta = elapsed * (1 - fraction) / fraction
+                parts.append(f"eta={format_eta(eta)}")
+        if final:
+            parts.append("done")
+        return "  ".join(parts)
+
+    def _task_line(self) -> str:
+        assert self._task_state is not None
+        done, total, key = self._task_state
+        elapsed = self._clock() - self._started
+        parts = [
+            f"progress: tasks={done}/{total}",
+            f"elapsed={format_eta(elapsed)}",
+        ]
+        if 0 < done < total:
+            eta = elapsed * (total - done) / done
+            parts.append(f"eta={format_eta(eta)}")
+        if key is not None:
+            parts.append(f"last={key}")
+        return "  ".join(parts)

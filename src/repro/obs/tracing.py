@@ -1,0 +1,281 @@
+"""Span tracing: nested, deterministic-id wall-clock spans.
+
+A :class:`SpanTracer` records *spans* — named wall-clock intervals with
+parent/child nesting — for one traced region (typically a whole
+simulation). It is wired into the same hot-path hooks as the perf
+recorder (:mod:`repro.obs.runtime`): installing a tracer via
+:func:`repro.obs.tracing` makes every ``timer(...)`` site in the
+engine, the allocators, and the Eq. 6 cost kernel emit a span, with no
+call-site changes and no cost at all while no tracer is installed.
+
+Design constraints, in order:
+
+* **Determinism of structure.** Span ids are a plain sequence counter
+  assigned at span *start*; parent ids come from the tracer's open-span
+  stack. Two runs of the same workload produce the same tree of
+  ``(span_id, parent_id, name)`` triples — only the timestamps differ.
+  (Timestamps are diagnostics; results never depend on them.)
+* **Re-entrancy.** The same span name may be opened inside itself (the
+  adaptive allocator prices candidates inside ``cost.kernel`` whose
+  callees also enter it); every entry is its own span, nested under the
+  previous one.
+* **Bounded memory.** ``max_spans`` caps retention; spans beyond the
+  cap are counted in ``dropped`` (the stack still tracks them so
+  nesting of retained spans stays correct).
+
+Spans serialize to JSONL — one object per span, in start order — via
+:meth:`SpanTracer.write_jsonl` / :func:`load_spans`, and
+:func:`validate_spans` checks the well-formedness invariants consumers
+may rely on (see ``docs/observability.md``).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Union
+
+__all__ = [
+    "Span",
+    "SpanTracer",
+    "load_spans",
+    "spans_to_jsonl",
+    "validate_spans",
+    "span_aggregates",
+]
+
+
+@dataclass
+class Span:
+    """One named wall-clock interval in a trace.
+
+    ``span_id`` is a 1-based sequence number in start order;
+    ``parent_id`` is the id of the innermost span open at start time
+    (0 for a root span). ``start`` / ``end`` are seconds relative to
+    the tracer's epoch; ``end`` is ``None`` only while the span is
+    still open.
+    """
+
+    __slots__ = ("span_id", "parent_id", "name", "start", "end")
+
+    span_id: int
+    parent_id: int
+    name: str
+    start: float
+    end: Optional[float]
+
+    @property
+    def duration(self) -> float:
+        """Span length in seconds (0.0 while still open)."""
+        if self.end is None:
+            return 0.0
+        return self.end - self.start
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-JSON representation (the JSONL line payload)."""
+        return {
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "start": self.start,
+            "end": self.end,
+        }
+
+
+class SpanTracer:
+    """Collects nested spans for one traced region.
+
+    Use :func:`repro.obs.tracing` to install a tracer process-wide so
+    the instrumented hot paths report into it, or drive it directly:
+
+    >>> tracer = SpanTracer()
+    >>> with tracer.span("outer"):
+    ...     with tracer.span("inner"):
+    ...         pass
+    >>> [s.name for s in tracer.spans]
+    ['outer', 'inner']
+    >>> tracer.spans[1].parent_id
+    1
+    """
+
+    def __init__(
+        self,
+        max_spans: int = 200_000,
+        clock: Callable[[], float] = time.perf_counter,
+    ) -> None:
+        if max_spans <= 0:
+            raise ValueError(f"max_spans must be > 0, got {max_spans}")
+        self.max_spans = max_spans
+        self._clock = clock
+        self.epoch = clock()
+        #: completed and open spans, in start order
+        self.spans: List[Span] = []
+        #: spans discarded after ``max_spans`` was reached
+        self.dropped = 0
+        self._stack: List[Optional[Span]] = []
+        self._next_id = 1
+
+    def __len__(self) -> int:
+        return len(self.spans)
+
+    def start(self, name: str) -> Optional[Span]:
+        """Open a span named ``name`` under the current innermost span.
+
+        Returns ``None`` when the retention cap is reached (the entry
+        is still tracked on the stack so :meth:`finish` stays paired).
+        """
+        now = self._clock() - self.epoch
+        if len(self.spans) >= self.max_spans:
+            self.dropped += 1
+            self._stack.append(None)
+            return None
+        parent = 0
+        for open_span in reversed(self._stack):
+            if open_span is not None:
+                parent = open_span.span_id
+                break
+        span = Span(self._next_id, parent, name, now, None)
+        self._next_id += 1
+        self.spans.append(span)
+        self._stack.append(span)
+        return span
+
+    def finish(self) -> None:
+        """Close the innermost open span (LIFO; spans never interleave)."""
+        if not self._stack:
+            raise RuntimeError("finish() with no open span")
+        span = self._stack.pop()
+        if span is not None:
+            span.end = self._clock() - self.epoch
+
+    @contextmanager
+    def span(self, name: str) -> Iterator[Optional[Span]]:
+        """Context manager: one span around the ``with`` body."""
+        handle = self.start(name)
+        try:
+            yield handle
+        finally:
+            self.finish()
+
+    # ------------------------------------------------------------------
+    # export
+    # ------------------------------------------------------------------
+
+    def to_dicts(self) -> List[Dict[str, Any]]:
+        """All spans as plain dicts, in start order."""
+        return [s.to_dict() for s in self.spans]
+
+    def write_jsonl(self, path: Union[str, "os.PathLike"]) -> None:
+        """Atomically write the trace as JSONL (one span per line)."""
+        from ..runs.atomic import atomic_write_text
+
+        atomic_write_text(path, spans_to_jsonl(self.spans))
+
+
+def spans_to_jsonl(spans: Sequence[Span]) -> str:
+    """Serialize spans as JSONL text (one compact object per line)."""
+    lines = [
+        json.dumps(s.to_dict(), separators=(",", ":"), sort_keys=True)
+        for s in spans
+    ]
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def load_spans(path: Union[str, "os.PathLike"]) -> List[Span]:
+    """Read a span-trace JSONL file written by :meth:`SpanTracer.write_jsonl`.
+
+    Raises ``ValueError`` on a malformed line; an empty file yields an
+    empty list.
+    """
+    spans: List[Span] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                data = json.loads(line)
+                spans.append(
+                    Span(
+                        span_id=int(data["span_id"]),
+                        parent_id=int(data["parent_id"]),
+                        name=str(data["name"]),
+                        start=float(data["start"]),
+                        end=None if data["end"] is None else float(data["end"]),
+                    )
+                )
+            except (KeyError, TypeError, ValueError) as exc:
+                raise ValueError(f"{path}:{lineno}: malformed span line: {exc}")
+    return spans
+
+
+def validate_spans(spans: Sequence[Span]) -> None:
+    """Check the structural invariants of a finished span trace.
+
+    * ids are 1..N in order (start order);
+    * every parent id names an earlier span (or 0 for roots);
+    * every span is closed, with ``end >= start``;
+    * a child lies within its parent's interval (strict nesting).
+
+    Raises ``ValueError`` naming the first violation.
+    """
+    by_id: Dict[int, Span] = {}
+    for position, span in enumerate(spans, start=1):
+        if span.span_id != position:
+            raise ValueError(
+                f"span ids must be 1..N in order: position {position} "
+                f"holds id {span.span_id}"
+            )
+        if span.end is None:
+            raise ValueError(f"span {span.span_id} ({span.name!r}) never closed")
+        if span.end < span.start:
+            raise ValueError(
+                f"span {span.span_id} ({span.name!r}) ends before it starts"
+            )
+        if span.parent_id:
+            parent = by_id.get(span.parent_id)
+            if parent is None:
+                raise ValueError(
+                    f"span {span.span_id} ({span.name!r}) names unknown "
+                    f"parent {span.parent_id}"
+                )
+            assert parent.end is not None
+            if span.start < parent.start or span.end > parent.end:
+                raise ValueError(
+                    f"span {span.span_id} ({span.name!r}) escapes its "
+                    f"parent {parent.span_id} ({parent.name!r})"
+                )
+        by_id[span.span_id] = span
+
+
+def span_aggregates(spans: Sequence[Span]) -> Dict[str, Dict[str, float]]:
+    """Per-name rollup of a span trace: calls, total/self seconds, depth.
+
+    ``self_seconds`` excludes time covered by *direct* children, so the
+    per-name numbers sum to wall time without double counting (up to
+    clock granularity). Used by ``repro-sched obs render``.
+    """
+    by_id = {s.span_id: s for s in spans}
+    child_seconds: Dict[int, float] = {}
+    depth: Dict[int, int] = {}
+    for span in spans:
+        depth[span.span_id] = (
+            depth[span.parent_id] + 1 if span.parent_id in depth else 0
+        )
+        if span.parent_id in by_id:
+            child_seconds[span.parent_id] = (
+                child_seconds.get(span.parent_id, 0.0) + span.duration
+            )
+    out: Dict[str, Dict[str, float]] = {}
+    for span in spans:
+        cell = out.setdefault(
+            span.name,
+            {"calls": 0.0, "seconds": 0.0, "self_seconds": 0.0, "max_depth": 0.0},
+        )
+        cell["calls"] += 1
+        cell["seconds"] += span.duration
+        cell["self_seconds"] += span.duration - child_seconds.get(span.span_id, 0.0)
+        cell["max_depth"] = max(cell["max_depth"], float(depth[span.span_id]))
+    return out

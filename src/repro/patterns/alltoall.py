@@ -27,6 +27,7 @@ class PairwiseAlltoall(CommunicationPattern):
     name = "alltoall"
 
     def steps(self, nranks: int) -> List[CommStep]:
+        """Pairwise-exchange schedule: P-1 steps, rank i meets rank i^s."""
         require_positive_int(nranks, "nranks")
         if nranks == 1:
             return []

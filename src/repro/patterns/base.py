@@ -75,6 +75,7 @@ class CommStep:
 
     @property
     def n_pairs(self) -> int:
+        """Number of simultaneously communicating pairs in this step."""
         return int(self.pairs.shape[0])
 
 

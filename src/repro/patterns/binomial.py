@@ -28,6 +28,7 @@ class BinomialTree(CommunicationPattern):
     name = "binomial"
 
     def steps(self, nranks: int) -> List[CommStep]:
+        """Binomial-tree schedule: log2(P) rounds of doubling senders."""
         require_positive_int(nranks, "nranks")
         out: List[CommStep] = []
         dist = 1

@@ -28,6 +28,7 @@ class RecursiveDoubling(CommunicationPattern):
     name = "rd"
 
     def steps(self, nranks: int) -> List[CommStep]:
+        """Recursive-doubling schedule: partners at distance 2^s."""
         p2, extra_src, extra_dst = fold_to_power_of_two(nranks)
         out: List[CommStep] = []
         if extra_src.size:

@@ -29,6 +29,7 @@ class RecursiveHalvingVectorDoubling(CommunicationPattern):
     name = "rhvd"
 
     def steps(self, nranks: int) -> List[CommStep]:
+        """Recursive-halving schedule with message size doubling per step."""
         p2, extra_src, extra_dst = fold_to_power_of_two(nranks)
         out: List[CommStep] = []
         if extra_src.size:

@@ -25,6 +25,7 @@ class Ring(CommunicationPattern):
     name = "ring"
 
     def steps(self, nranks: int) -> List[CommStep]:
+        """Ring schedule: one neighbour step repeated P-1 times."""
         require_positive_int(nranks, "nranks")
         if nranks == 1:
             return []

@@ -43,6 +43,7 @@ class Stencil2D(CommunicationPattern):
         self.periodic = bool(periodic)
 
     def steps(self, nranks: int) -> List[CommStep]:
+        """2-D stencil schedule: north/south/east/west neighbour exchanges."""
         require_positive_int(nranks, "nranks")
         if nranks == 1:
             return []

@@ -1,37 +1,19 @@
-"""Lightweight opt-in performance tracing for whole-trace simulations.
+"""Compatibility shim: the perf layer now lives in :mod:`repro.obs`.
 
-The engine, the allocators, and the Eq. 6 cost kernel report counters
-(events processed, schedule passes run / extended / skipped, cost-cache
-hits) and wall-clock timers (time inside each allocator, inside the
-cost kernel, inside the scheduling pass) to a process-global
-:class:`PerfRecorder` — but only while one is *installed* via
-:func:`collecting`. With no recorder installed every hook is a single
-global read plus a falsy check, so the instrumentation costs nothing
-measurable on the default path.
-
-Activation paths:
-
-* ``EngineConfig(collect_perf=True)`` — the engine installs a recorder
-  around the run and attaches the report to ``SimulationResult.perf``;
-* ``repro-sched simulate --perf`` — same, plus a rendered table;
-* benchmarks construct a recorder directly around arbitrary code.
-
-Timers are *nestable*: the same timer name may be entered re-entrantly
-(e.g. the adaptive allocator pricing candidates inside the cost-kernel
-timer that its own callees also enter) and only the outermost entry
-accumulates, so a timer never double-counts its own nested spans.
-Distinct names nest freely and report inclusive time.
-
-Perf reports are diagnostics, not results: they are intentionally kept
-out of ``dump_result`` serialization so saved results stay byte-stable
-across machines (CI diffs them). See ``docs/performance.md``.
+PR 4 introduced ``repro.perf`` (opt-in counters and re-entrant timers
+on the engine/allocator/cost hot paths); the observability subsystem
+absorbed it into :mod:`repro.obs.runtime` (hooks, recorder) and
+:mod:`repro.obs.render` (report rendering), where the same hooks also
+feed span tracing and progress reporting. This module re-exports the
+original public surface so existing imports — and the engine/allocator
+call sites that spell ``perf.count`` / ``perf.timer`` — keep working
+unchanged. New code should import from :mod:`repro.obs`.
 """
 
 from __future__ import annotations
 
-import time
-from contextlib import contextmanager
-from typing import Any, Dict, Iterator, Optional
+from .obs.render import render_perf
+from .obs.runtime import PerfRecorder, active, collecting, count, timer
 
 __all__ = [
     "PerfRecorder",
@@ -41,160 +23,3 @@ __all__ = [
     "timer",
     "render_perf",
 ]
-
-
-class PerfRecorder:
-    """Counter + timer accumulator for one measured span."""
-
-    __slots__ = ("counters", "_timers", "_depth", "_t0")
-
-    def __init__(self) -> None:
-        self.counters: Dict[str, float] = {}
-        self._timers: Dict[str, list] = {}  # name -> [seconds, outermost calls]
-        self._depth: Dict[str, int] = {}
-        self._t0 = time.perf_counter()
-
-    def count(self, name: str, n: float = 1) -> None:
-        self.counters[name] = self.counters.get(name, 0) + n
-
-    def timer(self, name: str) -> "_Span":
-        """Accumulate wall time under ``name`` (re-entrant safe)."""
-        return _Span(self, name)
-
-    def snapshot(self) -> Dict[str, Any]:
-        """Plain-dict report: counters, timers, and derived rates."""
-        elapsed = time.perf_counter() - self._t0
-        timers = {
-            name: {"seconds": cell[0], "calls": cell[1]}
-            for name, cell in sorted(self._timers.items())
-        }
-        derived: Dict[str, float] = {"elapsed_seconds": elapsed}
-        events = self.counters.get("engine.events")
-        if events and elapsed > 0:
-            derived["events_per_sec"] = events / elapsed
-        jobs = self.counters.get("engine.jobs_started")
-        if jobs and elapsed > 0:
-            derived["jobs_per_sec"] = jobs / elapsed
-        return {
-            "counters": dict(sorted(self.counters.items())),
-            "timers": timers,
-            "derived": derived,
-        }
-
-
-class _Span:
-    """One ``with``-entry of a named timer.
-
-    A slotted object with hand-written ``__enter__``/``__exit__`` —
-    timers sit on per-job hot paths, where the generator-based
-    ``contextlib`` machinery costs several times more per entry. Each
-    :meth:`PerfRecorder.timer` call makes a fresh span so re-entrant
-    entries of the same name keep their own start times; only the
-    outermost entry (depth 0) accumulates.
-    """
-
-    __slots__ = ("_rec", "_name", "_t0")
-
-    def __init__(self, rec: PerfRecorder, name: str) -> None:
-        self._rec = rec
-        self._name = name
-        self._t0 = 0.0
-
-    def __enter__(self) -> None:
-        rec = self._rec
-        depth = rec._depth.get(self._name, 0)
-        rec._depth[self._name] = depth + 1
-        if depth == 0:
-            self._t0 = time.perf_counter()
-        return None
-
-    def __exit__(self, *exc: object) -> bool:
-        rec = self._rec
-        name = self._name
-        depth = rec._depth[name] - 1
-        rec._depth[name] = depth
-        if depth == 0:
-            cell = rec._timers.setdefault(name, [0.0, 0])
-            cell[0] += time.perf_counter() - self._t0
-            cell[1] += 1
-        return False
-
-
-_active: Optional[PerfRecorder] = None
-
-
-def active() -> Optional[PerfRecorder]:
-    """The installed recorder, or ``None`` (tracing off)."""
-    return _active
-
-
-@contextmanager
-def collecting(recorder: Optional[PerfRecorder] = None) -> Iterator[PerfRecorder]:
-    """Install ``recorder`` (a fresh one by default) for the duration."""
-    global _active
-    previous = _active
-    rec = recorder if recorder is not None else PerfRecorder()
-    _active = rec
-    try:
-        yield rec
-    finally:
-        _active = previous
-
-
-def count(name: str, n: float = 1) -> None:
-    """Bump a counter on the installed recorder; no-op when tracing is off."""
-    rec = _active
-    if rec is not None:
-        rec.count(name, n)
-
-
-class _NullTimer:
-    """Reusable do-nothing context manager for the tracing-off path.
-
-    A plain object with empty ``__enter__``/``__exit__`` is several times
-    cheaper than instantiating a generator-based context manager per
-    call, and ``timer`` sits on per-job hot paths.
-    """
-
-    __slots__ = ()
-
-    def __enter__(self) -> None:
-        return None
-
-    def __exit__(self, *exc: object) -> bool:
-        return False
-
-
-_NULL_TIMER = _NullTimer()
-
-
-def timer(name: str):
-    """Time a block on the installed recorder; no-op when tracing is off."""
-    rec = _active
-    if rec is None:
-        return _NULL_TIMER
-    return rec.timer(name)
-
-
-def render_perf(perf: Dict[str, Any]) -> str:
-    """Human-readable table of a :meth:`PerfRecorder.snapshot` report."""
-    lines = ["perf report", "-----------"]
-    derived = perf.get("derived", {})
-    for key, value in derived.items():
-        lines.append(f"{key:40s} {value:14.3f}")
-    counters = perf.get("counters", {})
-    if counters:
-        lines.append("counters:")
-        for key, value in counters.items():
-            lines.append(f"  {key:38s} {value:14.0f}")
-    timers = perf.get("timers", {})
-    if timers:
-        lines.append("timers (inclusive):")
-        for key, cell in timers.items():
-            seconds, calls = cell["seconds"], cell["calls"]
-            per_call = seconds / calls * 1e6 if calls else 0.0
-            lines.append(
-                f"  {key:38s} {seconds:10.3f} s  {calls:10d} calls  "
-                f"{per_call:10.1f} us/call"
-            )
-    return "\n".join(lines)

@@ -32,6 +32,8 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
+from ..obs import runtime as obs_runtime
+from ..obs.progress import ProgressReporter
 from .journal import RunJournal
 from .retry import ON_ERROR_RAISE, ON_ERROR_SKIP, RetryPolicy, require_on_error
 
@@ -86,6 +88,7 @@ class TaskBatchResult:
 
     @property
     def complete(self) -> bool:
+        """True when every task produced a result."""
         return not self.missing
 
 
@@ -103,6 +106,7 @@ class PartialResults(dict):
 
     @property
     def complete(self) -> bool:
+        """True when every task produced a result."""
         return not self.missing
 
 
@@ -115,6 +119,7 @@ class PartialRows(list):
 
     @property
     def complete(self) -> bool:
+        """True when every task produced a result."""
         return not self.missing
 
 
@@ -130,12 +135,21 @@ class _Batch:
         mode: str,
         journal: Optional[RunJournal],
         digest: Optional[Callable[[Any], str]],
+        total: int = 0,
+        progress: Optional[ProgressReporter] = None,
     ) -> None:
         self.policy = policy
         self.mode = mode
         self.journal = journal
         self.digest = digest
+        self.total = total
+        self.progress = progress
         self.out = TaskBatchResult()
+
+    def _notify(self, key: str) -> None:
+        if self.progress is not None:
+            done = len(self.out.results) + len(self.out.missing)
+            self.progress.task_update(done, self.total, key)
 
     def start(self, task: TaskSpec, attempt: int) -> None:
         self.out.attempts[task.key] = attempt
@@ -147,6 +161,7 @@ class _Batch:
         if self.journal is not None:
             digest = self.digest(value) if self.digest is not None else ""
             self.journal.result(task.key, attempt, digest)
+        self._notify(task.key)
 
     def fail(self, task: TaskSpec, attempt: int, error: str) -> bool:
         """Account one failed attempt; returns True when a retry is due.
@@ -161,6 +176,7 @@ class _Batch:
             return True
         if self.mode == ON_ERROR_SKIP:
             self.out.missing[task.key] = error
+            self._notify(task.key)
             return False
         raise TaskFailedError(task.key, attempt, error)
 
@@ -337,6 +353,7 @@ def run_tasks(
     on_task_error: str = "retry",
     journal: Optional[RunJournal] = None,
     digest: Optional[Callable[[Any], str]] = None,
+    progress: Optional[ProgressReporter] = None,
 ) -> TaskBatchResult:
     """Run a batch of tasks to completion with retry and crash recovery.
 
@@ -344,6 +361,11 @@ def run_tasks(
     per-task timeouts cannot be enforced without a pool and are
     ignored). Task keys must be unique. Results come back keyed, so
     callers reassemble them in any deterministic order they choose.
+
+    ``progress`` receives one ``task_update(done, total, key)`` per
+    settled cell (succeeded, or skipped after exhausting attempts);
+    when omitted, :func:`repro.obs.progress` is polled so an ambient
+    reporter installed via :func:`repro.obs.progressing` is used.
     """
     require_on_error(on_task_error)
     policy = policy or RetryPolicy()
@@ -353,7 +375,9 @@ def run_tasks(
     if journal is not None:
         for task in tasks:
             journal.task(task.key, task.spec or {})
-    batch = _Batch(policy, on_task_error, journal, digest)
+    if progress is None:
+        progress = obs_runtime.progress()
+    batch = _Batch(policy, on_task_error, journal, digest, len(tasks), progress)
     if not tasks:
         return batch.out
     if workers is None or workers <= 1:

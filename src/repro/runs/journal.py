@@ -80,11 +80,13 @@ class RunJournal:
         self._append({"kind": "task", "key": key, "spec": spec})
 
     def attempt_start(self, key: str, attempt: int) -> None:
+        """Record that attempt ``attempt`` of task ``key`` is starting."""
         self._append(
             {"kind": "attempt", "key": key, "attempt": attempt, "status": "start"}
         )
 
     def attempt_error(self, key: str, attempt: int, error: str) -> None:
+        """Record a failed attempt and its error text."""
         self._append(
             {
                 "kind": "attempt",
@@ -96,6 +98,7 @@ class RunJournal:
         )
 
     def result(self, key: str, attempt: int, digest: str) -> None:
+        """Record a successful attempt's result digest."""
         self._append(
             {"kind": "result", "key": key, "attempt": attempt, "digest": digest}
         )
@@ -107,6 +110,7 @@ class RunJournal:
         self._append(entry)
 
     def close(self) -> None:
+        """Flush and close the journal file (idempotent)."""
         if not self._fh.closed:
             self._fh.close()
 
@@ -134,10 +138,12 @@ class JournalData:
 
     @property
     def run_type(self) -> str:
+        """The header's run type (``tasks`` when unspecified)."""
         return str(self.header.get("run_type", "tasks"))
 
     @property
     def context(self) -> Dict[str, Any]:
+        """Copy of the header's re-execution context."""
         return dict(self.header.get("context", {}))
 
     def attempt_count(self, key: str) -> int:

@@ -41,9 +41,11 @@ class VerifyReport:
 
     @property
     def ok(self) -> bool:
+        """True when every replayed task matched its journaled digest."""
         return not self.mismatched
 
     def render(self) -> str:
+        """Human-readable verification report (one line per drift)."""
         lines = [
             f"journal    : {self.journal_path}",
             f"run type   : {self.run_type}",

@@ -157,6 +157,7 @@ class ConservativeBackfillPolicy:
         free_nodes: int,
         running: RunningFacts,
     ) -> List[int]:
+        """Return queue indices to start now (full conservative pass)."""
         picks, _ = self.begin_pass(now, queue, free_nodes, running)
         return picks
 
@@ -167,6 +168,7 @@ class ConservativeBackfillPolicy:
         free_nodes: int,
         running: RunningFacts,
     ) -> Tuple[List[int], ConservativeCarry]:
+        """Full pass; also returns the reservation-timeline carry."""
         profile = _AvailabilityProfile(now, free_nodes, running)
         picks = self._process(now, queue, 0, profile)
         carry = ConservativeCarry(
@@ -181,6 +183,7 @@ class ConservativeBackfillPolicy:
         running: RunningFacts,
         carry: ConservativeCarry,
     ) -> Tuple[List[int], ConservativeCarry]:
+        """Evaluate only jobs appended since ``carry`` against its timeline."""
         profile = _AvailabilityProfile.from_carry(now, carry.times, carry.avail)
         picks = self._process(now, queue, carry.scanned, profile)
         new_carry = ConservativeCarry(

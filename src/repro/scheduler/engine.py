@@ -46,6 +46,9 @@ from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Unio
 import numpy as np
 
 from .. import perf
+from ..obs import runtime as obs_runtime
+from ..obs.progress import ProgressReporter
+from ..obs.runtime import PerfRecorder
 from .._perfflags import is_legacy
 from ..allocation.base import Allocator
 from ..allocation.default_slurm import DefaultSlurmAllocator
@@ -241,6 +244,15 @@ class _RunState:
     clean_version: Optional[int] = None
     clean_queue_rev: Optional[int] = None
     carry: Any = None
+    #: The engine-owned perf recorder when ``collect_perf`` is on and no
+    #: ambient recorder was installed. Lives on the run state (not the
+    #: engine) so checkpoints carry it and a resumed ``--perf`` run
+    #: reports whole-run counters, not just the post-resume tail.
+    #: Ambient recorders (installed by callers via ``perf.collecting``)
+    #: are never checkpointed: they may hold counts from outside this
+    #: run, and keeping them out preserves byte-stable checkpoints for
+    #: untraced runs.
+    perf: Optional[PerfRecorder] = None
 
 
 class SchedulerEngine:
@@ -275,6 +287,7 @@ class SchedulerEngine:
         checkpoint_path: Optional[Union[str, "os.PathLike"]] = None,
         stop_after: Optional[int] = None,
         interrupt: Optional[Callable[[], bool]] = None,
+        progress: Optional["ProgressReporter"] = None,
     ) -> Optional[SimulationResult]:
         """Simulate ``jobs`` to completion and return all records.
 
@@ -308,6 +321,12 @@ class SchedulerEngine:
         * ``interrupt`` is polled once per batch; when it returns True
           the run writes a final checkpoint (if configured) and raises
           :class:`SimulationInterrupted`.
+
+        ``progress`` installs a
+        :class:`~repro.obs.progress.ProgressReporter` for the duration
+        of the run: the loop feeds it one update per event batch
+        (events processed, jobs finished, simulation clock). Purely
+        diagnostic — results are identical with or without it.
         """
         if checkpoint_every is not None and checkpoint_every <= 0:
             raise ValueError(f"checkpoint_every must be > 0, got {checkpoint_every}")
@@ -331,8 +350,35 @@ class SchedulerEngine:
                 return SimulationResult(self.allocator.name, [])
             rs = self._begin_run(job_list, initial_state, faults)
 
+        if progress is not None:
+            with obs_runtime.progressing(progress):
+                return self._run_measured(
+                    rs, checkpoint_every, checkpoint_path, stop_after, interrupt
+                )
+        return self._run_measured(
+            rs, checkpoint_every, checkpoint_path, stop_after, interrupt
+        )
+
+    def _run_measured(
+        self,
+        rs: _RunState,
+        checkpoint_every: Optional[int],
+        checkpoint_path: Optional[Union[str, "os.PathLike"]],
+        stop_after: Optional[int],
+        interrupt: Optional[Callable[[], bool]],
+    ) -> Optional[SimulationResult]:
+        """Drive the loop under the engine-owned perf recorder, if any.
+
+        When ``collect_perf`` is set and no ambient recorder is
+        installed, the run's recorder lives on the run state — reused
+        across pause/resume within this process and carried through
+        checkpoints (see :class:`_RunState`) — so the report attached
+        to ``SimulationResult.perf`` always covers the whole run.
+        """
         if self.config.collect_perf and perf.active() is None:
-            with perf.collecting() as recorder:
+            recorder = rs.perf if rs.perf is not None else PerfRecorder()
+            rs.perf = recorder
+            with perf.collecting(recorder):
                 result = self._drive(
                     rs, checkpoint_every, checkpoint_path, stop_after, interrupt
                 )
@@ -422,6 +468,7 @@ class SchedulerEngine:
                     del running[finished.job.job_id]
                     rs.views.remove(finished.job.job_id)
                     book = books.get(finished.job.job_id)
+                    perf.count("engine.jobs_finished")
                     records.append(
                         JobRecord(
                             job=finished.job,
@@ -446,6 +493,9 @@ class SchedulerEngine:
             if self.config.validate_state:
                 state.validate()
             rs.batches_done += 1
+            reporter = obs_runtime.progress()
+            if reporter is not None:
+                reporter.engine_batch(now, len(batch), len(records))
             if rs.submits_left == 0 and not queue and not running:
                 break  # only fault events (or stale finishes) remain
             if not events:
@@ -531,7 +581,7 @@ class SchedulerEngine:
                 }
             )
 
-        return {
+        data: Dict[str, Any] = {
             "kind": SNAPSHOT_KIND,
             "format_version": 3,
             "engine": {
@@ -568,9 +618,17 @@ class SchedulerEngine:
             # extension must checkpoint its generator state here.
             "rng": None,
         }
+        # The engine-owned perf recorder rides along so a resumed --perf
+        # run reports whole-run counters. Key absent (not null) when perf
+        # is off, keeping untraced checkpoints byte-identical to PR 3's.
+        if rs.perf is not None:
+            data["perf"] = rs.perf.state_dict()
+        return data
 
     def _write_checkpoint(self, path: Union[str, "os.PathLike"]) -> None:
-        dump_snapshot(self.snapshot(), path)
+        perf.count("engine.checkpoints_written")
+        with perf.timer("engine.checkpoint_write"):
+            dump_snapshot(self.snapshot(), path)
 
     def _restore_run_state(self, data: Dict[str, Any]) -> _RunState:
         """Rebuild a :class:`_RunState` from a checkpoint dict."""
@@ -646,6 +704,11 @@ class SchedulerEngine:
         # run starts "dirty" and re-proves cleanliness with one full pass.
         for job_id, entry in running.items():
             rs.views.add(job_id, entry.finish_time, len(entry.nodes))
+        # Carry the checkpointed perf counters forward (key absent on
+        # checkpoints taken without --perf, including all pre-obs ones).
+        perf_state = data.get("perf")
+        if perf_state is not None:
+            rs.perf = PerfRecorder.from_state(perf_state)
         return rs
 
     @classmethod
@@ -706,6 +769,7 @@ class SchedulerEngine:
         )
         nodes = np.asarray(fault.nodes, dtype=np.int64)
         self.last_stats.faults_injected += 1
+        perf.count("engine.faults_injected")
         for job_id in state.jobs_on(nodes):
             entry = running.pop(job_id, None)
             if entry is None:
@@ -717,6 +781,7 @@ class SchedulerEngine:
             rs.views.remove(job_id)
             book = books.setdefault(job_id, InterruptionBook())
             self.last_stats.jobs_interrupted += 1
+            perf.count("engine.jobs_interrupted")
             requeued = book.interrupt(
                 cfg.interrupt_policy,
                 start_time=entry.start_time,
@@ -727,10 +792,12 @@ class SchedulerEngine:
             )
             if requeued:
                 self.last_stats.jobs_requeued += 1
+                perf.count("engine.jobs_requeued")
                 queue.append(entry.job)
                 rs.queue_rev += 1
             else:
                 self.last_stats.jobs_failed += 1
+                perf.count("engine.jobs_failed")
                 records.append(
                     JobRecord(
                         job=entry.job,

@@ -94,6 +94,7 @@ class JobRecord:
 
     @property
     def total_cost_default(self) -> float:
+        """Summed Eq. 6 cost of the counterfactual default placement."""
         return float(sum(self.cost_default.values()))
 
 
@@ -123,6 +124,7 @@ class SimulationResult:
         return len(self.records)
 
     def record_for(self, job_id: int) -> JobRecord:
+        """The finished record of ``job_id`` (KeyError when absent)."""
         for record in self.records:
             if record.job.job_id == job_id:
                 return record
@@ -137,30 +139,37 @@ class SimulationResult:
 
     @property
     def execution_times(self) -> np.ndarray:
+        """Per-job execution times, in finish order."""
         return self._series("execution_time")
 
     @property
     def wait_times(self) -> np.ndarray:
+        """Per-job wait times, in finish order."""
         return self._series("wait_time")
 
     @property
     def turnaround_times(self) -> np.ndarray:
+        """Per-job turnaround times, in finish order."""
         return self._series("turnaround_time")
 
     @property
     def node_seconds(self) -> np.ndarray:
+        """Per-job node-seconds, in finish order."""
         return self._series("node_seconds")
 
     @property
     def costs_jobaware(self) -> np.ndarray:
+        """Per-job summed Eq. 6 costs of the actual placements."""
         return self._series("total_cost_jobaware")
 
     @property
     def costs_default(self) -> np.ndarray:
+        """Per-job summed Eq. 6 costs of the default counterfactuals."""
         return self._series("total_cost_default")
 
     @property
     def requested_nodes(self) -> np.ndarray:
+        """Per-job requested node counts, in finish order."""
         return np.array([r.job.nodes for r in self.records], dtype=np.int64)
 
     # ------------------------------------------------------------------
@@ -194,6 +203,7 @@ class SimulationResult:
 
     @property
     def total_node_hours(self) -> float:
+        """Summed node-hours across all finished jobs."""
         return float(self.node_seconds.sum()) / SECONDS_PER_HOUR
 
     def bounded_slowdowns(self, threshold: float = 10.0) -> np.ndarray:

@@ -41,6 +41,7 @@ import bisect
 from dataclasses import dataclass
 from typing import Iterable, Iterator, List, Optional, Protocol, Sequence, Tuple, Union
 
+from .. import perf
 from ..cluster.job import Job
 
 __all__ = [
@@ -84,12 +85,14 @@ class RunningViews:
         self._seq = 0
 
     def add(self, job_id: int, finish_estimate: float, nodes: int) -> None:
+        """Insert a started job's ``(finish, nodes)`` facts."""
         entry = (float(finish_estimate), self._seq, int(nodes))
         self._seq += 1
         self._entries[job_id] = entry
         bisect.insort(self._sorted, entry)
 
     def remove(self, job_id: int) -> None:
+        """Drop a finished or faulted job's entry."""
         entry = self._entries.pop(job_id)
         i = bisect.bisect_left(self._sorted, entry)
         del self._sorted[i]  # entries are unique: seq is never reused
@@ -185,6 +188,7 @@ class FifoPolicy:
         free_nodes: int,
         running: RunningFacts,
     ) -> List[int]:
+        """Start jobs strictly from the head while they fit."""
         picks, _ = _head_run(queue, free_nodes)
         return picks
 
@@ -195,10 +199,13 @@ class FifoPolicy:
         free_nodes: int,
         running: RunningFacts,
     ) -> Tuple[List[int], FifoCarry]:
+        """Full FIFO pass; also returns the blocked-head carry."""
         picks, free = _head_run(queue, free_nodes)
         carry = FifoCarry(
             scanned=len(queue), free_nodes=free, blocked=len(picks) < len(queue)
         )
+        perf.count("policy.jobs_scanned", len(queue))
+        perf.count("policy.jobs_picked", len(picks))
         return picks, carry
 
     def extend_pass(
@@ -208,6 +215,7 @@ class FifoPolicy:
         running: RunningFacts,
         carry: FifoCarry,
     ) -> Tuple[List[int], FifoCarry]:
+        """Evaluate only jobs appended since ``carry``."""
         picks: List[int] = []
         free = carry.free_nodes
         blocked = carry.blocked
@@ -220,6 +228,8 @@ class FifoPolicy:
                 free -= job.nodes
             else:
                 blocked = True
+        perf.count("policy.jobs_scanned", len(queue) - carry.scanned)
+        perf.count("policy.jobs_picked", len(picks))
         return picks, FifoCarry(scanned=len(queue), free_nodes=free, blocked=blocked)
 
 
@@ -236,6 +246,7 @@ class EasyBackfillPolicy:
         free_nodes: int,
         running: RunningFacts,
     ) -> List[int]:
+        """Head run plus EASY backfill behind one reservation."""
         picks, _ = self.begin_pass(now, queue, free_nodes, running)
         return picks
 
@@ -246,9 +257,12 @@ class EasyBackfillPolicy:
         free_nodes: int,
         running: RunningFacts,
     ) -> Tuple[List[int], EasyCarry]:
+        """Full EASY pass; also returns the shadow-window carry."""
         picks, free_nodes = _head_run(queue, free_nodes)
         head_idx = len(picks)
         if head_idx >= len(queue):
+            perf.count("policy.jobs_scanned", len(queue))
+            perf.count("policy.jobs_picked", len(picks))
             return picks, EasyCarry(len(queue), free_nodes, None, 0, empty=True)
         head = queue[head_idx]
 
@@ -267,6 +281,8 @@ class EasyBackfillPolicy:
             # Head job can never start (larger than the machine); engine
             # rejects such jobs up front, but stay safe: no backfilling
             # guarantees exist without a reservation.
+            perf.count("policy.jobs_scanned", len(queue))
+            perf.count("policy.jobs_picked", len(picks))
             return picks, EasyCarry(len(queue), free_nodes, None, 0, empty=False)
 
         for idx in range(head_idx + 1, len(queue)):
@@ -280,6 +296,8 @@ class EasyBackfillPolicy:
                 free_nodes -= job.nodes
                 if not ends_before_shadow:
                     extra -= job.nodes
+        perf.count("policy.jobs_scanned", len(queue))
+        perf.count("policy.jobs_picked", len(picks))
         return picks, EasyCarry(len(queue), free_nodes, shadow, extra, empty=False)
 
     def extend_pass(
@@ -289,6 +307,7 @@ class EasyBackfillPolicy:
         running: RunningFacts,
         carry: EasyCarry,
     ) -> Tuple[List[int], EasyCarry]:
+        """Evaluate only jobs appended since ``carry`` against its window."""
         if carry.empty:
             # The whole queue arrived since the carry: a full pass over
             # it is exactly the suffix evaluation.
@@ -310,6 +329,8 @@ class EasyBackfillPolicy:
                 free -= job.nodes
                 if not ends_before_shadow:
                     extra -= job.nodes
+        perf.count("policy.jobs_scanned", len(queue) - carry.scanned)
+        perf.count("policy.jobs_picked", len(picks))
         return picks, EasyCarry(len(queue), free, shadow, extra, empty=False)
 
 

@@ -70,6 +70,7 @@ class SinfoRow:
 
 
 class JobState:
+    """squeue-style job state labels."""
     RUNNING = "RUNNING"
     PENDING = "PENDING"
     COMPLETED = "COMPLETED"

@@ -65,10 +65,12 @@ class SwitchInfo:
 
     @property
     def is_leaf(self) -> bool:
+        """True for level-1 switches (the ones nodes hang off)."""
         return self.level == 1
 
     @property
     def n_leaves(self) -> int:
+        """Number of leaf switches in this switch's subtree."""
         return self.leaf_hi - self.leaf_lo
 
 
@@ -308,6 +310,7 @@ class TreeTopology:
 
     @property
     def n_switches(self) -> int:
+        """Total number of switches in the tree."""
         return len(self._switches)
 
     @property
@@ -317,6 +320,7 @@ class TreeTopology:
 
     @property
     def root(self) -> SwitchInfo:
+        """The top-level switch."""
         return self._switches[0]
 
     @property
@@ -366,9 +370,11 @@ class TreeTopology:
         return self._switches[int(self._leaf_switch_index[leaf_index])]
 
     def node_name(self, node_id: int) -> str:
+        """The SLURM-style name of node ``node_id``."""
         return self._node_names[node_id]
 
     def node_id(self, name: str) -> int:
+        """The id of the node named ``name`` (KeyError when unknown)."""
         try:
             return self._name_to_node[name]
         except KeyError:
@@ -376,10 +382,12 @@ class TreeTopology:
 
     @property
     def node_names(self) -> Tuple[str, ...]:
+        """All node names, indexed by node id."""
         return self._node_names
 
     @property
     def leaf_names(self) -> Tuple[str, ...]:
+        """All leaf-switch names, indexed by leaf index."""
         return self._leaf_names
 
     def leaf_nodes(self, leaf_index: int) -> np.ndarray:

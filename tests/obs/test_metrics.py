@@ -1,0 +1,207 @@
+"""Unit tests for the metrics registry and Prometheus exposition."""
+
+import json
+import math
+
+import pytest
+
+from repro.obs import (
+    MetricsRegistry,
+    PromParseError,
+    parse_prometheus,
+)
+from repro.obs.metrics import Histogram, _format_value
+
+
+class TestFamilies:
+    def test_counter_accumulates_and_rejects_negative(self):
+        reg = MetricsRegistry()
+        c = reg.counter("events_total", "Events")
+        c.inc()
+        c.inc(2.5)
+        with pytest.raises(ValueError, match="only go up"):
+            c.inc(-1)
+        assert c._default_child().value == 3.5
+
+    def test_gauge_set_inc_dec(self):
+        reg = MetricsRegistry()
+        g = reg.gauge("depth", "Queue depth")
+        g.set(10)
+        g.inc(5)
+        g.dec(2)
+        assert g._default_child().value == 13.0
+
+    def test_labelled_children_are_distinct(self):
+        reg = MetricsRegistry()
+        c = reg.counter("jobs_total", "Jobs", labels=("allocator",))
+        c.labels(allocator="greedy").inc(3)
+        c.labels(allocator="balanced").inc(1)
+        assert c.labels(allocator="greedy").value == 3.0
+        assert c.labels(allocator="balanced").value == 1.0
+
+    def test_wrong_label_set_rejected(self):
+        reg = MetricsRegistry()
+        c = reg.counter("jobs_total", "Jobs", labels=("allocator",))
+        with pytest.raises(ValueError, match="takes labels"):
+            c.labels(machine="theta")
+
+    def test_labelled_family_rejects_bare_use(self):
+        reg = MetricsRegistry()
+        c = reg.counter("jobs_total", "Jobs", labels=("allocator",))
+        with pytest.raises(ValueError, match="use .labels"):
+            c.inc()
+
+    def test_reregistration_returns_same_family(self):
+        reg = MetricsRegistry()
+        a = reg.counter("x_total", "X")
+        b = reg.counter("x_total", "X")
+        assert a is b
+
+    def test_kind_conflict_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("x_total", "X")
+        with pytest.raises(ValueError, match="already registered as counter"):
+            reg.gauge("x_total", "X")
+
+    def test_invalid_names_rejected(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError, match="invalid metric name"):
+            reg.counter("bad name", "X")
+        with pytest.raises(ValueError, match="invalid label name"):
+            reg.counter("ok_total", "X", labels=("bad-label",))
+        with pytest.raises(ValueError, match="invalid namespace"):
+            MetricsRegistry(namespace="no spaces")
+
+
+class TestHistogram:
+    def test_buckets_must_strictly_increase(self):
+        with pytest.raises(ValueError, match="strictly increase"):
+            Histogram("h", "H", buckets=(1.0, 1.0, 2.0))
+        with pytest.raises(ValueError, match="at least one bucket"):
+            Histogram("h", "H", buckets=())
+
+    def test_cumulative_bucket_exposition(self):
+        """Each observation lands in exactly one bucket; exposition
+        cumsums, with exact-bound values counted as inside (le is <=)."""
+        reg = MetricsRegistry(namespace="")
+        h = reg.histogram("lat", "Latency", buckets=(1.0, 10.0, 100.0))
+        for value in (0.5, 1.0, 5.0, 50.0, 500.0):
+            h.observe(value)
+        text = reg.render_prometheus()
+        samples, types = parse_prometheus(text)
+        by_le = {
+            s.labels["le"]: s.value
+            for s in samples
+            if s.name == "lat_bucket"
+        }
+        assert by_le == {"1": 2.0, "10": 3.0, "100": 4.0, "+Inf": 5.0}
+        assert types["lat"] == "histogram"
+        count = next(s.value for s in samples if s.name == "lat_count")
+        total = next(s.value for s in samples if s.name == "lat_sum")
+        assert count == 5.0
+        assert total == pytest.approx(556.5)
+
+
+class TestExposition:
+    def build(self):
+        reg = MetricsRegistry()
+        jobs = reg.counter("jobs_total", "Jobs done", labels=("allocator",))
+        jobs.labels(allocator="adaptive").inc(7)
+        jobs.labels(allocator="default").inc(3)
+        reg.gauge("makespan_hours", "Makespan").set(12.25)
+        reg.histogram("wait_seconds", "Waits", buckets=(1.0, 60.0)).observe(30.0)
+        return reg
+
+    def test_render_parse_round_trip(self):
+        text = self.build().render_prometheus()
+        samples, types = parse_prometheus(text)
+        assert types == {
+            "repro_jobs_total": "counter",
+            "repro_makespan_hours": "gauge",
+            "repro_wait_seconds": "histogram",
+        }
+        values = {(s.name, tuple(sorted(s.labels.items()))): s.value for s in samples}
+        assert values[("repro_jobs_total", (("allocator", "adaptive"),))] == 7.0
+        assert values[("repro_makespan_hours", ())] == 12.25
+
+    def test_render_is_deterministic(self):
+        assert self.build().render_prometheus() == self.build().render_prometheus()
+
+    def test_label_value_escaping_round_trips(self):
+        reg = MetricsRegistry()
+        c = reg.counter("odd_total", "Odd", labels=("key",))
+        tricky = 'a"b\\c\nd'
+        c.labels(key=tricky).inc()
+        samples, _ = parse_prometheus(reg.render_prometheus())
+        assert samples[0].labels["key"] == tricky
+
+    def test_jsonl_lines_are_valid_json(self):
+        lines = self.build().to_jsonl().strip().splitlines()
+        entries = [json.loads(line) for line in lines]
+        hist = next(e for e in entries if e["type"] == "histogram")
+        assert hist["buckets"] == {"1": 0, "60": 1, "+Inf": 1}
+        assert hist["count"] == 1
+
+    def test_empty_registry_renders_empty(self):
+        assert MetricsRegistry().render_prometheus() == ""
+        assert MetricsRegistry().to_jsonl() == ""
+
+
+class TestFormatValue:
+    def test_integral_without_decimal(self):
+        assert _format_value(3.0) == "3"
+        assert _format_value(0.5) == "0.5"
+        assert _format_value(math.inf) == "+Inf"
+        assert _format_value(-math.inf) == "-Inf"
+        assert _format_value(math.nan) == "NaN"
+
+
+class TestParser:
+    def test_malformed_sample_line(self):
+        with pytest.raises(PromParseError, match="malformed sample"):
+            parse_prometheus("this is not a sample !!!\n")
+
+    def test_malformed_labels(self):
+        with pytest.raises(PromParseError, match="malformed labels"):
+            parse_prometheus('x{bad} 1\n')
+
+    def test_invalid_value(self):
+        with pytest.raises(PromParseError, match="invalid sample value"):
+            parse_prometheus("x notanumber\n")
+
+    def test_unknown_type(self):
+        with pytest.raises(PromParseError, match="unknown metric type"):
+            parse_prometheus("# TYPE x wat\n")
+
+    def test_duplicate_type(self):
+        with pytest.raises(PromParseError, match="duplicate TYPE"):
+            parse_prometheus("# TYPE x counter\n# TYPE x counter\n")
+
+    def test_non_cumulative_histogram_rejected(self):
+        text = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="1"} 5\n'
+            'h_bucket{le="10"} 3\n'
+            'h_bucket{le="+Inf"} 5\n'
+            "h_count 5\n"
+        )
+        with pytest.raises(PromParseError, match="not cumulative"):
+            parse_prometheus(text)
+
+    def test_histogram_missing_inf_rejected(self):
+        text = "# TYPE h histogram\n" 'h_bucket{le="1"} 5\n' "h_count 5\n"
+        with pytest.raises(PromParseError, match="missing its \\+Inf"):
+            parse_prometheus(text)
+
+    def test_histogram_inf_count_mismatch_rejected(self):
+        text = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="+Inf"} 4\n'
+            "h_count 5\n"
+        )
+        with pytest.raises(PromParseError, match="!="):
+            parse_prometheus(text)
+
+    def test_comments_and_blanks_ignored(self):
+        samples, types = parse_prometheus("\n# just a comment\nx 1\n\n")
+        assert len(samples) == 1 and types == {}

@@ -1,0 +1,130 @@
+"""Tests for metrics_from_result and the obs summary renderer."""
+
+import pytest
+
+from repro.cluster import Job
+from repro.obs import (
+    Span,
+    metrics_from_result,
+    parse_prometheus,
+    render_obs_summary,
+)
+from repro.scheduler import EngineConfig, simulate
+from repro.topology import two_level_tree
+
+
+def run_small(collect_perf=False):
+    jobs = []
+    t = 0.0
+    for i in range(1, 13):
+        t += (i * 7) % 13
+        jobs.append(Job(i, float(t), 1 + (i * 3) % 8, 50.0 + i))
+    topo = two_level_tree(n_leaves=4, nodes_per_leaf=8)
+    return simulate(
+        topo, jobs, "greedy", config=EngineConfig(collect_perf=collect_perf)
+    )
+
+
+class TestMetricsFromResult:
+    def test_families_present_and_parseable(self):
+        result = run_small()
+        text = metrics_from_result(result).render_prometheus()
+        samples, types = parse_prometheus(text)
+        names = {s.name for s in samples}
+        assert "repro_jobs_completed_total" in names
+        assert "repro_result_makespan_hours" in names
+        assert "repro_job_wait_seconds_bucket" in names
+        assert types["repro_job_turnaround_seconds"] == "histogram"
+
+    def test_jobs_completed_matches_records(self):
+        result = run_small()
+        samples, _ = parse_prometheus(
+            metrics_from_result(result).render_prometheus()
+        )
+        completed = next(
+            s for s in samples if s.name == "repro_jobs_completed_total"
+        )
+        assert completed.value == float(len(result.records))
+        assert completed.labels == {"allocator": "greedy"}
+
+    def test_histogram_count_matches_jobs(self):
+        result = run_small()
+        samples, _ = parse_prometheus(
+            metrics_from_result(result).render_prometheus()
+        )
+        count = next(
+            s for s in samples if s.name == "repro_job_wait_seconds_count"
+        )
+        assert count.value == float(len(result.records))
+
+    def test_perf_counters_become_metrics(self):
+        result = run_small(collect_perf=True)
+        assert result.perf is not None
+        samples, _ = parse_prometheus(
+            metrics_from_result(result).render_prometheus()
+        )
+        names = {s.name for s in samples}
+        assert "repro_perf_engine_events_total" in names
+        assert "repro_perf_engine_allocator_seconds_total" in names
+        assert "repro_perf_engine_allocator_calls_total" in names
+        assert "repro_run_elapsed_seconds" in names
+
+    def test_accumulating_registry_keeps_both_allocators(self):
+        result = run_small()
+        reg = metrics_from_result(result, allocator="a")
+        metrics_from_result(result, allocator="b", registry=reg)
+        samples, _ = parse_prometheus(reg.render_prometheus())
+        allocators = {
+            s.labels["allocator"]
+            for s in samples
+            if s.name == "repro_jobs_completed_total"
+        }
+        assert allocators == {"a", "b"}
+
+    def test_engine_stats_folded_in(self):
+        result = run_small()
+        reg = metrics_from_result(result, stats={"events": 42, "batches": 7})
+        samples, _ = parse_prometheus(reg.render_prometheus())
+        values = {s.name: s.value for s in samples}
+        assert values["repro_engine_events_total"] == 42.0
+        assert values["repro_engine_batches_total"] == 7.0
+
+
+class TestRenderSummary:
+    def test_requires_something(self):
+        with pytest.raises(ValueError, match="nothing to render"):
+            render_obs_summary()
+
+    def test_metrics_only(self):
+        result = run_small()
+        samples, types = parse_prometheus(
+            metrics_from_result(result).render_prometheus()
+        )
+        text = render_obs_summary(samples=samples, types=types)
+        assert "observability summary" in text
+        assert "metrics" in text
+        assert "repro_jobs_completed_total{allocator=greedy}" in text
+        assert "spans" not in text.splitlines()
+
+    def test_histogram_line_shows_count_and_mean(self):
+        result = run_small()
+        samples, types = parse_prometheus(
+            metrics_from_result(result).render_prometheus()
+        )
+        text = render_obs_summary(samples=samples, types=types)
+        hist_line = next(
+            line for line in text.splitlines()
+            if "repro_job_wait_seconds" in line
+        )
+        assert "count=" in hist_line and "mean=" in hist_line
+
+    def test_spans_only_sorted_by_total_time(self):
+        spans = [
+            Span(1, 0, "fast", 0.0, 1.0),
+            Span(2, 0, "slow", 1.0, 9.0),
+        ]
+        text = render_obs_summary(spans=spans)
+        lines = text.splitlines()
+        slow_at = next(i for i, l in enumerate(lines) if "slow" in l)
+        fast_at = next(i for i, l in enumerate(lines) if "fast" in l)
+        assert slow_at < fast_at

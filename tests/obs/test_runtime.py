@@ -1,0 +1,115 @@
+"""Runtime hooks: recorder/tracer/progress install and engine integration."""
+
+import io
+
+from repro.cluster import Job
+from repro.obs import (
+    PerfRecorder,
+    ProgressReporter,
+    SpanTracer,
+    validate_spans,
+)
+from repro.obs import runtime as obs_runtime
+from repro.scheduler import EngineConfig, SchedulerEngine, simulate
+from repro.topology import two_level_tree
+
+
+def make_jobs(n=15):
+    jobs = []
+    t = 0.0
+    for i in range(1, n + 1):
+        t += (i * 7) % 13
+        jobs.append(Job(i, float(t), 1 + (i * 3) % 8, 50.0 + i))
+    return jobs
+
+
+TOPO = dict(n_leaves=4, nodes_per_leaf=8)
+
+
+class TestHookDispatch:
+    def test_timer_is_shared_noop_when_nothing_installed(self):
+        assert obs_runtime.active() is None
+        assert obs_runtime.tracer() is None
+        first = obs_runtime.timer("x")
+        second = obs_runtime.timer("y")
+        assert first is second  # the shared null timer, no allocation
+
+    def test_tracing_installs_and_restores(self):
+        tracer = SpanTracer()
+        with obs_runtime.tracing(tracer) as installed:
+            assert installed is tracer
+            assert obs_runtime.tracer() is tracer
+            with obs_runtime.timer("x"):
+                pass
+        assert obs_runtime.tracer() is None
+        assert [s.name for s in tracer.spans] == ["x"]
+
+    def test_timer_feeds_recorder_and_tracer_together(self):
+        tracer = SpanTracer()
+        rec = PerfRecorder()
+        with obs_runtime.tracing(tracer), obs_runtime.collecting(rec):
+            with obs_runtime.timer("both"):
+                pass
+        assert tracer.spans[0].name == "both"
+        assert rec.snapshot()["timers"]["both"]["calls"] == 1
+
+    def test_progressing_installs_and_finishes(self):
+        stream = io.StringIO()
+        reporter = ProgressReporter(stream=stream, interval=0.0)
+        with obs_runtime.progressing(reporter):
+            assert obs_runtime.progress() is reporter
+            reporter.task_update(1, 2)
+        assert obs_runtime.progress() is None
+        # progressing() calls finish() on exit
+        assert "tasks=" in stream.getvalue()
+
+
+class TestEngineIntegration:
+    def test_traced_run_is_bit_identical_and_well_formed(self):
+        topo = two_level_tree(**TOPO)
+        bare = simulate(topo, make_jobs(), "adaptive")
+        tracer = SpanTracer()
+        with obs_runtime.tracing(tracer):
+            traced = simulate(topo, make_jobs(), "adaptive")
+        assert traced.summary() == bare.summary()
+        assert [r.start_time for r in traced.records] == [
+            r.start_time for r in bare.records
+        ]
+        validate_spans(tracer.spans)
+        names = {s.name for s in tracer.spans}
+        assert "engine.schedule_pass" in names
+        assert "engine.allocator" in names
+        assert "cost.kernel" in names
+
+    def test_engine_progress_kwarg_reports_batches(self):
+        stream = io.StringIO()
+        reporter = ProgressReporter(
+            stream=stream, interval=0.0, total_jobs=15
+        )
+        topo = two_level_tree(**TOPO)
+        engine = SchedulerEngine(topo, "greedy")
+        result = engine.run(make_jobs(), progress=reporter)
+        assert len(result.records) == 15
+        text = stream.getvalue()
+        assert "progress: events=" in text
+        assert text.splitlines()[-1].endswith("done")
+
+    def test_progress_does_not_change_results(self):
+        topo = two_level_tree(**TOPO)
+        bare = simulate(topo, make_jobs(), "greedy")
+        engine = SchedulerEngine(topo, "greedy")
+        reporter = ProgressReporter(stream=io.StringIO(), interval=0.0)
+        with_progress = engine.run(make_jobs(), progress=reporter)
+        assert with_progress.summary() == bare.summary()
+
+    def test_policy_counters_accumulate(self):
+        topo = two_level_tree(**TOPO)
+        res = simulate(
+            topo, make_jobs(25), "greedy",
+            config=EngineConfig(policy="backfill", collect_perf=True),
+        )
+        counters = res.perf["counters"]
+        assert counters.get("policy.jobs_scanned", 0) >= counters.get(
+            "policy.jobs_picked", 0
+        )
+        assert counters.get("policy.jobs_picked", 0) >= 25

@@ -1,0 +1,168 @@
+"""Unit tests for the span tracer and trace serialization."""
+
+import itertools
+
+import pytest
+
+from repro.obs import (
+    Span,
+    SpanTracer,
+    load_spans,
+    span_aggregates,
+    spans_to_jsonl,
+    validate_spans,
+)
+
+
+def fake_clock(step=1.0):
+    counter = itertools.count()
+    return lambda: next(counter) * step
+
+
+class TestTracer:
+    def test_ids_are_sequential_in_start_order(self):
+        tracer = SpanTracer(clock=fake_clock())
+        with tracer.span("a"):
+            with tracer.span("b"):
+                pass
+            with tracer.span("c"):
+                pass
+        assert [s.span_id for s in tracer.spans] == [1, 2, 3]
+        assert [s.name for s in tracer.spans] == ["a", "b", "c"]
+
+    def test_parent_links_follow_nesting(self):
+        tracer = SpanTracer(clock=fake_clock())
+        with tracer.span("root"):
+            with tracer.span("child"):
+                with tracer.span("grandchild"):
+                    pass
+            with tracer.span("sibling"):
+                pass
+        parents = {s.name: s.parent_id for s in tracer.spans}
+        assert parents == {"root": 0, "child": 1, "grandchild": 2, "sibling": 1}
+
+    def test_reentrant_same_name_nests(self):
+        tracer = SpanTracer(clock=fake_clock())
+        with tracer.span("k"):
+            with tracer.span("k"):
+                pass
+        assert tracer.spans[1].parent_id == tracer.spans[0].span_id
+
+    def test_finish_without_open_span_raises(self):
+        tracer = SpanTracer()
+        with pytest.raises(RuntimeError, match="no open span"):
+            tracer.finish()
+
+    def test_cap_drops_but_keeps_nesting_of_retained(self):
+        tracer = SpanTracer(max_spans=2, clock=fake_clock())
+        with tracer.span("a"):          # retained, id 1
+            with tracer.span("b"):      # retained, id 2
+                with tracer.span("c"):  # dropped
+                    with tracer.span("d"):  # dropped
+                        pass
+        assert len(tracer.spans) == 2
+        assert tracer.dropped == 2
+        validate_spans(tracer.spans)
+
+    def test_span_after_drop_still_parents_correctly(self):
+        tracer = SpanTracer(max_spans=1, clock=fake_clock())
+        with tracer.span("root"):
+            with tracer.span("dropped"):
+                pass
+        # cap only limits retention; start() under the cap still pairs
+        assert tracer.spans[0].name == "root"
+        assert tracer.spans[0].end is not None
+
+    def test_timestamps_relative_to_epoch_and_ordered(self):
+        tracer = SpanTracer(clock=fake_clock())
+        with tracer.span("a"):
+            pass
+        span = tracer.spans[0]
+        assert span.start >= 0.0
+        assert span.end >= span.start
+
+    def test_zero_cap_rejected(self):
+        with pytest.raises(ValueError, match="max_spans"):
+            SpanTracer(max_spans=0)
+
+
+class TestSerialization:
+    def traced(self):
+        tracer = SpanTracer(clock=fake_clock())
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        return tracer
+
+    def test_jsonl_round_trip(self, tmp_path):
+        tracer = self.traced()
+        path = tmp_path / "t.jsonl"
+        tracer.write_jsonl(path)
+        loaded = load_spans(path)
+        assert [s.to_dict() for s in loaded] == tracer.to_dicts()
+        validate_spans(loaded)
+
+    def test_malformed_line_names_path_and_lineno(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"span_id": 1}\n')
+        with pytest.raises(ValueError, match="bad.jsonl:1"):
+            load_spans(path)
+
+    def test_empty_file_yields_empty_list(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        assert load_spans(path) == []
+        assert spans_to_jsonl([]) == ""
+
+
+class TestValidation:
+    def test_out_of_order_ids_rejected(self):
+        spans = [Span(2, 0, "a", 0.0, 1.0)]
+        with pytest.raises(ValueError, match="1..N"):
+            validate_spans(spans)
+
+    def test_unclosed_span_rejected(self):
+        spans = [Span(1, 0, "a", 0.0, None)]
+        with pytest.raises(ValueError, match="never closed"):
+            validate_spans(spans)
+
+    def test_unknown_parent_rejected(self):
+        spans = [Span(1, 5, "a", 0.0, 1.0)]
+        with pytest.raises(ValueError, match="unknown"):
+            validate_spans(spans)
+
+    def test_child_escaping_parent_rejected(self):
+        spans = [
+            Span(1, 0, "parent", 0.0, 1.0),
+            Span(2, 1, "child", 0.5, 2.0),
+        ]
+        with pytest.raises(ValueError, match="escapes"):
+            validate_spans(spans)
+
+    def test_end_before_start_rejected(self):
+        spans = [Span(1, 0, "a", 2.0, 1.0)]
+        with pytest.raises(ValueError, match="ends before"):
+            validate_spans(spans)
+
+
+class TestAggregates:
+    def test_self_time_excludes_direct_children(self):
+        spans = [
+            Span(1, 0, "outer", 0.0, 10.0),
+            Span(2, 1, "inner", 2.0, 6.0),
+        ]
+        agg = span_aggregates(spans)
+        assert agg["outer"]["seconds"] == 10.0
+        assert agg["outer"]["self_seconds"] == 6.0
+        assert agg["inner"]["self_seconds"] == 4.0
+        assert agg["outer"]["max_depth"] == 0.0
+        assert agg["inner"]["max_depth"] == 1.0
+
+    def test_calls_accumulate_per_name(self):
+        spans = [
+            Span(1, 0, "k", 0.0, 1.0),
+            Span(2, 0, "k", 1.0, 3.0),
+        ]
+        agg = span_aggregates(spans)
+        assert agg["k"]["calls"] == 2.0
+        assert agg["k"]["seconds"] == 3.0

@@ -1,0 +1,74 @@
+"""The committed API reference under docs/api/ must match what
+``scripts/gen_api_docs.py`` generates from the live source — regenerating
+must be a no-op, and the generator itself must stay deterministic."""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parent.parent
+SCRIPT = REPO / "scripts" / "gen_api_docs.py"
+API_DIR = REPO / "docs" / "api"
+
+
+@pytest.fixture(scope="module")
+def gen():
+    spec = importlib.util.spec_from_file_location("gen_api_docs", SCRIPT)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules.setdefault("gen_api_docs", module)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestCommittedPagesAreCurrent:
+    def test_no_stale_or_missing_pages(self, gen):
+        generated = gen.generate()
+        committed = {p.name for p in API_DIR.glob("*.md")}
+        assert committed == set(generated), (
+            "docs/api/ page set drifted; run "
+            "'PYTHONPATH=src python scripts/gen_api_docs.py'"
+        )
+        for name, content in generated.items():
+            assert (API_DIR / name).read_text(encoding="utf-8") == content, (
+                f"docs/api/{name} is stale; run "
+                "'PYTHONPATH=src python scripts/gen_api_docs.py'"
+            )
+
+    def test_check_mode_passes_on_committed_tree(self, gen, capsys):
+        assert gen.main(["--check", "--out", str(API_DIR)]) == 0
+
+    def test_check_mode_fails_on_stale_page(self, gen, tmp_path, capsys):
+        for name, content in gen.generate().items():
+            (tmp_path / name).write_text(content, encoding="utf-8")
+        (tmp_path / "index.md").write_text("outdated\n", encoding="utf-8")
+        assert gen.main(["--check", "--out", str(tmp_path)]) == 1
+        assert "index.md" in capsys.readouterr().err
+
+
+class TestGeneratorProperties:
+    def test_deterministic_across_runs(self, gen):
+        assert gen.generate() == gen.generate()
+
+    def test_no_memory_addresses_leak(self, gen):
+        for name, content in gen.generate().items():
+            assert " at 0x" not in content.replace(" at 0x...", ""), name
+
+    def test_every_package_all_is_covered(self, gen):
+        import importlib
+
+        for module_name in gen.PACKAGES:
+            module = importlib.import_module(module_name)
+            page = gen.generate()[f"{module_name}.md"]
+            for symbol in module.__all__:
+                assert f"### {symbol}" in page or f"`{symbol}`" in page, (
+                    f"{module_name}.{symbol} missing from its API page"
+                )
+
+    def test_index_links_every_page(self, gen):
+        generated = gen.generate()
+        index = generated["index.md"]
+        for name in generated:
+            if name != "index.md":
+                assert name in index

@@ -1,0 +1,138 @@
+"""Docs audit: every ``repro-sched`` invocation shown in the documentation
+must be accepted by the real argument parser.
+
+Extracts command lines from fenced code blocks *and* inline code spans in
+README.md and docs/*.md, then checks each subcommand path, option flag,
+and choice-constrained positional against :func:`repro.cli.build_parser`.
+This catches flags that were renamed or removed after the docs were
+written, and docs that advertise experiments or machines that don't
+exist.
+"""
+
+import argparse
+import re
+import shlex
+from pathlib import Path
+
+import pytest
+
+from repro.cli import build_parser
+
+REPO = Path(__file__).resolve().parent.parent
+DOC_FILES = sorted([REPO / "README.md", *(REPO / "docs").glob("*.md")])
+FENCE = re.compile(r"```[a-zA-Z]*\n(.*?)```", re.S)
+INLINE = re.compile(r"`(repro-sched [^`]+)`", re.S)
+SHELL_BREAKS = {"|", "||", "&&", ";", ">", ">>", "<"}
+
+
+def extract_invocations():
+    """Yield (doc, tokens) for every repro-sched command in the docs."""
+    found = []
+    for doc in DOC_FILES:
+        text = doc.read_text(encoding="utf-8")
+        sources = ["\n".join(FENCE.findall(text)), "\n".join(INLINE.findall(text))]
+        for source in sources:
+            source = source.replace("\\\n", " ")
+            for line in source.splitlines():
+                if "repro-sched" not in line:
+                    continue
+                tokens = shlex.split(line, comments=True)
+                while "repro-sched" in tokens:
+                    start = tokens.index("repro-sched")
+                    rest = tokens[start + 1:]
+                    cut = len(rest)
+                    for i, tok in enumerate(rest):
+                        if tok in SHELL_BREAKS:
+                            cut = i
+                            break
+                    found.append((doc.name, rest[:cut]))
+                    tokens = rest[cut:]
+    return found
+
+
+INVOCATIONS = extract_invocations()
+
+
+def _parser_shape(parser):
+    """Return (option->action map, subparsers map, positional actions)."""
+    options = {}
+    subs = {}
+    positionals = []
+    for action in parser._actions:
+        for opt in action.option_strings:
+            options[opt] = action
+        if isinstance(action, argparse._SubParsersAction):
+            subs = dict(action.choices)
+        elif not action.option_strings:
+            positionals.append(action)
+    return options, subs, positionals
+
+
+def check_tokens(tokens):
+    """Walk tokens against the parser tree; raise AssertionError on drift."""
+    parser = build_parser()
+    options, subs, positionals = _parser_shape(parser)
+    path = "repro-sched"
+    i = 0
+    while i < len(tokens):
+        tok = tokens[i]
+        if tok.startswith("-"):
+            flag = tok.partition("=")[0]
+            action = options.get(flag)
+            assert action is not None, f"{path}: unknown option {flag!r}"
+            if "=" not in tok and action.nargs != 0:
+                i += 1  # skip the option's value
+        elif tok in subs:
+            parser = subs[tok]
+            options, subs, positionals = _parser_shape(parser)
+            path += f" {tok}"
+        else:
+            assert positionals, f"{path}: unexpected argument {tok!r}"
+            action = positionals.pop(0)
+            if action.choices is not None:
+                assert tok in action.choices, (
+                    f"{path}: {tok!r} not a valid {action.dest} "
+                    f"(choices: {sorted(action.choices)})"
+                )
+        i += 1
+
+
+class TestDocumentedCommands:
+    def test_docs_mention_commands_at_all(self):
+        # guard: if extraction breaks, every other test passes vacuously
+        assert len(INVOCATIONS) >= 20
+
+    @pytest.mark.parametrize(
+        "doc,tokens",
+        INVOCATIONS,
+        ids=[f"{doc}:{' '.join(tokens[:3])}" for doc, tokens in INVOCATIONS],
+    )
+    def test_documented_invocation_matches_parser(self, doc, tokens):
+        assert tokens, f"{doc}: bare 'repro-sched' with no subcommand"
+        check_tokens(tokens)
+
+    def test_every_documented_subcommand_help_runs(self, capsys):
+        parser = build_parser()
+        seen = sorted({tokens[0] for _, tokens in INVOCATIONS if tokens})
+        assert seen  # at least one subcommand is documented
+        for sub in seen:
+            with pytest.raises(SystemExit) as exc:
+                parser.parse_args([sub, "--help"])
+            assert exc.value.code == 0, f"{sub} --help exited {exc.value.code}"
+            assert sub in capsys.readouterr().out
+
+
+class TestAuditCatchesDrift:
+    """The audit itself must fail on stale docs, else it proves nothing."""
+
+    def test_unknown_flag_detected(self):
+        with pytest.raises(AssertionError, match="unknown option"):
+            check_tokens(["simulate", "--no-such-flag"])
+
+    def test_unknown_subcommand_detected(self):
+        with pytest.raises(AssertionError, match="unexpected argument"):
+            check_tokens(["simulte", "--jobs", "5"])
+
+    def test_bad_choice_detected(self):
+        with pytest.raises(AssertionError, match="not a valid"):
+            check_tokens(["experiment", "table99"])
