@@ -12,16 +12,23 @@ Subcommands:
 * ``trace`` — generate a synthetic machine log (SWF) or print the
   statistics of an existing one.
 * ``verify-run`` — replay journaled tasks of a finished run and diff
-  their digests against the journal (determinism check).
+  their digests against the journal (determinism check). Exit codes:
+  0 ok, 1 digest mismatch, 2 other error, 3 artifact integrity failure.
 * ``obs render`` — summarize observability artifacts written by
   ``simulate --metrics-out`` / ``--trace-out`` (see
   ``docs/observability.md``).
+* ``chaos plan`` / ``chaos run`` — generate and execute seeded chaos
+  plans that kill workers and corrupt artifacts mid-run, verifying the
+  harness recovers bit-identically (see ``docs/resilience.md``).
 
-``simulate`` is crash-safe: ``--checkpoint-path``/``--checkpoint-every``
-periodically write an atomic engine checkpoint, ``--resume-from``
-continues one bit-identically, and SIGINT/SIGTERM write a final
-checkpoint (when enabled) and exit 130 with a one-line message instead
-of a traceback. See ``docs/resilience.md``.
+``simulate`` is crash-safe: ``--checkpoint-path``/``--checkpoint-dir``
+with ``--checkpoint-every`` periodically write atomic engine
+checkpoints, ``--resume-from`` continues one bit-identically (falling
+back past corrupt generations when given a checkpoint directory), and
+SIGINT/SIGTERM write a final checkpoint (when enabled) and exit 130
+with a one-line message instead of a traceback.
+``--validate-invariants`` audits cluster/engine state invariants as
+the simulation runs. See ``docs/resilience.md``.
 """
 
 from __future__ import annotations
@@ -132,13 +139,22 @@ def build_parser() -> argparse.ArgumentParser:
         "runs only). SIGINT/SIGTERM write a final checkpoint here.",
     )
     sim.add_argument(
-        "--checkpoint-every", type=int, default=None, metavar="N",
-        help="checkpoint every N event batches (requires --checkpoint-path)",
+        "--checkpoint-dir", default=None, metavar="DIR",
+        help="keep the last few checkpoints as generations in DIR "
+        "(ckpt-<batches>.json) instead of one file; resume falls back "
+        "past corrupt generations to the last good one",
     )
     sim.add_argument(
-        "--resume-from", default=None, metavar="FILE",
-        help="resume a checkpointed run; the completed result is "
-        "bit-identical to an uninterrupted one",
+        "--checkpoint-every", type=int, default=None, metavar="N",
+        help="checkpoint every N event batches (requires "
+        "--checkpoint-path or --checkpoint-dir)",
+    )
+    sim.add_argument(
+        "--resume-from", default=None, metavar="PATH",
+        help="resume a checkpointed run from a checkpoint file or a "
+        "--checkpoint-dir directory (the newest intact generation is "
+        "used); the completed result is bit-identical to an "
+        "uninterrupted one",
     )
     sim.add_argument(
         "--stop-after-events", type=int, default=None, metavar="N",
@@ -155,9 +171,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="retry a failed allocator run up to N times with backoff",
     )
     sim.add_argument(
-        "--on-task-error", choices=("retry", "skip", "raise"), default="retry",
+        "--on-task-error",
+        choices=("retry", "skip", "raise", "quarantine"),
+        default="retry",
         help="what to do when an allocator run exhausts its retries: "
-        "skip reports partial results naming the missing cells",
+        "skip reports partial results naming the missing cells; "
+        "quarantine records the failed cells (with their last error) "
+        "and completes the rest",
     )
     sim.add_argument(
         "--task-timeout", type=float, default=None, metavar="SECONDS",
@@ -185,6 +205,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--progress", action="store_true",
         help="print a throttled progress heartbeat (events, jobs, "
         "sim-clock, ETA) to stderr while the simulation runs",
+    )
+    sim.add_argument(
+        "--validate-invariants", type=int, nargs="?", const=1, default=None,
+        metavar="N",
+        help="audit cluster/engine state invariants every N event "
+        "batches (default 1 when given without a value); a violation "
+        "aborts the run with a named report; forces the single-engine "
+        "path",
     )
 
     topo = sub.add_parser("topology", help="print a builtin machine's topology.conf")
@@ -234,6 +262,54 @@ def build_parser() -> argparse.ArgumentParser:
     render.add_argument(
         "--trace", default=None, metavar="FILE",
         help="span-trace JSONL written by 'simulate --trace-out'",
+    )
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="seeded chaos harness: inject worker/artifact/io faults "
+        "and verify bit-identical recovery",
+    )
+    chaos_sub = chaos.add_subparsers(dest="chaos_command", required=True)
+    cplan = chaos_sub.add_parser(
+        "plan", help="generate a replayable chaos plan as JSON"
+    )
+    cplan.add_argument("--seed", type=int, default=0)
+    cplan.add_argument(
+        "--allocators", nargs="+", default=["default", "balanced"],
+        metavar="NAME",
+        help="allocator cells the worker faults target (default: "
+        "default balanced)",
+    )
+    cplan.add_argument(
+        "--output", default="-", metavar="FILE",
+        help="file path or - for stdout",
+    )
+    crun = chaos_sub.add_parser(
+        "run",
+        help="execute a chaos plan over a small experiment and verify "
+        "full recovery",
+    )
+    crun.add_argument(
+        "--plan", default=None, metavar="FILE",
+        help="plan file written by 'chaos plan' (default: generate one "
+        "from --seed)",
+    )
+    crun.add_argument(
+        "--seed", type=int, default=0,
+        help="seed for the generated plan (ignored with --plan)",
+    )
+    crun.add_argument(
+        "--workdir", default=None, metavar="DIR",
+        help="scratch directory for journals/checkpoints/corrupted "
+        "copies (default: a temporary directory, removed on success)",
+    )
+    crun.add_argument(
+        "--jobs", type=int, default=30,
+        help="jobs in the chaos experiment (default 30)",
+    )
+    crun.add_argument(
+        "--workers", type=int, default=2,
+        help="pool size for the executor-chaos phase (min 2)",
     )
 
     return parser
@@ -309,10 +385,15 @@ def _simulate_engine_path(args: argparse.Namespace) -> int:
 
     from .experiments.runner import prepare_jobs
     from .obs import ProgressReporter, SpanTracer, tracing
+    from .runs.checkpoints import CheckpointStore, resolve_resume
     from .scheduler.engine import SchedulerEngine, SimulationInterrupted
-    from .scheduler.serialize import load_snapshot
 
     collect = bool(args.perf or args.metrics_out)
+    checkpoint_target = (
+        CheckpointStore(args.checkpoint_dir)
+        if args.checkpoint_dir is not None
+        else args.checkpoint_path
+    )
     flag = _StopRequested()
 
     def _handler(signum, frame):  # pragma: no cover - exercised via SIGINT test
@@ -328,17 +409,32 @@ def _simulate_engine_path(args: argparse.Namespace) -> int:
                 stack.enter_context(tracing(tracer))
                 stack.enter_context(tracer.span("engine.run"))
             if args.resume_from is not None:
-                data = load_snapshot(args.resume_from)
+                resolved = resolve_resume(args.resume_from)
+                for skipped_path, why in resolved.skipped:
+                    print(
+                        f"skipping corrupt checkpoint {skipped_path}: {why}",
+                        file=sys.stderr,
+                    )
+                if resolved.skipped:
+                    print(
+                        f"falling back to last good checkpoint {resolved.path}",
+                        file=sys.stderr,
+                    )
+                data = resolved.snapshot
                 engine = SchedulerEngine.from_snapshot(data)
                 if collect:
                     engine.config = replace(engine.config, collect_perf=True)
+                if args.validate_invariants is not None:
+                    engine.config = replace(
+                        engine.config, validate_invariants=args.validate_invariants
+                    )
                 reporter = (
                     ProgressReporter(total_jobs=None) if args.progress else None
                 )
                 result = engine.run(
                     resume_from=data,
                     checkpoint_every=args.checkpoint_every,
-                    checkpoint_path=args.checkpoint_path,
+                    checkpoint_path=checkpoint_target,
                     stop_after=args.stop_after_events,
                     interrupt=flag,
                     progress=reporter,
@@ -360,6 +456,10 @@ def _simulate_engine_path(args: argparse.Namespace) -> int:
                 engine_cfg = cfg.engine_config()
                 if collect:
                     engine_cfg = replace(engine_cfg, collect_perf=True)
+                if args.validate_invariants is not None:
+                    engine_cfg = replace(
+                        engine_cfg, validate_invariants=args.validate_invariants
+                    )
                 engine = SchedulerEngine(cfg.topology(), args.allocator, engine_cfg)
                 reporter = (
                     ProgressReporter(total_jobs=len(jobs)) if args.progress else None
@@ -368,7 +468,7 @@ def _simulate_engine_path(args: argparse.Namespace) -> int:
                     jobs,
                     faults=faults,
                     checkpoint_every=args.checkpoint_every,
-                    checkpoint_path=args.checkpoint_path,
+                    checkpoint_path=checkpoint_target,
                     stop_after=args.stop_after_events,
                     interrupt=flag,
                     progress=reporter,
@@ -387,8 +487,8 @@ def _simulate_engine_path(args: argparse.Namespace) -> int:
         )
     if result is None:
         where = (
-            f"; checkpoint written to {args.checkpoint_path}"
-            if args.checkpoint_path
+            f"; checkpoint written to {checkpoint_target}"
+            if checkpoint_target is not None
             else " (no checkpoint path — state discarded)"
         )
         print(f"paused after {args.stop_after_events} event batches{where}")
@@ -425,17 +525,33 @@ def _simulate_engine_path(args: argparse.Namespace) -> int:
 def _cmd_simulate(args: argparse.Namespace) -> int:
     from .experiments.runner import prepare_jobs
     from .faults.trace import FaultTraceError
+    from .runs.integrity import IntegrityError
+    from .validate import InvariantViolation
 
     engine_path = (
         args.resume_from is not None
         or args.checkpoint_path is not None
+        or args.checkpoint_dir is not None
         or args.stop_after_events is not None
         or args.perf
         or args.metrics_out is not None
         or args.trace_out is not None
+        or args.validate_invariants is not None
     )
-    if args.checkpoint_every is not None and args.checkpoint_path is None:
-        print("error: --checkpoint-every requires --checkpoint-path", file=sys.stderr)
+    if args.checkpoint_path is not None and args.checkpoint_dir is not None:
+        print(
+            "error: --checkpoint-path and --checkpoint-dir are mutually exclusive",
+            file=sys.stderr,
+        )
+        return 2
+    if args.checkpoint_every is not None and (
+        args.checkpoint_path is None and args.checkpoint_dir is None
+    ):
+        print(
+            "error: --checkpoint-every requires --checkpoint-path or "
+            "--checkpoint-dir",
+            file=sys.stderr,
+        )
         return 2
     try:
         if engine_path:
@@ -473,6 +589,12 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     except KeyboardInterrupt:
         print("simulation interrupted (no checkpoint configured)", file=sys.stderr)
         return 130
+    except InvariantViolation as exc:
+        print(f"invariant violation: {exc}", file=sys.stderr)
+        return 1
+    except IntegrityError as exc:
+        print(f"integrity error: {exc}", file=sys.stderr)
+        return 3
     except (OSError, FaultTraceError, KeyError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -480,10 +602,15 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         print(render_kv(sorted(res.summary().items()), title=f"--- {name} ---"))
     if args.save:
         _save_results(args, results)
-    missing = getattr(results, "missing", None)
-    if missing:
-        for name, error in missing.items():
-            print(f"missing cell {name!r}: {error}", file=sys.stderr)
+    dropped = False
+    for label, cells in (
+        ("missing", getattr(results, "missing", None)),
+        ("quarantined", getattr(results, "quarantined", None)),
+    ):
+        for name, error in (cells or {}).items():
+            print(f"{label} cell {name!r}: {error}", file=sys.stderr)
+            dropped = True
+    if dropped:
         return 1
     return 0
 
@@ -584,10 +711,15 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 
 
 def _cmd_verify_run(args: argparse.Namespace) -> int:
-    from .runs import verify_journal
+    from .runs import IntegrityError, verify_journal
 
     try:
         report = verify_journal(args.path, sample=args.sample, seed=args.seed)
+    except IntegrityError as exc:
+        # Distinct from exit 1 (digest mismatch = nondeterminism) and
+        # exit 2 (usage/IO error): the journal itself is damaged.
+        print(f"integrity error: {exc}", file=sys.stderr)
+        return 3
     except (OSError, KeyError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -620,6 +752,58 @@ def _cmd_obs(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from .chaos import ChaosPlanConfig, generate_chaos_plan, load_plan, run_chaos
+    from .chaos.plan import plan_to_dict, save_plan
+
+    if args.chaos_command == "plan":
+        plan = generate_chaos_plan(
+            ChaosPlanConfig(seed=args.seed, task_keys=tuple(args.allocators))
+        )
+        if args.output == "-":
+            print(_json.dumps(plan_to_dict(plan), indent=1))
+        else:
+            save_plan(plan, args.output)
+            print(f"wrote {len(plan.actions)} actions to {args.output}")
+        return 0
+
+    # chaos run
+    try:
+        plan = (
+            load_plan(args.plan)
+            if args.plan is not None
+            else generate_chaos_plan(ChaosPlanConfig(seed=args.seed))
+        )
+    except (OSError, KeyError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    import shutil
+    import tempfile
+
+    from .chaos.runner import _plan_task_keys
+    from .experiments import ExperimentConfig as _Config
+
+    temporary = args.workdir is None
+    workdir = tempfile.mkdtemp(prefix="repro-chaos-") if temporary else args.workdir
+    task_keys = _plan_task_keys(plan) or ["default", "balanced"]
+    config = _Config(n_jobs=args.jobs, seed=plan.seed, allocators=tuple(task_keys))
+    try:
+        report = run_chaos(plan, workdir, config=config, workers=args.workers)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(report.summary())
+    if temporary:
+        if report.ok:
+            shutil.rmtree(workdir, ignore_errors=True)
+        else:
+            # Keep the evidence around for a failed run.
+            print(f"artifacts kept in {workdir}", file=sys.stderr)
+    return 0 if report.ok else 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     try:
@@ -648,6 +832,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_verify_run(args)
     if args.command == "obs":
         return _cmd_obs(args)
+    if args.command == "chaos":
+        return _cmd_chaos(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

@@ -299,7 +299,7 @@ def continuous_runs(
         }
         if batch.complete:
             return ordered
-        return PartialResults(ordered, batch.missing)
+        return PartialResults(ordered, batch.missing, batch.quarantined)
     if workers is not None and workers > 1 and len(cfg.allocators) > 1:
         with ProcessPoolExecutor(
             max_workers=min(workers, len(cfg.allocators))
@@ -349,17 +349,19 @@ class IndividualRunResult:
     ``missing`` is only populated by resilient runs under
     ``on_task_error="skip"``: it maps each allocator whose evaluations
     exhausted their attempts to the error that ended them; its outcomes
-    are absent from ``outcomes``.
+    are absent from ``outcomes``. ``quarantined`` is its
+    ``on_task_error="quarantine"`` counterpart.
     """
 
     outcomes: List[IndividualOutcome]
     sampled_job_ids: List[int]
     missing: Dict[str, str] = field(default_factory=dict)
+    quarantined: Dict[str, str] = field(default_factory=dict)
 
     @property
     def complete(self) -> bool:
         """True when no sampled job is missing a result."""
-        return not self.missing
+        return not self.missing and not self.quarantined
 
     def execution_times(self, allocator: str) -> np.ndarray:
         """Per-sampled-job execution times under ``allocator``, in job order."""
@@ -591,6 +593,7 @@ def individual_runs(
             outcomes=outcomes,
             sampled_job_ids=[j.job_id for j in sampled],
             missing=dict(batch.missing),
+            quarantined=dict(batch.quarantined),
         )
     if workers is not None and workers > 1 and len(cfg.allocators) > 1:
         with ProcessPoolExecutor(

@@ -91,9 +91,9 @@ def sweep(
 
     The resilience arguments behave as in
     :func:`~repro.experiments.runner.continuous_runs`, per grid point;
-    under ``on_task_error="skip"`` the return value is a
-    :class:`~repro.runs.PartialRows` whose ``missing`` names the grid
-    points whose rows are absent.
+    under ``on_task_error="skip"`` (or ``"quarantine"``) the return
+    value is a :class:`~repro.runs.PartialRows` whose ``missing`` (or
+    ``quarantined``) names the grid points whose rows are absent.
     """
     unknown = set(grid) - set(SWEEPABLE)
     if unknown:
@@ -125,6 +125,7 @@ def sweep(
         configs.append(point_config(point, allocators))
 
     missing: Dict[str, str] = {}
+    quarantined: Dict[str, str] = {}
     if _resilient(max_retries, on_task_error, journal, task_timeout):
         keys = [_point_key(point, names) for point in points]
         tasks = [
@@ -154,6 +155,7 @@ def sweep(
             if jrn is not None:
                 jrn.close()
         missing = dict(result_batch.missing)
+        quarantined = dict(result_batch.quarantined)
         kept = [
             (point, result_batch.results[key])
             for key, point in zip(keys, points)
@@ -180,8 +182,8 @@ def sweep(
                 else None
             )
             rows.append(row)
-    if missing:
-        return PartialRows(rows, missing)
+    if missing or quarantined:
+        return PartialRows(rows, missing, quarantined)
     return rows
 
 

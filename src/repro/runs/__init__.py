@@ -6,26 +6,36 @@ the repo — and until this package existed, a single worker crash or
 Ctrl-C threw away every completed cell. ``repro.runs`` is the
 robustness layer the experiment harnesses build on:
 
-* :mod:`~repro.runs.atomic` — write-temp/fsync/rename file writes: no
-  crash ever leaves a truncated artifact.
+* :mod:`~repro.runs.atomic` — write-temp/fsync/rename file writes (and
+  a best-effort directory fsync after the rename): no crash ever
+  leaves a truncated artifact.
 * :mod:`~repro.runs.retry` — deterministic exponential-backoff retry
-  policy and the ``retry`` / ``skip`` / ``raise`` degradation modes.
+  policy and the ``retry`` / ``skip`` / ``raise`` / ``quarantine``
+  degradation modes.
 * :mod:`~repro.runs.journal` — append-only JSONL manifest of task
-  specs, attempts, and result digests.
+  specs, attempts, and result digests, each record checksummed.
 * :mod:`~repro.runs.executor` — process-pool task runner that survives
   worker crashes (``BrokenProcessPool`` rebuild), hung workers
   (per-task timeout), and transient errors, with bit-identical output.
 * :mod:`~repro.runs.digest` — canonical SHA-256 digests of results.
+* :mod:`~repro.runs.integrity` — the typed :class:`IntegrityError`
+  every corrupt-artifact load raises, plus the sha256 footer and
+  per-record checksum primitives behind it.
+* :mod:`~repro.runs.checkpoints` — checkpoint *directories* whose
+  resume falls back to the last good generation instead of dying on a
+  corrupt newest file.
 * :mod:`~repro.runs.verify` — re-execute journaled tasks and compare
   digests (``repro-sched verify-run``).
 
 Engine-level checkpoint/resume lives with the engine
-(:meth:`repro.scheduler.engine.SchedulerEngine.snapshot`) and the v3
-serialization format (:mod:`repro.scheduler.serialize`); see
-``docs/resilience.md`` for the full picture.
+(:meth:`repro.scheduler.engine.SchedulerEngine.snapshot`) and the v4
+serialization format (:mod:`repro.scheduler.serialize`); the chaos
+harness that exercises all of this under injected failures is
+:mod:`repro.chaos`. See ``docs/resilience.md`` for the full picture.
 """
 
 from .atomic import atomic_write, atomic_write_json, atomic_write_text
+from .checkpoints import CheckpointStore, ResolvedResume, resolve_resume
 from .digest import canonical_json, digest_obj, result_digest
 from .executor import (
     PartialResults,
@@ -35,6 +45,7 @@ from .executor import (
     TaskSpec,
     run_tasks,
 )
+from .integrity import IntegrityError
 from .journal import JournalData, RunJournal, load_journal
 from .retry import ON_ERROR_MODES, RetryPolicy, require_on_error
 from .verify import VerifyReport, replay_task, verify_journal
@@ -46,6 +57,10 @@ __all__ = [
     "canonical_json",
     "digest_obj",
     "result_digest",
+    "CheckpointStore",
+    "ResolvedResume",
+    "resolve_resume",
+    "IntegrityError",
     "PartialResults",
     "PartialRows",
     "TaskBatchResult",

@@ -10,10 +10,16 @@ file, never a truncated hybrid. The temp file lives next to the target
 (not in ``/tmp``) because ``rename`` is only atomic within one
 filesystem.
 
-The directory entry itself is not fsynced: a crash in the tiny window
-after the replace can lose the *rename* (you see the old file), but it
-can never surface a partial *write* — which is the invariant the rest
-of the robustness subsystem builds on.
+After the replace the containing *directory* is fsynced too (best
+effort — some platforms refuse ``fsync`` on a directory fd, and the
+write is still crash-safe without it), so the rename itself survives a
+power cut rather than silently reverting to the old file. Either way a
+crash can never surface a partial *write* — which is the invariant the
+rest of the robustness subsystem builds on.
+
+The replace is preceded by a :mod:`repro._failpoints` trigger
+(``"atomic_write"``) so the chaos harness can inject ENOSPC or slow
+I/O into every durable write without this module knowing about chaos.
 """
 
 from __future__ import annotations
@@ -25,7 +31,29 @@ from contextlib import contextmanager
 from pathlib import Path
 from typing import Any, Iterator, Union
 
+from .. import _failpoints
+
 __all__ = ["atomic_write", "atomic_write_text", "atomic_write_json"]
+
+
+def _fsync_directory(directory: Path) -> None:
+    """Best-effort fsync of a directory entry after a rename.
+
+    Without this, a power cut shortly after ``os.replace`` can revert
+    the rename (the old file reappears). Platforms/filesystems that
+    reject opening or fsyncing a directory fd are tolerated: the write
+    is still atomic, just not rename-durable.
+    """
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
 
 
 @contextmanager
@@ -52,7 +80,9 @@ def atomic_write(path: Union[str, Path], *, mode: str = "w") -> Iterator[Any]:
             yield fh
             fh.flush()
             os.fsync(fh.fileno())
+        _failpoints.trigger("atomic_write", detail=str(target))
         os.replace(tmp_name, target)
+        _fsync_directory(target.parent)
     except BaseException:
         try:
             os.unlink(tmp_name)

@@ -15,7 +15,15 @@ errors:
   pool rebuilt, and the batch continues;
 * ``on_task_error="skip"`` degrades gracefully: cells that exhaust
   their attempts are reported as *missing* instead of sinking the whole
-  batch.
+  batch;
+* ``on_task_error="quarantine"`` degrades *loudly*: exhausted cells are
+  recorded as quarantined (key → last error) on the result, journaled,
+  counted as ``runs.quarantined_cells`` in :mod:`repro.obs`, and listed
+  in a ``UserWarning`` when the batch ends.
+
+Recovery activity is observable: ``runs.task_retries`` counts retried
+attempts and ``runs.pool_rebuilds`` counts pool reconstructions, both
+through the ambient :mod:`repro.obs` recorder.
 
 Because every task is a pure function of its spec, results are
 reassembled by key — the output is bit-identical to a serial run no
@@ -27,6 +35,7 @@ and result digests are optionally recorded in a
 from __future__ import annotations
 
 import time
+import warnings
 from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
@@ -35,7 +44,13 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 from ..obs import runtime as obs_runtime
 from ..obs.progress import ProgressReporter
 from .journal import RunJournal
-from .retry import ON_ERROR_RAISE, ON_ERROR_SKIP, RetryPolicy, require_on_error
+from .retry import (
+    ON_ERROR_QUARANTINE,
+    ON_ERROR_RAISE,
+    ON_ERROR_SKIP,
+    RetryPolicy,
+    require_on_error,
+)
 
 __all__ = [
     "TaskSpec",
@@ -85,11 +100,14 @@ class TaskBatchResult:
     missing: Dict[str, str] = field(default_factory=dict)
     #: attempts used per key (including the successful one)
     attempts: Dict[str, int] = field(default_factory=dict)
+    #: cells that exhausted their attempts under
+    #: ``on_task_error="quarantine"``, mapped to the last error message
+    quarantined: Dict[str, str] = field(default_factory=dict)
 
     @property
     def complete(self) -> bool:
         """True when every task produced a result."""
-        return not self.missing
+        return not self.missing and not self.quarantined
 
 
 class PartialResults(dict):
@@ -97,30 +115,43 @@ class PartialResults(dict):
 
     Returned by the resilient harness paths so callers keep plain
     ``dict`` ergonomics; ``missing`` maps the absent keys to the error
-    that exhausted their attempts (empty when the run is complete).
+    that exhausted their attempts, and ``quarantined`` the keys dropped
+    by the quarantine mode (both empty when the run is complete).
     """
 
-    def __init__(self, values: Dict[str, Any], missing: Dict[str, str]) -> None:
+    def __init__(
+        self,
+        values: Dict[str, Any],
+        missing: Dict[str, str],
+        quarantined: Optional[Dict[str, str]] = None,
+    ) -> None:
         super().__init__(values)
         self.missing: Dict[str, str] = dict(missing)
+        self.quarantined: Dict[str, str] = dict(quarantined or {})
 
     @property
     def complete(self) -> bool:
         """True when every task produced a result."""
-        return not self.missing
+        return not self.missing and not self.quarantined
 
 
 class PartialRows(list):
     """A list of result rows that also names the missing cells."""
 
-    def __init__(self, rows: Sequence[Any], missing: Dict[str, str]) -> None:
+    def __init__(
+        self,
+        rows: Sequence[Any],
+        missing: Dict[str, str],
+        quarantined: Optional[Dict[str, str]] = None,
+    ) -> None:
         super().__init__(rows)
         self.missing: Dict[str, str] = dict(missing)
+        self.quarantined: Dict[str, str] = dict(quarantined or {})
 
     @property
     def complete(self) -> bool:
         """True when every task produced a result."""
-        return not self.missing
+        return not self.missing and not self.quarantined
 
 
 # ----------------------------------------------------------------------
@@ -148,7 +179,11 @@ class _Batch:
 
     def _notify(self, key: str) -> None:
         if self.progress is not None:
-            done = len(self.out.results) + len(self.out.missing)
+            done = (
+                len(self.out.results)
+                + len(self.out.missing)
+                + len(self.out.quarantined)
+            )
             self.progress.task_update(done, self.total, key)
 
     def start(self, task: TaskSpec, attempt: int) -> None:
@@ -167,15 +202,23 @@ class _Batch:
         """Account one failed attempt; returns True when a retry is due.
 
         Raises :class:`TaskFailedError` when the task is out of attempts
-        and the mode is not ``skip``.
+        and the mode is neither ``skip`` nor ``quarantine``.
         """
         if self.journal is not None:
             self.journal.attempt_error(task.key, attempt, error)
         exhausted = self.mode == ON_ERROR_RAISE or attempt >= self.policy.max_attempts
         if not exhausted:
+            obs_runtime.count("runs.task_retries")
             return True
         if self.mode == ON_ERROR_SKIP:
             self.out.missing[task.key] = error
+            self._notify(task.key)
+            return False
+        if self.mode == ON_ERROR_QUARANTINE:
+            self.out.quarantined[task.key] = error
+            obs_runtime.count("runs.quarantined_cells")
+            if self.journal is not None:
+                self.journal.note("quarantined", key=task.key, error=error)
             self._notify(task.key)
             return False
         raise TaskFailedError(task.key, attempt, error)
@@ -249,6 +292,7 @@ def _run_pooled(tasks: Sequence[TaskSpec], workers: int, batch: _Batch) -> None:
         burn one of that task's attempts).
         """
         nonlocal pool
+        obs_runtime.count("runs.pool_rebuilds")
         if batch.journal is not None:
             batch.journal.note("pool-rebuilt", reason=reason)
         _terminate_pool(pool)
@@ -384,4 +428,11 @@ def run_tasks(
         _run_serial(tasks, batch)
     else:
         _run_pooled(tasks, min(workers, len(tasks)), batch)
+    if batch.out.quarantined:
+        dropped = ", ".join(sorted(batch.out.quarantined))
+        warnings.warn(
+            f"{len(batch.out.quarantined)} cell(s) quarantined after "
+            f"exhausting their attempts: {dropped}",
+            stacklevel=2,
+        )
     return batch.out

@@ -1,0 +1,186 @@
+"""Artifact integrity: typed corruption errors and sha256 footers.
+
+Every durable artifact this repo writes (engine checkpoints, run
+journals, result JSON) can be torn or bit-flipped by the machine it
+lives on — a crash mid-replace, a bad disk, an overeager sync tool.
+Before this module, such corruption surfaced as whatever the parser
+tripped over first: an opaque ``json.JSONDecodeError`` deep inside a
+resume, a ``KeyError`` during replay. Now every load path funnels
+corruption through one typed exception:
+
+* :class:`IntegrityError` — a ``ValueError`` subclass (existing
+  ``except ValueError`` handlers keep working) that names the file,
+  the line/byte offset when known, and what failed to verify;
+* :func:`checksum_entry` / :func:`verify_entry` — per-record checksums
+  for JSONL journal entries (a short sha256 prefix over the canonical
+  JSON of the record);
+* :func:`write_footer` / :func:`split_footer` / :func:`verify_footer`
+  — a trailing ``#sha256:<hex>`` line covering the exact bytes of a
+  checkpoint body, so *any* single-byte corruption (even in JSON
+  whitespace, which an object-level digest cannot see) is caught
+  before parsing.
+
+The byte-flip fuzz property tests (``tests/runs/test_integrity_fuzz.py``)
+hold this module to its contract: no single-byte corruption of a
+checkpoint or journal may escape as anything but an
+:class:`IntegrityError` (or, for a journal's final line, the torn-tail
+flag). See ``docs/resilience.md``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import re
+from typing import Any, Dict, Optional, Tuple, Union
+
+from .digest import canonical_json
+
+__all__ = [
+    "IntegrityError",
+    "checksum_entry",
+    "verify_entry",
+    "write_footer",
+    "split_footer",
+    "verify_footer",
+    "ENTRY_CHECKSUM_FIELD",
+]
+
+#: journal-entry key holding the per-record checksum
+ENTRY_CHECKSUM_FIELD = "check"
+
+#: hex characters of sha256 kept per journal record — 48 bits is far
+#: beyond what accidental corruption needs while keeping lines short
+_ENTRY_CHECKSUM_HEX = 12
+
+_FOOTER_MARK = b"\n#sha256:"
+_FOOTER_RE = re.compile(rb"\A#sha256:([0-9a-f]{64})\n?\Z")
+
+
+class IntegrityError(ValueError):
+    """A durable artifact failed its integrity verification.
+
+    Subclasses ``ValueError`` so pre-existing ``except ValueError``
+    recovery paths (and tests) treat corruption exactly as they treated
+    the old untyped errors — but callers that care (checkpoint
+    fallback, ``verify-run``'s exit code) can now tell corruption apart
+    from every other failure. ``lineno``/``offset`` locate the damage
+    when the artifact is line-oriented (run journals).
+    """
+
+    def __init__(
+        self,
+        path: Union[str, "object"],
+        detail: str,
+        *,
+        lineno: Optional[int] = None,
+        offset: Optional[int] = None,
+    ) -> None:
+        where = str(path)
+        if lineno is not None:
+            where += f": line {lineno}"
+            if offset is not None:
+                where += f" (byte offset {offset})"
+        super().__init__(f"{where}: {detail}")
+        self.path = str(path)
+        self.detail = detail
+        self.lineno = lineno
+        self.offset = offset
+
+
+# ----------------------------------------------------------------------
+# per-record checksums (JSONL journals)
+# ----------------------------------------------------------------------
+
+
+def checksum_entry(entry: Dict[str, Any]) -> str:
+    """Checksum of one journal record (excluding the checksum field).
+
+    A short hex prefix of the sha256 of the record's canonical JSON —
+    stable under key order and whitespace, so a record round-tripped
+    through any JSON writer verifies the same.
+    """
+    payload = {k: v for k, v in entry.items() if k != ENTRY_CHECKSUM_FIELD}
+    digest = hashlib.sha256(canonical_json(payload).encode("utf-8"))
+    return digest.hexdigest()[:_ENTRY_CHECKSUM_HEX]
+
+
+def verify_entry(
+    entry: Dict[str, Any],
+    path: Union[str, "object"],
+    *,
+    lineno: Optional[int] = None,
+    offset: Optional[int] = None,
+) -> None:
+    """Raise :class:`IntegrityError` when a record's checksum mismatches.
+
+    Records without a checksum field (journals written before the
+    checksum era) pass unchecked — the format is additive.
+    """
+    stored = entry.get(ENTRY_CHECKSUM_FIELD)
+    if stored is None:
+        return
+    actual = checksum_entry(entry)
+    if actual != stored:
+        raise IntegrityError(
+            path,
+            f"record checksum mismatch (stored {stored!r}, "
+            f"content hashes to {actual!r}) — the record is corrupt",
+            lineno=lineno,
+            offset=offset,
+        )
+
+
+# ----------------------------------------------------------------------
+# whole-file footers (engine checkpoints)
+# ----------------------------------------------------------------------
+
+
+def write_footer(body: bytes) -> bytes:
+    """The ``#sha256:<hex>`` footer line covering ``body`` exactly.
+
+    The footer hashes the artifact's *bytes*, not its parsed value:
+    truncation, whitespace damage, and encoding-level corruption are
+    all caught before any parser runs.
+    """
+    return b"#sha256:" + hashlib.sha256(body).hexdigest().encode("ascii") + b"\n"
+
+
+def split_footer(blob: bytes) -> Tuple[bytes, Optional[str]]:
+    """Split a file into (body, stored footer hex), footer excluded.
+
+    Returns ``(blob, None)`` when no footer line is present — the
+    pre-footer formats, which load unverified. Raises nothing itself;
+    a *malformed* footer is reported by :func:`verify_footer`.
+    """
+    pos = blob.rfind(_FOOTER_MARK)
+    if pos < 0:
+        return blob, None
+    body, tail = blob[: pos + 1], blob[pos + 1 :]
+    match = _FOOTER_RE.match(tail)
+    if match is None:
+        # A footer marker with garbage after it: treat the marker line
+        # as the (damaged) footer so verify_footer can reject it.
+        return body, ""
+    return body, match.group(1).decode("ascii")
+
+
+def verify_footer(blob: bytes, path: Union[str, "object"]) -> bytes:
+    """Verify a file's sha256 footer; returns the body bytes.
+
+    Files without a footer pass through unchanged (legacy formats).
+    A present-but-wrong or malformed footer raises
+    :class:`IntegrityError`.
+    """
+    body, stored = split_footer(blob)
+    if stored is None:
+        return body
+    if not stored:
+        raise IntegrityError(path, "malformed sha256 footer — the file is corrupt")
+    actual = hashlib.sha256(body).hexdigest()
+    if actual != stored:
+        raise IntegrityError(
+            path,
+            f"sha256 footer mismatch (footer says {stored[:12]}…, "
+            f"body hashes to {actual[:12]}…) — the file is corrupt",
+        )
+    return body

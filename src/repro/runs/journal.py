@@ -21,6 +21,13 @@ Entry kinds (all carry ``"kind"``):
   the digest of its value (see :mod:`repro.runs.digest`).
 * ``note``    — free-form executor diagnostics (pool rebuilds, etc.).
 
+Every entry additionally carries a ``"check"`` field — a short sha256
+of the rest of the record (see :mod:`repro.runs.integrity`) — so a
+bit-flip anywhere in the journal is caught on load as a typed
+:class:`~repro.runs.integrity.IntegrityError` naming the damaged line
+and byte offset. The field is additive: journals written without
+checksums still load.
+
 ``repro-sched verify-run`` re-executes journaled tasks and compares
 digests, catching nondeterminism regressions (see
 :mod:`repro.runs.verify`).
@@ -33,6 +40,8 @@ import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Union
+
+from .integrity import ENTRY_CHECKSUM_FIELD, IntegrityError, checksum_entry, verify_entry
 
 __all__ = ["RunJournal", "JournalData", "load_journal", "JOURNAL_VERSION"]
 
@@ -70,6 +79,7 @@ class RunJournal:
             )
 
     def _append(self, entry: Dict[str, Any]) -> None:
+        entry[ENTRY_CHECKSUM_FIELD] = checksum_entry(entry)
         self._fh.write(json.dumps(entry, sort_keys=True) + "\n")
         self._fh.flush()
 
@@ -162,28 +172,43 @@ class JournalData:
 def load_journal(path: Union[str, Path]) -> JournalData:
     """Parse a journal file, tolerating a torn final line.
 
-    Raises ``ValueError`` when the file does not start with a journal
-    header or was written by a newer journal version.
+    Raises :class:`~repro.runs.integrity.IntegrityError` — naming the
+    damaged line and byte offset — when any non-final line fails to
+    parse, or when any line's record checksum mismatches. A final line
+    that is not valid JSON is the expected signature of a crash
+    mid-append and only sets ``truncated``. Raises plain ``ValueError``
+    when the file does not start with a journal header or was written
+    by a newer journal version.
     """
     header: Optional[Dict[str, Any]] = None
     data = JournalData(header={})
-    with open(path) as fh:
-        for lineno, line in enumerate(fh, start=1):
-            stripped = line.strip()
+    offset = 0
+    with open(path, "rb") as fh:
+        for lineno, raw in enumerate(fh, start=1):
+            line_start = offset
+            offset += len(raw)
+            stripped = raw.strip()
             if not stripped:
                 continue
             try:
-                entry = json.loads(stripped)
-            except json.JSONDecodeError:
+                entry = json.loads(stripped.decode("utf-8"))
+            except (json.JSONDecodeError, UnicodeDecodeError) as exc:
                 # Only the final line may be torn; anything earlier is
                 # real corruption.
+                detail = getattr(exc, "msg", None) or str(exc)
                 if fh.readline():
-                    raise ValueError(
-                        f"{path}: line {lineno} is not valid JSON "
-                        "(corrupt journal)"
-                    )
+                    raise IntegrityError(
+                        path,
+                        f"not valid JSON ({detail}) — corrupt journal",
+                        lineno=lineno,
+                        offset=line_start,
+                    ) from exc
                 data.truncated = True
                 break
+            # A line that *parses* but fails its checksum is corruption
+            # even at the tail: a torn append cannot produce valid JSON
+            # with a wrong checksum, only a bit-flip can.
+            verify_entry(entry, path, lineno=lineno, offset=line_start)
             kind = entry.get("kind")
             if header is None:
                 if kind != "journal":

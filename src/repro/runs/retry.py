@@ -19,18 +19,27 @@ __all__ = [
     "ON_ERROR_RETRY",
     "ON_ERROR_SKIP",
     "ON_ERROR_RAISE",
+    "ON_ERROR_QUARANTINE",
     "require_on_error",
 ]
 
 #: what the executor does when a task attempt fails:
-#: ``retry``  — back off and retry up to ``max_retries``; then raise.
-#: ``skip``   — retry up to ``max_retries``; then record the cell as
-#:              missing and keep going (graceful degradation).
-#: ``raise``  — fail fast on the first error, no retries.
+#: ``retry``      — back off and retry up to ``max_retries``; then raise.
+#: ``skip``       — retry up to ``max_retries``; then record the cell as
+#:                  missing and keep going (graceful degradation).
+#: ``raise``      — fail fast on the first error, no retries.
+#: ``quarantine`` — retry up to ``max_retries``; then record the cell as
+#:                  *quarantined* with its last error and keep going. The
+#:                  difference from ``skip`` is visibility: quarantined
+#:                  cells are carried on the result object, journaled,
+#:                  counted in ``runs.quarantined_cells``, and warned
+#:                  about at the end of the batch — a dropped cell can
+#:                  never disappear silently.
 ON_ERROR_RETRY = "retry"
 ON_ERROR_SKIP = "skip"
 ON_ERROR_RAISE = "raise"
-ON_ERROR_MODES = (ON_ERROR_RETRY, ON_ERROR_SKIP, ON_ERROR_RAISE)
+ON_ERROR_QUARANTINE = "quarantine"
+ON_ERROR_MODES = (ON_ERROR_RETRY, ON_ERROR_SKIP, ON_ERROR_RAISE, ON_ERROR_QUARANTINE)
 
 
 def require_on_error(mode: str) -> str:

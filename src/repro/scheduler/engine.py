@@ -63,7 +63,9 @@ from ..topology.config import parse_topology_conf, write_topology_conf
 from ..topology.tree import TreeTopology
 from .events import Event, EventKind, EventQueue
 from .metrics import JobRecord, SimulationResult
+from ..runs.checkpoints import CheckpointStore
 from .serialize import (
+    SNAPSHOT_FORMAT_VERSION,
     SNAPSHOT_KIND,
     dump_snapshot,
     fault_from_dict,
@@ -182,6 +184,15 @@ class EngineConfig:
     collect_perf:
         Install a :mod:`repro.perf` recorder around the run and attach
         its report as ``SimulationResult.perf``.
+    validate_invariants:
+        ``0`` (off) or N: run the :mod:`repro.validate` invariant
+        checker — conservation, double-allocation, heap/running-set
+        consistency, version monotonicity — every N event batches.
+        Violations raise
+        :class:`~repro.validate.InvariantViolation` and are counted
+        as ``engine.invariant_violations`` in :mod:`repro.obs`.
+        Cheaper than ``validate_state`` at N > 1 but covers more
+        (engine-level invariants, not just the node arrays).
     """
 
     policy: str = "backfill"
@@ -193,12 +204,17 @@ class EngineConfig:
     force_full_pass: bool = False
     verify_incremental: bool = False
     collect_perf: bool = False
+    validate_invariants: int = 0
 
     def __post_init__(self) -> None:
         require_policy(self.interrupt_policy)
         if self.checkpoint_interval <= 0:
             raise ValueError(
                 f"checkpoint_interval must be > 0, got {self.checkpoint_interval}"
+            )
+        if self.validate_invariants < 0:
+            raise ValueError(
+                f"validate_invariants must be >= 0, got {self.validate_invariants}"
             )
 
 
@@ -284,7 +300,7 @@ class SchedulerEngine:
         *,
         resume_from: Optional[Dict[str, Any]] = None,
         checkpoint_every: Optional[int] = None,
-        checkpoint_path: Optional[Union[str, "os.PathLike"]] = None,
+        checkpoint_path: Optional[Union[str, "os.PathLike", CheckpointStore]] = None,
         stop_after: Optional[int] = None,
         interrupt: Optional[Callable[[], bool]] = None,
         progress: Optional["ProgressReporter"] = None,
@@ -363,7 +379,7 @@ class SchedulerEngine:
         self,
         rs: _RunState,
         checkpoint_every: Optional[int],
-        checkpoint_path: Optional[Union[str, "os.PathLike"]],
+        checkpoint_path: Optional[Union[str, "os.PathLike", CheckpointStore]],
         stop_after: Optional[int],
         interrupt: Optional[Callable[[], bool]],
     ) -> Optional[SimulationResult]:
@@ -436,7 +452,7 @@ class SchedulerEngine:
         self,
         rs: _RunState,
         checkpoint_every: Optional[int],
-        checkpoint_path: Optional[Union[str, "os.PathLike"]],
+        checkpoint_path: Optional[Union[str, "os.PathLike", CheckpointStore]],
         stop_after: Optional[int],
         interrupt: Optional[Callable[[], bool]],
     ) -> Optional[SimulationResult]:
@@ -448,6 +464,13 @@ class SchedulerEngine:
             rs.records,
             rs.books,
         )
+        checker = None
+        if self.config.validate_invariants > 0:
+            # Imported here: repro.validate reads engine internals via
+            # duck typing and must stay importable without the engine.
+            from ..validate import InvariantChecker
+
+            checker = InvariantChecker()
         events = rs.events
         while events:
             if interrupt is not None and interrupt():
@@ -493,6 +516,11 @@ class SchedulerEngine:
             if self.config.validate_state:
                 state.validate()
             rs.batches_done += 1
+            if (
+                checker is not None
+                and rs.batches_done % self.config.validate_invariants == 0
+            ):
+                checker.check_engine(self, rs)
             reporter = obs_runtime.progress()
             if reporter is not None:
                 reporter.engine_batch(now, len(batch), len(records))
@@ -583,7 +611,7 @@ class SchedulerEngine:
 
         data: Dict[str, Any] = {
             "kind": SNAPSHOT_KIND,
-            "format_version": 3,
+            "format_version": SNAPSHOT_FORMAT_VERSION,
             "engine": {
                 "allocator": self.allocator.name,
                 "policy": cfg.policy,
@@ -594,6 +622,7 @@ class SchedulerEngine:
                 "force_full_pass": cfg.force_full_pass,
                 "verify_incremental": cfg.verify_incremental,
                 "collect_perf": cfg.collect_perf,
+                "validate_invariants": cfg.validate_invariants,
                 "cost_model": {
                     "weight_by_msize": cfg.cost_model.weight_by_msize,
                     "contention": {
@@ -625,10 +654,15 @@ class SchedulerEngine:
             data["perf"] = rs.perf.state_dict()
         return data
 
-    def _write_checkpoint(self, path: Union[str, "os.PathLike"]) -> None:
+    def _write_checkpoint(
+        self, path: Union[str, "os.PathLike", CheckpointStore]
+    ) -> None:
         perf.count("engine.checkpoints_written")
         with perf.timer("engine.checkpoint_write"):
-            dump_snapshot(self.snapshot(), path)
+            if isinstance(path, CheckpointStore):
+                path.write(self.snapshot())
+            else:
+                dump_snapshot(self.snapshot(), path)
 
     def _restore_run_state(self, data: Dict[str, Any]) -> _RunState:
         """Rebuild a :class:`_RunState` from a checkpoint dict."""
@@ -754,6 +788,8 @@ class SchedulerEngine:
                 force_full_pass=bool(meta.get("force_full_pass", False)),
                 verify_incremental=bool(meta.get("verify_incremental", False)),
                 collect_perf=bool(meta.get("collect_perf", False)),
+                # absent in pre-chaos (v3-footer-less) checkpoints
+                validate_invariants=int(meta.get("validate_invariants", 0)),
             )
         return cls(topology, allocator, config)
 

@@ -21,6 +21,17 @@ Format history:
   deterministic mid-run state that ``repro-sched simulate
   --resume-from`` continues from. v1/v2 result files still load (they
   simply carry no digest to verify).
+* **v4** — checkpoints only: a trailing ``#sha256:<hex>`` *footer*
+  covering the exact bytes of the JSON body (see
+  :mod:`repro.runs.integrity`), so corruption anywhere in the file —
+  including JSON whitespace the object-level digest cannot see — is
+  caught before parsing. v3 checkpoints (no footer) still load; result
+  files stay at v3.
+
+Corrupt artifacts — invalid JSON, digest mismatches, footer
+mismatches — raise the typed
+:class:`~repro.runs.integrity.IntegrityError` (a ``ValueError``
+subclass) instead of opaque decoder tracebacks.
 
 All file writes go through :func:`repro.runs.atomic.atomic_write`: a
 crash mid-dump never leaves a truncated JSON artifact.
@@ -38,6 +49,7 @@ from ..faults.events import FaultEvent
 from ..patterns.registry import get_pattern
 from ..runs.atomic import atomic_write
 from ..runs.digest import digest_obj
+from ..runs.integrity import IntegrityError, verify_footer, write_footer
 from .metrics import JobRecord, SimulationResult
 
 __all__ = [
@@ -54,6 +66,7 @@ __all__ = [
     "dump_snapshot",
     "load_snapshot",
     "SNAPSHOT_KIND",
+    "SNAPSHOT_FORMAT_VERSION",
 ]
 
 #: v3 adds the verified top-level ``digest`` and the engine-checkpoint
@@ -61,7 +74,11 @@ __all__ = [
 #: defaults).
 _FORMAT_VERSION = 3
 _READABLE_VERSIONS = (1, 2, 3)
-_SNAPSHOT_READABLE_VERSIONS = (3,)
+
+#: v4 checkpoints carry a byte-exact sha256 footer; v3 (footer-less)
+#: checkpoints still load.
+SNAPSHOT_FORMAT_VERSION = 4
+_SNAPSHOT_READABLE_VERSIONS = (3, 4)
 
 SNAPSHOT_KIND = "engine-checkpoint"
 
@@ -177,9 +194,10 @@ def result_from_dict(data: Dict[str, Any]) -> SimulationResult:
         payload = {k: v for k, v in data.items() if k != "digest"}
         actual = digest_obj(payload)
         if actual != stored_digest:
-            raise ValueError(
-                f"result digest mismatch: file says {stored_digest}, "
-                f"content hashes to {actual} — the artifact is corrupt"
+            raise IntegrityError(
+                "result",
+                f"digest mismatch: file says {stored_digest}, "
+                f"content hashes to {actual} — the artifact is corrupt",
             )
     records: List[JobRecord] = [record_from_dict(rec) for rec in data["records"]]
     unstarted = [job_from_dict(j) for j in data.get("unstarted", [])]
@@ -193,9 +211,25 @@ def dump_result(result: SimulationResult, path) -> None:
 
 
 def load_result(path) -> SimulationResult:
-    """Read a result JSON written by :func:`dump_result`."""
-    with open(path) as fh:
-        return result_from_dict(json.load(fh))
+    """Read a result JSON written by :func:`dump_result`.
+
+    Corruption — invalid JSON, broken UTF-8, or a digest mismatch —
+    raises :class:`~repro.runs.integrity.IntegrityError` naming the
+    file.
+    """
+    with open(path, "rb") as fh:
+        blob = fh.read()
+    try:
+        data = json.loads(blob.decode("utf-8"))
+    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+        detail = getattr(exc, "msg", None) or str(exc)
+        raise IntegrityError(
+            path, f"not valid JSON ({detail}) — the artifact is corrupt"
+        ) from exc
+    try:
+        return result_from_dict(data)
+    except IntegrityError as exc:
+        raise IntegrityError(path, exc.detail) from exc
 
 
 # ----------------------------------------------------------------------
@@ -217,14 +251,30 @@ def dump_snapshot(snapshot: Dict[str, Any], path) -> None:
     if "digest" not in snapshot:
         snapshot = dict(snapshot)
         snapshot["digest"] = digest_obj(snapshot)
-    with atomic_write(path) as fh:
-        json.dump(snapshot, fh, indent=1)
+    body = (json.dumps(snapshot, indent=1) + "\n").encode("utf-8")
+    with atomic_write(path, mode="wb") as fh:
+        fh.write(body)
+        fh.write(write_footer(body))
 
 
 def load_snapshot(path) -> Dict[str, Any]:
-    """Read and validate an engine checkpoint file."""
-    with open(path) as fh:
-        data = json.load(fh)
+    """Read and validate an engine checkpoint file.
+
+    The v4 sha256 footer is verified against the body bytes before any
+    parsing; footer-less v3 files load with object-digest verification
+    only. All corruption raises
+    :class:`~repro.runs.integrity.IntegrityError`.
+    """
+    with open(path, "rb") as fh:
+        blob = fh.read()
+    body = verify_footer(blob, path)
+    try:
+        data = json.loads(body.decode("utf-8"))
+    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+        detail = getattr(exc, "msg", None) or str(exc)
+        raise IntegrityError(
+            path, f"not valid JSON ({detail}) — the checkpoint is corrupt"
+        ) from exc
     if not isinstance(data, dict) or data.get("kind") != SNAPSHOT_KIND:
         raise ValueError(f"{path}: not an engine checkpoint file")
     version = data.get("format_version")
@@ -238,7 +288,7 @@ def load_snapshot(path) -> Dict[str, Any]:
         payload = {k: v for k, v in data.items() if k != "digest"}
         actual = digest_obj(payload)
         if actual != stored_digest:
-            raise ValueError(
-                f"{path}: checkpoint digest mismatch — the file is corrupt"
+            raise IntegrityError(
+                path, "checkpoint digest mismatch — the file is corrupt"
             )
     return data

@@ -1,0 +1,109 @@
+"""Checkpoint directories: generations, pruning, last-good fallback."""
+
+import pytest
+
+from repro.runs import CheckpointStore, IntegrityError, resolve_resume
+from repro.scheduler.engine import SchedulerEngine
+from repro.scheduler.serialize import result_to_dict
+
+from .test_integrity_fuzz import _flip, make_jobs, make_topology
+
+
+def paused_engine(store, stop_after=12, every=4):
+    engine = SchedulerEngine(make_topology(), "greedy")
+    paused = engine.run(
+        make_jobs(), stop_after=stop_after, checkpoint_every=every,
+        checkpoint_path=store,
+    )
+    assert paused is None
+    return engine
+
+
+class TestStore:
+    def test_generations_named_by_batch_count(self, tmp_path):
+        store = CheckpointStore(tmp_path / "ckpts")
+        paused_engine(store)
+        assert [p.name for p in store.paths()] == [
+            "ckpt-00000004.json", "ckpt-00000008.json", "ckpt-00000012.json",
+        ]
+
+    def test_keep_prunes_oldest(self, tmp_path):
+        store = CheckpointStore(tmp_path / "ckpts", keep=2)
+        paused_engine(store)
+        assert [p.name for p in store.paths()] == [
+            "ckpt-00000008.json", "ckpt-00000012.json",
+        ]
+
+    def test_keep_validation(self, tmp_path):
+        with pytest.raises(ValueError, match="keep"):
+            CheckpointStore(tmp_path / "x", keep=0)
+
+    def test_empty_store_raises_filenotfound(self, tmp_path):
+        store = CheckpointStore(tmp_path / "ckpts")
+        with pytest.raises(FileNotFoundError):
+            store.load_last_good()
+
+    def test_all_corrupt_raises_integrity(self, tmp_path):
+        store = CheckpointStore(tmp_path / "ckpts")
+        paused_engine(store)
+        for path in store.paths():
+            _flip(path, path.stat().st_size // 2)
+        with pytest.raises(IntegrityError, match="all 3 checkpoints"):
+            store.load_last_good()
+
+
+class TestFallbackResume:
+    def test_intact_store_resumes_from_newest(self, tmp_path):
+        store = CheckpointStore(tmp_path / "ckpts")
+        paused_engine(store)
+        resolved = store.load_last_good()
+        assert resolved.path.name == "ckpt-00000012.json"
+        assert resolved.skipped == []
+
+    def test_fallback_resume_is_bit_identical(self, tmp_path):
+        expected = result_to_dict(
+            SchedulerEngine(make_topology(), "greedy").run(make_jobs())
+        )
+        store = CheckpointStore(tmp_path / "ckpts")
+        paused_engine(store)
+        generations = store.paths()
+        # Newest torn, second-newest byte-flipped: resume must reach
+        # back to the oldest generation and still finish bit-identical.
+        with open(generations[-1], "r+b") as fh:
+            fh.truncate(generations[-1].stat().st_size // 2)
+        _flip(generations[-2], generations[-2].stat().st_size // 3)
+
+        resolved = resolve_resume(store)
+        assert resolved.path.name == "ckpt-00000004.json"
+        assert [p.name for p, _ in resolved.skipped] == [
+            "ckpt-00000012.json", "ckpt-00000008.json",
+        ]
+        resumed = SchedulerEngine.from_snapshot(resolved.snapshot).run(
+            resume_from=resolved.snapshot
+        )
+        assert result_to_dict(resumed) == expected
+
+    def test_resolve_resume_accepts_plain_directory(self, tmp_path):
+        store = CheckpointStore(tmp_path / "ckpts")
+        paused_engine(store)
+        resolved = resolve_resume(tmp_path / "ckpts")
+        assert resolved.path.name == "ckpt-00000012.json"
+
+    def test_resolve_resume_file_has_no_fallback(self, tmp_path):
+        store = CheckpointStore(tmp_path / "ckpts")
+        paused_engine(store)
+        newest = store.paths()[-1]
+        _flip(newest, newest.stat().st_size // 2)
+        with pytest.raises(IntegrityError):
+            resolve_resume(newest)
+
+    def test_fallbacks_are_counted(self, tmp_path):
+        from repro.obs import runtime as obs_runtime
+
+        store = CheckpointStore(tmp_path / "ckpts")
+        paused_engine(store)
+        newest = store.paths()[-1]
+        _flip(newest, newest.stat().st_size // 2)
+        with obs_runtime.collecting() as recorder:
+            resolve_resume(store)
+        assert recorder.counters.get("runs.fallback_resumes") == 1

@@ -1,0 +1,196 @@
+"""Byte-flip fuzz: no single-byte corruption escapes as a raw traceback.
+
+The contract under test (see ``src/repro/runs/integrity.py``): flipping
+any one byte of an engine checkpoint must raise a typed
+:class:`IntegrityError`, and flipping any one byte of a run journal
+must either raise :class:`IntegrityError` or set the torn-tail flag
+(when the flip breaks the final line's JSON, which is indistinguishable
+from a crash mid-append). Nothing else — no ``JSONDecodeError``, no
+``UnicodeDecodeError``, no ``KeyError`` — may surface.
+"""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.runs import IntegrityError, RunJournal, load_journal
+from repro.runs.integrity import (
+    checksum_entry,
+    split_footer,
+    verify_entry,
+    verify_footer,
+    write_footer,
+)
+from repro.cluster import CommComponent, Job, JobKind
+from repro.patterns import RecursiveDoubling
+from repro.scheduler.engine import SchedulerEngine
+from repro.scheduler.serialize import dump_snapshot, load_snapshot
+from repro.topology import two_level_tree
+
+
+def make_topology():
+    return two_level_tree(n_leaves=4, nodes_per_leaf=8)
+
+
+def make_jobs(n=15):
+    jobs = []
+    t = 0.0
+    for i in range(1, n + 1):
+        t += (i * 37) % 50
+        nodes = 1 + (i * 13) % 16
+        runtime = 50.0 + (i * 97) % 400
+        if i % 3 == 0 and nodes > 1:
+            jobs.append(
+                Job(i, float(t), nodes, float(runtime), JobKind.COMM,
+                    (CommComponent(RecursiveDoubling(), 0.6),))
+            )
+        else:
+            jobs.append(Job(i, float(t), nodes, float(runtime)))
+    return jobs
+
+
+def _flip(path, offset):
+    with open(path, "r+b") as fh:
+        fh.seek(offset)
+        byte = fh.read(1)
+        fh.seek(offset)
+        fh.write(bytes([byte[0] ^ 0xFF]))
+
+
+@pytest.fixture(scope="module")
+def checkpoint_bytes():
+    # Render once; each fuzz case rewrites these bytes to a tmp file.
+    import pathlib
+    import tempfile
+
+    engine = SchedulerEngine(make_topology(), "greedy")
+    engine.run(make_jobs(), stop_after=5)
+    snapshot = engine.snapshot()
+    with tempfile.TemporaryDirectory() as d:
+        path = pathlib.Path(d) / "ckpt.json"
+        dump_snapshot(snapshot, path)
+        return path.read_bytes()
+
+
+@pytest.fixture(scope="module")
+def journal_bytes():
+    import pathlib
+    import tempfile
+
+    with tempfile.TemporaryDirectory() as d:
+        path = pathlib.Path(d) / "run.jsonl"
+        with RunJournal(path, run_type="fuzz", context={"seed": 1}) as journal:
+            journal.task("a", {"n": 1})
+            journal.attempt_start("a", 1)
+            journal.result("a", 1, "sha256:" + "0" * 64)
+            journal.task("b", {"n": 2})
+            journal.attempt_start("b", 1)
+            journal.attempt_error("b", 1, "transient")
+            journal.attempt_start("b", 2)
+            journal.result("b", 2, "sha256:" + "1" * 64)
+        return path.read_bytes()
+
+
+@given(data=st.data())
+@settings(max_examples=120, deadline=None)
+def test_checkpoint_single_byte_flip_always_typed(
+    checkpoint_bytes, tmp_path_factory, data
+):
+    offset = data.draw(
+        st.integers(min_value=0, max_value=len(checkpoint_bytes) - 1)
+    )
+    path = tmp_path_factory.mktemp("fuzz") / "ckpt.json"
+    path.write_bytes(checkpoint_bytes)
+    _flip(path, offset)
+    with pytest.raises(IntegrityError):
+        load_snapshot(path)
+
+
+@given(data=st.data())
+@settings(max_examples=120, deadline=None)
+def test_journal_single_byte_flip_always_detected(
+    journal_bytes, tmp_path_factory, data
+):
+    offset = data.draw(st.integers(min_value=0, max_value=len(journal_bytes) - 1))
+    path = tmp_path_factory.mktemp("fuzz") / "run.jsonl"
+    path.write_bytes(journal_bytes)
+    _flip(path, offset)
+    try:
+        loaded = load_journal(path)
+    except IntegrityError:
+        return
+    # The only tolerated escape: the flip broke the *final* line's
+    # JSON, which reads as a torn tail (flagged, not fatal).
+    assert loaded.truncated
+
+
+def test_truncation_always_detected(checkpoint_bytes, tmp_path):
+    # A tear that removes the footer *exactly* leaves a valid legacy
+    # file (digest-verified); every other tear must be rejected.
+    body, _ = split_footer(checkpoint_bytes)
+    for keep in range(1, len(checkpoint_bytes), 997):
+        if keep == len(body):
+            continue
+        path = tmp_path / "torn.json"
+        path.write_bytes(checkpoint_bytes[:keep])
+        with pytest.raises((IntegrityError, ValueError)):
+            load_snapshot(path)
+
+
+class TestFooterPrimitives:
+    def test_roundtrip(self):
+        body = b'{"x": 1}\n'
+        blob = body + write_footer(body)
+        assert verify_footer(blob, "p") == body
+
+    def test_no_footer_passthrough(self):
+        assert verify_footer(b'{"x": 1}', "p") == b'{"x": 1}'
+
+    def test_garbled_footer_rejected(self):
+        body = b'{"x": 1}\n'
+        blob = body + b"#sha256:nothex\n"
+        with pytest.raises(IntegrityError, match="footer"):
+            verify_footer(blob, "p")
+
+    def test_split_finds_last_footer(self):
+        body = b'{"note": "#sha256: inside a string"}\n'
+        blob = body + write_footer(body)
+        split_body, stored = split_footer(blob)
+        assert split_body == body
+        assert stored is not None
+
+
+class TestEntryChecksums:
+    def test_checksum_ignores_key_order(self):
+        a = {"kind": "task", "key": "x", "n": 1}
+        b = {"n": 1, "key": "x", "kind": "task"}
+        assert checksum_entry(a) == checksum_entry(b)
+
+    def test_verify_passes_unchecksummed_legacy_entry(self):
+        verify_entry({"kind": "task", "key": "x"}, "p")
+
+    def test_verify_rejects_tampered_entry(self):
+        entry = {"kind": "result", "key": "x", "digest": "sha256:aa"}
+        entry["check"] = checksum_entry(entry)
+        entry["digest"] = "sha256:bb"
+        with pytest.raises(IntegrityError, match="checksum") as info:
+            verify_entry(entry, "journal.jsonl", lineno=4, offset=123)
+        assert info.value.lineno == 4
+        assert info.value.offset == 123
+        assert "line 4" in str(info.value)
+
+    def test_journal_locates_corrupt_line(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with RunJournal(path) as journal:
+            journal.task("a", {})
+            journal.task("b", {})
+        lines = path.read_text().splitlines()
+        entry = json.loads(lines[1])
+        entry["key"] = "tampered"
+        lines[1] = json.dumps(entry, sort_keys=True)
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(IntegrityError) as info:
+            load_journal(path)
+        assert info.value.lineno == 2
