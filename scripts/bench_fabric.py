@@ -1,0 +1,114 @@
+#!/usr/bin/env python
+"""Benchmark the fabric layer against in-process parallel sweeps.
+
+The PR 8 acceptance bar: on a fault-free sweep with four workers, the
+coordinator/worker fabric (heartbeats, journal, lease bookkeeping, file
+hand-off) must cost no more than 10% wall-clock over ``sweep(workers=4)``
+for the same grid, with bit-identical rows. Writes ``BENCH_PR8.json``.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_fabric.py [--repeats 3] [--output BENCH_PR8.json]
+"""
+
+import argparse
+import json
+import platform
+import tempfile
+import time
+from pathlib import Path
+
+from repro.experiments.sweeps import sweep
+from repro.fabric import FabricConfig, fabric_sweep
+
+GRID = {"seed": [0, 1, 2, 3], "n_jobs": [60, 80]}
+DEFAULTS = {}
+ALLOCATORS = ("default", "balanced")
+WORKERS = 4
+
+
+def time_serial():
+    start = time.perf_counter()
+    rows = sweep(GRID, allocators=ALLOCATORS, defaults=DEFAULTS)
+    return time.perf_counter() - start, rows
+
+
+def time_pool():
+    start = time.perf_counter()
+    rows = sweep(GRID, allocators=ALLOCATORS, defaults=DEFAULTS, workers=WORKERS)
+    return time.perf_counter() - start, rows
+
+
+def time_fabric():
+    with tempfile.TemporaryDirectory(prefix="bench-fabric-") as tmp:
+        start = time.perf_counter()
+        rows = fabric_sweep(
+            GRID,
+            allocators=ALLOCATORS,
+            defaults=DEFAULTS,
+            workers=WORKERS,
+            fabric_dir=Path(tmp) / "fab",
+            config=FabricConfig(heartbeat_interval=0.2, heartbeat_ttl=2.0,
+                                poll_interval=0.02),
+        )
+        return time.perf_counter() - start, list(rows)
+
+
+def best_of(fn, repeats):
+    best_seconds, rows = min(
+        (fn() for _ in range(repeats)), key=lambda pair: pair[0]
+    )
+    return best_seconds, rows
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--output", default="BENCH_PR8.json")
+    args = parser.parse_args(argv)
+
+    serial_s, serial_rows = best_of(time_serial, args.repeats)
+    pool_s, pool_rows = best_of(time_pool, args.repeats)
+    fabric_s, fabric_rows = best_of(time_fabric, args.repeats)
+
+    canon = lambda rows: json.dumps(rows, sort_keys=True)  # noqa: E731
+    bit_identical = canon(fabric_rows) == canon(serial_rows) == canon(pool_rows)
+    overhead = fabric_s / pool_s - 1.0
+
+    n_cells = 1
+    for values in GRID.values():
+        n_cells *= len(values)
+    report = {
+        "pr": 8,
+        "machine": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+        },
+        "workload": {
+            "grid": GRID,
+            "allocators": list(ALLOCATORS),
+            "cells": n_cells,
+            "workers": WORKERS,
+            "repeats": args.repeats,
+        },
+        "seconds": {
+            "serial": serial_s,
+            "process_pool": pool_s,
+            "fabric": fabric_s,
+        },
+        "criteria": {
+            "fabric_overhead_vs_pool": overhead,
+            "fabric_overhead_target": 0.10,
+            "overhead_within_target": overhead <= 0.10,
+            "bit_identical": bit_identical,
+        },
+    }
+    Path(args.output).write_text(json.dumps(report, indent=2) + "\n")
+    print(json.dumps(report["seconds"], indent=2))
+    print(f"fabric overhead vs pool: {overhead:+.1%} (target <= +10.0%)")
+    print(f"bit identical: {bit_identical}")
+    return 0 if (overhead <= 0.10 and bit_identical) else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,300 @@
+"""Chaos battery for the sweep fabric.
+
+Where :mod:`repro.chaos.runner` attacks the single-process harness
+(worker pools, checkpoints, journals), this module attacks the
+*distributed* layer: it runs one sweep through :mod:`repro.fabric`
+while killing workers mid-cell, partitioning a worker's heartbeats
+away while it keeps computing, double-leasing a cell on purpose, and
+SIGKILL-ing the coordinator itself mid-run — then verifies the merged
+report is **bit-identical** to the undisturbed serial ``sweep()`` and
+that every recovery path left its fingerprint in the
+:mod:`repro.obs` counters.
+
+The scenario is seeded and structural in the PR 6 style: every run
+contains one of each failure class (two worker kills, one heartbeat
+partition, one duplicate lease, one coordinator kill); the seed varies
+only parameters (which cell is double-leased, how long the partition
+lasts). CI smoke runs can never lose a failure class to an unlucky
+seed.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing as mp
+import os
+import signal
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+import numpy as np
+
+from ..experiments.sweeps import sweep
+from ..fabric.coordinator import Coordinator, collect_report, sweep_cells
+from ..fabric.protocol import FabricConfig, FabricPaths, init_fabric, replay_fabric
+from ..fabric.worker import WorkerChaos, spawn_local_workers
+from ..obs import runtime as obs_runtime
+from ..runs.executor import PartialRows
+from ..runs.retry import RetryPolicy
+
+__all__ = [
+    "FabricChaosPlan",
+    "FabricChaosReport",
+    "generate_fabric_chaos_plan",
+    "run_fabric_chaos",
+]
+
+#: the battery's fixed sweep: 6 cells x 2 allocators = 12 report rows,
+#: small enough for CI smoke, wide enough that the coordinator dies
+#: with most of the grid still in flight.
+_CHAOS_GRID = {"seed": [0, 1, 2], "n_jobs": [30, 40]}
+_CHAOS_ALLOCATORS = ("default", "balanced")
+_CHAOS_WORKERS = 4
+
+
+@dataclass(frozen=True)
+class FabricChaosPlan:
+    """One seeded fabric-chaos scenario (structural coverage, fixed).
+
+    ``kill_workers`` die on their first assignment; ``hang_worker``
+    goes heartbeat-silent for ``hang_seconds`` while still holding its
+    first cell (silence exceeds the fabric TTL, so the lease is revoked
+    and the late result must be deduplicated); ``duplicate_cell`` is
+    double-leased by the coordinator on purpose;
+    ``kill_coordinator=True`` SIGKILLs the coordinator once the first
+    result lands, forcing a journal-replay takeover.
+    """
+
+    seed: int
+    kill_workers: tuple = ("w0", "w1")
+    hang_worker: str = "w2"
+    hang_seconds: float = 1.6
+    duplicate_cell: str = ""
+    kill_coordinator: bool = True
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-JSON form (CLI output, plan files)."""
+        return {
+            "kind": "fabric-chaos-plan",
+            "seed": self.seed,
+            "kill_workers": list(self.kill_workers),
+            "hang_worker": self.hang_worker,
+            "hang_seconds": self.hang_seconds,
+            "duplicate_cell": self.duplicate_cell,
+            "kill_coordinator": self.kill_coordinator,
+        }
+
+
+def generate_fabric_chaos_plan(seed: int = 0) -> FabricChaosPlan:
+    """Derive one scenario from ``seed`` alone (replayable anywhere).
+
+    Structure is constant; the seed picks which cell gets the duplicate
+    lease and how long the heartbeat partition lasts.
+    """
+    rng = np.random.default_rng(seed)
+    cells = sweep_cells(_CHAOS_GRID, allocators=_CHAOS_ALLOCATORS)
+    # Never the first two cells: those are the kill victims' first
+    # assignments, and the duplicate lease should land on workers that
+    # live long enough to race each other.
+    dup = cells[2 + int(rng.integers(0, len(cells) - 2))].key
+    hang = 1.4 + float(rng.uniform(0.0, 0.6))
+    return FabricChaosPlan(seed=seed, duplicate_cell=dup, hang_seconds=hang)
+
+
+@dataclass
+class FabricChaosReport:
+    """What a fabric chaos run did and whether recovery was exact.
+
+    ``ok`` is the verdict; ``failures`` lists every broken guarantee in
+    plain text. ``counters`` is the parent-process :mod:`repro.obs`
+    snapshot covering the takeover coordinator — the one that performs
+    (and must make visible) the recovery work.
+    """
+
+    plan: Optional[FabricChaosPlan] = None
+    rows: int = 0
+    baseline_rows: int = 0
+    bit_identical: bool = False
+    coordinator_killed: bool = False
+    generation: int = 0
+    counters: Dict[str, float] = field(default_factory=dict)
+    failures: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when the sweep recovered to a bit-identical full report."""
+        return not self.failures
+
+    def summary(self) -> str:
+        """Multi-line human-readable report (what the CLI prints)."""
+        plan = self.plan.to_dict() if self.plan is not None else {}
+        lines = [
+            f"fabric chaos seed={plan.get('seed')} "
+            f"(kill {len(plan.get('kill_workers', []))} workers, "
+            f"partition {plan.get('hang_worker')}, "
+            f"dup-lease 1 cell, kill coordinator: "
+            f"{plan.get('kill_coordinator')})",
+            f"  coordinator killed + replaced: {self.coordinator_killed} "
+            f"(generation {self.generation})",
+            f"  merged report: {self.rows}/{self.baseline_rows} rows, "
+            f"{'bit-identical' if self.bit_identical else 'MISMATCH'}",
+        ]
+        interesting = (
+            "fabric.worker_deaths",
+            "fabric.lease_reassignments",
+            "fabric.leases_adopted",
+            "fabric.duplicate_results",
+            "fabric.late_results",
+            "fabric.cells_completed",
+            "runs.quarantined_cells",
+        )
+        shown = {k: self.counters.get(k, 0) for k in interesting}
+        lines.append("  counters: " + json.dumps(shown))
+        lines.append("RECOVERED" if self.ok else "FAILED: " + "; ".join(self.failures))
+        return "\n".join(lines)
+
+
+def _coordinator_child(root: str) -> None:
+    """Process entry point for the sacrificial first coordinator."""
+    Coordinator(root).run()
+
+
+def run_fabric_chaos(
+    seed: int = 0,
+    *,
+    fabric_dir: Optional[Union[str, Path]] = None,
+    kill_timeout: float = 60.0,
+) -> FabricChaosReport:
+    """Run the fabric chaos battery end-to-end.
+
+    Phases:
+
+    A. **baseline** — the battery grid through serial ``sweep()``; its
+       rows are the ground truth.
+    B. **mayhem** — the same grid through a fabric with four workers
+       (two die on first assignment, one heartbeat-partitions) and a
+       deliberately double-leased cell; coordinator #1 runs in a child
+       process and is SIGKILLed as soon as the first result file lands.
+    C. **takeover** — coordinator #2 runs in *this* process under an
+       :mod:`repro.obs` recorder: it repairs the journal tail, replays,
+       adopts the in-flight leases, revokes the dead workers' leases,
+       and finishes the sweep.
+
+    The report fails if any cell is missing, duplicated, or different
+    from the serial baseline, if the coordinator was never actually
+    killed mid-run, or if the recovery counters do not show at least
+    two worker deaths and one lease reassignment.
+
+    ``fabric_dir`` (default: a throwaway under the CWD's tempdir) is
+    left on disk when supplied explicitly, so a failed run can be
+    autopsied via ``repro-sched fabric status``.
+    """
+    import tempfile
+
+    plan = generate_fabric_chaos_plan(seed)
+    report = FabricChaosReport(plan=plan)
+
+    # Phase A: serial ground truth.
+    baseline = sweep(_CHAOS_GRID, allocators=_CHAOS_ALLOCATORS)
+    baseline_text = json.dumps(baseline, sort_keys=True)
+    report.baseline_rows = len(baseline)
+
+    tmp: Optional[tempfile.TemporaryDirectory] = None
+    if fabric_dir is None:
+        tmp = tempfile.TemporaryDirectory(prefix="repro-fabric-chaos-")
+        fabric_dir = tmp.name
+    try:
+        # Phase B: initialize, unleash the faulty fleet, kill the brain.
+        cells = sweep_cells(_CHAOS_GRID, allocators=_CHAOS_ALLOCATORS)
+        config = FabricConfig(
+            heartbeat_interval=0.1,
+            heartbeat_ttl=1.0,
+            poll_interval=0.03,
+            max_reassignments=4,
+            # Degraded mode has its own tests; the battery must finish
+            # the full grid, so churn may not trip shedding here.
+            churn_threshold=99,
+            duplicate_cells=(plan.duplicate_cell,),
+            retry=RetryPolicy(backoff_base=0.05, backoff_max=1.0, jitter=0.5),
+        )
+        init_fabric(
+            fabric_dir,
+            cells,
+            context={"chaos_seed": seed, "grid": {k: list(v) for k, v in _CHAOS_GRID.items()}},
+            config=config,
+        )
+        chaos = {w: WorkerChaos(kill_on_cell="*") for w in plan.kill_workers}
+        chaos[plan.hang_worker] = WorkerChaos(
+            hang_heartbeat_on_cell="*", hang_heartbeat_seconds=plan.hang_seconds
+        )
+        procs = spawn_local_workers(fabric_dir, _CHAOS_WORKERS, chaos=chaos)
+        paths = FabricPaths(fabric_dir)
+        coord1 = mp.Process(target=_coordinator_child, args=(str(fabric_dir),))
+        coord1.start()
+        try:
+            deadline = time.monotonic() + kill_timeout
+            while time.monotonic() < deadline and coord1.is_alive():
+                if any(paths.results.glob("*.json")):
+                    break
+                time.sleep(0.005)
+            if coord1.is_alive() and plan.kill_coordinator:
+                os.kill(coord1.pid, signal.SIGKILL)
+                report.coordinator_killed = True
+            coord1.join(timeout=10)
+        finally:
+            if coord1.is_alive():  # pragma: no cover - defensive
+                coord1.kill()
+                coord1.join(timeout=5)
+
+        # Phase C: takeover in this process, under the obs recorder.
+        recorder = obs_runtime.PerfRecorder()
+        try:
+            with obs_runtime.collecting(recorder):
+                Coordinator(fabric_dir).run()
+        finally:
+            paths.stop.touch()
+            for proc in procs:
+                proc.join(timeout=30)
+                if proc.is_alive():  # pragma: no cover - defensive
+                    proc.terminate()
+                    proc.join(timeout=5)
+        report.counters = dict(recorder.counters)
+        report.generation = replay_fabric(paths.journal).generation
+
+        # Verdicts.
+        rows = collect_report(fabric_dir)
+        report.rows = len(rows)
+        if isinstance(rows, PartialRows):
+            report.failures.append(
+                f"partial report: missing={sorted(rows.missing)} "
+                f"quarantined={sorted(rows.quarantined)}"
+            )
+        report.bit_identical = (
+            json.dumps(list(rows), sort_keys=True) == baseline_text
+        )
+        if not report.bit_identical:
+            report.failures.append("merged report differs from serial baseline")
+        if plan.kill_coordinator and not report.coordinator_killed:
+            report.failures.append(
+                "coordinator finished before it could be killed "
+                "(scenario did not exercise takeover)"
+            )
+        if plan.kill_coordinator and report.generation < 2:
+            report.failures.append(
+                f"expected a takeover generation >= 2, got {report.generation}"
+            )
+        deaths = report.counters.get("fabric.worker_deaths", 0)
+        if deaths < 2:
+            report.failures.append(
+                f"takeover coordinator observed {deaths} worker deaths, need >= 2"
+            )
+        if report.counters.get("fabric.lease_reassignments", 0) < 1:
+            report.failures.append("no lease reassignments were recorded")
+        if report.counters.get("fabric.cells_completed", 0) < 1:
+            report.failures.append("takeover coordinator completed no cells")
+        return report
+    finally:
+        if tmp is not None:
+            tmp.cleanup()

@@ -30,7 +30,14 @@ from ..scheduler.metrics import SimulationResult, percent_improvement
 from ..workloads.classify import single_pattern_mix
 from .runner import ExperimentConfig, _resilient, continuous_runs
 
-__all__ = ["sweep", "rows_to_csv", "point_config", "SWEEPABLE"]
+__all__ = [
+    "sweep",
+    "rows_to_csv",
+    "point_config",
+    "point_rows",
+    "expand_grid",
+    "SWEEPABLE",
+]
 
 #: parameters `sweep` understands, with how they map onto the config
 SWEEPABLE = ("log", "n_jobs", "percent_comm", "pattern", "comm_fraction", "seed", "policy")
@@ -54,6 +61,75 @@ def point_config(
 def _sweep_point_worker(cfg: ExperimentConfig) -> Dict[str, SimulationResult]:
     """One grid point's continuous runs (module-level so it pickles)."""
     return continuous_runs(cfg)
+
+
+def expand_grid(
+    grid: Mapping[str, Sequence],
+    defaults: Optional[Mapping[str, object]] = None,
+) -> List[Dict[str, object]]:
+    """Expand a sweep grid into fully resolved points, cross-product order.
+
+    Validates parameter names against :data:`SWEEPABLE` and fills
+    unswept parameters from ``defaults`` (then the built-in baseline).
+    This single expansion is shared by the serial :func:`sweep` path
+    and the distributed fabric (:mod:`repro.fabric`), so both walk the
+    identical cell list in the identical order.
+    """
+    unknown = set(grid) - set(SWEEPABLE)
+    if unknown:
+        raise ValueError(f"unknown sweep parameters: {sorted(unknown)}")
+    if not grid:
+        raise ValueError("grid must name at least one parameter")
+    base: Dict[str, object] = {
+        "log": "theta",
+        "n_jobs": 200,
+        "percent_comm": 90.0,
+        "pattern": "rhvd",
+        "comm_fraction": 0.7,
+        "seed": 0,
+        "policy": "backfill",
+    }
+    if defaults:
+        bad = set(defaults) - set(SWEEPABLE)
+        if bad:
+            raise ValueError(f"unknown default parameters: {sorted(bad)}")
+        base.update(defaults)
+    points: List[Dict[str, object]] = []
+    for values in product(*(grid[n] for n in grid)):
+        point = dict(base)
+        point.update(dict(zip(list(grid), values)))
+        points.append(point)
+    return points
+
+
+def point_rows(
+    point: Mapping[str, object],
+    results: Dict[str, SimulationResult],
+) -> List[Dict[str, object]]:
+    """Flatten one grid point's per-allocator results into sweep rows.
+
+    One row per allocator, in ``results`` order: the sweep point, the
+    paper's aggregate metrics, and the percent improvement over the
+    ``"default"`` allocator when it is part of the run. Every value is
+    a JSON-safe scalar, which is what lets the fabric compute rows in a
+    worker process, ship them as JSON, and still merge a report
+    bit-identical to the serial path (JSON round-trips floats exactly).
+    """
+    base_exec = (
+        results["default"].total_execution_hours if "default" in results else None
+    )
+    rows: List[Dict[str, object]] = []
+    for name, res in results.items():
+        row: Dict[str, object] = {k: point[k] for k in SWEEPABLE}
+        row["allocator"] = name
+        row.update(res.summary())
+        row["exec_improvement_pct"] = (
+            percent_improvement(base_exec, res.total_execution_hours)
+            if base_exec is not None
+            else None
+        )
+        rows.append(row)
+    return rows
 
 
 def _point_digest(results: Dict[str, SimulationResult]) -> str:
@@ -95,34 +171,9 @@ def sweep(
     value is a :class:`~repro.runs.PartialRows` whose ``missing`` (or
     ``quarantined``) names the grid points whose rows are absent.
     """
-    unknown = set(grid) - set(SWEEPABLE)
-    if unknown:
-        raise ValueError(f"unknown sweep parameters: {sorted(unknown)}")
-    if not grid:
-        raise ValueError("grid must name at least one parameter")
-    base: Dict[str, object] = {
-        "log": "theta",
-        "n_jobs": 200,
-        "percent_comm": 90.0,
-        "pattern": "rhvd",
-        "comm_fraction": 0.7,
-        "seed": 0,
-        "policy": "backfill",
-    }
-    if defaults:
-        bad = set(defaults) - set(SWEEPABLE)
-        if bad:
-            raise ValueError(f"unknown default parameters: {sorted(bad)}")
-        base.update(defaults)
-
     names = list(grid)
-    points: List[Dict[str, object]] = []
-    configs: List[ExperimentConfig] = []
-    for values in product(*(grid[n] for n in names)):
-        point = dict(base)
-        point.update(dict(zip(names, values)))
-        points.append(point)
-        configs.append(point_config(point, allocators))
+    points = expand_grid(grid, defaults)
+    configs = [point_config(point, allocators) for point in points]
 
     missing: Dict[str, str] = {}
     quarantined: Dict[str, str] = {}
@@ -169,19 +220,7 @@ def sweep(
 
     rows: List[Dict[str, object]] = []
     for point, results in kept:
-        base_exec = (
-            results["default"].total_execution_hours if "default" in results else None
-        )
-        for name, res in results.items():
-            row: Dict[str, object] = {k: point[k] for k in SWEEPABLE}
-            row["allocator"] = name
-            row.update(res.summary())
-            row["exec_improvement_pct"] = (
-                percent_improvement(base_exec, res.total_execution_hours)
-                if base_exec is not None
-                else None
-            )
-            rows.append(row)
+        rows.extend(point_rows(point, results))
     if missing or quarantined:
         return PartialRows(rows, missing, quarantined)
     return rows

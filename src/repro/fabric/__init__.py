@@ -1,0 +1,71 @@
+"""Coordinator/worker execution fabric for distributed sweeps.
+
+``repro.fabric`` shards a sweep's cell grid across independent worker
+processes that share nothing but a directory. The PR 3 run journal is
+the single source of truth: the coordinator grants lease-based claims
+over cells, watches worker heartbeats, revokes leases from stalled or
+dead workers (exponential backoff with seeded jitter before re-lease,
+quarantine after too many reassignments), degrades gracefully under
+worker churn (reduced fan-out, deadline-aware shedding into an explicit
+partial report), and deduplicates results by sha256 digest so every
+cell lands exactly once — the merged report is bit-identical to the
+serial ``sweep()`` for the same grid.
+
+The coordinator itself is crash-safe: killing it mid-sweep and starting
+a new one replays the journal, re-adopts in-flight leases, and
+continues. The chaos battery for all of this lives in
+:mod:`repro.chaos.fabric`; the CLI surface is ``repro-sched fabric``
+and ``repro-sched sweep --fabric``. See ``docs/resilience.md``.
+
+Layout:
+
+* :mod:`~repro.fabric.protocol` — on-disk protocol: config, directory
+  layout, heartbeats, journal events, replay.
+* :mod:`~repro.fabric.worker` — the worker loop and its chaos hooks.
+* :mod:`~repro.fabric.coordinator` — the watchdog cycle, report
+  merging, and the one-call :func:`fabric_sweep` driver.
+"""
+
+from .coordinator import (
+    Coordinator,
+    CoordinatorStats,
+    collect_report,
+    fabric_status,
+    fabric_sweep,
+    run_coordinator,
+    status_metrics,
+    sweep_cells,
+)
+from .protocol import (
+    CellSpec,
+    FabricConfig,
+    FabricPaths,
+    FabricReplay,
+    Lease,
+    init_fabric,
+    load_fabric_config,
+    replay_fabric,
+)
+from .worker import WorkerChaos, run_worker, spawn_local_workers
+
+__all__ = [
+    "Coordinator",
+    "CoordinatorStats",
+    "CellSpec",
+    "FabricConfig",
+    "FabricPaths",
+    "FabricReplay",
+    "Lease",
+    "WorkerChaos",
+    "collect_report",
+    "fabric_status",
+    "fabric_sweep",
+    "init_fabric",
+    "load_fabric_config",
+    "replay_fabric",
+    "run_coordinator",
+    "run_worker",
+    "spawn_local_workers",
+    "status_metrics",
+    "sweep_cells",
+]

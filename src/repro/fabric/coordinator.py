@@ -1,0 +1,826 @@
+"""Fabric coordinator: lease granter, watchdog, and report merger.
+
+The coordinator is the only process that writes the fabric journal, and
+the journal is the only authority — heartbeats and mailbox files are a
+live view the coordinator folds *into* journal entries, never a second
+source of truth. That single-writer rule is what makes the whole layer
+crash-safe: killing the coordinator at any instant loses at most a torn
+final journal line, and a restarted coordinator rebuilds its entire
+world by replay (:func:`repro.fabric.protocol.replay_fabric`), adopts
+the leases that were in flight, and continues as if nothing happened.
+
+The main loop is a watchdog cycle:
+
+1. **scan** worker heartbeats — a sequence number that advances resets
+   the worker's liveness clock; one silent past ``heartbeat_ttl`` is
+   declared dead and its leases are revoked (backoff + jitter before
+   the cell is re-leased, quarantine after ``max_reassignments``);
+2. **harvest** worker outboxes — results are persisted to ``results/``
+   *before* the journal records them, and deduplicated by sha256 digest
+   so a revoked-but-alive worker's late result can never double-count a
+   cell;
+3. **degrade** when worker churn exceeds the configured threshold —
+   fan-out is halved and, past the deadline, still-unleased cells are
+   shed into an explicit :class:`~repro.runs.PartialRows` report
+   instead of stretching the sweep forever on a dying fleet;
+4. **assign** pending cells to idle live workers, in cell order.
+
+Every recovery action increments a ``fabric.*`` counter through
+:func:`repro.obs.runtime.count`, so a chaos run can assert not just
+that the report is right but that each recovery path actually fired.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Union
+
+from ..experiments.sweeps import expand_grid
+from ..obs import runtime as obs_runtime
+from ..obs.metrics import MetricsRegistry
+from ..runs.atomic import atomic_write_json
+from ..runs.digest import digest_obj
+from ..runs.executor import PartialRows
+from ..runs.journal import RunJournal
+from .protocol import (
+    EVENT_CELL_QUARANTINED,
+    EVENT_CELL_SHED,
+    EVENT_COORD_START,
+    EVENT_DEGRADED_ENTER,
+    EVENT_DUPLICATE_RESULT,
+    EVENT_LATE_RESULT,
+    EVENT_LEASE_ADOPT,
+    EVENT_LEASE_GRANT,
+    EVENT_LEASE_REVOKE,
+    EVENT_SWEEP_COMPLETE,
+    EVENT_WORKER_DEAD,
+    EVENT_WORKER_JOINED,
+    EVENT_WORKER_REVIVED,
+    FABRIC_RUN_TYPE,
+    CellSpec,
+    FabricConfig,
+    FabricPaths,
+    Lease,
+    init_fabric,
+    load_fabric_config,
+    read_heartbeat,
+    replay_fabric,
+)
+from .worker import spawn_local_workers
+
+__all__ = [
+    "Coordinator",
+    "CoordinatorStats",
+    "run_coordinator",
+    "fabric_sweep",
+    "collect_report",
+    "fabric_status",
+    "status_metrics",
+    "sweep_cells",
+]
+
+
+def _cell_key(point: Mapping[str, Any], names: Sequence[str]) -> str:
+    """Stable human-readable cell key (same shape as ``sweep``'s)."""
+    return "|".join(f"{n}={point[n]}" for n in names)
+
+
+def sweep_cells(
+    grid: Mapping[str, Sequence],
+    *,
+    allocators: Sequence[str] = ("default", "balanced"),
+    defaults: Optional[Mapping[str, Any]] = None,
+) -> List[CellSpec]:
+    """Expand a sweep grid into fabric cells, cross-product order.
+
+    Uses the exact :func:`~repro.experiments.sweeps.expand_grid`
+    expansion the serial path uses, so the fabric's cell list — and
+    therefore its merged row order — matches ``sweep()`` one-to-one.
+    """
+    names = list(grid)
+    return [
+        CellSpec(
+            key=_cell_key(point, names),
+            point=point,
+            allocators=tuple(allocators),
+        )
+        for point in expand_grid(grid, defaults)
+    ]
+
+
+@dataclass
+class _WorkerView:
+    """Coordinator-side liveness state for one worker."""
+
+    worker: str
+    seq: int
+    last_change: float  # coordinator monotonic clock
+    alive: bool = True
+    busy_key: Optional[str] = None
+
+
+@dataclass
+class CoordinatorStats:
+    """What one coordinator run did (returned by :meth:`Coordinator.run`)."""
+
+    generation: int
+    completed: int = 0
+    quarantined: int = 0
+    shed: int = 0
+    lease_grants: int = 0
+    lease_reassignments: int = 0
+    worker_deaths: int = 0
+    duplicate_results: int = 0
+    degraded: bool = False
+    stopped_externally: bool = False
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-dict form for CLI JSON output."""
+        return {
+            "generation": self.generation,
+            "completed": self.completed,
+            "quarantined": self.quarantined,
+            "shed": self.shed,
+            "lease_grants": self.lease_grants,
+            "lease_reassignments": self.lease_reassignments,
+            "worker_deaths": self.worker_deaths,
+            "duplicate_results": self.duplicate_results,
+            "degraded": self.degraded,
+            "stopped_externally": self.stopped_externally,
+        }
+
+
+class Coordinator:
+    """One coordinator incarnation over an initialized fabric directory.
+
+    Construction replays the journal (repairing a torn tail first —
+    the coordinator is the journal's only writer, so it alone may
+    truncate), verifies every journaled result still has an intact
+    payload under ``results/`` (demoting any that do not back to
+    pending), adopts in-flight leases, and journals a
+    ``coordinator-start`` note bumping the generation counter. The
+    generation is folded into new lease ids, so leases minted by a dead
+    predecessor can never collide with this incarnation's.
+    """
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.paths = FabricPaths(root)
+        self.config = load_fabric_config(root)
+        self._guard_against_live_coordinator()
+        replay = replay_fabric(self.paths.journal, repair=True)
+        self.cells: List[CellSpec] = list(replay.cells)
+        self.cell_by_key: Dict[str, CellSpec] = {c.key: c for c in self.cells}
+        self.completed: Dict[str, str] = dict(replay.digests)
+        self.quarantined: Dict[str, str] = dict(replay.quarantined)
+        self.shed: Dict[str, str] = dict(replay.shed)
+        self.reassignments: Dict[str, int] = dict(replay.reassignments)
+        self.degraded = replay.degraded
+        self.generation = replay.generation + 1
+        self.leases: Dict[str, Lease] = {}
+        self._lease_granted: Dict[str, float] = {}
+        self._eligible_at: Dict[str, float] = {}
+        self._workers: Dict[str, _WorkerView] = {}
+        self._death_times: List[float] = []
+        self._duplicated: set = set()
+        self._last_beacon = 0.0
+        self.stats = CoordinatorStats(generation=self.generation)
+        self.journal = RunJournal(self.paths.journal, run_type=FABRIC_RUN_TYPE)
+        self.journal.note(
+            EVENT_COORD_START, generation=self.generation, pid=os.getpid()
+        )
+        self._verify_results()
+        now = time.monotonic()
+        for lease in replay.active_leases.values():
+            self.leases[lease.lease_id] = lease
+            self._lease_granted[lease.lease_id] = now
+            self.journal.note(
+                EVENT_LEASE_ADOPT,
+                key=lease.key,
+                worker=lease.worker,
+                lease=lease.lease_id,
+                attempt=lease.attempt,
+            )
+            obs_runtime.count("fabric.leases_adopted")
+
+    # ------------------------------------------------------------------
+    # startup
+    # ------------------------------------------------------------------
+
+    def _guard_against_live_coordinator(self) -> None:
+        """Refuse to start while another local coordinator looks alive.
+
+        The beacon carries a pid and a wall-clock stamp; takeover is
+        allowed when the pid is gone (the kill-coordinator chaos case)
+        or the stamp is older than ``coordinator_ttl``. This is a
+        same-machine guard — cross-machine fabrics rely on the TTL.
+        """
+        try:
+            with open(self.paths.coordinator) as fh:
+                beacon = json.load(fh)
+        except (OSError, json.JSONDecodeError):
+            return
+        fresh = (time.time() - float(beacon.get("time", 0))) < self.config.coordinator_ttl
+        pid = int(beacon.get("pid", -1))
+        if pid == os.getpid():
+            return
+        alive = False
+        if pid > 0:
+            try:
+                os.kill(pid, 0)
+                alive = True
+            except ProcessLookupError:
+                alive = False
+            except PermissionError:
+                alive = True
+            except OSError:
+                alive = False
+        if fresh and alive:
+            raise RuntimeError(
+                f"{self.paths.root}: coordinator pid {pid} appears alive "
+                "(fresh beacon); refusing to start a second one"
+            )
+
+    def _verify_results(self) -> None:
+        """Re-check journaled results against their ``results/`` payloads.
+
+        The journal says a cell completed with digest D; the payload
+        file must exist and its rows must still hash to D. A missing or
+        corrupt payload demotes the cell back to pending — the journal
+        stays append-only (the stale ``result`` line is simply
+        superseded by the re-run's new one on merge, which reads the
+        *last* digest per key... it reads dict-overwrite order, so the
+        re-run wins).
+        """
+        for key in list(self.completed):
+            path = self.paths.result_file(key)
+            try:
+                with open(path) as fh:
+                    payload = json.load(fh)
+                ok = (
+                    payload.get("key") == key
+                    and digest_obj(payload.get("rows")) == self.completed[key]
+                )
+            except (OSError, json.JSONDecodeError):
+                ok = False
+            if not ok:
+                del self.completed[key]
+                self.journal.note("result-requeued", key=key, reason="payload-missing")
+                obs_runtime.count("fabric.results_requeued")
+
+    # ------------------------------------------------------------------
+    # state queries
+    # ------------------------------------------------------------------
+
+    def _settled(self, key: str) -> bool:
+        return key in self.completed or key in self.quarantined or key in self.shed
+
+    def _leased_keys(self) -> set:
+        return {lease.key for lease in self.leases.values()}
+
+    def _pending_keys(self) -> List[str]:
+        """Unsettled, unleased cells in cell order."""
+        leased = self._leased_keys()
+        return [
+            c.key
+            for c in self.cells
+            if not self._settled(c.key) and c.key not in leased
+        ]
+
+    def _busy_workers(self) -> set:
+        return {lease.worker for lease in self.leases.values()}
+
+    @property
+    def done(self) -> bool:
+        """True when every cell is settled and no lease is outstanding."""
+        return not self.leases and all(self._settled(c.key) for c in self.cells)
+
+    # ------------------------------------------------------------------
+    # watchdog cycle
+    # ------------------------------------------------------------------
+
+    def _scan_workers(self, now: float) -> None:
+        """Fold heartbeats into liveness state; revoke the dead."""
+        for worker_id in self.paths.worker_ids():
+            beat = read_heartbeat(self.paths, worker_id)
+            if beat is None:
+                continue
+            seq = int(beat.get("seq", 0))
+            view = self._workers.get(worker_id)
+            if view is None:
+                self._workers[worker_id] = _WorkerView(
+                    worker=worker_id, seq=seq, last_change=now
+                )
+                self.journal.note(EVENT_WORKER_JOINED, worker=worker_id)
+                obs_runtime.count("fabric.workers_joined")
+                continue
+            view.busy_key = beat.get("busy_key")
+            if seq != view.seq:
+                view.seq = seq
+                view.last_change = now
+                if not view.alive:
+                    view.alive = True
+                    self.journal.note(EVENT_WORKER_REVIVED, worker=worker_id)
+                    obs_runtime.count("fabric.workers_revived")
+        for view in self._workers.values():
+            if view.alive and now - view.last_change > self.config.heartbeat_ttl:
+                view.alive = False
+                self.journal.note(EVENT_WORKER_DEAD, worker=view.worker)
+                obs_runtime.count("fabric.worker_deaths")
+                self.stats.worker_deaths += 1
+                self._death_times.append(now)
+                for lease in [
+                    l for l in self.leases.values() if l.worker == view.worker
+                ]:
+                    self._retire_lease(lease, "worker-dead", now)
+        self._reap_lost_leases(now)
+
+    def _reap_lost_leases(self, now: float) -> None:
+        """Self-heal leases whose assignment evaporated.
+
+        A lease whose worker is alive but idle, with neither the inbox
+        assignment nor any outbox reply on disk, past the heartbeat
+        TTL, can only mean the assignment was lost (e.g. the worker hit
+        an I/O error after consuming it). Without this sweep such a
+        cell would dangle forever — the worker never dies, so the
+        death watchdog never fires.
+        """
+        for lease in list(self.leases.values()):
+            view = self._workers.get(lease.worker)
+            if view is None or not view.alive or view.busy_key == lease.key:
+                continue
+            if now - self._lease_granted.get(lease.lease_id, now) <= (
+                self.config.heartbeat_ttl
+            ):
+                continue
+            inbox = self.paths.inbox(lease.worker) / f"{lease.lease_id}.json"
+            outbox = self.paths.outbox(lease.worker) / f"{lease.lease_id}.json"
+            if inbox.exists() or outbox.exists():
+                continue
+            self._retire_lease(lease, "lease-lost", now)
+
+    def _retire_lease(self, lease: Lease, reason: str, now: float) -> None:
+        """Revoke one lease: journal, requeue with backoff, or quarantine."""
+        self.journal.note(
+            EVENT_LEASE_REVOKE,
+            key=lease.key,
+            worker=lease.worker,
+            lease=lease.lease_id,
+            reason=reason,
+        )
+        self.leases.pop(lease.lease_id, None)
+        self._lease_granted.pop(lease.lease_id, None)
+        try:
+            (self.paths.inbox(lease.worker) / f"{lease.lease_id}.json").unlink()
+        except OSError:
+            pass
+        if self._settled(lease.key) or lease.key in self._leased_keys():
+            # A duplicate lease still covers the cell, or a result
+            # already landed: the revocation needs no requeue.
+            return
+        count = self.reassignments.get(lease.key, 0) + 1
+        self.reassignments[lease.key] = count
+        obs_runtime.count("fabric.lease_reassignments")
+        self.stats.lease_reassignments += 1
+        if count > self.config.max_reassignments:
+            error = f"lease revoked {count} times (last: {reason})"
+            self.quarantined[lease.key] = error
+            self.journal.note(EVENT_CELL_QUARANTINED, key=lease.key, error=error)
+            obs_runtime.count("runs.quarantined_cells")
+            obs_runtime.count("fabric.cells_quarantined")
+            self.stats.quarantined += 1
+        else:
+            self._eligible_at[lease.key] = now + self.config.retry.delay(
+                count, salt=lease.key
+            )
+
+    def _harvest(self, now: float) -> None:
+        """Drain worker outboxes into ``results/`` + the journal."""
+        for worker_id in self.paths.worker_ids():
+            outbox = self.paths.outbox(worker_id)
+            if not outbox.is_dir():
+                continue
+            for path in sorted(outbox.glob("*.json")):
+                try:
+                    with open(path) as fh:
+                        reply = json.load(fh)
+                except (OSError, json.JSONDecodeError):
+                    continue
+                kind = reply.get("kind")
+                if kind == "fabric-error":
+                    self._harvest_error(reply, path, now)
+                elif kind == "fabric-result":
+                    self._harvest_result(reply, path, now)
+                else:
+                    path.unlink(missing_ok=True)
+
+    def _harvest_error(self, reply: Dict[str, Any], path: Path, now: float) -> None:
+        """One cell raised inside its worker: retire the lease, requeue."""
+        key = str(reply.get("key"))
+        lease_id = str(reply.get("lease"))
+        self.journal.note(
+            "cell-error",
+            key=key,
+            worker=str(reply.get("worker")),
+            lease=lease_id,
+            error=str(reply.get("error", "")),
+        )
+        obs_runtime.count("fabric.cell_errors")
+        lease = self.leases.get(lease_id)
+        path.unlink(missing_ok=True)
+        if lease is not None:
+            self._retire_lease(lease, f"cell-error: {reply.get('error', '')}", now)
+
+    def _harvest_result(self, reply: Dict[str, Any], path: Path, now: float) -> None:
+        """One completed cell: dedupe, persist payload, then journal."""
+        key = str(reply.get("key"))
+        lease_id = str(reply.get("lease"))
+        rows = reply.get("rows")
+        digest = str(reply.get("digest", ""))
+        if digest_obj(rows) != digest:
+            # An atomic write cannot tear, so a mismatch means the
+            # payload was damaged after landing: drop it, retire the
+            # lease so the cell is recomputed.
+            self.journal.note("result-corrupt", key=key, lease=lease_id)
+            obs_runtime.count("fabric.corrupt_results")
+            path.unlink(missing_ok=True)
+            lease = self.leases.get(lease_id)
+            if lease is not None:
+                self._retire_lease(lease, "result-corrupt", now)
+            return
+        if self._settled(key):
+            # Exactly-once landing: the duplicate-lease injector and
+            # revoked-but-alive workers both funnel here.
+            self.journal.note(
+                EVENT_DUPLICATE_RESULT,
+                key=key,
+                lease=lease_id,
+                worker=str(reply.get("worker")),
+                digest=digest,
+            )
+            obs_runtime.count("fabric.duplicate_results")
+            self.stats.duplicate_results += 1
+            path.unlink(missing_ok=True)
+            return
+        late = lease_id not in self.leases
+        # Durability order matters: payload first, journal second. A
+        # crash in between re-harvests this outbox file on restart —
+        # idempotent — while the reverse order could journal a result
+        # whose payload never landed.
+        atomic_write_json(
+            self.paths.result_file(key),
+            {"key": key, "digest": digest, "rows": rows},
+        )
+        self.journal.result(key, int(reply.get("attempt", 1)), digest)
+        self.completed[key] = digest
+        obs_runtime.count("fabric.cells_completed")
+        self.stats.completed += 1
+        if late:
+            self.journal.note(EVENT_LATE_RESULT, key=key, lease=lease_id)
+            obs_runtime.count("fabric.late_results")
+        for lease in [l for l in self.leases.values() if l.key == key]:
+            self.leases.pop(lease.lease_id, None)
+            self._lease_granted.pop(lease.lease_id, None)
+            try:
+                (self.paths.inbox(lease.worker) / f"{lease.lease_id}.json").unlink()
+            except OSError:
+                pass
+        path.unlink(missing_ok=True)
+
+    def _maybe_degrade(self, now: float, started: float) -> None:
+        """Enter degraded mode on churn; shed past the deadline."""
+        window_start = now - self.config.churn_window
+        self._death_times = [t for t in self._death_times if t >= window_start]
+        if not self.degraded and len(self._death_times) >= self.config.churn_threshold:
+            self.degraded = True
+            self.stats.degraded = True
+            self.journal.note(
+                EVENT_DEGRADED_ENTER,
+                deaths=len(self._death_times),
+                window=self.config.churn_window,
+            )
+            obs_runtime.count("fabric.degraded_entries")
+        if (
+            self.degraded
+            and self.config.deadline is not None
+            and now - started > self.config.deadline
+        ):
+            for key in self._pending_keys():
+                reason = f"deadline ({self.config.deadline}s) passed in degraded mode"
+                self.shed[key] = reason
+                self.journal.note(EVENT_CELL_SHED, key=key, reason=reason)
+                obs_runtime.count("fabric.cells_shed")
+                self.stats.shed += 1
+
+    def _assign(self, now: float) -> None:
+        """Grant pending cells to idle live workers, in cell order."""
+        busy = self._busy_workers()
+        idle = [
+            w
+            for w in sorted(self._workers)
+            if self._workers[w].alive and w not in busy
+        ]
+        capacity = len(idle)
+        if self.degraded:
+            live = sum(1 for v in self._workers.values() if v.alive)
+            capacity = max(0, max(1, live // 2) - len(self.leases))
+        for key in self._pending_keys():
+            if capacity <= 0 or not idle:
+                return
+            if self._eligible_at.get(key, 0.0) > now:
+                continue
+            self._grant(key, idle.pop(0), now)
+            capacity -= 1
+        # Chaos injector: deliberately double-lease configured cells to
+        # prove the digest dedupe path under real concurrency. Runs
+        # after the pending loop so a cell already leased in an earlier
+        # cycle (e.g. before the second worker joined) still gets its
+        # duplicate once another worker is idle.
+        for key in self.config.duplicate_cells:
+            if capacity <= 0 or not idle:
+                return
+            if key in self._duplicated or self._settled(key):
+                continue
+            if key not in self._leased_keys():
+                continue  # primary grant first; catch up next cycle
+            self._duplicated.add(key)
+            self._grant(key, idle.pop(0), now)
+            capacity -= 1
+
+    def _grant(self, key: str, worker_id: str, now: float) -> None:
+        """Lease one cell to one worker (inbox first, journal second).
+
+        The assignment file lands before the journal entry: if we crash
+        in between, the worker computes a cell the journal never leased
+        and its result arrives as a harmless late result — whereas the
+        reverse order could journal a lease whose assignment never
+        existed, a cell no worker will ever touch.
+        """
+        cell = self.cell_by_key[key]
+        lease_id = f"g{self.generation}-{self.stats.lease_grants + 1:04d}"
+        attempt = self.reassignments.get(key, 0) + 1
+        inbox = self.paths.inbox(worker_id)
+        inbox.mkdir(parents=True, exist_ok=True)
+        atomic_write_json(
+            inbox / f"{lease_id}.json",
+            {
+                "kind": "fabric-assignment",
+                "key": key,
+                "lease": lease_id,
+                "attempt": attempt,
+                "point": dict(cell.point),
+                "allocators": list(cell.allocators),
+            },
+        )
+        self.journal.note(
+            EVENT_LEASE_GRANT,
+            key=key,
+            worker=worker_id,
+            lease=lease_id,
+            attempt=attempt,
+        )
+        self.leases[lease_id] = Lease(
+            lease_id=lease_id, key=key, worker=worker_id, attempt=attempt
+        )
+        self._lease_granted[lease_id] = now
+        obs_runtime.count("fabric.lease_grants")
+        self.stats.lease_grants += 1
+
+    def _write_beacon(self, now: float) -> None:
+        """Refresh ``coordinator.json`` at the heartbeat cadence."""
+        if now - self._last_beacon < self.config.heartbeat_interval:
+            return
+        self._last_beacon = now
+        atomic_write_json(
+            self.paths.coordinator,
+            {
+                "kind": "fabric-coordinator",
+                "generation": self.generation,
+                "pid": os.getpid(),
+                "time": time.time(),
+            },
+        )
+
+    # ------------------------------------------------------------------
+
+    def run(self) -> CoordinatorStats:
+        """Drive the watchdog cycle until every cell is settled.
+
+        On completion a ``sweep-complete`` note is journaled and the
+        global ``stop`` file is created so workers exit. An externally
+        created ``stop`` file ends the loop early (recorded in
+        ``stats.stopped_externally``) without marking the sweep done.
+        """
+        started = time.monotonic()
+        try:
+            while True:
+                now = time.monotonic()
+                self._scan_workers(now)
+                self._harvest(now)
+                self._maybe_degrade(now, started)
+                self._assign(now)
+                self._write_beacon(now)
+                if self.done:
+                    self.journal.note(
+                        EVENT_SWEEP_COMPLETE,
+                        completed=len(self.completed),
+                        quarantined=len(self.quarantined),
+                        shed=len(self.shed),
+                    )
+                    self.paths.stop.touch()
+                    break
+                if self.paths.stop.exists():
+                    self.stats.stopped_externally = True
+                    break
+                time.sleep(self.config.poll_interval)
+        finally:
+            self.journal.close()
+        return self.stats
+
+
+def run_coordinator(root: Union[str, Path]) -> CoordinatorStats:
+    """Construct and run one coordinator over a fabric directory."""
+    return Coordinator(root).run()
+
+
+# ----------------------------------------------------------------------
+# report assembly
+# ----------------------------------------------------------------------
+
+
+def collect_report(
+    root: Union[str, Path],
+) -> Union[List[Dict[str, Any]], PartialRows]:
+    """Merge a fabric's results into the sweep report.
+
+    Walks the journaled cell list in order, loads each completed cell's
+    ``results/`` payload (verifying its digest against the journal),
+    and concatenates the rows — which makes the merged report
+    bit-identical to what serial ``sweep()`` returns for the same grid.
+    Shed and never-completed cells surface as ``missing`` and
+    quarantined cells as ``quarantined`` on a
+    :class:`~repro.runs.PartialRows`; a fully settled, fully completed
+    fabric returns a plain list.
+    """
+    paths = FabricPaths(root)
+    replay = replay_fabric(paths.journal)
+    rows: List[Dict[str, Any]] = []
+    missing: Dict[str, str] = {}
+    for cell in replay.cells:
+        if cell.key in replay.digests:
+            payload_path = paths.result_file(cell.key)
+            try:
+                with open(payload_path) as fh:
+                    payload = json.load(fh)
+            except (OSError, json.JSONDecodeError) as exc:
+                missing[cell.key] = f"result payload unreadable: {exc}"
+                continue
+            if digest_obj(payload.get("rows")) != replay.digests[cell.key]:
+                missing[cell.key] = "result payload digest mismatch"
+                continue
+            rows.extend(payload["rows"])
+        elif cell.key in replay.shed:
+            missing[cell.key] = replay.shed[cell.key]
+        elif cell.key not in replay.quarantined:
+            missing[cell.key] = "never completed"
+    if missing or replay.quarantined:
+        return PartialRows(rows, missing, replay.quarantined)
+    return rows
+
+
+# ----------------------------------------------------------------------
+# one-call driver
+# ----------------------------------------------------------------------
+
+
+def fabric_sweep(
+    grid: Mapping[str, Sequence],
+    *,
+    allocators: Sequence[str] = ("default", "balanced"),
+    defaults: Optional[Mapping[str, Any]] = None,
+    workers: int = 2,
+    fabric_dir: Optional[Union[str, Path]] = None,
+    config: Optional[FabricConfig] = None,
+) -> Union[List[Dict[str, Any]], PartialRows]:
+    """Run one sweep through the fabric, end to end, in one call.
+
+    Initializes a fabric directory (a temporary one when ``fabric_dir``
+    is omitted), spawns ``workers`` local worker processes, runs the
+    coordinator in this process, joins the workers, and merges the
+    report. The result is row-for-row identical to
+    ``sweep(grid, allocators=..., defaults=...)`` — the fabric only
+    changes *where* cells execute, never what they produce.
+    """
+    cells = sweep_cells(grid, allocators=allocators, defaults=defaults)
+    context = {
+        "grid": {k: list(v) for k, v in grid.items()},
+        "defaults": dict(defaults or {}),
+        "allocators": list(allocators),
+    }
+    tmp: Optional[tempfile.TemporaryDirectory] = None
+    if fabric_dir is None:
+        tmp = tempfile.TemporaryDirectory(prefix="repro-fabric-")
+        fabric_dir = tmp.name
+    try:
+        init_fabric(fabric_dir, cells, context=context, config=config)
+        procs = spawn_local_workers(fabric_dir, workers)
+        try:
+            Coordinator(fabric_dir).run()
+        finally:
+            FabricPaths(fabric_dir).stop.touch()
+            for proc in procs:
+                proc.join(timeout=30)
+                if proc.is_alive():
+                    proc.terminate()
+                    proc.join(timeout=5)
+        return collect_report(fabric_dir)
+    finally:
+        if tmp is not None:
+            tmp.cleanup()
+
+
+# ----------------------------------------------------------------------
+# status
+# ----------------------------------------------------------------------
+
+
+def fabric_status(root: Union[str, Path]) -> Dict[str, Any]:
+    """Read-only snapshot of a fabric directory (CLI ``fabric status``).
+
+    Replays the journal without repairing it (only the coordinator may
+    truncate) and layers on the live heartbeat view. Heartbeat ages use
+    wall-clock deltas, so across machines with skewed clocks they are
+    indicative, not authoritative — liveness authority stays with the
+    coordinator's monotonic clock.
+    """
+    paths = FabricPaths(root)
+    replay = replay_fabric(paths.journal)
+    now = time.time()
+    workers = []
+    for worker_id in paths.worker_ids():
+        beat = read_heartbeat(paths, worker_id)
+        workers.append(
+            {
+                "worker": worker_id,
+                "seq": None if beat is None else beat.get("seq"),
+                "age_seconds": (
+                    None if beat is None else max(0.0, now - float(beat["time"]))
+                ),
+                "busy_key": None if beat is None else beat.get("busy_key"),
+                "done_cells": 0 if beat is None else int(beat.get("done_cells", 0)),
+            }
+        )
+    return {
+        "root": str(paths.root),
+        "generation": replay.generation,
+        "degraded": replay.degraded,
+        "truncated_tail": replay.truncated,
+        "cells": len(replay.cells),
+        "completed": len(replay.digests),
+        "pending": len(replay.pending_keys()),
+        "active_leases": len(replay.active_leases),
+        "quarantined": len(replay.quarantined),
+        "shed": len(replay.shed),
+        "stopped": paths.stop.exists(),
+        "workers": workers,
+    }
+
+
+def status_metrics(status: Dict[str, Any]) -> MetricsRegistry:
+    """Render a :func:`fabric_status` snapshot as Prometheus gauges."""
+    reg = MetricsRegistry(namespace="repro")
+    reg.gauge("fabric_cells", "Cells declared in the fabric journal").set(
+        status["cells"]
+    )
+    reg.gauge("fabric_completed_cells", "Cells with a journaled result").set(
+        status["completed"]
+    )
+    reg.gauge("fabric_pending_cells", "Cells not yet settled or leased").set(
+        status["pending"]
+    )
+    reg.gauge("fabric_active_leases", "Leases outstanding per the journal").set(
+        status["active_leases"]
+    )
+    reg.gauge("fabric_quarantined_cells", "Cells quarantined as poison").set(
+        status["quarantined"]
+    )
+    reg.gauge("fabric_shed_cells", "Cells shed in degraded mode").set(status["shed"])
+    reg.gauge("fabric_degraded", "1 while the fabric is in degraded mode").set(
+        1.0 if status["degraded"] else 0.0
+    )
+    reg.gauge("fabric_generation", "Coordinator generation counter").set(
+        status["generation"]
+    )
+    live = reg.gauge(
+        "fabric_worker_heartbeat_age_seconds",
+        "Seconds since each worker's last heartbeat",
+        labels=("worker",),
+    )
+    for worker in status["workers"]:
+        if worker["age_seconds"] is not None:
+            live.labels(worker=worker["worker"]).set(worker["age_seconds"])
+    return reg

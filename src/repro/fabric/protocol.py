@@ -1,0 +1,500 @@
+"""On-disk protocol of the sweep fabric.
+
+The fabric runs a sweep's cell grid across independent worker
+processes with nothing shared but a directory (local disk for one
+machine, a network filesystem across machines). Everything in the
+protocol follows two disciplines the rest of the repo established:
+
+* **single-writer files** — every file has exactly one writing process
+  (the coordinator owns the journal, each worker owns its heartbeat
+  and outbox), so there is no cross-process locking anywhere;
+* **atomic replace** — every payload file lands via
+  :func:`repro.runs.atomic_write`, so a reader never observes a torn
+  assignment, heartbeat, or result.
+
+Layout of a fabric directory::
+
+    fabric.json              frozen FabricConfig (written once at init)
+    journal.jsonl            coordinator-owned RunJournal — the single
+                             source of truth (cells, leases, results)
+    coordinator.json         coordinator liveness beacon
+    stop                     global shutdown flag (presence = stop)
+    results/<hash>.json      harvested cell rows, digest-verified
+    workers/<id>/heartbeat.json   worker liveness beacon (seq + clock)
+    workers/<id>/inbox/<lease>.json   assignments, coordinator-written
+    workers/<id>/outbox/<lease>.json  results, worker-written
+
+The *journal* is authoritative: a restarted coordinator replays it
+(:func:`replay_fabric`) to learn which cells exist, which completed
+(and with what digest), and which leases were outstanding — heartbeats
+and mailbox files are merely the live view layered on top. Lease
+events ride on the journal's ``note`` entries, so the file stays a
+perfectly ordinary PR 3 run journal: checksummed per line, readable by
+``load_journal``, tolerant of a torn tail.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from ..runs.atomic import atomic_write_json
+from ..runs.journal import JournalData, RunJournal, load_journal, repair_torn_tail
+from ..runs.retry import RetryPolicy
+
+__all__ = [
+    "FabricConfig",
+    "FabricPaths",
+    "CellSpec",
+    "Lease",
+    "FabricReplay",
+    "init_fabric",
+    "load_fabric_config",
+    "replay_fabric",
+    "write_heartbeat",
+    "read_heartbeat",
+    "cell_file_name",
+]
+
+#: journal ``run_type`` for fabric sweeps
+FABRIC_RUN_TYPE = "fabric-sweep"
+
+#: note events the coordinator writes (all idempotently replayable)
+EVENT_COORD_START = "coordinator-start"
+EVENT_WORKER_JOINED = "worker-joined"
+EVENT_WORKER_DEAD = "worker-dead"
+EVENT_WORKER_REVIVED = "worker-revived"
+EVENT_LEASE_GRANT = "lease-grant"
+EVENT_LEASE_REVOKE = "lease-revoke"
+EVENT_LEASE_ADOPT = "lease-adopt"
+EVENT_CELL_QUARANTINED = "cell-quarantined"
+EVENT_CELL_SHED = "cell-shed"
+EVENT_DEGRADED_ENTER = "degraded-enter"
+EVENT_DUPLICATE_RESULT = "duplicate-result"
+EVENT_LATE_RESULT = "late-result"
+EVENT_SWEEP_COMPLETE = "sweep-complete"
+
+
+@dataclass(frozen=True)
+class FabricConfig:
+    """Tunables shared by the coordinator and every worker.
+
+    Written once to ``fabric.json`` at init so externally attached
+    workers (``repro-sched fabric worker``) and restarted coordinators
+    agree on timing without re-passing flags.
+
+    Attributes
+    ----------
+    heartbeat_interval:
+        Seconds between worker heartbeat writes.
+    heartbeat_ttl:
+        Seconds of heartbeat silence after which the watchdog declares
+        a worker dead and revokes its leases. Must exceed the interval.
+    poll_interval:
+        Coordinator/worker main-loop sleep, seconds.
+    max_reassignments:
+        Times a cell may be re-leased after lease revocations before it
+        is quarantined as poison (the PR 6 quarantine semantics: the
+        cell is dropped *loudly*, the sweep continues).
+    churn_threshold / churn_window:
+        Entering degraded mode: at least ``churn_threshold`` worker
+        deaths within the trailing ``churn_window`` seconds.
+    deadline:
+        Optional wall-clock budget (seconds from coordinator start).
+        Only consulted in degraded mode: once past the deadline,
+        still-unleased cells are shed into the partial report instead
+        of stretching the sweep indefinitely on a dying fleet.
+    retry:
+        Backoff between a cell's lease reassignments — exponential with
+        seeded jitter so many revoked cells don't thunder-herd back
+        onto the first idle worker.
+    coordinator_ttl:
+        Seconds after which another process may take over a fabric
+        whose coordinator beacon went silent.
+    duplicate_cells:
+        Chaos hook: cell keys the coordinator deliberately leases to
+        two workers at once, to prove digest-level deduplication.
+        Empty outside chaos runs.
+    """
+
+    heartbeat_interval: float = 0.5
+    heartbeat_ttl: float = 5.0
+    poll_interval: float = 0.1
+    max_reassignments: int = 3
+    churn_threshold: int = 3
+    churn_window: float = 60.0
+    deadline: Optional[float] = None
+    retry: RetryPolicy = field(
+        default_factory=lambda: RetryPolicy(
+            backoff_base=0.05, backoff_max=5.0, jitter=0.5
+        )
+    )
+    coordinator_ttl: float = 10.0
+    duplicate_cells: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.heartbeat_interval <= 0:
+            raise ValueError(
+                f"heartbeat_interval must be > 0, got {self.heartbeat_interval}"
+            )
+        if self.heartbeat_ttl <= self.heartbeat_interval:
+            raise ValueError(
+                "heartbeat_ttl must exceed heartbeat_interval "
+                f"({self.heartbeat_ttl} <= {self.heartbeat_interval})"
+            )
+        if self.poll_interval <= 0:
+            raise ValueError(f"poll_interval must be > 0, got {self.poll_interval}")
+        if self.max_reassignments < 0:
+            raise ValueError(
+                f"max_reassignments must be >= 0, got {self.max_reassignments}"
+            )
+        if self.churn_threshold < 1:
+            raise ValueError(
+                f"churn_threshold must be >= 1, got {self.churn_threshold}"
+            )
+        if self.churn_window <= 0:
+            raise ValueError(f"churn_window must be > 0, got {self.churn_window}")
+        if self.deadline is not None and self.deadline <= 0:
+            raise ValueError(f"deadline must be > 0, got {self.deadline}")
+        if self.coordinator_ttl <= 0:
+            raise ValueError(
+                f"coordinator_ttl must be > 0, got {self.coordinator_ttl}"
+            )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-JSON representation (what ``fabric.json`` holds)."""
+        return {
+            "kind": "fabric-config",
+            "heartbeat_interval": self.heartbeat_interval,
+            "heartbeat_ttl": self.heartbeat_ttl,
+            "poll_interval": self.poll_interval,
+            "max_reassignments": self.max_reassignments,
+            "churn_threshold": self.churn_threshold,
+            "churn_window": self.churn_window,
+            "deadline": self.deadline,
+            "coordinator_ttl": self.coordinator_ttl,
+            "duplicate_cells": list(self.duplicate_cells),
+            "retry": {
+                "max_retries": self.retry.max_retries,
+                "backoff_base": self.retry.backoff_base,
+                "backoff_factor": self.retry.backoff_factor,
+                "backoff_max": self.retry.backoff_max,
+                "jitter": self.retry.jitter,
+                "jitter_seed": self.retry.jitter_seed,
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "FabricConfig":
+        """Inverse of :meth:`to_dict`."""
+        if data.get("kind") != "fabric-config":
+            raise ValueError(f"not a fabric config: kind={data.get('kind')!r}")
+        retry = data.get("retry", {})
+        return cls(
+            heartbeat_interval=float(data["heartbeat_interval"]),
+            heartbeat_ttl=float(data["heartbeat_ttl"]),
+            poll_interval=float(data["poll_interval"]),
+            max_reassignments=int(data["max_reassignments"]),
+            churn_threshold=int(data["churn_threshold"]),
+            churn_window=float(data["churn_window"]),
+            deadline=(
+                None if data.get("deadline") is None else float(data["deadline"])
+            ),
+            coordinator_ttl=float(data.get("coordinator_ttl", 10.0)),
+            duplicate_cells=tuple(
+                str(k) for k in data.get("duplicate_cells", ())
+            ),
+            retry=RetryPolicy(
+                max_retries=int(retry.get("max_retries", 0)),
+                backoff_base=float(retry.get("backoff_base", 0.05)),
+                backoff_factor=float(retry.get("backoff_factor", 2.0)),
+                backoff_max=float(retry.get("backoff_max", 5.0)),
+                jitter=float(retry.get("jitter", 0.5)),
+                jitter_seed=int(retry.get("jitter_seed", 0)),
+            ),
+        )
+
+    def with_(self, **kwargs: Any) -> "FabricConfig":
+        """Functional update (thin wrapper over ``dataclasses.replace``)."""
+        return replace(self, **kwargs)
+
+
+class FabricPaths:
+    """Path arithmetic for one fabric directory (no I/O of its own)."""
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+
+    @property
+    def config(self) -> Path:
+        """``fabric.json`` — the frozen :class:`FabricConfig`."""
+        return self.root / "fabric.json"
+
+    @property
+    def journal(self) -> Path:
+        """``journal.jsonl`` — the coordinator-owned source of truth."""
+        return self.root / "journal.jsonl"
+
+    @property
+    def coordinator(self) -> Path:
+        """``coordinator.json`` — the coordinator liveness beacon."""
+        return self.root / "coordinator.json"
+
+    @property
+    def stop(self) -> Path:
+        """``stop`` — global shutdown flag (presence = stop)."""
+        return self.root / "stop"
+
+    @property
+    def results(self) -> Path:
+        """``results/`` — harvested per-cell row payloads."""
+        return self.root / "results"
+
+    @property
+    def workers(self) -> Path:
+        """``workers/`` — one subdirectory per worker."""
+        return self.root / "workers"
+
+    def worker(self, worker_id: str) -> Path:
+        """One worker's directory."""
+        return self.workers / worker_id
+
+    def heartbeat(self, worker_id: str) -> Path:
+        """One worker's heartbeat beacon."""
+        return self.worker(worker_id) / "heartbeat.json"
+
+    def inbox(self, worker_id: str) -> Path:
+        """One worker's assignment mailbox (coordinator-written)."""
+        return self.worker(worker_id) / "inbox"
+
+    def outbox(self, worker_id: str) -> Path:
+        """One worker's result mailbox (worker-written)."""
+        return self.worker(worker_id) / "outbox"
+
+    def result_file(self, key: str) -> Path:
+        """Durable rows file for cell ``key`` (hashed file name)."""
+        return self.results / f"{cell_file_name(key)}.json"
+
+    def worker_ids(self) -> List[str]:
+        """Workers that have registered a directory, sorted."""
+        if not self.workers.is_dir():
+            return []
+        return sorted(p.name for p in self.workers.iterdir() if p.is_dir())
+
+
+def cell_file_name(key: str) -> str:
+    """Filesystem-safe, collision-free file stem for a cell key."""
+    return hashlib.sha256(key.encode("utf-8")).hexdigest()[:24]
+
+
+@dataclass(frozen=True)
+class CellSpec:
+    """One cell of the sweep: a fully resolved grid point."""
+
+    key: str
+    point: Dict[str, Any]
+    allocators: Tuple[str, ...]
+
+    def spec_dict(self) -> Dict[str, Any]:
+        """Journal/assignment payload for this cell."""
+        return {"point": dict(self.point), "allocators": list(self.allocators)}
+
+
+@dataclass
+class Lease:
+    """One grant of a cell to a worker (coordinator bookkeeping)."""
+
+    lease_id: str
+    key: str
+    worker: str
+    attempt: int
+
+
+@dataclass
+class FabricReplay:
+    """Authoritative state reconstructed from the fabric journal.
+
+    ``active_leases`` maps cell key to the last granted-and-not-yet
+    revoked/completed lease; ``reassignments`` counts revocations per
+    cell; ``generation`` counts coordinator starts (so a restarted
+    coordinator mints lease ids that can never collide with its
+    predecessor's).
+    """
+
+    context: Dict[str, Any]
+    cells: List[CellSpec] = field(default_factory=list)
+    digests: Dict[str, str] = field(default_factory=dict)
+    active_leases: Dict[str, Lease] = field(default_factory=dict)
+    reassignments: Dict[str, int] = field(default_factory=dict)
+    quarantined: Dict[str, str] = field(default_factory=dict)
+    shed: Dict[str, str] = field(default_factory=dict)
+    generation: int = 0
+    degraded: bool = False
+    notes: List[Dict[str, Any]] = field(default_factory=list)
+    truncated: bool = False
+
+    @property
+    def complete(self) -> bool:
+        """True when every declared cell is completed, shed, or quarantined."""
+        return not self.pending_keys()
+
+    def pending_keys(self) -> List[str]:
+        """Cells with no result, quarantine, or shed mark, in task order."""
+        settled = set(self.digests) | set(self.quarantined) | set(self.shed)
+        return [c.key for c in self.cells if c.key not in settled]
+
+
+def init_fabric(
+    root: Union[str, Path],
+    cells: List[CellSpec],
+    *,
+    context: Dict[str, Any],
+    config: Optional[FabricConfig] = None,
+) -> FabricPaths:
+    """Create a fabric directory: config, journal header, cell manifest.
+
+    ``context`` is stored in the journal header and must contain
+    everything a restarted coordinator (or ``fabric status``) needs to
+    understand the run — for sweeps that is the grid, defaults, and
+    allocator list. Fails if the directory already holds a journal:
+    restarting an existing fabric goes through the coordinator's resume
+    path, not through init.
+    """
+    paths = FabricPaths(root)
+    if paths.journal.exists() and paths.journal.stat().st_size > 0:
+        raise ValueError(
+            f"{paths.journal}: fabric already initialized "
+            "(resume it instead of re-initializing)"
+        )
+    config = config or FabricConfig()
+    paths.root.mkdir(parents=True, exist_ok=True)
+    paths.results.mkdir(parents=True, exist_ok=True)
+    paths.workers.mkdir(parents=True, exist_ok=True)
+    atomic_write_json(paths.config, config.to_dict())
+    journal = RunJournal(paths.journal, run_type=FABRIC_RUN_TYPE, context=context)
+    try:
+        for cell in cells:
+            journal.task(cell.key, cell.spec_dict())
+    finally:
+        journal.close()
+    return paths
+
+
+def load_fabric_config(root: Union[str, Path]) -> FabricConfig:
+    """Read ``fabric.json`` from a fabric directory."""
+    paths = FabricPaths(root)
+    with open(paths.config) as fh:
+        return FabricConfig.from_dict(json.load(fh))
+
+
+def _journal_to_replay(data: JournalData) -> FabricReplay:
+    """Fold journal entries into a :class:`FabricReplay` (pure)."""
+    replay = FabricReplay(context=data.context, truncated=data.truncated)
+    for key, spec in data.tasks.items():
+        replay.cells.append(
+            CellSpec(
+                key=key,
+                point=dict(spec.get("point", {})),
+                allocators=tuple(spec.get("allocators", ())),
+            )
+        )
+    replay.digests = dict(data.digests)
+    for note in data.notes:
+        event = note.get("event")
+        replay.notes.append(note)
+        if event == EVENT_COORD_START:
+            replay.generation += 1
+        elif event in (EVENT_LEASE_GRANT, EVENT_LEASE_ADOPT):
+            replay.active_leases[note["key"]] = Lease(
+                lease_id=str(note["lease"]),
+                key=str(note["key"]),
+                worker=str(note["worker"]),
+                attempt=int(note.get("attempt", 1)),
+            )
+        elif event == EVENT_LEASE_REVOKE:
+            lease = replay.active_leases.get(note["key"])
+            if lease is not None and lease.lease_id == str(note["lease"]):
+                del replay.active_leases[note["key"]]
+            replay.reassignments[note["key"]] = (
+                replay.reassignments.get(note["key"], 0) + 1
+            )
+        elif event == EVENT_CELL_QUARANTINED:
+            replay.quarantined[note["key"]] = str(note.get("error", ""))
+        elif event == EVENT_CELL_SHED:
+            replay.shed[note["key"]] = str(note.get("reason", ""))
+        elif event == EVENT_DEGRADED_ENTER:
+            replay.degraded = True
+    for key in replay.digests:
+        replay.active_leases.pop(key, None)
+    return replay
+
+
+def replay_fabric(
+    journal_path: Union[str, Path], *, repair: bool = False
+) -> FabricReplay:
+    """Replay a fabric journal into its authoritative state.
+
+    ``repair=True`` first truncates a torn final line (see
+    :func:`repro.runs.journal.repair_torn_tail`) — only the process
+    about to *append* (a restarting coordinator) may do that; readers
+    like ``fabric status`` replay read-only and report ``truncated``.
+    """
+    if repair:
+        repair_torn_tail(journal_path)
+    return _journal_to_replay(load_journal(journal_path))
+
+
+# ----------------------------------------------------------------------
+# heartbeats
+# ----------------------------------------------------------------------
+
+
+def write_heartbeat(
+    paths: FabricPaths,
+    worker_id: str,
+    seq: int,
+    *,
+    busy_key: Optional[str] = None,
+    done_cells: int = 0,
+) -> None:
+    """Atomically publish one worker heartbeat.
+
+    ``seq`` must increase monotonically per worker: liveness is judged
+    by *observing the sequence advance*, not by comparing wall clocks,
+    so heartbeats work across machines with skewed clocks.
+    """
+    atomic_write_json(
+        paths.heartbeat(worker_id),
+        {
+            "kind": "fabric-heartbeat",
+            "worker": worker_id,
+            "seq": int(seq),
+            "pid": os.getpid(),
+            "time": time.time(),
+            "busy_key": busy_key,
+            "done_cells": int(done_cells),
+        },
+    )
+
+
+def read_heartbeat(paths: FabricPaths, worker_id: str) -> Optional[Dict[str, Any]]:
+    """Read one worker's heartbeat; ``None`` when absent or unparsable.
+
+    An unparsable beacon is treated as absent rather than an error:
+    heartbeats are written atomically, so garbage means the worker
+    never wrote one — and a *silent* worker is exactly what the
+    watchdog already handles.
+    """
+    try:
+        with open(paths.heartbeat(worker_id)) as fh:
+            data = json.load(fh)
+    except (OSError, json.JSONDecodeError):
+        return None
+    if not isinstance(data, dict) or data.get("kind") != "fabric-heartbeat":
+        return None
+    return data

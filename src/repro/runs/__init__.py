@@ -46,7 +46,7 @@ from .executor import (
     run_tasks,
 )
 from .integrity import IntegrityError
-from .journal import JournalData, RunJournal, load_journal
+from .journal import JournalData, RunJournal, load_journal, repair_torn_tail
 from .retry import ON_ERROR_MODES, RetryPolicy, require_on_error
 from .verify import VerifyReport, replay_task, verify_journal
 
@@ -70,6 +70,7 @@ __all__ = [
     "JournalData",
     "RunJournal",
     "load_journal",
+    "repair_torn_tail",
     "ON_ERROR_MODES",
     "RetryPolicy",
     "require_on_error",

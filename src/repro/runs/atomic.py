@@ -8,7 +8,10 @@ on POSIX, so a crash — a SIGKILL, an OOM kill, a power cut — at any
 instant leaves either the previous complete file or the new complete
 file, never a truncated hybrid. The temp file lives next to the target
 (not in ``/tmp``) because ``rename`` is only atomic within one
-filesystem.
+filesystem; if the rename still crosses filesystems (bind mounts,
+overlayfs, a symlinked target directory) and raises ``EXDEV``, the
+write falls back to copy + fsync + rename inside the target's resolved
+directory rather than failing (see :func:`_replace_into_place`).
 
 After the replace the containing *directory* is fsynced too (best
 effort — some platforms refuse ``fsync`` on a directory fd, and the
@@ -24,8 +27,10 @@ I/O into every durable write without this module knowing about chaos.
 
 from __future__ import annotations
 
+import errno
 import json
 import os
+import shutil
 import tempfile
 from contextlib import contextmanager
 from pathlib import Path
@@ -56,6 +61,47 @@ def _fsync_directory(directory: Path) -> None:
         os.close(fd)
 
 
+def _replace_into_place(tmp_name: str, target: Path) -> None:
+    """``os.replace`` with an EXDEV fallback (copy + fsync + rename).
+
+    The temp file is created next to the target precisely so the final
+    rename stays within one filesystem — but mount tricks (a bind-mounted
+    target, an overlayfs upper layer, a symlinked directory resolving
+    elsewhere) can still make ``os.replace`` raise ``EXDEV``. In that
+    case the contents are copied to a *second* temp file inside the
+    target's fully resolved directory (guaranteed to share the target's
+    filesystem), fsynced, and renamed into place — the write stays
+    atomic from every reader's point of view, it just costs one extra
+    copy. Any other ``OSError`` propagates unchanged.
+    """
+    try:
+        os.replace(tmp_name, target)
+    except OSError as exc:
+        if exc.errno != errno.EXDEV:
+            raise
+        resolved = Path(os.path.realpath(target))
+        fd, near_name = tempfile.mkstemp(
+            dir=resolved.parent, prefix=resolved.name + ".", suffix=".xdev.tmp"
+        )
+        try:
+            with os.fdopen(fd, "wb") as out, open(tmp_name, "rb") as src:
+                shutil.copyfileobj(src, out)
+                out.flush()
+                os.fsync(out.fileno())
+            os.replace(near_name, resolved)
+        except BaseException:
+            try:
+                os.unlink(near_name)
+            except OSError:
+                pass
+            raise
+        finally:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+
+
 @contextmanager
 def atomic_write(path: Union[str, Path], *, mode: str = "w") -> Iterator[Any]:
     """Context manager yielding a handle whose contents replace ``path``.
@@ -81,7 +127,7 @@ def atomic_write(path: Union[str, Path], *, mode: str = "w") -> Iterator[Any]:
             fh.flush()
             os.fsync(fh.fileno())
         _failpoints.trigger("atomic_write", detail=str(target))
-        os.replace(tmp_name, target)
+        _replace_into_place(tmp_name, target)
         _fsync_directory(target.parent)
     except BaseException:
         try:

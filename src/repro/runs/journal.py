@@ -43,7 +43,13 @@ from typing import Any, Dict, List, Optional, Union
 
 from .integrity import ENTRY_CHECKSUM_FIELD, IntegrityError, checksum_entry, verify_entry
 
-__all__ = ["RunJournal", "JournalData", "load_journal", "JOURNAL_VERSION"]
+__all__ = [
+    "RunJournal",
+    "JournalData",
+    "load_journal",
+    "repair_torn_tail",
+    "JOURNAL_VERSION",
+]
 
 JOURNAL_VERSION = 1
 
@@ -233,3 +239,44 @@ def load_journal(path: Union[str, Path]) -> JournalData:
     if header is None:
         raise ValueError(f"{path}: empty journal")
     return data
+
+
+def repair_torn_tail(path: Union[str, Path]) -> Optional[int]:
+    """Truncate a torn final line so the journal can be appended to again.
+
+    A process that dies mid-append leaves a partial final line. Readers
+    tolerate it (``truncated=True``), but a *writer* reopening the file
+    in append mode would glue its next record onto the partial line,
+    turning a benign torn tail into mid-file corruption. This trims the
+    file back to the last complete line — the torn fragment was never a
+    complete record, so nothing that was durably journaled is lost, and
+    the append-only discipline is preserved.
+
+    Returns the number of bytes dropped, or ``None`` when the tail was
+    intact (including the empty/missing-file cases, which are left for
+    the writer to handle). A tail that parses but fails its checksum is
+    *corruption*, not a tear, and still raises
+    :class:`~repro.runs.integrity.IntegrityError` via the load.
+    """
+    path = Path(path)
+    if not path.exists() or path.stat().st_size == 0:
+        return None
+    data = load_journal(path)  # raises on real (non-tail) corruption
+    if not data.truncated:
+        return None
+    with open(path, "rb") as fh:
+        keep = 0
+        for raw in fh:
+            if raw.endswith(b"\n"):
+                try:
+                    json.loads(raw.strip().decode("utf-8"))
+                except (json.JSONDecodeError, UnicodeDecodeError):
+                    break
+                keep += len(raw)
+            else:
+                break
+        fh.seek(0, 2)
+        dropped = fh.tell() - keep
+    with open(path, "r+b") as fh:
+        fh.truncate(keep)
+    return dropped

@@ -1,0 +1,1 @@
+"""Tests for the distributed sweep fabric (repro.fabric)."""

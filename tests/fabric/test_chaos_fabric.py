@@ -1,0 +1,53 @@
+"""The PR 8 acceptance scenario: lose two workers AND the coordinator.
+
+``run_fabric_chaos`` kills two workers on their first cells, partitions
+a third worker's heartbeats while it keeps computing, double-leases one
+cell on purpose, and SIGKILLs the coordinator as soon as the first
+result lands. A takeover coordinator must then finish the sweep with
+zero duplicate or missing cells, a merged report **bit-identical** to
+serial ``sweep()``, and every recovery action visible in the
+:mod:`repro.obs` counters.
+"""
+
+from repro.chaos.fabric import generate_fabric_chaos_plan, run_fabric_chaos
+
+
+class TestFabricChaosPlan:
+    def test_same_seed_same_plan(self):
+        assert generate_fabric_chaos_plan(3) == generate_fabric_chaos_plan(3)
+
+    def test_seed_varies_parameters_not_structure(self):
+        a = generate_fabric_chaos_plan(0)
+        b = generate_fabric_chaos_plan(1)
+        assert (a.duplicate_cell, a.hang_seconds) != (b.duplicate_cell, b.hang_seconds)
+        assert a.kill_workers == b.kill_workers
+        assert a.kill_coordinator and b.kill_coordinator
+
+    def test_hang_outlasts_battery_ttl(self):
+        # The partition is only a partition if the watchdog declares the
+        # worker dead, i.e. silence must exceed the battery's 1.0s TTL.
+        for seed in range(5):
+            assert generate_fabric_chaos_plan(seed).hang_seconds > 1.0
+
+    def test_plan_serializes(self):
+        plan = generate_fabric_chaos_plan(0)
+        data = plan.to_dict()
+        assert data["kind"] == "fabric-chaos-plan"
+        assert data["duplicate_cell"] == plan.duplicate_cell
+
+
+class TestFabricChaosBattery:
+    def test_lose_two_workers_and_coordinator_bit_identical(self):
+        report = run_fabric_chaos(seed=0)
+        assert report.ok, report.summary()
+        # the coordinator really died mid-run and a takeover finished
+        assert report.coordinator_killed
+        assert report.generation >= 2
+        # the acceptance floor: at least two workers lost...
+        assert report.counters.get("fabric.worker_deaths", 0) >= 2
+        # ...their cells re-leased, and the fleet's results merged with
+        # no cell lost or double-counted
+        assert report.counters.get("fabric.lease_reassignments", 0) >= 1
+        assert report.counters.get("fabric.leases_adopted", 0) >= 1
+        assert report.bit_identical
+        assert report.rows == report.baseline_rows

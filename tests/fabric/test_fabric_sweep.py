@@ -1,0 +1,266 @@
+"""Fabric execution: bit-identical sweeps, recovery paths, status."""
+
+import json
+
+import pytest
+
+from repro.experiments.sweeps import sweep
+from repro.fabric import (
+    CellSpec,
+    Coordinator,
+    FabricConfig,
+    FabricPaths,
+    WorkerChaos,
+    collect_report,
+    fabric_status,
+    fabric_sweep,
+    init_fabric,
+    spawn_local_workers,
+    status_metrics,
+    sweep_cells,
+)
+from repro.obs import runtime as obs_runtime
+from repro.runs import PartialRows, RetryPolicy
+
+GRID = {"seed": [0, 1]}
+DEFAULTS = {"n_jobs": 20}
+ALLOCATORS = ("default", "balanced")
+
+#: tight timings so watchdog-path tests run in seconds, not minutes
+FAST = dict(heartbeat_interval=0.1, heartbeat_ttl=0.8, poll_interval=0.03)
+
+
+def wait_for_heartbeats(root, worker_ids, timeout=30.0):
+    """Block until every named worker has written a first heartbeat."""
+    import time
+
+    paths = FabricPaths(root)
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if all(paths.heartbeat(w).exists() for w in worker_ids):
+            return
+        time.sleep(0.01)
+    raise TimeoutError(f"workers {worker_ids} never heartbeated")
+
+
+def run_fabric(tmp_path, cells, config, workers=1, chaos=None, join_first=False):
+    """Init a fabric, run `workers` workers + an in-process coordinator.
+
+    ``join_first`` waits for every worker's first heartbeat before the
+    coordinator starts — for tests whose scenario needs the whole fleet
+    present at the first assignment cycle.
+    """
+    root = tmp_path / "fab"
+    init_fabric(root, cells, context={}, config=config)
+    procs = spawn_local_workers(root, workers, chaos=chaos)
+    if join_first:
+        wait_for_heartbeats(root, [f"w{i}" for i in range(workers)])
+    recorder = obs_runtime.PerfRecorder()
+    try:
+        with obs_runtime.collecting(recorder):
+            stats = Coordinator(root).run()
+    finally:
+        FabricPaths(root).stop.touch()
+        for proc in procs:
+            proc.join(timeout=30)
+            if proc.is_alive():
+                proc.terminate()
+    return root, stats, recorder.counters
+
+
+class TestBitIdentical:
+    def test_fabric_sweep_matches_serial(self, tmp_path):
+        serial = sweep(GRID, allocators=ALLOCATORS, defaults=DEFAULTS)
+        fabric = fabric_sweep(
+            GRID,
+            allocators=ALLOCATORS,
+            defaults=DEFAULTS,
+            workers=2,
+            fabric_dir=tmp_path / "fab",
+            config=FabricConfig(**FAST),
+        )
+        assert not isinstance(fabric, PartialRows)
+        assert json.dumps(list(fabric), sort_keys=True) == json.dumps(
+            serial, sort_keys=True
+        )
+
+    def test_cells_match_serial_expansion(self):
+        cells = sweep_cells(GRID, allocators=ALLOCATORS, defaults=DEFAULTS)
+        assert [c.key for c in cells] == ["seed=0", "seed=1"]
+        assert cells[0].point["n_jobs"] == 20
+        assert cells[0].allocators == ALLOCATORS
+
+
+class TestDuplicateLease:
+    def test_duplicate_lease_deduped_by_digest(self, tmp_path):
+        # Two healthy workers, the only cell deliberately double-leased:
+        # both compute it; exactly one result lands, the other is a
+        # counted duplicate. join_first makes both workers visible at
+        # the first assignment cycle, so the double grant is guaranteed.
+        cells = sweep_cells({"seed": [0]}, allocators=("default",), defaults=DEFAULTS)
+        config = FabricConfig(**FAST, duplicate_cells=(cells[0].key,))
+        root, stats, counters = run_fabric(
+            tmp_path, cells, config, workers=2, join_first=True
+        )
+        assert stats.completed == 1
+        assert counters.get("fabric.duplicate_results", 0) >= 1
+        rows = collect_report(root)
+        assert not isinstance(rows, PartialRows)
+        assert len(rows) == 1  # one cell x one allocator: no double-landing
+
+
+class TestWorkerDeathRecovery:
+    def test_killed_worker_cell_reassigned(self, tmp_path):
+        cells = sweep_cells(GRID, allocators=("default",), defaults=DEFAULTS)
+        config = FabricConfig(
+            **FAST, retry=RetryPolicy(backoff_base=0.05, backoff_max=0.5, jitter=0.5)
+        )
+        chaos = {"w0": WorkerChaos(kill_on_cell="*")}
+        root, stats, counters = run_fabric(
+            tmp_path, cells, config, workers=2, chaos=chaos
+        )
+        assert counters.get("fabric.worker_deaths", 0) >= 1
+        assert counters.get("fabric.lease_reassignments", 0) >= 1
+        rows = collect_report(root)
+        assert not isinstance(rows, PartialRows)
+        assert len(rows) == len(cells)
+
+
+class TestQuarantine:
+    def test_poison_cell_quarantined_not_fatal(self, tmp_path):
+        good = sweep_cells({"seed": [0]}, allocators=("default",), defaults=DEFAULTS)
+        poison = CellSpec(
+            key="poison",
+            point=dict(good[0].point, log="no-such-log"),
+            allocators=("default",),
+        )
+        config = FabricConfig(
+            **FAST,
+            max_reassignments=1,
+            retry=RetryPolicy(backoff_base=0.02, backoff_max=0.1),
+        )
+        root, stats, counters = run_fabric(
+            tmp_path, good + [poison], config, workers=1
+        )
+        assert stats.quarantined == 1
+        assert counters.get("runs.quarantined_cells", 0) == 1
+        assert counters.get("fabric.cell_errors", 0) >= 2
+        rows = collect_report(root)
+        assert isinstance(rows, PartialRows)
+        assert set(rows.quarantined) == {"poison"}
+        assert not rows.missing
+        assert len(rows) == 1  # the good cell still completed
+
+
+class TestDegradedMode:
+    def test_churn_triggers_degraded_and_deadline_sheds(self, tmp_path):
+        # The only worker dies immediately; churn_threshold=1 flips the
+        # fabric into degraded mode, and once the deadline passes every
+        # still-pending cell is shed into an explicit partial report.
+        cells = sweep_cells(GRID, allocators=("default",), defaults=DEFAULTS)
+        config = FabricConfig(
+            **FAST,
+            churn_threshold=1,
+            deadline=1.5,
+            retry=RetryPolicy(backoff_base=0.05, backoff_max=0.5),
+        )
+        chaos = {"w0": WorkerChaos(kill_on_cell="*")}
+        root, stats, counters = run_fabric(
+            tmp_path, cells, config, workers=1, chaos=chaos
+        )
+        assert stats.degraded
+        assert counters.get("fabric.degraded_entries", 0) == 1
+        assert counters.get("fabric.cells_shed", 0) >= 1
+        rows = collect_report(root)
+        assert isinstance(rows, PartialRows)
+        assert rows.missing  # shed cells are named, never silent
+
+
+class TestCoordinatorGuards:
+    def write_beacon(self, root, pid):
+        import json as _json
+        import time as _time
+
+        FabricPaths(root).coordinator.write_text(
+            _json.dumps(
+                {"kind": "fabric-coordinator", "generation": 1, "pid": pid,
+                 "time": _time.time()}
+            )
+        )
+
+    def init(self, tmp_path):
+        root = tmp_path / "fab"
+        init_fabric(
+            root,
+            sweep_cells(GRID, allocators=("default",)),
+            context={},
+            config=FabricConfig(**FAST),
+        )
+        return root
+
+    def test_refused_while_foreign_coordinator_alive(self, tmp_path):
+        root = self.init(tmp_path)
+        self.write_beacon(root, pid=1)  # alive, and never us
+        with pytest.raises(RuntimeError, match="refusing"):
+            Coordinator(root)
+
+    def test_takeover_when_beacon_pid_is_dead(self, tmp_path):
+        import multiprocessing as mp
+
+        root = self.init(tmp_path)
+        child = mp.Process(target=int)  # exits immediately
+        child.start()
+        dead_pid = child.pid
+        child.join()
+        self.write_beacon(root, pid=dead_pid)
+        coordinator = Coordinator(root)  # the kill-coordinator takeover path
+        assert coordinator.generation == 1
+        coordinator.journal.close()
+
+    def test_own_pid_allows_restart(self, tmp_path):
+        import os as _os
+
+        root = self.init(tmp_path)
+        self.write_beacon(root, pid=_os.getpid())
+        Coordinator(root).journal.close()
+
+    def test_missing_result_payload_requeued_on_restart(self, tmp_path):
+        cells = sweep_cells({"seed": [0]}, allocators=("default",), defaults=DEFAULTS)
+        config = FabricConfig(**FAST)
+        root, stats, _ = run_fabric(tmp_path, cells, config, workers=1)
+        assert stats.completed == 1
+        paths = FabricPaths(root)
+        paths.result_file(cells[0].key).unlink()
+        paths.stop.unlink()  # allow a new coordinator generation
+        paths.coordinator.unlink()
+        recorder = obs_runtime.PerfRecorder()
+        procs = spawn_local_workers(root, 1, name_prefix="x")
+        try:
+            with obs_runtime.collecting(recorder):
+                stats2 = Coordinator(root).run()
+        finally:
+            paths.stop.touch()
+            for proc in procs:
+                proc.join(timeout=30)
+        assert recorder.counters.get("fabric.results_requeued", 0) == 1
+        assert stats2.completed == 1  # recomputed, not trusted blindly
+        rows = collect_report(root)
+        assert not isinstance(rows, PartialRows)
+
+
+class TestStatus:
+    def test_status_and_metrics(self, tmp_path):
+        cells = sweep_cells(GRID, allocators=("default",), defaults=DEFAULTS)
+        root, stats, _ = run_fabric(
+            tmp_path, cells, FabricConfig(**FAST), workers=1
+        )
+        status = fabric_status(root)
+        assert status["cells"] == 2
+        assert status["completed"] == 2
+        assert status["pending"] == 0
+        assert status["stopped"] is True
+        assert status["generation"] == 1
+        assert [w["worker"] for w in status["workers"]] == ["w0"]
+        text = status_metrics(status).render_prometheus()
+        assert "repro_fabric_completed_cells 2" in text
+        assert 'repro_fabric_worker_heartbeat_age_seconds{worker="w0"}' in text

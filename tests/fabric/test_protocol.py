@@ -1,0 +1,258 @@
+"""Fabric on-disk protocol: config, layout, heartbeats, journal replay."""
+
+import json
+
+import pytest
+
+from repro.fabric.protocol import (
+    EVENT_CELL_QUARANTINED,
+    EVENT_CELL_SHED,
+    EVENT_COORD_START,
+    EVENT_DEGRADED_ENTER,
+    EVENT_LEASE_ADOPT,
+    EVENT_LEASE_GRANT,
+    EVENT_LEASE_REVOKE,
+    CellSpec,
+    FabricConfig,
+    FabricPaths,
+    cell_file_name,
+    init_fabric,
+    load_fabric_config,
+    read_heartbeat,
+    replay_fabric,
+    write_heartbeat,
+)
+from repro.runs import RunJournal
+
+
+def make_cells(n=3):
+    return [
+        CellSpec(
+            key=f"seed={i}",
+            point={"seed": i, "n_jobs": 10},
+            allocators=("default",),
+        )
+        for i in range(n)
+    ]
+
+
+class TestFabricConfig:
+    def test_round_trip(self):
+        cfg = FabricConfig(
+            heartbeat_interval=0.2,
+            heartbeat_ttl=2.0,
+            deadline=30.0,
+            duplicate_cells=("a", "b"),
+        )
+        assert FabricConfig.from_dict(cfg.to_dict()) == cfg
+
+    def test_ttl_must_exceed_interval(self):
+        with pytest.raises(ValueError, match="heartbeat_ttl"):
+            FabricConfig(heartbeat_interval=1.0, heartbeat_ttl=0.5)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"heartbeat_interval": 0.0},
+            {"poll_interval": 0.0},
+            {"max_reassignments": -1},
+            {"churn_threshold": 0},
+            {"churn_window": 0.0},
+            {"deadline": 0.0},
+            {"coordinator_ttl": 0.0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            FabricConfig(**kwargs)
+
+    def test_wrong_kind_rejected(self):
+        with pytest.raises(ValueError, match="kind"):
+            FabricConfig.from_dict({"kind": "nope"})
+
+    def test_with_updates_functionally(self):
+        cfg = FabricConfig()
+        assert cfg.with_(heartbeat_ttl=9.0).heartbeat_ttl == 9.0
+        assert cfg.heartbeat_ttl != 9.0 or cfg.heartbeat_ttl == 5.0
+
+
+class TestLayout:
+    def test_cell_file_name_is_stable_and_safe(self):
+        name = cell_file_name("log=theta|seed=0")
+        assert name == cell_file_name("log=theta|seed=0")
+        assert name != cell_file_name("log=theta|seed=1")
+        assert name.isalnum()
+
+    def test_paths(self, tmp_path):
+        paths = FabricPaths(tmp_path)
+        assert paths.heartbeat("w0").parent == paths.worker("w0")
+        assert paths.inbox("w0").parent == paths.worker("w0")
+        assert paths.result_file("k").parent == paths.results
+
+    def test_worker_ids_sorted(self, tmp_path):
+        paths = FabricPaths(tmp_path)
+        for wid in ("w2", "w0", "w1"):
+            paths.worker(wid).mkdir(parents=True)
+        assert paths.worker_ids() == ["w0", "w1", "w2"]
+
+
+class TestInitFabric:
+    def test_init_declares_cells_and_config(self, tmp_path):
+        cells = make_cells()
+        paths = init_fabric(
+            tmp_path / "fab", cells, context={"purpose": "test"}
+        )
+        assert load_fabric_config(paths.root) == FabricConfig()
+        replay = replay_fabric(paths.journal)
+        assert [c.key for c in replay.cells] == [c.key for c in cells]
+        assert replay.cells[1].point == {"seed": 1, "n_jobs": 10}
+        assert replay.context == {"purpose": "test"}
+        assert replay.pending_keys() == [c.key for c in cells]
+        assert not replay.complete
+
+    def test_double_init_rejected(self, tmp_path):
+        init_fabric(tmp_path, make_cells(), context={})
+        with pytest.raises(ValueError, match="already initialized"):
+            init_fabric(tmp_path, make_cells(), context={})
+
+
+class TestHeartbeats:
+    def test_round_trip(self, tmp_path):
+        paths = FabricPaths(tmp_path)
+        paths.worker("w0").mkdir(parents=True)
+        write_heartbeat(paths, "w0", 7, busy_key="seed=1", done_cells=3)
+        beat = read_heartbeat(paths, "w0")
+        assert beat["seq"] == 7
+        assert beat["busy_key"] == "seed=1"
+        assert beat["done_cells"] == 3
+
+    def test_absent_is_none(self, tmp_path):
+        assert read_heartbeat(FabricPaths(tmp_path), "ghost") is None
+
+    def test_garbage_is_none(self, tmp_path):
+        paths = FabricPaths(tmp_path)
+        paths.worker("w0").mkdir(parents=True)
+        paths.heartbeat("w0").write_text("not json")
+        assert read_heartbeat(paths, "w0") is None
+        paths.heartbeat("w0").write_text(json.dumps({"kind": "other"}))
+        assert read_heartbeat(paths, "w0") is None
+
+
+class TestReplay:
+    def write_events(self, paths, events):
+        journal = RunJournal(paths.journal)
+        for event, fields in events:
+            journal.note(event, **fields)
+        journal.close()
+
+    def test_lease_lifecycle(self, tmp_path):
+        paths = init_fabric(tmp_path, make_cells(2), context={})
+        self.write_events(
+            paths,
+            [
+                (EVENT_COORD_START, {"generation": 1}),
+                (
+                    EVENT_LEASE_GRANT,
+                    {"key": "seed=0", "worker": "w0", "lease": "g1-1", "attempt": 1},
+                ),
+                (
+                    EVENT_LEASE_GRANT,
+                    {"key": "seed=1", "worker": "w1", "lease": "g1-2", "attempt": 1},
+                ),
+                (
+                    EVENT_LEASE_REVOKE,
+                    {
+                        "key": "seed=0",
+                        "worker": "w0",
+                        "lease": "g1-1",
+                        "reason": "worker-dead",
+                    },
+                ),
+            ],
+        )
+        replay = replay_fabric(paths.journal)
+        assert replay.generation == 1
+        assert set(replay.active_leases) == {"seed=1"}
+        assert replay.active_leases["seed=1"].worker == "w1"
+        assert replay.reassignments == {"seed=0": 1}
+        # revoked cell is pending again; leased cell is not settled either
+        assert replay.pending_keys() == ["seed=0", "seed=1"]
+
+    def test_revoke_of_superseded_lease_keeps_newer(self, tmp_path):
+        paths = init_fabric(tmp_path, make_cells(1), context={})
+        self.write_events(
+            paths,
+            [
+                (
+                    EVENT_LEASE_GRANT,
+                    {"key": "seed=0", "worker": "w0", "lease": "g1-1", "attempt": 1},
+                ),
+                (
+                    EVENT_LEASE_GRANT,
+                    {"key": "seed=0", "worker": "w1", "lease": "g1-2", "attempt": 1},
+                ),
+                (
+                    EVENT_LEASE_REVOKE,
+                    {
+                        "key": "seed=0",
+                        "worker": "w0",
+                        "lease": "g1-1",
+                        "reason": "worker-dead",
+                    },
+                ),
+            ],
+        )
+        replay = replay_fabric(paths.journal)
+        # the duplicate (newer) lease survives the old lease's revocation
+        assert replay.active_leases["seed=0"].lease_id == "g1-2"
+
+    def test_adopt_and_terminal_states(self, tmp_path):
+        paths = init_fabric(tmp_path, make_cells(4), context={})
+        journal = RunJournal(paths.journal)
+        journal.note(
+            EVENT_LEASE_ADOPT, key="seed=0", worker="w0", lease="g1-1", attempt=2
+        )
+        journal.result("seed=1", 1, "abc123")
+        journal.note(EVENT_CELL_QUARANTINED, key="seed=2", error="poison")
+        journal.note(EVENT_CELL_SHED, key="seed=3", reason="deadline")
+        journal.note(EVENT_DEGRADED_ENTER, deaths=3, window=60.0)
+        journal.close()
+        replay = replay_fabric(paths.journal)
+        assert replay.digests == {"seed=1": "abc123"}
+        assert replay.quarantined == {"seed=2": "poison"}
+        assert replay.shed == {"seed=3": "deadline"}
+        assert replay.degraded
+        assert replay.pending_keys() == ["seed=0"]  # leased but not settled
+        assert not replay.complete
+
+    def test_result_clears_active_lease(self, tmp_path):
+        paths = init_fabric(tmp_path, make_cells(1), context={})
+        journal = RunJournal(paths.journal)
+        journal.note(
+            EVENT_LEASE_GRANT, key="seed=0", worker="w0", lease="g1-1", attempt=1
+        )
+        journal.result("seed=0", 1, "abc")
+        journal.close()
+        replay = replay_fabric(paths.journal)
+        assert replay.active_leases == {}
+        assert replay.complete
+
+    def test_generation_counts_coordinator_starts(self, tmp_path):
+        paths = init_fabric(tmp_path, make_cells(1), context={})
+        self.write_events(
+            paths,
+            [(EVENT_COORD_START, {"generation": 1}), (EVENT_COORD_START, {"generation": 2})],
+        )
+        assert replay_fabric(paths.journal).generation == 2
+
+    def test_repair_flag_truncates_torn_tail(self, tmp_path):
+        paths = init_fabric(tmp_path, make_cells(1), context={})
+        size = paths.journal.stat().st_size
+        with open(paths.journal, "ab") as fh:
+            fh.write(b'{"kind": "note", "eve')
+        replay = replay_fabric(paths.journal)  # read-only: flagged only
+        assert replay.truncated
+        assert paths.journal.stat().st_size > size
+        replay = replay_fabric(paths.journal, repair=True)
+        assert not replay.truncated
+        assert paths.journal.stat().st_size == size

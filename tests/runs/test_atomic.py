@@ -82,3 +82,56 @@ class TestHelpers:
             seen = [p.name for p in target.parent.iterdir()]
             fh.write("x")
         assert any(name.startswith("out.txt.") for name in seen)
+
+
+class TestExdevFallback:
+    """``os.replace`` crossing a filesystem boundary must not fail the write."""
+
+    def _patch_replace_exdev(self, monkeypatch):
+        """Make os.replace raise EXDEV for the primary temp file only."""
+        import errno
+
+        real_replace = os.replace
+        calls = []
+
+        def fake_replace(src, dst):
+            calls.append(str(src))
+            if ".xdev.tmp" not in str(src):
+                raise OSError(errno.EXDEV, "Invalid cross-device link", str(src))
+            return real_replace(src, dst)
+
+        monkeypatch.setattr(os, "replace", fake_replace)
+        return calls
+
+    def test_exdev_falls_back_to_copy(self, tmp_path, monkeypatch):
+        calls = self._patch_replace_exdev(monkeypatch)
+        target = tmp_path / "out.json"
+        atomic_write_json(target, {"v": 1})
+        assert json.loads(target.read_text()) == {"v": 1}
+        # first attempt EXDEV'd, second (near-target copy) landed
+        assert len(calls) == 2
+        assert ".xdev.tmp" in calls[1]
+
+    def test_exdev_fallback_leaves_no_temp_files(self, tmp_path, monkeypatch):
+        self._patch_replace_exdev(monkeypatch)
+        target = tmp_path / "out.txt"
+        atomic_write_text(target, "payload")
+        assert target.read_text() == "payload"
+        assert [p.name for p in tmp_path.iterdir()] == ["out.txt"]
+
+    def test_exdev_fallback_replaces_existing(self, tmp_path, monkeypatch):
+        target = tmp_path / "out.txt"
+        atomic_write_text(target, "old")
+        self._patch_replace_exdev(monkeypatch)
+        atomic_write_text(target, "new")
+        assert target.read_text() == "new"
+
+    def test_other_oserror_propagates(self, tmp_path, monkeypatch):
+        import errno
+
+        def fail(src, dst):
+            raise OSError(errno.EACCES, "denied")
+
+        monkeypatch.setattr(os, "replace", fail)
+        with pytest.raises(OSError, match="denied"):
+            atomic_write_text(tmp_path / "out.txt", "x")

@@ -115,3 +115,117 @@ class TestLoading:
         path.write_text("")
         with pytest.raises(ValueError, match="empty"):
             load_journal(path)
+
+
+class TestTornChecksumFooter:
+    """A torn final line cut *inside* the per-entry ``check`` field.
+
+    ``check`` sorts early in the serialized record, so a crash
+    mid-append routinely tears through the checksum itself. Every such
+    prefix must read as a benign torn tail (never a checksum
+    IntegrityError, never an uncaught parse error), while a line that
+    parses *completely* but carries a wrong checksum must still be
+    rejected as corruption.
+    """
+
+    def intact_journal(self, tmp_path, name="run.jsonl"):
+        path = tmp_path / name
+        with RunJournal(path, run_type="t") as journal:
+            journal.task("cell-1", {"x": 1})
+            journal.result("cell-1", 1, "d1")
+        return path
+
+    def entry_line(self):
+        from repro.runs.integrity import checksum_entry
+
+        entry = {"kind": "result", "key": "cell-2", "attempt": 1, "digest": "d2"}
+        entry["check"] = checksum_entry(entry)
+        return json.dumps(entry, sort_keys=True) + "\n"
+
+    def test_every_cut_inside_check_reads_as_torn_tail(self, tmp_path):
+        line = self.entry_line()
+        start = line.index('"check"')
+        end = line.index('"', line.index(": ", start) + 2) + 13
+        for cut in range(start, end):
+            path = self.intact_journal(tmp_path, name=f"run-{cut}.jsonl")
+            with open(path, "ab") as fh:
+                fh.write(line[:cut].encode())
+            data = load_journal(path)
+            assert data.truncated
+            assert data.digests == {"cell-1": "d1"}  # intact prefix kept
+
+    def test_parseable_line_with_damaged_check_is_corruption(self, tmp_path):
+        from repro.runs import IntegrityError
+
+        path = self.intact_journal(tmp_path)
+        line = self.entry_line()
+        flipped = line.replace('"check": "', '"check": "0', 1)
+        with open(path, "ab") as fh:
+            fh.write(flipped.encode())
+        with pytest.raises(IntegrityError, match="checksum"):
+            load_journal(path)
+
+
+class TestRepairTornTail:
+    def torn_journal(self, tmp_path):
+        from repro.runs import repair_torn_tail  # noqa: F401 - import check
+
+        path = tmp_path / "run.jsonl"
+        with RunJournal(path, run_type="t") as journal:
+            journal.task("cell-1", {})
+            journal.result("cell-1", 1, "d1")
+        self.intact_size = path.stat().st_size
+        with open(path, "ab") as fh:
+            fh.write(b'{"kind": "result", "key": "cel')
+        return path
+
+    def test_repair_trims_to_last_complete_line(self, tmp_path):
+        from repro.runs.journal import repair_torn_tail
+
+        path = self.torn_journal(tmp_path)
+        dropped = repair_torn_tail(path)
+        assert dropped == 30
+        assert path.stat().st_size == self.intact_size
+        assert not load_journal(path).truncated
+
+    def test_repaired_journal_appends_cleanly(self, tmp_path):
+        # The whole reason repair exists: append-mode reopen after a
+        # crash must not glue new records onto the torn fragment.
+        from repro.runs.journal import repair_torn_tail
+
+        path = self.torn_journal(tmp_path)
+        repair_torn_tail(path)
+        with RunJournal(path) as journal:
+            journal.result("cell-2", 1, "d2")
+        data = load_journal(path)
+        assert not data.truncated
+        assert data.digests == {"cell-1": "d1", "cell-2": "d2"}
+
+    def test_intact_file_untouched(self, tmp_path):
+        from repro.runs.journal import repair_torn_tail
+
+        path = tmp_path / "run.jsonl"
+        with RunJournal(path, run_type="t") as journal:
+            journal.task("cell-1", {})
+        before = path.read_bytes()
+        assert repair_torn_tail(path) is None
+        assert path.read_bytes() == before
+
+    def test_missing_and_empty_files_are_none(self, tmp_path):
+        from repro.runs.journal import repair_torn_tail
+
+        assert repair_torn_tail(tmp_path / "absent.jsonl") is None
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        assert repair_torn_tail(empty) is None
+
+    def test_real_corruption_still_raises(self, tmp_path):
+        from repro.runs import IntegrityError
+        from repro.runs.journal import repair_torn_tail
+
+        path = self.torn_journal(tmp_path)
+        raw = bytearray(path.read_bytes())
+        raw[len(raw) // 2] ^= 0x01  # bit-flip a non-tail byte
+        path.write_bytes(bytes(raw))
+        with pytest.raises(IntegrityError):
+            repair_torn_tail(path)
