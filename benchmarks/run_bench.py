@@ -1,6 +1,6 @@
-"""Write a ``BENCH_PR1.json`` / ``BENCH_PR4.json`` performance snapshot.
+"""Write a ``BENCH_PR1.json`` / ``BENCH_PR4.json`` / ``BENCH_PR9.json`` snapshot.
 
-Two modes:
+Three modes:
 
 * default — the PR 1 micro snapshot: hot paths of a continuous run (one
   Eq. 6 cost evaluation and one allocation decision per job start) on
@@ -8,21 +8,36 @@ Two modes:
   RecursiveDoubling job), with the leaf-pair kernel's speedup over the
   per-node-pair baseline.
 * ``--e2e [n_jobs]`` — the PR 4 end-to-end trace replay: a seeded
-  ``large_trace`` workload on the Theta shape, scheduled twice per
+  synthetic workload on the Theta shape, scheduled twice per
   allocator — once on the optimized default engine, once on the
   pre-change engine (``legacy_mode()`` + ``force_full_pass=True``, the
   exact code paths PR 4 replaced) — recording events/sec, jobs/sec,
   pass counts (full/extended/skipped), the end-to-end speedup, and a
   bit-identity check of the two schedules. Writes ``BENCH_PR4.json``.
+* ``--ladder`` — the PR 9 scale ladder: 100k/1M/10M-job rungs, each run
+  in a *fresh subprocess* so peak RSS (a process-lifetime high-water
+  mark) is the rung's own. Streaming rungs feed the engine from
+  :func:`~repro.workloads.stream_trace` with a discarding record sink
+  (the constant-memory path); materialized rungs pre-build the job list
+  and accumulate records — the PR 4 ingestion path — and are capped at
+  1M jobs (a 10M materialized list is the memory blow-up the streaming
+  protocol exists to avoid). Streaming jobs/sec *includes* trace
+  generation (inherent to the model); materialized jobs/sec excludes
+  list construction, matching the PR 4 replay semantics — the reported
+  streaming-vs-materialized speedup is therefore conservative. Also
+  records a shared-memory sweep section (serial vs pooled workers with
+  and without topology sharing) and a streaming/materialized/legacy
+  bit-identity smoke. Writes ``BENCH_PR9.json``.
 
 Usage::
 
     PYTHONPATH=src python benchmarks/run_bench.py [output.json]
     PYTHONPATH=src python benchmarks/run_bench.py --e2e [n_jobs] [output.json]
+    PYTHONPATH=src python benchmarks/run_bench.py --ladder [output.json]
 
 Timings are medians over several repeats of best-effort wall-clock
-loops (single-shot for the e2e replay); treat them as trend indicators,
-not lab-grade measurements.
+loops (single-shot for the e2e replay and the ladder rungs); treat them
+as trend indicators, not lab-grade measurements.
 """
 
 from __future__ import annotations
@@ -46,8 +61,22 @@ from repro.topology import mira_like
 JOB_NODES = 16384
 DEFAULT_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_PR1.json"
 DEFAULT_E2E_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_PR4.json"
+DEFAULT_LADDER_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_PR9.json"
 E2E_JOBS = 100_000
 E2E_SMOKE_JOBS = 2_000
+
+# Ladder rung profile: cheap enough that the 10M rung stays tractable on
+# one core, while still exercising the comm-cost path on 10% of jobs.
+LADDER_POLICY = "backfill"
+LADDER_ALLOCATOR = "default"
+LADDER_PERCENT_COMM = 10.0
+LADDER_RUNGS = (
+    ("streaming", 100_000),
+    ("materialized", 100_000),
+    ("streaming", 1_000_000),
+    ("materialized", 1_000_000),
+    ("streaming", 10_000_000),
+)
 
 
 def timeit(fn, *, repeats: int = 5, min_time: float = 0.05) -> float:
@@ -94,11 +123,11 @@ def build_state() -> ClusterState:
 
 
 def e2e_jobs(n_jobs: int):
-    """The PR 4 reference workload: seeded 90%-comm rhvd large_trace."""
-    from repro.workloads import large_trace, single_pattern_mix
+    """The PR 4 reference workload: seeded 90%-comm rhvd synthetic trace."""
+    from repro.workloads import single_pattern_mix, stream_trace
     from repro.workloads.classify import assign_kinds
 
-    trace = large_trace(n_jobs)
+    trace = list(stream_trace(n_jobs))
     return assign_kinds(
         trace, percent_comm=90.0, mix=single_pattern_mix("rhvd"), seed=2
     )
@@ -219,9 +248,253 @@ def main_e2e(argv) -> int:
     return 0
 
 
+def ladder_stream(n_jobs: int):
+    """The PR 9 ladder workload as a lazy stream (never materialized)."""
+    from repro.workloads import single_pattern_mix, stream_trace
+    from repro.workloads.classify import assign_kinds_stream
+
+    return assign_kinds_stream(
+        stream_trace(n_jobs),
+        percent_comm=LADDER_PERCENT_COMM,
+        mix=single_pattern_mix("rhvd"),
+        seed=2,
+    )
+
+
+def run_ladder_rung(spec: dict) -> dict:
+    """Run one ladder rung in *this* process and return its stats.
+
+    Meant to be invoked via ``--ladder-rung`` in a fresh subprocess so
+    ``peak_rss_bytes`` (a process-lifetime high-water mark) reflects
+    only this rung's footprint. All numbers come from the recorder's
+    snapshot — the same counters/derived values the metrics registry
+    exports — not ad-hoc ``resource`` calls.
+    """
+    from repro.perf import PerfRecorder, collecting
+    from repro.scheduler.engine import EngineConfig, SchedulerEngine
+    from repro.topology import theta_like
+
+    n_jobs = int(spec["n_jobs"])
+    mode = spec["mode"]
+    clear_leaf_pair_cache()
+    engine = SchedulerEngine(
+        theta_like(),
+        spec.get("allocator", LADDER_ALLOCATOR),
+        EngineConfig(policy=spec.get("policy", LADDER_POLICY)),
+    )
+    recorder = PerfRecorder()
+    finished = 0
+
+    def sink(record):
+        nonlocal finished
+        finished += 1
+
+    if mode == "materialized":
+        # The PR 4 ingestion path: job list in memory, records accumulated.
+        jobs = list(ladder_stream(n_jobs))
+        t0 = time.perf_counter()
+        with collecting(recorder):
+            result = engine.run(jobs)
+        seconds = time.perf_counter() - t0
+        finished = len(result.records)
+        del result, jobs
+    elif mode == "streaming":
+        # Constant-memory path: lazy trace in, records diverted to a sink.
+        t0 = time.perf_counter()
+        with collecting(recorder):
+            engine.run(stream=ladder_stream(n_jobs), record_sink=sink)
+        seconds = time.perf_counter() - t0
+    else:
+        raise ValueError(f"unknown rung mode: {mode!r}")
+    snap = recorder.snapshot()
+    counters = snap["counters"]
+    return {
+        "mode": mode,
+        "n_jobs": n_jobs,
+        "seconds": seconds,
+        "jobs_per_sec": n_jobs / seconds,
+        "records": finished,
+        "events": int(counters.get("engine.events", 0)),
+        "event_batches": int(counters.get("engine.batches", 0)),
+        "peak_rss_bytes": int(snap["derived"].get("peak_rss_bytes", 0)),
+    }
+
+
+def spawn_rung(spec: dict) -> dict:
+    """Run one rung in a fresh interpreter; parse its JSON stats line."""
+    import os
+    import subprocess
+
+    env = dict(os.environ)
+    src = str(Path(__file__).resolve().parent.parent / "src")
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = src if not existing else src + os.pathsep + existing
+    proc = subprocess.run(
+        [sys.executable, str(Path(__file__).resolve()),
+         "--ladder-rung", json.dumps(spec)],
+        capture_output=True,
+        text=True,
+        env=env,
+    )
+    if proc.returncode != 0:
+        raise RuntimeError(
+            f"rung {spec} failed (rc={proc.returncode}):\n{proc.stderr}"
+        )
+    return json.loads(proc.stdout.strip().splitlines()[-1])
+
+
+def ladder_identity_smoke(n_jobs: int = 3_000) -> dict:
+    """Streaming == materialized == pre-change engine on the ladder profile."""
+    from repro._perfflags import legacy_mode
+    from repro.scheduler.engine import EngineConfig, SchedulerEngine
+    from repro.topology import theta_like
+
+    jobs = list(ladder_stream(n_jobs))
+
+    def run(*, stream: bool, legacy: bool):
+        clear_leaf_pair_cache()
+        cfg = EngineConfig(policy=LADDER_POLICY, force_full_pass=legacy)
+        engine = SchedulerEngine(theta_like(), LADDER_ALLOCATOR, cfg)
+        if stream:
+            records = []
+            engine.run(stream=iter(jobs), record_sink=records.append)
+            records.sort(key=lambda r: r.job.job_id)
+            return records
+        if legacy:
+            with legacy_mode():
+                return engine.run(jobs).records
+        return engine.run(jobs).records
+
+    streaming = run(stream=True, legacy=False)
+    materialized = run(stream=False, legacy=False)
+    legacy = run(stream=False, legacy=True)
+    return {
+        "n_jobs": n_jobs,
+        "streaming_vs_materialized": records_identical(streaming, materialized),
+        "materialized_vs_legacy": records_identical(materialized, legacy),
+    }
+
+
+def ladder_workers_section() -> dict:
+    """Serial vs pooled sweep, with and without shared-memory topology."""
+    from repro.experiments.sweeps import sweep
+    from repro.topology import publish_topology, theta_like
+
+    grid = {"seed": list(range(8))}
+    defaults = {"log": "theta", "n_jobs": 150, "percent_comm": 50.0,
+                "policy": LADDER_POLICY}
+
+    def timed(**kwargs):
+        t0 = time.perf_counter()
+        rows = sweep(grid, defaults=defaults, **kwargs)
+        return rows, time.perf_counter() - t0
+
+    print("  sweep 8 points x 2 allocators, serial ...", flush=True)
+    serial_rows, serial_s = timed()
+    print("  sweep pooled (4 workers, shared topology) ...", flush=True)
+    shared_rows, shared_s = timed(workers=4, share_topology=True)
+    print("  sweep pooled (4 workers, per-worker topology) ...", flush=True)
+    unshared_rows, unshared_s = timed(workers=4, share_topology=False)
+
+    with publish_topology(theta_like()) as pub:
+        segment_bytes = int(pub.handle.pack.size)
+
+    return {
+        "grid_points": len(grid["seed"]),
+        "serial_seconds": serial_s,
+        "pooled_shared_seconds": shared_s,
+        "pooled_unshared_seconds": unshared_s,
+        "shared_segment_bytes": segment_bytes,
+        "rows_identical": serial_rows == shared_rows == unshared_rows,
+    }
+
+
+def main_ladder(argv) -> int:
+    out_path = Path(argv[2]) if len(argv) > 2 else DEFAULT_LADDER_OUTPUT
+    print("PR 9 scale ladder (theta_like, backfill/default, 10% comm) ...")
+    rungs = []
+    for mode, n_jobs in LADDER_RUNGS:
+        print(f"  rung: {mode} {n_jobs} jobs ...", flush=True)
+        stats = spawn_rung({"mode": mode, "n_jobs": n_jobs,
+                            "policy": LADDER_POLICY,
+                            "allocator": LADDER_ALLOCATOR})
+        rungs.append(stats)
+        print(
+            f"    {stats['jobs_per_sec']:.0f} jobs/s, "
+            f"peak RSS {stats['peak_rss_bytes'] / 1e6:.0f} MB, "
+            f"{stats['seconds']:.1f}s",
+            flush=True,
+        )
+
+    print("bit-identity smoke (streaming vs materialized vs pre-change) ...")
+    identity = ladder_identity_smoke()
+    print(f"  {identity}")
+    workers = ladder_workers_section()
+
+    def rung(mode, n_jobs):
+        return next(
+            r for r in rungs if r["mode"] == mode and r["n_jobs"] == n_jobs
+        )
+
+    s1m = rung("streaming", 1_000_000)
+    s10m = rung("streaming", 10_000_000)
+    m1m = rung("materialized", 1_000_000)
+    rss_ratio = s10m["peak_rss_bytes"] / s1m["peak_rss_bytes"]
+    speedup = s1m["jobs_per_sec"] / m1m["jobs_per_sec"]
+    criteria = {
+        "rss_flat_1m_to_10m_ratio": rss_ratio,
+        "rss_flat_1m_to_10m_pass": bool(rss_ratio <= 1.10),
+        "streaming_rss_vs_materialized_at_1m": (
+            s1m["peak_rss_bytes"] / m1m["peak_rss_bytes"]
+        ),
+        "speedup_vs_pr4_path_at_1m": speedup,
+        "speedup_vs_pr4_path_target": 1.3,
+        "speedup_vs_pr4_path_pass": bool(speedup >= 1.3),
+        "bit_identical": bool(
+            identity["streaming_vs_materialized"]
+            and identity["materialized_vs_legacy"]
+        ),
+        "workers_rows_identical": workers["rows_identical"],
+    }
+    snapshot = {
+        "pr": 9,
+        "machine": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+        },
+        "workload": {
+            "generator": "stream_trace",
+            "topology": "theta_like",
+            "policy": LADDER_POLICY,
+            "allocator": LADDER_ALLOCATOR,
+            "percent_comm": LADDER_PERCENT_COMM,
+            "pattern": "rhvd",
+            "kind_seed": 2,
+            "note": (
+                "materialized rungs cap at 1M jobs; streaming jobs/sec "
+                "includes trace generation, materialized excludes it "
+                "(PR 4 replay semantics), so the speedup is conservative"
+            ),
+        },
+        "rungs": rungs,
+        "identity": identity,
+        "workers": workers,
+        "criteria": criteria,
+    }
+    atomic_write_text(out_path, json.dumps(snapshot, indent=2) + "\n")
+    print(json.dumps(criteria, indent=2))
+    print(f"wrote {out_path}")
+    return 0
+
+
 def main(argv) -> int:
     if len(argv) > 1 and argv[1] == "--e2e":
         return main_e2e(argv)
+    if len(argv) > 1 and argv[1] == "--ladder-rung":
+        print(json.dumps(run_ladder_rung(json.loads(argv[2]))))
+        return 0
+    if len(argv) > 1 and argv[1] == "--ladder":
+        return main_ladder(argv)
     out_path = Path(argv[1]) if len(argv) > 1 else DEFAULT_OUTPUT
     state = build_state()
     job = Job(1, 0.0, JOB_NODES, 3600.0, JobKind.COMM,

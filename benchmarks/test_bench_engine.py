@@ -2,7 +2,7 @@
 
 Three jobs:
 
-* time a whole-trace replay (seeded ``large_trace`` workload, Theta
+* time a whole-trace replay (seeded ``stream_trace`` workload, Theta
   shape, backfill + adaptive — the configuration ``BENCH_PR4.json`` is
   committed against) under pytest-benchmark;
 * fail CI if jobs/sec regresses more than 2x below the committed
@@ -29,7 +29,7 @@ from repro.cost import clear_leaf_pair_cache
 from repro.faults import FaultGeneratorConfig, generate_faults
 from repro.scheduler.engine import EngineConfig, SchedulerEngine
 from repro.topology import theta_like
-from repro.workloads import large_trace, single_pattern_mix
+from repro.workloads import single_pattern_mix, stream_trace
 from repro.workloads.classify import assign_kinds
 
 BENCH_PR4 = Path(__file__).resolve().parent.parent / "BENCH_PR4.json"
@@ -41,7 +41,7 @@ def e2e_n_jobs(default: int = 2000) -> int:
 
 @pytest.fixture(scope="module")
 def workload():
-    trace = large_trace(e2e_n_jobs())
+    trace = list(stream_trace(e2e_n_jobs()))
     return assign_kinds(
         trace, percent_comm=90.0, mix=single_pattern_mix("rhvd"), seed=2
     )

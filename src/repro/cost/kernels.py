@@ -1,0 +1,192 @@
+"""Optional compiled kernel for the Eq. 6 segmented leaf-pair max.
+
+:func:`repro.cost.leafpair.leaf_pair_cost`'s fast path spends its time
+in one segmented expression: per unique leaf pair compute the contention
+factor, scale by the LCA distance, and take each step-segment's max.
+That loop is branch-free scalar arithmetic — exactly the shape numba
+compiles well — so this module offers a jitted version of it behind
+:func:`kernel_active`.
+
+The contract is **bit-identity**, not approximation: the jitted scalar
+loop performs the same float64 operations in the same order as the
+inline numpy expression (no ``fastmath``, no reassociation), so
+``compiled_mode(True)`` / ``compiled_mode(False)`` / ``legacy_mode()``
+all produce byte-identical simulation results. The equivalence tests
+assert ``==``, never ``pytest.approx``.
+
+numba is an *optional* dependency and is deliberately not required:
+
+* when importable, ``HAVE_NUMBA`` is True and :func:`segment_worst`
+  dispatches to the jitted loop;
+* when absent, :func:`segment_worst` falls back to a pure-numpy mirror
+  of the same arithmetic, so forcing ``compiled_mode(True)`` in an
+  environment without numba still exercises the full dispatch path
+  (this is how the test suite validates the plumbing on CI images that
+  do not ship numba).
+
+Auto-detection: with the default preference
+(:func:`repro._perfflags.compiled_pref` returning ``None``) the kernel
+engages iff numba imported. ``legacy_mode`` always wins — the compiled
+kernel only accelerates the vectorized fast path, which legacy mode
+disables wholesale.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._perfflags import compiled_pref, is_legacy
+
+__all__ = ["HAVE_NUMBA", "kernel_active", "pair_weights", "segment_worst"]
+
+try:  # pragma: no cover - exercised only where numba is installed
+    from numba import njit
+
+    HAVE_NUMBA = True
+except ImportError:  # pragma: no cover - the common CI configuration
+    njit = None
+    HAVE_NUMBA = False
+
+
+def kernel_active() -> bool:
+    """True when :func:`segment_worst` should replace the inline path.
+
+    Legacy mode always disables it; otherwise the tri-state preference
+    decides, with ``None`` (auto) meaning "on iff numba is importable".
+    A forced ``True`` without numba still routes through this module's
+    numpy mirror — same results, no speedup.
+    """
+    if is_legacy():
+        return False
+    pref = compiled_pref()
+    if pref is None:
+        return HAVE_NUMBA
+    return pref
+
+
+def pair_weights(
+    lvl: np.ndarray, uplink_discount: float, per_level: bool
+) -> np.ndarray:
+    """Per-pair contention weights, always via the vectorized ``**``.
+
+    Computed *outside* the (possibly jitted) loop on purpose: numpy's
+    vectorized array power and C's scalar ``pow`` can disagree in the
+    last ulp, so the weights must come from the exact vectorized
+    expression the inline fast path uses
+    (``ContentionModel.shared_weight`` inlined), whichever loop then
+    consumes them. With ``per_level`` off the weight is a constant
+    broadcast to an array so both loops share one signature.
+    """
+    if per_level:
+        return np.asarray(
+            uplink_discount ** (np.asarray(lvl, dtype=np.float64) - 1.0),
+            dtype=np.float64,
+        )
+    return np.full(np.asarray(lvl).shape[0], np.float64(uplink_discount))
+
+
+def _segment_worst_numpy(
+    ula: np.ndarray,
+    ulb: np.ndarray,
+    lvl: np.ndarray,
+    share: np.ndarray,
+    comm: np.ndarray,
+    sizes: np.ndarray,
+    weights: np.ndarray,
+    offsets: np.ndarray,
+) -> np.ndarray:
+    """Pure-numpy mirror of the inline fast-path expression (fallback)."""
+    share_a = share[ula]
+    share_b = share[ulb]
+    cross = share_a + share_b + weights * (comm[ula] + comm[ulb]) / (
+        sizes[ula] + sizes[ulb]
+    )
+    c = np.where(ula == ulb, share_a, cross)
+    return np.maximum.reduceat(2 * lvl * (1.0 + c), offsets)
+
+
+def _segment_worst_scalar(
+    ula: np.ndarray,
+    ulb: np.ndarray,
+    lvl: np.ndarray,
+    share: np.ndarray,
+    comm: np.ndarray,
+    sizes: np.ndarray,
+    weights: np.ndarray,
+    offsets: np.ndarray,
+) -> np.ndarray:
+    """Scalar loop form of the same arithmetic (the jit target).
+
+    Operation order matches the numpy expression exactly: the weighted
+    term is ``(w * comm_sum) / sizes_sum`` (multiply before divide, as
+    numpy's left-to-right evaluation does), distances enter as
+    ``float(2 * lvl) * (1.0 + c)``, and no reassociation is permitted —
+    IEEE-754 float64 throughout makes the outputs bit-identical. The
+    pow-based weights are precomputed (:func:`pair_weights`) because
+    scalar ``pow`` may differ from numpy's vectorized power by one ulp.
+    """
+    n = ula.shape[0]
+    n_seg = offsets.shape[0]
+    out = np.empty(n_seg, dtype=np.float64)
+    for s in range(n_seg):
+        lo = offsets[s]
+        hi = offsets[s + 1] if s + 1 < n_seg else n
+        worst = -np.inf
+        for i in range(lo, hi):
+            a = ula[i]
+            b = ulb[i]
+            if a == b:
+                c = share[a]
+            else:
+                c = share[a] + share[b] + weights[i] * np.float64(
+                    comm[a] + comm[b]
+                ) / np.float64(sizes[a] + sizes[b])
+            v = np.float64(2 * lvl[i]) * (1.0 + c)
+            if v > worst:
+                worst = v
+        out[s] = worst
+    return out
+
+
+if HAVE_NUMBA:  # pragma: no cover - exercised only where numba is installed
+    # cache=True persists the compiled function across processes; no
+    # fastmath — reassociation would break the bit-identity contract.
+    _segment_worst_jit = njit(cache=True)(_segment_worst_scalar)
+else:
+    _segment_worst_jit = None
+
+
+def segment_worst(
+    ula: np.ndarray,
+    ulb: np.ndarray,
+    lvl: np.ndarray,
+    share: np.ndarray,
+    comm: np.ndarray,
+    sizes: np.ndarray,
+    uplink_discount: float,
+    per_level: bool,
+    offsets: np.ndarray,
+) -> np.ndarray:
+    """Per-segment max of ``2 * lca_level * (1 + contention)`` (Eq. 6).
+
+    ``ula``/``ulb``/``lvl`` are the flattened unique leaf pairs and
+    their LCA levels; ``offsets`` marks each step-segment's start (the
+    last segment runs to the end). Dispatches to the numba-jitted loop
+    when available, else the numpy mirror — both bit-identical to the
+    inline expression in :func:`repro.cost.leafpair.leaf_pair_cost`.
+    """
+    weights = pair_weights(lvl, float(uplink_discount), bool(per_level))
+    if _segment_worst_jit is not None:
+        return _segment_worst_jit(
+            np.ascontiguousarray(ula),
+            np.ascontiguousarray(ulb),
+            np.ascontiguousarray(lvl),
+            np.ascontiguousarray(share),
+            np.ascontiguousarray(comm, dtype=np.int64),
+            np.ascontiguousarray(sizes, dtype=np.int64),
+            np.ascontiguousarray(weights),
+            np.ascontiguousarray(offsets),
+        )
+    return _segment_worst_numpy(
+        ula, ulb, lvl, share, comm, sizes, weights, offsets
+    )

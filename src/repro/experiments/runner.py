@@ -59,6 +59,7 @@ from ..runs.retry import ON_ERROR_RETRY
 from ..scheduler.engine import EngineConfig, SchedulerEngine
 from ..scheduler.metrics import SimulationResult
 from ..scheduler.serialize import fault_from_dict, fault_to_dict, job_to_dict
+from ..topology.shared import shared_topology
 from ..topology.tree import TreeTopology
 from ..workloads.classify import CommMix, assign_kinds, single_pattern_mix
 from ..workloads.logs import LOG_SPECS, generate_log
@@ -105,7 +106,18 @@ class ExperimentConfig:
     checkpoint_interval: float = 3600.0
 
     def topology(self) -> TreeTopology:
-        """Build the configured log's machine topology."""
+        """The configured log's machine topology.
+
+        In a pool worker whose initializer attached a shared-memory
+        topology under this log's name
+        (:func:`repro.topology.install_topology_handles`), that
+        zero-copy instance is returned; otherwise the topology is built
+        fresh from :data:`~repro.workloads.logs.LOG_SPECS`. The two are
+        equal, so results never depend on which path served the call.
+        """
+        shared = shared_topology(self.log)
+        if shared is not None:
+            return shared
         return LOG_SPECS[self.log].topology()
 
     def engine_config(self) -> EngineConfig:

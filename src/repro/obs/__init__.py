@@ -42,6 +42,7 @@ from .runtime import (
     active,
     collecting,
     count,
+    peak_rss_bytes,
     progress,
     progressing,
     timer,
@@ -63,6 +64,7 @@ __all__ = [
     "active",
     "collecting",
     "count",
+    "peak_rss_bytes",
     "timer",
     "tracer",
     "tracing",

@@ -164,6 +164,15 @@ def metrics_from_result(
                 unit="seconds",
             )
             gauge.labels(allocator=alloc).set(float(elapsed))
+        peak = perf.get("derived", {}).get("peak_rss_bytes")
+        if peak is not None:
+            gauge = reg.gauge(
+                "process_peak_rss_bytes",
+                "Peak resident set size of the measuring process",
+                labels=labels,
+                unit="bytes",
+            )
+            gauge.labels(allocator=alloc).set(float(peak))
     return reg
 
 

@@ -39,9 +39,15 @@ whole-run numbers, not just the post-resume tail. See
 
 from __future__ import annotations
 
+import sys
 import time
 from contextlib import contextmanager
 from typing import TYPE_CHECKING, Any, Dict, Iterator, Optional
+
+try:  # pragma: no cover - absent only on non-POSIX platforms
+    import resource
+except ImportError:  # pragma: no cover
+    resource = None  # type: ignore[assignment]
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from .progress import ProgressReporter
@@ -52,12 +58,31 @@ __all__ = [
     "active",
     "collecting",
     "count",
+    "peak_rss_bytes",
     "timer",
     "tracer",
     "tracing",
     "progress",
     "progressing",
 ]
+
+
+def peak_rss_bytes() -> int:
+    """Lifetime peak resident set size of this process, in bytes.
+
+    Backed by ``getrusage(RUSAGE_SELF).ru_maxrss`` — kilobytes on Linux,
+    bytes on macOS, normalized to bytes here. This is the *high-water
+    mark* since process start, not current usage: it only ever grows, so
+    measuring the footprint of one phase needs a fresh process (the
+    memory-gate benchmark runs its ladder rungs in subprocesses for
+    exactly this reason). Returns 0 where ``resource`` is unavailable.
+    """
+    if resource is None:  # pragma: no cover - non-POSIX
+        return 0
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # pragma: no cover - linux CI
+        return int(peak)
+    return int(peak) * 1024
 
 
 class PerfRecorder:
@@ -91,6 +116,9 @@ class PerfRecorder:
             for name, cell in sorted(self._timers.items())
         }
         derived: Dict[str, float] = {"elapsed_seconds": elapsed}
+        rss = peak_rss_bytes()
+        if rss:
+            derived["peak_rss_bytes"] = float(rss)
         events = self.counters.get("engine.events")
         if events and elapsed > 0:
             derived["events_per_sec"] = events / elapsed

@@ -258,9 +258,23 @@ def _terminate_pool(pool: ProcessPoolExecutor) -> None:
     pool.shutdown(wait=False, cancel_futures=True)
 
 
-def _run_pooled(tasks: Sequence[TaskSpec], workers: int, batch: _Batch) -> None:
+def _run_pooled(
+    tasks: Sequence[TaskSpec],
+    workers: int,
+    batch: _Batch,
+    initializer: Optional[Callable[..., None]] = None,
+    initargs: Tuple[Any, ...] = (),
+) -> None:
     policy = batch.policy
-    pool = ProcessPoolExecutor(max_workers=workers)
+
+    def make_pool() -> ProcessPoolExecutor:
+        # rebuilt pools must re-run the initializer too — fresh workers
+        # need the same shared-memory attachments the first ones had
+        return ProcessPoolExecutor(
+            max_workers=workers, initializer=initializer, initargs=initargs
+        )
+
+    pool = make_pool()
     in_flight: Dict[Future, _InFlight] = {}
     #: (eligible_at, task, failed_attempts) — backoff queue
     waiting: List[Tuple[float, TaskSpec, int]] = []
@@ -298,7 +312,7 @@ def _run_pooled(tasks: Sequence[TaskSpec], workers: int, batch: _Batch) -> None:
         _terminate_pool(pool)
         casualties = list(in_flight.items())
         in_flight.clear()
-        pool = ProcessPoolExecutor(max_workers=workers)
+        pool = make_pool()
         for future, live in casualties:
             if future.done() and not future.cancelled():
                 try:
@@ -400,6 +414,8 @@ def run_tasks(
     journal: Optional[RunJournal] = None,
     digest: Optional[Callable[[Any], str]] = None,
     progress: Optional[ProgressReporter] = None,
+    initializer: Optional[Callable[..., None]] = None,
+    initargs: Tuple[Any, ...] = (),
 ) -> TaskBatchResult:
     """Run a batch of tasks to completion with retry and crash recovery.
 
@@ -412,6 +428,13 @@ def run_tasks(
     settled cell (succeeded, or skipped after exhausting attempts);
     when omitted, :func:`repro.obs.progress` is polled so an ambient
     reporter installed via :func:`repro.obs.progressing` is used.
+
+    ``initializer(*initargs)`` runs once in every pooled worker before
+    its first task — including workers of pools rebuilt after a crash
+    or timeout (e.g. to attach shared-memory topologies, see
+    :func:`repro.topology.install_topology_handles`). Both must be
+    picklable; ignored on the serial path, where the process is the
+    caller's own.
     """
     require_on_error(on_task_error)
     policy = policy or RetryPolicy()
@@ -429,7 +452,7 @@ def run_tasks(
     if workers is None or workers <= 1:
         _run_serial(tasks, batch)
     else:
-        _run_pooled(tasks, min(workers, len(tasks)), batch)
+        _run_pooled(tasks, min(workers, len(tasks)), batch, initializer, initargs)
     if batch.out.quarantined:
         dropped = ", ".join(sorted(batch.out.quarantined))
         warnings.warn(

@@ -228,6 +228,84 @@ class _Running:
     cost_default: Dict[str, float]
 
 
+class _JobStream:
+    """Lazy arrival source for streaming runs (one job of lookahead).
+
+    Wraps an arbitrary job iterator and exposes the engine's view of
+    it: the next pending arrival (:attr:`head`), how many jobs have
+    been handed to the run so far (:attr:`consumed` — the streaming
+    checkpoint's resume cursor), and per-job validation as jobs cross
+    the boundary. Jobs must arrive in non-decreasing submit order (the
+    clock cannot run backwards); within one instant they enter the
+    queue in stream order, which for a ``(submit_time, job_id)``-sorted
+    stream is exactly the order the materialized path produces.
+
+    Unlike the materialized path there is no whole-trace duplicate-id
+    scan — the trace is never held in memory — so duplicate ids
+    surface later, when the second copy reaches the cluster state.
+    """
+
+    __slots__ = ("_it", "_n_nodes", "_head", "_last_time", "consumed")
+
+    def __init__(self, jobs: Iterable[Job], n_nodes: int) -> None:
+        self._it = iter(jobs)
+        self._n_nodes = n_nodes
+        self._head: Optional[Job] = None
+        self._last_time = 0.0
+        self.consumed = 0
+        self._advance()
+
+    def _advance(self) -> None:
+        try:
+            job = next(self._it)
+        except StopIteration:
+            self._head = None
+            return
+        if job.nodes > self._n_nodes:
+            raise ValueError(
+                f"job {job.job_id} requests {job.nodes} nodes; the "
+                f"cluster has {self._n_nodes} — it would block "
+                "the queue forever"
+            )
+        if job.submit_time < self._last_time:
+            raise ValueError(
+                f"streaming jobs must arrive in non-decreasing submit "
+                f"order; job {job.job_id} at t={job.submit_time} follows "
+                f"t={self._last_time}"
+            )
+        self._last_time = job.submit_time
+        self._head = job
+
+    @property
+    def head(self) -> Optional[Job]:
+        """The next pending arrival, or ``None`` when exhausted."""
+        return self._head
+
+    @property
+    def exhausted(self) -> bool:
+        """True once the underlying iterator has no more jobs."""
+        return self._head is None
+
+    def take(self) -> Job:
+        """Hand the head job to the run and advance the lookahead."""
+        job = self._head
+        assert job is not None
+        self.consumed += 1
+        self._advance()
+        return job
+
+    def skip(self, n: int) -> None:
+        """Fast-forward past ``n`` already-consumed jobs (checkpoint resume)."""
+        for _ in range(n):
+            if self._head is None:
+                raise ValueError(
+                    f"stream ended after {self.consumed} job(s); the "
+                    f"checkpoint had consumed {n} — resume needs the "
+                    "same replayable stream the original run used"
+                )
+            self.take()
+
+
 @dataclass
 class _RunState:
     """Everything one in-progress :meth:`SchedulerEngine.run` owns.
@@ -269,6 +347,17 @@ class _RunState:
     #: run, and keeping them out preserves byte-stable checkpoints for
     #: untraced runs.
     perf: Optional[PerfRecorder] = None
+    #: Streaming mode: the lazy arrival source. ``None`` reproduces the
+    #: materialized path exactly (all submits pre-pushed on the heap).
+    stream: Optional[_JobStream] = None
+    #: Where completed :class:`JobRecord` objects go. ``None`` appends
+    #: to :attr:`records` (the classic O(jobs) result); a callable makes
+    #: the run constant-memory — records are handed over as they finish
+    #: and ``SimulationResult.records`` stays empty.
+    record_sink: Optional[Callable[[JobRecord], None]] = None
+    #: Records emitted so far (== ``len(records)`` without a sink);
+    #: feeds the progress reporter in sink mode.
+    records_emitted: int = 0
 
 
 class SchedulerEngine:
@@ -298,6 +387,8 @@ class SchedulerEngine:
         initial_state: Optional[ClusterState] = None,
         faults: Optional[Sequence[FaultEvent]] = None,
         *,
+        stream: Optional[Iterable[Job]] = None,
+        record_sink: Optional[Callable[[JobRecord], None]] = None,
         resume_from: Optional[Dict[str, Any]] = None,
         checkpoint_every: Optional[int] = None,
         checkpoint_path: Optional[Union[str, "os.PathLike", CheckpointStore]] = None,
@@ -338,6 +429,26 @@ class SchedulerEngine:
           the run writes a final checkpoint (if configured) and raises
           :class:`SimulationInterrupted`.
 
+        Streaming mode (constant memory in trace length):
+
+        * ``stream`` replaces ``jobs`` with a lazy iterator consumed one
+          arrival at a time. Jobs must arrive in non-decreasing
+          ``submit_time`` order, ties pre-sorted by ``job_id`` if the
+          materialized path's tie-break order is wanted; the schedule is
+          then **bit-identical** to ``run(jobs=list(stream))``. There is
+          no whole-trace duplicate-id scan in this mode.
+        * ``record_sink`` (works with either input form) receives each
+          completed :class:`JobRecord` instead of accumulating it in
+          ``SimulationResult.records``, making the result O(1) in jobs.
+        * Checkpoints of a streaming run store only the *count* of
+          arrivals consumed; ``run(resume_from=ckpt, stream=...)`` must
+          be given the same replayable stream (e.g. the same
+          :func:`~repro.workloads.stream_trace` call), which is
+          fast-forwarded past the consumed prefix. ``record_sink`` is
+          likewise not checkpointed — pass it again on resume; records
+          emitted after the checkpoint was taken are re-emitted by the
+          resumed run (sinks must be idempotent or resume-aware).
+
         ``progress`` installs a
         :class:`~repro.obs.progress.ProgressReporter` for the duration
         of the run: the loop feeds it one update per event batch
@@ -350,6 +461,8 @@ class SchedulerEngine:
             raise ValueError("checkpoint_every requires checkpoint_path")
         if stop_after is not None and stop_after <= 0:
             raise ValueError(f"stop_after must be > 0, got {stop_after}")
+        if jobs is not None and stream is not None:
+            raise ValueError("pass jobs or stream, not both")
 
         if resume_from is not None:
             if jobs is not None or initial_state is not None or faults is not None:
@@ -357,14 +470,37 @@ class SchedulerEngine:
                     "resume_from replaces jobs/initial_state/faults — "
                     "they all live inside the checkpoint"
                 )
+            stream_meta = resume_from.get("stream")
+            if stream_meta is not None and stream is None:
+                raise ValueError(
+                    "this checkpoint belongs to a streaming run — pass "
+                    "stream= with the same replayable trace the original "
+                    "run used"
+                )
+            if stream_meta is None and stream is not None:
+                raise ValueError(
+                    "stream= given but the checkpoint is not from a "
+                    "streaming run"
+                )
             rs = self._restore_run_state(resume_from)
+            if stream_meta is not None:
+                assert stream is not None
+                js = _JobStream(stream, self.topology.n_nodes)
+                js.skip(int(stream_meta["consumed"]))
+                rs.stream = js
+            rs.record_sink = record_sink
+        elif stream is not None:
+            rs = self._begin_run([], initial_state, faults)
+            rs.stream = _JobStream(stream, self.topology.n_nodes)
+            rs.record_sink = record_sink
         else:
             if jobs is None:
-                raise ValueError("run() needs jobs (or resume_from=...)")
+                raise ValueError("run() needs jobs, stream, or resume_from=...")
             job_list = sorted(jobs, key=lambda j: (j.submit_time, j.job_id))
             if not job_list:
                 return SimulationResult(self.allocator.name, [])
             rs = self._begin_run(job_list, initial_state, faults)
+            rs.record_sink = record_sink
 
         if progress is not None:
             with obs_runtime.progressing(progress):
@@ -472,27 +608,58 @@ class SchedulerEngine:
 
             checker = InvariantChecker()
         events = rs.events
-        while events:
+        stream = rs.stream
+        while events or (stream is not None and not stream.exhausted):
             if interrupt is not None and interrupt():
                 if checkpoint_path is not None:
                     self._write_checkpoint(checkpoint_path)
                 raise SimulationInterrupted(
                     str(checkpoint_path) if checkpoint_path is not None else None
                 )
-            now, batch = events.pop_simultaneous()
-            perf.count("engine.events", len(batch))
-            perf.count("engine.batches")
+            # The clock ticks to whichever comes first: the earliest heap
+            # event or the stream's next arrival. A pure-arrival tick has
+            # an empty heap batch; arrivals at a heap-event instant join
+            # that batch *after* its events — exactly where SUBMIT sorts
+            # (last kind) on the materialized path, which is what keeps
+            # streaming bit-identical to run(jobs=list(stream)).
+            if stream is not None and not stream.exhausted:
+                nxt = events.peek()
+                if nxt is None or stream.head.submit_time < nxt.time:
+                    now, batch = stream.head.submit_time, []
+                else:
+                    now, batch = events.pop_simultaneous()
+            else:
+                now, batch = events.pop_simultaneous()
+            # FINISH events form a prefix of the batch (lowest kind
+            # priority); releasing all of them in one vectorized pass
+            # costs one counter update + one cache invalidation instead
+            # of one per job. The sets are disjoint and nothing reads
+            # the state between the releases, so the result is
+            # bit-identical to sequential release (legacy mode keeps the
+            # sequential path as the reference).
+            n_finish = 0
+            finals: List[_Running] = []
             for event in batch:
-                if event.kind is EventKind.FINISH:
-                    finished: _Running = event.payload
-                    if running.get(finished.job.job_id) is not finished:
-                        continue  # stale: this run was interrupted by a fault
-                    state.release(finished.job.job_id)
+                if event.kind is not EventKind.FINISH:
+                    break
+                n_finish += 1
+                finished: _Running = event.payload
+                if running.get(finished.job.job_id) is not finished:
+                    continue  # stale: this run was interrupted by a fault
+                finals.append(finished)
+            if finals:
+                if len(finals) == 1 or is_legacy():
+                    for finished in finals:
+                        state.release(finished.job.job_id)
+                else:
+                    state.release_many([f.job.job_id for f in finals])
+                for finished in finals:
                     del running[finished.job.job_id]
                     rs.views.remove(finished.job.job_id)
                     book = books.get(finished.job.job_id)
                     perf.count("engine.jobs_finished")
-                    records.append(
+                    self._emit_record(
+                        rs,
                         JobRecord(
                             job=finished.job,
                             start_time=finished.start_time,
@@ -502,9 +669,10 @@ class SchedulerEngine:
                             cost_default=finished.cost_default,
                             requeues=book.requeues if book else 0,
                             wasted_node_seconds=book.wasted_node_seconds if book else 0.0,
-                        )
+                        ),
                     )
-                elif event.kind is EventKind.NODE_DOWN:
+            for event in batch[n_finish:]:
+                if event.kind is EventKind.NODE_DOWN:
                     self._apply_fault_down(now, rs, event.payload)
                 elif event.kind is EventKind.NODE_UP:
                     state.mark_up(np.asarray(event.payload.nodes, dtype=np.int64))
@@ -512,6 +680,14 @@ class SchedulerEngine:
                     queue.append(event.payload)
                     rs.submits_left -= 1
                     rs.queue_rev += 1
+            arrivals = 0
+            if stream is not None:
+                while not stream.exhausted and stream.head.submit_time <= now:
+                    queue.append(stream.take())
+                    rs.queue_rev += 1
+                    arrivals += 1
+            perf.count("engine.events", len(batch) + arrivals)
+            perf.count("engine.batches")
             self._schedule_pass(now, rs)
             if self.config.validate_state:
                 state.validate()
@@ -523,11 +699,17 @@ class SchedulerEngine:
                 checker.check_engine(self, rs)
             reporter = obs_runtime.progress()
             if reporter is not None:
-                reporter.engine_batch(now, len(batch), len(records))
-            if rs.submits_left == 0 and not queue and not running:
-                break  # only fault events (or stale finishes) remain
-            if not events:
-                break
+                reporter.engine_batch(now, len(batch) + arrivals, rs.records_emitted)
+            if stream is None:
+                if rs.submits_left == 0 and not queue and not running:
+                    break  # only fault events (or stale finishes) remain
+                if not events:
+                    break
+            else:
+                if stream.exhausted and not queue and not running:
+                    break  # only fault events (or stale finishes) remain
+                if not events and stream.exhausted:
+                    break
             if (
                 checkpoint_every is not None
                 and rs.batches_done % checkpoint_every == 0
@@ -541,6 +723,15 @@ class SchedulerEngine:
         result = SimulationResult(self.allocator.name, records, unstarted=list(queue))
         self._run_state = None
         return result
+
+    @staticmethod
+    def _emit_record(rs: _RunState, record: JobRecord) -> None:
+        """Hand a completed record to the sink, or keep it in memory."""
+        if rs.record_sink is not None:
+            rs.record_sink(record)
+        else:
+            rs.records.append(record)
+        rs.records_emitted += 1
 
     # ------------------------------------------------------------------
     # checkpoint / resume
@@ -652,6 +843,12 @@ class SchedulerEngine:
         # is off, keeping untraced checkpoints byte-identical to PR 3's.
         if rs.perf is not None:
             data["perf"] = rs.perf.state_dict()
+        # Streaming checkpoints store only the resume cursor — the trace
+        # itself is regenerated by the replayable stream on resume (the
+        # head-of-stream lookahead job is *not* consumed). Key absent on
+        # materialized runs, keeping their checkpoints byte-identical.
+        if rs.stream is not None:
+            data["stream"] = {"consumed": rs.stream.consumed}
         return data
 
     def _write_checkpoint(
@@ -743,6 +940,7 @@ class SchedulerEngine:
         perf_state = data.get("perf")
         if perf_state is not None:
             rs.perf = PerfRecorder.from_state(perf_state)
+        rs.records_emitted = len(rs.records)
         return rs
 
     @classmethod
@@ -796,11 +994,10 @@ class SchedulerEngine:
     def _apply_fault_down(self, now: float, rs: _RunState, fault: FaultEvent) -> None:
         """Interrupt jobs touching the failed nodes, then mark them DOWN."""
         cfg = self.config
-        state, queue, running, records, books = (
+        state, queue, running, books = (
             rs.state,
             rs.queue,
             rs.running,
-            rs.records,
             rs.books,
         )
         nodes = np.asarray(fault.nodes, dtype=np.int64)
@@ -834,7 +1031,8 @@ class SchedulerEngine:
             else:
                 self.last_stats.jobs_failed += 1
                 perf.count("engine.jobs_failed")
-                records.append(
+                self._emit_record(
+                    rs,
                     JobRecord(
                         job=entry.job,
                         start_time=entry.start_time,
@@ -845,7 +1043,7 @@ class SchedulerEngine:
                         requeues=book.requeues,
                         wasted_node_seconds=book.wasted_node_seconds,
                         failed=True,
-                    )
+                    ),
                 )
         state.mark_down(nodes)
 

@@ -1,0 +1,228 @@
+"""Zero-copy publication of read-only NumPy arrays to worker processes.
+
+Process-pool fan-out (:mod:`repro.runs.executor`,
+:func:`repro.experiments.sweeps.sweep`, :mod:`repro.fabric`) pickles its
+task arguments into every worker. For the big *immutable* inputs — the
+topology's ancestor table, the dense leaf-pair LCA matrix, per-node leaf
+assignments — that means one private copy per worker plus pickle time
+per task. This module publishes such arrays once into a
+:class:`multiprocessing.shared_memory.SharedMemory` segment; workers
+attach the segment and get read-only views backed by the same physical
+pages, so per-worker incremental memory is ~0 and attachment is O(1).
+
+Lifecycle
+---------
+The publishing process owns the segment::
+
+    pack = publish_arrays({"lca": lca, "leaf_of_node": lon})
+    try:
+        ...  # ship pack.handle (picklable) to workers
+    finally:
+        pack.unlink()        # destroy the segment (owner only)
+
+Workers attach via the handle::
+
+    attached = attach_arrays(handle)
+    lca = attached["lca"]    # read-only view, zero-copy
+
+An :class:`AttachedArrays` keeps its segment mapped for as long as it
+(or any of its views) is alive; attaching never registers the segment
+with the ``multiprocessing`` resource tracker, so a worker exiting does
+not tear the segment down under the publisher (CPython issue bpo-39959:
+before 3.13 every attach registers for cleanup and the first process to
+exit unlinks the segment for everyone — worked around here).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from typing import Dict, Iterator, Mapping, Tuple
+
+import numpy as np
+
+__all__ = [
+    "SharedArraySpec",
+    "SharedPackHandle",
+    "SharedArrayPack",
+    "AttachedArrays",
+    "publish_arrays",
+    "attach_arrays",
+]
+
+#: segment layout alignment; generous enough for any NumPy dtype and
+#: keeps each array cache-line aligned
+_ALIGN = 64
+
+
+@dataclass(frozen=True)
+class SharedArraySpec:
+    """Where one array lives inside a shared segment (picklable)."""
+
+    key: str
+    shape: Tuple[int, ...]
+    dtype: str
+    offset: int
+
+
+@dataclass(frozen=True)
+class SharedPackHandle:
+    """Everything a worker needs to attach a pack (picklable).
+
+    ``segment`` is the OS-level shared-memory name; ``size`` the total
+    segment size in bytes (attachment sanity check).
+    """
+
+    segment: str
+    size: int
+    specs: Tuple[SharedArraySpec, ...]
+
+
+def _aligned(n: int) -> int:
+    return (n + _ALIGN - 1) // _ALIGN * _ALIGN
+
+
+def publish_arrays(arrays: Mapping[str, np.ndarray]) -> "SharedArrayPack":
+    """Copy ``arrays`` into one new shared segment; returns the owner pack.
+
+    Keys must be non-empty and unique (a Mapping guarantees the latter).
+    Object-dtype arrays are rejected — shared memory carries raw bytes
+    only. The returned pack owns the segment: call
+    :meth:`SharedArrayPack.unlink` when every worker is done with it.
+    """
+    if not arrays:
+        raise ValueError("publish_arrays needs at least one array")
+    specs = []
+    offset = 0
+    for key, arr in arrays.items():
+        if not key:
+            raise ValueError("array keys must be non-empty")
+        arr = np.ascontiguousarray(arr)
+        if arr.dtype.hasobject:
+            raise TypeError(f"array {key!r} has object dtype; cannot be shared")
+        specs.append(SharedArraySpec(key, arr.shape, arr.dtype.str, offset))
+        offset = _aligned(offset + arr.nbytes)
+    size = max(offset, 1)  # SharedMemory rejects size 0
+    shm = shared_memory.SharedMemory(create=True, size=size)
+    try:
+        for spec, arr in zip(specs, arrays.values()):
+            view = np.ndarray(
+                spec.shape, dtype=spec.dtype, buffer=shm.buf, offset=spec.offset
+            )
+            view[...] = np.ascontiguousarray(arr)
+    except BaseException:
+        shm.close()
+        shm.unlink()
+        raise
+    handle = SharedPackHandle(segment=shm.name, size=size, specs=tuple(specs))
+    return SharedArrayPack(shm, handle)
+
+
+class SharedArrayPack:
+    """Owner side of a published segment (the process that created it)."""
+
+    def __init__(self, shm: shared_memory.SharedMemory, handle: SharedPackHandle) -> None:
+        self._shm = shm
+        self.handle = handle
+        self._unlinked = False
+
+    def close(self) -> None:
+        """Unmap the segment from this process (it keeps existing)."""
+        self._shm.close()
+
+    def unlink(self) -> None:
+        """Destroy the segment. Safe to call more than once."""
+        if self._unlinked:
+            return
+        self._unlinked = True
+        self._shm.close()
+        try:
+            self._shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - already gone
+            pass
+
+    def __enter__(self) -> "SharedArrayPack":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.unlink()
+
+
+def _attach_segment(name: str) -> shared_memory.SharedMemory:
+    """Attach without registering with the resource tracker.
+
+    Python 3.13 grew ``track=False`` for exactly this; earlier versions
+    register every attachment, and the tracker of whichever process
+    exits first unlinks the segment for everyone (bpo-39959). The
+    fallback undoes that registration by hand.
+    """
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:
+        # Pre-3.13: suppress the tracker registration instead of undoing
+        # it afterwards — an unregister message would also erase the
+        # *owner's* registration in a shared tracker process, silencing
+        # its crash-cleanup of the segment.
+        from multiprocessing import resource_tracker
+
+        original = resource_tracker.register
+
+        def _skip_shm(name: str, rtype: str) -> None:
+            if rtype != "shared_memory":
+                original(name, rtype)
+
+        resource_tracker.register = _skip_shm
+        try:
+            return shared_memory.SharedMemory(name=name)
+        finally:
+            resource_tracker.register = original
+
+
+class AttachedArrays(Mapping):
+    """Read-only zero-copy views of a published pack, by key.
+
+    Keeps the underlying segment mapped for its own lifetime — hold on
+    to this object for as long as any of its views is in use (the views
+    reference the segment's buffer, not this wrapper).
+    """
+
+    def __init__(self, shm: shared_memory.SharedMemory, handle: SharedPackHandle) -> None:
+        self._shm = shm
+        self._views: Dict[str, np.ndarray] = {}
+        for spec in handle.specs:
+            view = np.ndarray(
+                spec.shape, dtype=spec.dtype, buffer=shm.buf, offset=spec.offset
+            )
+            view.flags.writeable = False
+            self._views[spec.key] = view
+
+    def __getitem__(self, key: str) -> np.ndarray:
+        return self._views[key]
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._views)
+
+    def __len__(self) -> int:
+        return len(self._views)
+
+    def close(self) -> None:
+        """Drop the views and unmap the segment from this process."""
+        self._views.clear()
+        self._shm.close()
+
+
+def attach_arrays(handle: SharedPackHandle) -> AttachedArrays:
+    """Attach a published pack; returns read-only views keyed like the input.
+
+    Raises ``FileNotFoundError`` when the segment no longer exists
+    (owner already unlinked it) and ``ValueError`` when the segment is
+    smaller than the handle describes (stale or corrupted handle).
+    """
+    shm = _attach_segment(handle.segment)
+    if shm.size < handle.size:
+        shm.close()
+        raise ValueError(
+            f"shared segment {handle.segment!r} is {shm.size} bytes; the "
+            f"handle describes {handle.size}"
+        )
+    return AttachedArrays(shm, handle)

@@ -1,0 +1,137 @@
+"""Share one topology's derived arrays across worker processes.
+
+A :class:`~repro.topology.tree.TreeTopology` is immutable, and its
+expensive derived structures — the per-leaf ancestor table, the dense
+leaf×leaf LCA-level matrix behind the Eq. 6 leaf-pair kernel, the
+node→leaf assignment — are identical in every worker of a sweep or
+fabric fan-out. :func:`publish_topology` puts those arrays into one
+shared-memory segment (:mod:`repro.shm`); :func:`attach_topology`
+rebuilds the topology in a worker from its conf text and swaps the
+shared views in, so each worker's private footprint is just the switch
+metadata, and the LCA matrix is never recomputed per process.
+
+Worker-process plumbing: pools pass ``{key: TopologyHandle}`` to
+:func:`install_topology_handles` as their initializer;
+:meth:`repro.experiments.runner.ExperimentConfig.topology` then finds
+the attached instance through :func:`shared_topology` (keyed by log
+name) instead of rebuilding from :data:`~repro.workloads.logs.LOG_SPECS`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional
+
+from ..shm import SharedArrayPack, SharedPackHandle, attach_arrays, publish_arrays
+from .config import parse_topology_conf, write_topology_conf
+from .tree import TreeTopology
+
+__all__ = [
+    "TopologyHandle",
+    "PublishedTopology",
+    "publish_topology",
+    "attach_topology",
+    "install_topology_handles",
+    "shared_topology",
+    "clear_topology_registry",
+]
+
+
+@dataclass(frozen=True)
+class TopologyHandle:
+    """Picklable recipe for attaching a shared topology in a worker."""
+
+    conf: str
+    pack: SharedPackHandle
+
+
+class PublishedTopology:
+    """Owner side of one shared topology (publishes and later unlinks)."""
+
+    def __init__(self, pack: SharedArrayPack, handle: TopologyHandle) -> None:
+        self._pack = pack
+        self.handle = handle
+
+    def unlink(self) -> None:
+        """Destroy the shared segment. Safe to call more than once."""
+        self._pack.unlink()
+
+    def __enter__(self) -> "PublishedTopology":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.unlink()
+
+
+def publish_topology(topology: TreeTopology) -> PublishedTopology:
+    """Publish a topology's derived arrays into shared memory.
+
+    Forces the lazy LCA matrix so workers inherit it precomputed. The
+    caller owns the returned object and must ``unlink()`` it once every
+    worker has exited.
+    """
+    pack = publish_arrays(
+        {
+            "ancestors": topology._ancestors,
+            "switch_levels": topology._switch_levels,
+            "leaf_lca_levels": topology.leaf_lca_levels(),
+            "leaf_of_node": topology.leaf_of_node,
+            "leaf_node_offset": topology.leaf_node_offset,
+            "leaf_sizes": topology.leaf_sizes,
+            "leaf_switch_index": topology._leaf_switch_index,
+        }
+    )
+    handle = TopologyHandle(conf=write_topology_conf(topology), pack=pack.handle)
+    return PublishedTopology(pack, handle)
+
+
+def attach_topology(handle: TopologyHandle) -> TreeTopology:
+    """Rebuild a topology in this process around the shared arrays.
+
+    The switch metadata (names, :class:`SwitchInfo` tuples) is re-parsed
+    from the conf text — cheap and unavoidable, Python objects cannot
+    live in shared memory — while every NumPy array, including the
+    precomputed LCA matrix, is a read-only zero-copy view of the
+    publisher's segment. The attachment is pinned on the returned
+    instance, so the segment stays mapped for the topology's lifetime.
+    """
+    topology = parse_topology_conf(handle.conf)
+    attached = attach_arrays(handle.pack)
+    topology._ancestors = attached["ancestors"]
+    topology._switch_levels = attached["switch_levels"]
+    topology._leaf_lca_levels = attached["leaf_lca_levels"]
+    topology.leaf_of_node = attached["leaf_of_node"]
+    topology.leaf_node_offset = attached["leaf_node_offset"]
+    topology.leaf_sizes = attached["leaf_sizes"]
+    topology._leaf_switch_index = attached["leaf_switch_index"]
+    topology._shm_attachment = attached
+    return topology
+
+
+#: worker-process registry: key (log name) -> attached topology
+_REGISTRY: Dict[str, TreeTopology] = {}
+
+
+def install_topology_handles(handles: Mapping[str, TopologyHandle]) -> None:
+    """Attach and register shared topologies (process-pool initializer).
+
+    Idempotent per key: re-running in a reused worker replaces the
+    entry. Module-level so it pickles as a pool ``initializer``.
+    """
+    for key, handle in handles.items():
+        _REGISTRY[key] = attach_topology(handle)
+
+
+def shared_topology(key: str) -> Optional[TreeTopology]:
+    """The attached topology registered under ``key``, if any."""
+    return _REGISTRY.get(key)
+
+
+def clear_topology_registry() -> None:
+    """Forget all registered attachments (tests).
+
+    Only drops the references — the segments unmap when the attached
+    topologies are garbage collected (unmapping eagerly would invalidate
+    any still-live views).
+    """
+    _REGISTRY.clear()

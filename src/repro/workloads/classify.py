@@ -22,7 +22,7 @@ E     30% compute, 21% RD + 49% bin.  0.70
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, Iterable, Iterator, List, Sequence, Tuple
 
 import numpy as np
 
@@ -41,6 +41,7 @@ __all__ = [
     "make_mix",
     "single_pattern_mix",
     "assign_kinds",
+    "assign_kinds_stream",
 ]
 
 #: A communication mix: ((pattern name, fraction of total runtime), ...).
@@ -126,3 +127,55 @@ def assign_kinds(
                 )
             )
     return jobs
+
+
+def assign_kinds_stream(
+    trace: Iterable[TraceJob],
+    *,
+    percent_comm: float,
+    mix: CommMix,
+    seed: int = 0,
+) -> Iterator[Job]:
+    """Streaming :func:`assign_kinds`: label jobs without materializing.
+
+    The eager version draws an *exact-count* sample — impossible when
+    the trace length is unknown up front — so the stream labels each
+    job by an independent seeded Bernoulli draw at ``percent_comm/100``
+    instead. The label is a pure function of ``(seed, job index)``:
+    deterministic, prefix-stable, and independent of how the upstream
+    iterator chunks its work. The realized comm share converges on
+    ``percent_comm`` but is not exact, so a streaming run and an eager
+    run of the *same trace* only compare bit-identically when both
+    sides use the same labeler (materialize this stream with
+    ``list(...)`` for the eager side).
+
+    Single-node jobs are labeled compute-intensive regardless of the
+    draw (the draw is still consumed, keeping indices aligned), exactly
+    like the eager path.
+    """
+    if not 0.0 <= percent_comm <= 100.0:
+        raise ValueError(f"percent_comm must be in [0, 100], got {percent_comm}")
+    rng = np.random.default_rng(seed)
+    threshold = percent_comm / 100.0
+    components = make_mix(mix)
+    for t in trace:
+        # sequential scalar draws from one generator produce the same
+        # stream however the caller batches consumption
+        is_comm = rng.random() < threshold
+        if is_comm and t.nodes > 1:
+            yield Job(
+                job_id=t.job_id,
+                submit_time=t.submit_time,
+                nodes=t.nodes,
+                runtime=t.runtime,
+                kind=JobKind.COMM,
+                comm=components,
+            )
+        else:
+            yield Job(
+                job_id=t.job_id,
+                submit_time=t.submit_time,
+                nodes=t.nodes,
+                runtime=t.runtime,
+                kind=JobKind.COMPUTE,
+            )

@@ -16,11 +16,19 @@ from __future__ import annotations
 import warnings
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Iterable, List, Optional, Union
+from typing import Iterable, Iterator, List, Optional, Tuple, Union
 
 from .trace import TraceJob
 
-__all__ = ["SwfRecord", "SwfError", "parse_swf", "load_swf", "write_swf", "swf_to_trace"]
+__all__ = [
+    "SwfRecord",
+    "SwfError",
+    "parse_swf",
+    "iter_swf",
+    "load_swf",
+    "write_swf",
+    "swf_to_trace",
+]
 
 #: SWF field names, in file order.
 SWF_FIELDS = (
@@ -80,6 +88,56 @@ class SwfRecord:
         return " ".join(str(getattr(self, f)) for f in SWF_FIELDS)
 
 
+def _parse_swf_line(raw: str, lineno: int) -> Tuple[Optional[SwfRecord], Optional[str]]:
+    """Parse one raw SWF line into ``(record, problem)``.
+
+    Exactly one of the two is non-None, except for blank/comment lines
+    which return ``(None, None)``. This is the single skip-logic shared
+    by :func:`parse_swf` and :func:`iter_swf`, so a line both consider
+    malformed is guaranteed to be the same line.
+    """
+    line = raw.strip()
+    if not line or line.startswith(";"):
+        return None, None
+    parts = line.split()
+    if len(parts) != len(SWF_FIELDS):
+        return None, f"line {lineno}: expected {len(SWF_FIELDS)} fields, got {len(parts)}"
+    try:
+        values = [int(float(p)) for p in parts]
+    except ValueError as exc:
+        return None, f"line {lineno}: non-numeric field ({exc})"
+    return SwfRecord(*values), None
+
+
+class _SkipTally:
+    """Counts skipped lines and emits one summary warning at the end.
+
+    ``strict=False`` on a large archive trace must not emit one warning
+    per malformed line; both parse entry points route skips through this
+    tally and warn exactly once, with the count and the first offender.
+    """
+
+    def __init__(self, strict: bool):
+        self.strict = strict
+        self.skipped = 0
+        self.first_bad: Optional[str] = None
+
+    def record(self, problem: str) -> None:
+        if self.strict:
+            raise SwfError(problem)
+        self.skipped += 1
+        if self.first_bad is None:
+            self.first_bad = problem
+
+    def finish(self, stacklevel: int = 3) -> None:
+        if self.skipped:
+            warnings.warn(
+                f"skipped {self.skipped} malformed SWF line(s); first: {self.first_bad}",
+                UserWarning,
+                stacklevel=stacklevel,
+            )
+
+
 def parse_swf(text: str, *, strict: bool = True) -> List[SwfRecord]:
     """Parse SWF text into records; header comments (``;``) are skipped.
 
@@ -88,38 +146,48 @@ def parse_swf(text: str, *, strict: bool = True) -> List[SwfRecord]:
     or corrupt lines; ``strict=False`` skips those instead and emits one
     :class:`UserWarning` with the skip count and the first offender.
     """
+    tally = _SkipTally(strict)
     records: List[SwfRecord] = []
-    skipped = 0
-    first_bad: Optional[str] = None
     for lineno, raw in enumerate(text.splitlines(), start=1):
-        line = raw.strip()
-        if not line or line.startswith(";"):
-            continue
-        parts = line.split()
-        problem: Optional[str] = None
-        values: List[int] = []
-        if len(parts) != len(SWF_FIELDS):
-            problem = f"line {lineno}: expected {len(SWF_FIELDS)} fields, got {len(parts)}"
-        else:
-            try:
-                values = [int(float(p)) for p in parts]
-            except ValueError as exc:
-                problem = f"line {lineno}: non-numeric field ({exc})"
+        record, problem = _parse_swf_line(raw, lineno)
         if problem is not None:
-            if strict:
-                raise SwfError(problem)
-            skipped += 1
-            if first_bad is None:
-                first_bad = problem
-            continue
-        records.append(SwfRecord(*values))
-    if skipped:
-        warnings.warn(
-            f"skipped {skipped} malformed SWF line(s); first: {first_bad}",
-            UserWarning,
-            stacklevel=2,
-        )
+            tally.record(problem)
+        elif record is not None:
+            records.append(record)
+    tally.finish()
     return records
+
+
+def iter_swf(
+    source: Union[str, Path, Iterable[str]], *, strict: bool = True
+) -> Iterator[SwfRecord]:
+    """Stream SWF records one at a time without materializing the log.
+
+    ``source`` is a filesystem path (opened and read line by line) or
+    any iterable of lines (an open file handle works). Skip semantics
+    match :func:`parse_swf` exactly — same shared line parser, same
+    single summary :class:`UserWarning` under ``strict=False``, emitted
+    when the iterator is exhausted. Peak memory is one line regardless
+    of trace length, which is what lets a multi-gigabyte archive trace
+    feed the streaming engine directly.
+    """
+    tally = _SkipTally(strict)
+    if isinstance(source, (str, Path)):
+        with open(source) as fh:
+            yield from _iter_swf_lines(fh, tally)
+    else:
+        yield from _iter_swf_lines(source, tally)
+    tally.finish()
+
+
+def _iter_swf_lines(lines: Iterable[str], tally: _SkipTally) -> Iterator[SwfRecord]:
+    """Shared line loop behind :func:`iter_swf` (path and iterable forms)."""
+    for lineno, raw in enumerate(lines, start=1):
+        record, problem = _parse_swf_line(raw, lineno)
+        if problem is not None:
+            tally.record(problem)
+        elif record is not None:
+            yield record
 
 
 def load_swf(path: Union[str, Path], *, strict: bool = True) -> List[SwfRecord]:

@@ -14,7 +14,8 @@ logs are reproducible from a seed.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+import warnings
+from typing import Iterator, List, Optional, Sequence
 
 import numpy as np
 
@@ -27,8 +28,14 @@ __all__ = [
     "exponential_arrivals",
     "weibull_arrivals",
     "geometric_exponent_weights",
+    "stream_trace",
     "large_trace",
 ]
+
+#: jobs generated per chunk by :func:`stream_trace`; bounds its peak
+#: memory and fixes the per-chunk child-seed sequence, so it is part of
+#: the reproducibility contract and deliberately not a parameter.
+STREAM_CHUNK_JOBS = 65_536
 
 
 def geometric_exponent_weights(max_exp: int, decay: float = 0.75) -> np.ndarray:
@@ -141,6 +148,86 @@ def weibull_arrivals(
     return np.cumsum(gaps)
 
 
+def stream_trace(
+    n_jobs: int = 100_000,
+    *,
+    seed: int = 0,
+    max_nodes: int = 4392,
+    min_exp: int = 0,
+    max_exp: int = 9,
+    size_decay: float = 0.8,
+    pow2_fraction: float = 0.9,
+    runtime_median_s: float = 1800.0,
+    runtime_sigma: float = 1.0,
+    mean_interarrival_s: float = 31.0,
+    arrival_shape: float = 0.7,
+) -> Iterator[TraceJob]:
+    """Seeded benchmark trace as a constant-memory stream of jobs.
+
+    Same distributions as the classic eager generator — Theta-scale by
+    default (4392 nodes, 8-512 node requests, 90% powers of two), sizes
+    from the geometric power-of-two mix of §5.1, lognormal runtimes,
+    bursty Weibull submits — but generated in fixed chunks of
+    :data:`STREAM_CHUNK_JOBS` jobs, so peak memory is flat no matter
+    whether 100k or 10M jobs are requested.
+
+    Chunk ``k`` draws from the child generator
+    ``np.random.default_rng([seed, k])``, which makes the trace a pure
+    function of ``(seed, job index)``: any prefix of a longer trace is
+    bit-identical to the shorter trace with the same seed, and resuming
+    a checkpointed streaming run only needs the same arguments, never
+    the consumed prefix. (The resulting values differ from the pre-PR 9
+    single-generator ``large_trace`` draws — that was a whole-trace
+    draw order and inherently unstreamable.)
+
+    Submit times stay globally non-decreasing: each chunk's Weibull
+    gaps are offset by the previous chunk's last submit, and only the
+    very first gap of the trace is zeroed (first job arrives at t=0).
+    """
+    require_positive_int(n_jobs, "n_jobs")
+    require_positive_int(max_nodes, "max_nodes")
+    weights = geometric_exponent_weights(max_exp, size_decay)[min_exp:]
+    weights = weights / weights.sum()
+    from math import gamma
+
+    arrival_scale = mean_interarrival_s / gamma(1.0 + 1.0 / arrival_shape)
+    offset = 0.0
+    produced = 0
+    chunk_idx = 0
+    while produced < n_jobs:
+        count = min(STREAM_CHUNK_JOBS, n_jobs - produced)
+        rng = np.random.default_rng([seed, chunk_idx])
+        # always draw the full chunk and truncate the yield: the arrays
+        # are then a function of (seed, chunk_idx) alone, never of
+        # n_jobs, which is what makes prefixes bit-stable
+        sizes = power_of_two_sizes(
+            rng,
+            STREAM_CHUNK_JOBS,
+            max_exp=max_exp,
+            min_exp=min_exp,
+            weights=weights,
+            pow2_fraction=pow2_fraction,
+        )
+        sizes = np.minimum(sizes, max_nodes)
+        runtimes = lognormal_runtimes(
+            rng, STREAM_CHUNK_JOBS, median_seconds=runtime_median_s, sigma=runtime_sigma
+        )
+        gaps = arrival_scale * rng.weibull(arrival_shape, size=STREAM_CHUNK_JOBS)
+        if chunk_idx == 0:
+            gaps[0] = 0.0
+        submits = offset + np.cumsum(gaps)
+        for i in range(count):
+            yield TraceJob(
+                job_id=produced + i + 1,
+                submit_time=float(submits[i]),
+                nodes=int(sizes[i]),
+                runtime=float(runtimes[i]),
+            )
+        offset = float(submits[-1])
+        produced += count
+        chunk_idx += 1
+
+
 def large_trace(
     n_jobs: int = 100_000,
     *,
@@ -155,46 +242,37 @@ def large_trace(
     mean_interarrival_s: float = 31.0,
     arrival_shape: float = 0.7,
 ) -> List[TraceJob]:
-    """Seeded benchmark trace with paper-like distributions (default 100k jobs).
+    """Deprecated eager form of :func:`stream_trace` (materializes the list).
 
-    The defaults describe a Theta-scale workload (4392 nodes, 8-512 node
-    requests, 90% powers of two) at a heavy but schedulable load — the
-    end-to-end throughput benchmark's standard input (``BENCH_PR4``).
-    Sizes follow the geometric power-of-two mix of §5.1, runtimes the
-    standard lognormal fit, and submits a bursty Weibull process
-    (shape < 1), so queue depth fluctuates the way real logs do.
-
-    Everything derives from ``seed``; the same arguments always produce
-    the bit-identical trace.
+    .. deprecated::
+        ``large_trace`` builds the entire job list even when the caller
+        only iterates it once, which is exactly the O(n) memory the
+        streaming engine removes. It now delegates to
+        :func:`stream_trace` (so the two are bit-identical) and warns;
+        call :func:`stream_trace` directly, wrapping in ``list(...)``
+        only if random access is genuinely needed.
     """
-    require_positive_int(n_jobs, "n_jobs")
-    require_positive_int(max_nodes, "max_nodes")
-    rng = np.random.default_rng(seed)
-    weights = geometric_exponent_weights(max_exp, size_decay)[min_exp:]
-    sizes = power_of_two_sizes(
-        rng,
-        n_jobs,
-        max_exp=max_exp,
-        min_exp=min_exp,
-        weights=weights / weights.sum(),
-        pow2_fraction=pow2_fraction,
+    warnings.warn(
+        "large_trace materializes the whole trace; use stream_trace for "
+        "constant-memory generation (wrap in list(...) if you need a list)",
+        DeprecationWarning,
+        stacklevel=2,
     )
-    sizes = np.minimum(sizes, max_nodes)
-    runtimes = lognormal_runtimes(
-        rng, n_jobs, median_seconds=runtime_median_s, sigma=runtime_sigma
-    )
-    submits = weibull_arrivals(
-        rng, n_jobs, mean_interarrival_seconds=mean_interarrival_s, shape=arrival_shape
-    )
-    return [
-        TraceJob(
-            job_id=i + 1,
-            submit_time=float(submits[i]),
-            nodes=int(sizes[i]),
-            runtime=float(runtimes[i]),
+    return list(
+        stream_trace(
+            n_jobs,
+            seed=seed,
+            max_nodes=max_nodes,
+            min_exp=min_exp,
+            max_exp=max_exp,
+            size_decay=size_decay,
+            pow2_fraction=pow2_fraction,
+            runtime_median_s=runtime_median_s,
+            runtime_sigma=runtime_sigma,
+            mean_interarrival_s=mean_interarrival_s,
+            arrival_shape=arrival_shape,
         )
-        for i in range(n_jobs)
-    ]
+    )
 
 
 def exponential_arrivals(

@@ -9,12 +9,22 @@ applied to the time axis.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import Iterable, Iterator, List, Optional, Sequence
 
 from .trace import TraceJob
 from .._validation import require_positive_int
 
-__all__ = ["slice_window", "filter_sizes", "scale_load", "renumber", "concatenate"]
+__all__ = [
+    "slice_window",
+    "filter_sizes",
+    "scale_load",
+    "renumber",
+    "concatenate",
+    "iter_slice_window",
+    "iter_filter_sizes",
+    "iter_scale_load",
+    "iter_renumber",
+]
 
 
 def slice_window(
@@ -70,6 +80,67 @@ def renumber(trace: Sequence[TraceJob], *, start: int = 1) -> List[TraceJob]:
         TraceJob(start + i, t.submit_time, t.nodes, t.runtime)
         for i, t in enumerate(ordered)
     ]
+
+
+def iter_slice_window(
+    trace: Iterable[TraceJob], start: float, end: float, *, rebase: bool = True
+) -> Iterator[TraceJob]:
+    """Lazy :func:`slice_window` over a submit-ordered stream.
+
+    Constant-memory counterpart for streaming traces. Requires the
+    input to be non-decreasing in submit time (every generator in this
+    package is): the rebase origin is then the *first* kept job, which
+    is what the eager version's ``min`` computes, and iteration stops
+    as soon as a submit at or past ``end`` is seen.
+    """
+    if end <= start:
+        raise ValueError(f"need start < end, got [{start}, {end})")
+    t0: Optional[float] = None
+    for t in trace:
+        if t.submit_time >= end:
+            break
+        if t.submit_time < start:
+            continue
+        if not rebase:
+            yield t
+            continue
+        if t0 is None:
+            t0 = t.submit_time
+        yield TraceJob(t.job_id, t.submit_time - t0, t.nodes, t.runtime)
+
+
+def iter_filter_sizes(
+    trace: Iterable[TraceJob],
+    *,
+    min_nodes: int = 1,
+    max_nodes: Optional[int] = None,
+) -> Iterator[TraceJob]:
+    """Lazy :func:`filter_sizes`: constant-memory size filtering."""
+    require_positive_int(min_nodes, "min_nodes")
+    if max_nodes is not None and max_nodes < min_nodes:
+        raise ValueError("max_nodes must be >= min_nodes")
+    for t in trace:
+        if t.nodes >= min_nodes and (max_nodes is None or t.nodes <= max_nodes):
+            yield t
+
+
+def iter_scale_load(trace: Iterable[TraceJob], factor: float) -> Iterator[TraceJob]:
+    """Lazy :func:`scale_load`: divide submit times by ``factor``."""
+    if factor <= 0:
+        raise ValueError(f"factor must be > 0, got {factor}")
+    for t in trace:
+        yield TraceJob(t.job_id, t.submit_time / factor, t.nodes, t.runtime)
+
+
+def iter_renumber(trace: Iterable[TraceJob], *, start: int = 1) -> Iterator[TraceJob]:
+    """Lazy :func:`renumber` for already submit-ordered streams.
+
+    The eager version sorts; a stream cannot, so the input must already
+    be non-decreasing in submit time — true of every generator here,
+    and exactly the order the eager sort would produce.
+    """
+    for i, t in enumerate(trace):
+        yield TraceJob(start + i, t.submit_time, t.nodes, t.runtime)
 
 
 def concatenate(

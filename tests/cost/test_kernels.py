@@ -1,0 +1,151 @@
+"""Tests for the optional compiled Eq. 6 kernel and its gating.
+
+numba is an optional dependency; on environments without it the jitted
+path cannot run, but the dispatch plumbing and the pure-numpy mirror
+must still be exercised (``compiled_mode(True)`` routes through
+:func:`segment_worst` regardless). Bit-identity is asserted with ``==``
+— the kernel contract is exact equality, not closeness.
+"""
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro._perfflags import compiled_mode, compiled_pref, legacy_mode, set_compiled
+from repro.cost.kernels import (
+    HAVE_NUMBA,
+    _segment_worst_numpy,
+    _segment_worst_scalar,
+    kernel_active,
+    pair_weights,
+    segment_worst,
+)
+from repro.cost.leafpair import clear_leaf_pair_cache
+from repro.experiments.runner import ExperimentConfig, continuous_runs
+from repro.scheduler.serialize import result_to_dict
+from repro.workloads.classify import single_pattern_mix
+
+
+class TestGating:
+    def test_auto_follows_numba_availability(self):
+        assert compiled_pref() is None
+        assert kernel_active() is HAVE_NUMBA
+
+    def test_forced_on(self):
+        with compiled_mode(True):
+            assert kernel_active() is True
+
+    def test_forced_off(self):
+        with compiled_mode(False):
+            assert kernel_active() is False
+
+    def test_legacy_always_wins(self):
+        with compiled_mode(True), legacy_mode():
+            assert kernel_active() is False
+
+    def test_nested_restore(self):
+        with compiled_mode(True):
+            with compiled_mode(False):
+                assert kernel_active() is False
+            assert kernel_active() is True
+        assert compiled_pref() is None
+
+    def test_set_compiled_round_trip(self):
+        set_compiled(True)
+        try:
+            assert compiled_pref() is True
+        finally:
+            set_compiled(None)
+        assert compiled_pref() is None
+
+
+@st.composite
+def segment_inputs(draw):
+    n_leaves = draw(st.integers(min_value=2, max_value=12))
+    n_pairs = draw(st.integers(min_value=1, max_value=60))
+    rng = np.random.default_rng(draw(st.integers(min_value=0, max_value=2**32 - 1)))
+    ula = rng.integers(0, n_leaves, size=n_pairs)
+    ulb = rng.integers(0, n_leaves, size=n_pairs)
+    lvl = rng.integers(1, 5, size=n_pairs)
+    share = rng.random(n_leaves)
+    comm = rng.integers(0, 30, size=n_leaves)
+    sizes = rng.integers(1, 16, size=n_leaves)
+    n_seg = draw(st.integers(min_value=1, max_value=min(6, n_pairs)))
+    cuts = np.sort(rng.choice(np.arange(1, n_pairs), size=n_seg - 1, replace=False)) if n_seg > 1 else np.empty(0, dtype=np.int64)
+    offsets = np.concatenate((np.zeros(1, dtype=np.int64), cuts.astype(np.int64)))
+    discount = draw(st.floats(min_value=0.1, max_value=1.0))
+    per_level = draw(st.booleans())
+    return ula, ulb, lvl, share, comm, sizes, discount, per_level, offsets
+
+
+def _loop_args(inputs):
+    """Adapt the strategy's public-signature tuple to the loop signature:
+    weights are precomputed once (see ``pair_weights``) because scalar
+    ``pow`` and numpy's vectorized power may differ in the last ulp."""
+    ula, ulb, lvl, share, comm, sizes, discount, per_level, offsets = inputs
+    weights = pair_weights(lvl, discount, per_level)
+    return ula, ulb, lvl, share, comm, sizes, weights, offsets
+
+
+@given(segment_inputs())
+@settings(max_examples=100, deadline=None)
+def test_scalar_loop_bitwise_matches_numpy_mirror(inputs):
+    """The jit source (run as plain Python) and the numpy mirror agree
+    to the last bit — this is what guarantees numba output equals the
+    inline expression wherever numba is present."""
+    a = _segment_worst_numpy(*_loop_args(inputs))
+    b = _segment_worst_scalar(*_loop_args(inputs))
+    assert a.tolist() == b.tolist()
+
+
+@given(segment_inputs())
+@settings(max_examples=50, deadline=None)
+def test_dispatch_matches_mirror(inputs):
+    assert (
+        segment_worst(*inputs).tolist()
+        == _segment_worst_numpy(*_loop_args(inputs)).tolist()
+    )
+
+
+def _run(mode_enabled):
+    cfg = ExperimentConfig(
+        log="theta",
+        n_jobs=60,
+        percent_comm=90.0,
+        mix=single_pattern_mix("rhvd", 0.7),
+        allocators=("default", "adaptive"),
+        seed=5,
+        policy="backfill",
+    )
+    clear_leaf_pair_cache()
+    with compiled_mode(mode_enabled):
+        results = continuous_runs(cfg)
+    return {
+        name: json.dumps(result_to_dict(res), sort_keys=True)
+        for name, res in results.items()
+    }
+
+
+def test_end_to_end_bit_identical_kernel_on_vs_off():
+    assert _run(True) == _run(False)
+
+
+@pytest.mark.skipif(not HAVE_NUMBA, reason="numba not installed")
+def test_jit_compiles_and_matches():  # pragma: no cover - numba-only
+    rng = np.random.default_rng(0)
+    n_leaves, n_pairs = 8, 40
+    args = (
+        rng.integers(0, n_leaves, size=n_pairs),
+        rng.integers(0, n_leaves, size=n_pairs),
+        rng.integers(1, 5, size=n_pairs),
+        rng.random(n_leaves),
+        rng.integers(0, 30, size=n_leaves),
+        rng.integers(1, 16, size=n_leaves),
+        0.5,
+        True,
+        np.array([0, 10, 25], dtype=np.int64),
+    )
+    assert segment_worst(*args).tolist() == _segment_worst_numpy(*_loop_args(args)).tolist()

@@ -1,0 +1,129 @@
+"""Tests for repro.shm — shared-memory publication of read-only arrays."""
+
+import numpy as np
+import pytest
+
+from repro.shm import (
+    SharedPackHandle,
+    attach_arrays,
+    publish_arrays,
+)
+
+
+@pytest.fixture
+def arrays():
+    return {
+        "matrix": np.arange(20, dtype=np.int64).reshape(4, 5),
+        "floats": np.linspace(0.0, 1.0, 7),
+        "bools": np.array([True, False, True]),
+        "empty": np.empty(0, dtype=np.float32),
+    }
+
+
+class TestRoundTrip:
+    def test_values_shapes_dtypes_preserved(self, arrays):
+        pack = publish_arrays(arrays)
+        try:
+            attached = attach_arrays(pack.handle)
+            assert set(attached) == set(arrays)
+            for key, original in arrays.items():
+                view = attached[key]
+                assert view.shape == original.shape
+                assert view.dtype == original.dtype
+                assert np.array_equal(view, original)
+            attached.close()
+        finally:
+            pack.unlink()
+
+    def test_views_are_read_only(self, arrays):
+        pack = publish_arrays(arrays)
+        try:
+            attached = attach_arrays(pack.handle)
+            with pytest.raises(ValueError):
+                attached["matrix"][0, 0] = 99
+            attached.close()
+        finally:
+            pack.unlink()
+
+    def test_views_do_not_copy(self, arrays):
+        """Two attachments of one segment see the same bytes."""
+        pack = publish_arrays(arrays)
+        try:
+            first = attach_arrays(pack.handle)
+            second = attach_arrays(pack.handle)
+            assert np.array_equal(first["matrix"], second["matrix"])
+            first.close()
+            second.close()
+        finally:
+            pack.unlink()
+
+    def test_mapping_protocol(self, arrays):
+        pack = publish_arrays(arrays)
+        try:
+            attached = attach_arrays(pack.handle)
+            assert len(attached) == len(arrays)
+            assert "matrix" in attached
+            with pytest.raises(KeyError):
+                attached["nope"]
+            attached.close()
+        finally:
+            pack.unlink()
+
+
+class TestLifecycle:
+    def test_unlink_idempotent(self, arrays):
+        pack = publish_arrays(arrays)
+        pack.unlink()
+        pack.unlink()  # no error
+
+    def test_context_manager_unlinks(self, arrays):
+        with publish_arrays(arrays) as pack:
+            handle = pack.handle
+            attach_arrays(handle).close()
+        with pytest.raises(FileNotFoundError):
+            attach_arrays(handle)
+
+    def test_attach_after_unlink_raises(self, arrays):
+        pack = publish_arrays(arrays)
+        pack.unlink()
+        with pytest.raises(FileNotFoundError):
+            attach_arrays(pack.handle)
+
+
+class TestValidation:
+    def test_rejects_empty_mapping(self):
+        with pytest.raises(ValueError, match="at least one"):
+            publish_arrays({})
+
+    def test_rejects_object_dtype(self):
+        with pytest.raises(TypeError, match="object dtype"):
+            publish_arrays({"bad": np.array([object()])})
+
+    def test_rejects_empty_key(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            publish_arrays({"": np.zeros(3)})
+
+    def test_rejects_undersized_segment(self, arrays):
+        pack = publish_arrays(arrays)
+        try:
+            lying = SharedPackHandle(
+                segment=pack.handle.segment,
+                size=pack.handle.size + 1_000_000,
+                specs=pack.handle.specs,
+            )
+            with pytest.raises(ValueError, match="bytes"):
+                attach_arrays(lying)
+        finally:
+            pack.unlink()
+
+    def test_non_contiguous_input_published_contiguously(self):
+        base = np.arange(40, dtype=np.int64).reshape(8, 5)
+        strided = base[::2]
+        assert not strided.flags["C_CONTIGUOUS"]
+        pack = publish_arrays({"s": strided})
+        try:
+            attached = attach_arrays(pack.handle)
+            assert np.array_equal(attached["s"], strided)
+            attached.close()
+        finally:
+            pack.unlink()

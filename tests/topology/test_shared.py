@@ -1,0 +1,98 @@
+"""Tests for shared-memory topology publication and the worker registry."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterState, JobKind
+from repro.topology import (
+    attach_topology,
+    clear_topology_registry,
+    install_topology_handles,
+    publish_topology,
+    shared_topology,
+    tree_from_leaf_sizes,
+)
+
+
+@pytest.fixture
+def topo():
+    return tree_from_leaf_sizes([4, 4, 2, 6])
+
+
+@pytest.fixture(autouse=True)
+def clean_registry():
+    clear_topology_registry()
+    yield
+    clear_topology_registry()
+
+
+class TestPublishAttach:
+    def test_attached_arrays_match(self, topo):
+        with publish_topology(topo) as pub:
+            twin = attach_topology(pub.handle)
+            assert twin.n_nodes == topo.n_nodes
+            assert twin.n_leaves == topo.n_leaves
+            assert np.array_equal(twin.leaf_of_node, topo.leaf_of_node)
+            assert np.array_equal(twin.leaf_sizes, topo.leaf_sizes)
+            assert np.array_equal(twin.leaf_node_offset, topo.leaf_node_offset)
+            assert np.array_equal(
+                twin.leaf_lca_levels(), topo.leaf_lca_levels()
+            )
+
+    def test_attached_arrays_read_only(self, topo):
+        with publish_topology(topo) as pub:
+            twin = attach_topology(pub.handle)
+            with pytest.raises(ValueError):
+                twin.leaf_of_node[0] = 7
+            with pytest.raises(ValueError):
+                twin.leaf_lca_levels()[0, 0] = 7
+
+    def test_attachment_pinned(self, topo):
+        """The segment mapping lives on the attached instance, so the
+        views stay valid for the topology's lifetime."""
+        with publish_topology(topo) as pub:
+            twin = attach_topology(pub.handle)
+            assert twin._shm_attachment is not None
+
+    def test_attached_topology_usable_for_state(self, topo):
+        with publish_topology(topo) as pub:
+            twin = attach_topology(pub.handle)
+            state = ClusterState(twin)
+            state.allocate(1, [0, 1, 4], JobKind.COMM)
+            reference = ClusterState(topo)
+            reference.allocate(1, [0, 1, 4], JobKind.COMM)
+            assert state.leaf_comm.tolist() == reference.leaf_comm.tolist()
+            assert state.leaf_free.tolist() == reference.leaf_free.tolist()
+
+    def test_handle_is_picklable(self, topo):
+        import pickle
+
+        with publish_topology(topo) as pub:
+            again = pickle.loads(pickle.dumps(pub.handle))
+            twin = attach_topology(again)
+            assert np.array_equal(twin.leaf_of_node, topo.leaf_of_node)
+
+
+class TestRegistry:
+    def test_install_and_lookup(self, topo):
+        with publish_topology(topo) as pub:
+            install_topology_handles({"mylog": pub.handle})
+            twin = shared_topology("mylog")
+            assert twin is not None
+            assert np.array_equal(twin.leaf_of_node, topo.leaf_of_node)
+
+    def test_unknown_key_returns_none(self):
+        assert shared_topology("nope") is None
+
+    def test_reinstall_replaces(self, topo):
+        with publish_topology(topo) as pub:
+            install_topology_handles({"k": pub.handle})
+            first = shared_topology("k")
+            install_topology_handles({"k": pub.handle})
+            assert shared_topology("k") is not first
+
+    def test_clear_forgets(self, topo):
+        with publish_topology(topo) as pub:
+            install_topology_handles({"k": pub.handle})
+            clear_topology_registry()
+            assert shared_topology("k") is None
