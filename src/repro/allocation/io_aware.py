@@ -15,6 +15,11 @@ I/O load lightly (they still share switch buffers); an I/O-intensive
 job does the reverse — I/O-heavy neighbours compete for the same
 storage paths through the leaf switch. Compute jobs fill the
 *highest*-scored switches, preserving quiet ones, as in the paper.
+
+Because the paper only *proposes* this direction (it appears in no
+result table), the allocator is excluded from ``PAPER_ALLOCATORS``;
+it is catalogued in ``docs/allocators.md`` under the *extension*
+family with its ``cross_weight`` tunable.
 """
 
 from __future__ import annotations

@@ -2,8 +2,10 @@
 
 Plain SLURM without the ``topology/tree`` plugin: take the lowest-id
 free nodes regardless of switch boundaries. Not part of the paper's
-comparison (their default already includes the topology plugin), but a
-useful ablation showing how much the tree-aware baseline itself buys.
+comparison (their default already includes the topology plugin) and
+therefore excluded from ``PAPER_ALLOCATORS``, but a useful ablation
+showing how much the tree-aware baseline itself buys. Catalogued in
+``docs/allocators.md`` under the *baseline* family.
 """
 
 from __future__ import annotations

@@ -1,45 +1,348 @@
-"""Name -> allocator registry used by experiments and the CLI."""
+"""Self-describing allocator registry used by experiments and the CLI.
+
+Every allocator is registered as an :class:`AllocatorInfo` carrying its
+name, family, paper citation, and tunable parameters, so the CLI, the
+tournament harness, and the docs catalogue (``docs/allocators.md``,
+kept in sync by ``tests/test_docs.py``) all read from one source of
+truth. New allocators are one class + one :func:`register_allocator`
+call away — see the authoring guide in ``docs/allocators.md``.
+
+Allocators can be constructed from *spec strings* that carry parameter
+overrides, e.g. ``"sa:iters=500,seed=1"`` — the syntax accepted by
+``--allocators`` everywhere in the CLI. Parameters are validated
+against the declared :class:`AllocatorParam` list: an unknown allocator
+raises ``KeyError``, an unknown or malformed parameter ``ValueError``
+(both mapped to exit code 2 by the CLI).
+"""
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Tuple, Union
 
 from .adaptive import AdaptiveAllocator
+from .annealing import SimulatedAnnealingAllocator
 from .balanced import BalancedAllocator
 from .base import Allocator
+from .contiguous import ContiguousAllocator
 from .default_slurm import DefaultSlurmAllocator
+from .fault_aware import FaultAwareAllocator
 from .greedy import GreedyAllocator
 from .io_aware import IOAwareAllocator
 from .linear import LinearAllocator
 from .spread import SpreadAllocator
 
-__all__ = ["ALLOCATOR_FACTORIES", "get_allocator", "allocator_names", "PAPER_ALLOCATORS"]
+__all__ = [
+    "AllocatorParam",
+    "AllocatorInfo",
+    "ALLOCATOR_REGISTRY",
+    "ALLOCATOR_FACTORIES",
+    "register_allocator",
+    "parse_allocator_spec",
+    "get_allocator",
+    "allocator_names",
+    "allocator_catalogue",
+    "catalogue_markdown",
+    "PAPER_ALLOCATORS",
+]
 
-ALLOCATOR_FACTORIES: Dict[str, Callable[[], Allocator]] = {
-    "default": DefaultSlurmAllocator,
-    "greedy": GreedyAllocator,
-    "balanced": BalancedAllocator,
-    "adaptive": AdaptiveAllocator,
-    "linear": LinearAllocator,
-    "io-aware": IOAwareAllocator,
-    "spread": SpreadAllocator,
-}
+#: the source paper every ``family="paper"`` allocator reproduces
+_SOURCE_PAPER = "Mishra et al., ICPP-W 2020 (the source paper)"
+
+
+@dataclass(frozen=True)
+class AllocatorParam:
+    """One tunable constructor parameter of a registered allocator.
+
+    ``kind`` names the coercion applied to spec-string values:
+    ``"int"`` or ``"float"``. ``default`` is documentation — the
+    factory's own keyword default stays authoritative.
+    """
+
+    name: str
+    kind: str
+    default: object
+    doc: str
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("int", "float"):
+            raise ValueError(f"param kind must be 'int' or 'float', got {self.kind!r}")
+
+    def coerce(self, raw: str) -> object:
+        """Parse a spec-string value; raises ``ValueError`` with context."""
+        cast = int if self.kind == "int" else float
+        try:
+            return cast(raw)
+        except ValueError:
+            raise ValueError(
+                f"parameter {self.name!r} expects {self.kind}, got {raw!r}"
+            ) from None
+
+
+@dataclass(frozen=True)
+class AllocatorInfo:
+    """Registry entry: how to build an allocator and what it is.
+
+    Attributes
+    ----------
+    name:
+        Registry key, the string accepted everywhere an allocator is
+        named (``--allocators``, :class:`ExperimentConfig`).
+    factory:
+        Zero-or-keyword-argument callable returning a fresh
+        :class:`~repro.allocation.base.Allocator`.
+    family:
+        Coarse grouping for reports: ``paper`` / ``baseline`` /
+        ``extension`` / ``search`` / ``contiguity`` / ``fault``.
+    summary:
+        One line for the catalogue table.
+    citation:
+        Where the algorithm comes from (paper section or arXiv id).
+    params:
+        Declared tunables, settable via ``name:key=value`` specs.
+    """
+
+    name: str
+    factory: Callable[..., Allocator]
+    family: str
+    summary: str
+    citation: str
+    params: Tuple[AllocatorParam, ...] = field(default=())
+
+    def param(self, key: str) -> AllocatorParam:
+        """Declared parameter ``key``; raises ``ValueError`` if unknown."""
+        for p in self.params:
+            if p.name == key:
+                return p
+        known = [p.name for p in self.params] or ["<none>"]
+        raise ValueError(
+            f"allocator {self.name!r} has no parameter {key!r}; "
+            f"tunable: {known}"
+        )
+
+
+#: name -> full registry entry (the source of truth)
+ALLOCATOR_REGISTRY: Dict[str, AllocatorInfo] = {}
+
+#: name -> factory — the legacy surface, kept in sync with the registry
+ALLOCATOR_FACTORIES: Dict[str, Callable[..., Allocator]] = {}
+
+
+def register_allocator(info: AllocatorInfo) -> AllocatorInfo:
+    """Add ``info`` to the registry; raises on a duplicate name.
+
+    This is the extension point the authoring guide
+    (``docs/allocators.md``) documents: a third-party allocator becomes
+    visible to ``get_allocator``, the CLI, and the tournament harness
+    through this one call.
+    """
+    if info.name in ALLOCATOR_REGISTRY:
+        raise ValueError(f"allocator {info.name!r} is already registered")
+    ALLOCATOR_REGISTRY[info.name] = info
+    ALLOCATOR_FACTORIES[info.name] = info.factory
+    return info
+
+
+for _info in (
+    AllocatorInfo(
+        "default",
+        DefaultSlurmAllocator,
+        family="paper",
+        summary="SLURM topology/tree baseline: best-fit leaf filling",
+        citation=_SOURCE_PAPER + ", §3.1",
+    ),
+    AllocatorInfo(
+        "greedy",
+        GreedyAllocator,
+        family="paper",
+        summary="Algorithm 1: fill leaves in Eq. 1 contention order",
+        citation=_SOURCE_PAPER + ", §4.1",
+    ),
+    AllocatorInfo(
+        "balanced",
+        BalancedAllocator,
+        family="paper",
+        summary="Algorithm 2: power-of-two chunks per leaf switch",
+        citation=_SOURCE_PAPER + ", §4.2",
+    ),
+    AllocatorInfo(
+        "adaptive",
+        AdaptiveAllocator,
+        family="paper",
+        summary="Eq. 6 arbitration between greedy and balanced",
+        citation=_SOURCE_PAPER + ", §4.3",
+    ),
+    AllocatorInfo(
+        "linear",
+        LinearAllocator,
+        family="baseline",
+        summary="topology-blind select/linear ablation (lowest node ids)",
+        citation="SLURM select/linear plugin (ablation, not in the paper)",
+    ),
+    AllocatorInfo(
+        "spread",
+        SpreadAllocator,
+        family="baseline",
+        summary="round-robin stripe across leaves (adversarial baseline)",
+        citation="SLURM --distribution=cyclic analogue (not in the paper)",
+    ),
+    AllocatorInfo(
+        "io-aware",
+        IOAwareAllocator,
+        family="extension",
+        summary="greedy over a weighted communication + I/O score",
+        citation=_SOURCE_PAPER + ", §7 future work, implemented",
+        params=(
+            AllocatorParam(
+                "cross_weight", "float", 0.25,
+                "weight of the job's non-dominant interference type",
+            ),
+        ),
+    ),
+    AllocatorInfo(
+        "sa",
+        SimulatedAnnealingAllocator,
+        family="search",
+        summary="seeded simulated annealing over leaf takes, Eq. 6 objective",
+        citation="Lan et al., arXiv 2302.03517 (SA without the neural proposal)",
+        params=(
+            AllocatorParam("iters", "int", 120, "annealing proposals per job"),
+            AllocatorParam("seed", "int", 0, "base seed of the proposal RNG"),
+            AllocatorParam("t0", "float", 0.08, "initial temperature, as a fraction of the seed cost"),
+            AllocatorParam("alpha", "float", 0.95, "geometric cooling factor per proposal"),
+        ),
+    ),
+    AllocatorInfo(
+        "mc",
+        ContiguousAllocator,
+        family="contiguity",
+        summary="MC-style bounding-box placement around the best center leaf",
+        citation="Bender et al., arXiv cs/0407058 (MC1x1 on the leaf line)",
+        params=(
+            AllocatorParam(
+                "span_weight", "float", 0.5,
+                "tie-break weight of the leaf-span (bounding box) term",
+            ),
+        ),
+    ),
+    AllocatorInfo(
+        "fault-aware",
+        FaultAwareAllocator,
+        family="fault",
+        summary="greedy biased away from failure-correlated leaves",
+        citation="Vardas et al., arXiv 2012.14757 (fault-aware placement)",
+        params=(
+            AllocatorParam(
+                "bias", "float", 1.0,
+                "weight of the per-leaf failure-history share in the score",
+            ),
+        ),
+    ),
+):
+    register_allocator(_info)
+del _info
 
 #: The four algorithms compared in every paper table, in paper column order.
 PAPER_ALLOCATORS = ("default", "greedy", "balanced", "adaptive")
 
 
-def get_allocator(name: str) -> Allocator:
-    """Instantiate the allocator registered under ``name``."""
+def parse_allocator_spec(spec: str) -> Tuple[str, Dict[str, str]]:
+    """Split ``"name:key=value,key=value"`` into (name, raw params).
+
+    The name is not resolved here (that is :func:`get_allocator`'s
+    job), but the parameter syntax is validated: every item after the
+    colon must be ``key=value``. Raises ``ValueError`` on malformed
+    specs.
+    """
+    name, sep, rest = spec.partition(":")
+    name = name.strip()
+    if not name:
+        raise ValueError(f"allocator spec {spec!r} has an empty name")
+    params: Dict[str, str] = {}
+    if sep:
+        if not rest:
+            raise ValueError(
+                f"allocator spec {spec!r} has a trailing ':' with no parameters"
+            )
+        for item in rest.split(","):
+            key, eq, value = item.partition("=")
+            key = key.strip()
+            if not eq or not key or not value.strip():
+                raise ValueError(
+                    f"malformed parameter {item!r} in allocator spec {spec!r} "
+                    "(expected name:key=value[,key=value...])"
+                )
+            if key in params:
+                raise ValueError(
+                    f"duplicate parameter {key!r} in allocator spec {spec!r}"
+                )
+            params[key] = value.strip()
+    return name, params
+
+
+def get_allocator(spec: Union[str, Allocator]) -> Allocator:
+    """Instantiate the allocator named by ``spec``.
+
+    ``spec`` is a registry name (``"balanced"``) or a parameterized
+    spec string (``"sa:iters=500"``). Already-constructed allocators
+    pass through unchanged. Raises ``KeyError`` for an unknown name and
+    ``ValueError`` for an unknown/malformed parameter.
+    """
+    if isinstance(spec, Allocator):
+        return spec
+    name, raw_params = parse_allocator_spec(spec)
     try:
-        factory = ALLOCATOR_FACTORIES[name]
+        info = ALLOCATOR_REGISTRY[name]
     except KeyError:
         raise KeyError(
-            f"unknown allocator {name!r}; known: {sorted(ALLOCATOR_FACTORIES)}"
+            f"unknown allocator {name!r}; known: {sorted(ALLOCATOR_REGISTRY)}"
         ) from None
-    return factory()
+    kwargs = {key: info.param(key).coerce(raw) for key, raw in raw_params.items()}
+    return info.factory(**kwargs)
 
 
 def allocator_names() -> List[str]:
     """Sorted registry names."""
-    return sorted(ALLOCATOR_FACTORIES)
+    return sorted(ALLOCATOR_REGISTRY)
+
+
+def allocator_catalogue() -> List[AllocatorInfo]:
+    """All registry entries, paper allocators first, then by name.
+
+    The order of the catalogue table in ``docs/allocators.md`` — the
+    docs test regenerates this list and diffs the table against it.
+    """
+    paper = [ALLOCATOR_REGISTRY[name] for name in PAPER_ALLOCATORS]
+    rest = [
+        ALLOCATOR_REGISTRY[name]
+        for name in sorted(ALLOCATOR_REGISTRY)
+        if name not in PAPER_ALLOCATORS
+    ]
+    return paper + rest
+
+
+def catalogue_markdown() -> str:
+    """The ``docs/allocators.md`` catalogue table, straight from the registry.
+
+    ``tests/test_docs.py`` regenerates this and diffs it against the
+    table committed in the guide, so the docs cannot drift from
+    :data:`ALLOCATOR_REGISTRY` without failing CI. Regenerate with::
+
+        PYTHONPATH=src python -c \\
+            "from repro.allocation import catalogue_markdown; print(catalogue_markdown(), end='')"
+    """
+    lines = [
+        "| name | family | tunable params | summary | citation |",
+        "|---|---|---|---|---|",
+    ]
+    for info in allocator_catalogue():
+        params = (
+            ", ".join(f"`{p.name}={p.default}`" for p in info.params)
+            if info.params
+            else "—"
+        )
+        lines.append(
+            f"| `{info.name}` | {info.family} | {params} "
+            f"| {info.summary} | {info.citation} |"
+        )
+    return "\n".join(lines) + "\n"

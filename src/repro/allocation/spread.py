@@ -6,7 +6,9 @@ memory-bandwidth balance, bad for collectives (every pair crosses a
 switch). Implemented here as the adversarial counterpart of the
 balanced allocator: it maximizes switch-spread instead of minimizing
 it, which makes it a sharp baseline for showing *why* the paper's
-power-of-two blocking matters.
+power-of-two blocking matters. Not in the paper's comparison, so it is
+excluded from ``PAPER_ALLOCATORS``; catalogued in ``docs/allocators.md``
+under the *baseline* family.
 """
 
 from __future__ import annotations

@@ -26,6 +26,10 @@ Subcommands:
 * ``sweep`` — run a parameter sweep (``--param name=v1,v2`` repeated)
   and emit tidy CSV rows; ``--fabric`` executes it through the
   coordinator/worker fabric instead of in-process.
+* ``tournament`` — rank every registered allocator across a workload
+  suite and fault regimes; emits the ranked markdown report (and
+  optionally JSON + Prometheus timing counters). See
+  ``docs/allocators.md``.
 * ``fabric start|worker|status`` — operate a sweep fabric directory by
   hand: start (or resume, after a crash) the coordinator, attach a
   worker from any shell sharing the directory, or inspect progress.
@@ -88,9 +92,9 @@ def build_parser() -> argparse.ArgumentParser:
     sim = sub.add_parser("simulate", help="run one log through one allocator")
     sim.add_argument("--log", choices=sorted(LOG_SPECS), default="theta")
     sim.add_argument(
-        "--allocator",
-        choices=("default", "greedy", "balanced", "adaptive", "linear"),
-        default="balanced",
+        "--allocator", default="balanced", metavar="SPEC",
+        help="any registered allocator, optionally parameterized, e.g. "
+        "'balanced' or 'sa:iters=500' (catalogue: docs/allocators.md)",
     )
     sim.add_argument("--jobs", type=int, default=1000)
     sim.add_argument("--percent-comm", type=float, default=90.0)
@@ -362,6 +366,76 @@ def build_parser() -> argparse.ArgumentParser:
     swp.add_argument(
         "--fabric-workers", type=int, default=2, metavar="N",
         help="local worker processes to spawn with --fabric (default 2)",
+    )
+
+    tour = sub.add_parser(
+        "tournament",
+        help="rank every registered allocator across workloads and "
+        "fault regimes (docs/allocators.md)",
+    )
+    tour.add_argument(
+        "--allocators", nargs="+", default=None, metavar="SPEC",
+        help="allocator specs to enter (default: every registered "
+        "allocator); parameterized specs like 'sa:iters=60' are "
+        "accepted and ranked under their spec string",
+    )
+    tour.add_argument(
+        "--workloads", nargs="+", default=["theta", "stream"],
+        metavar="NAME",
+        help="workload suite: paper logs (theta, intrepid, mira) and "
+        "the 'stream' synthetic (default: theta stream)",
+    )
+    tour.add_argument(
+        "--regimes", nargs="+",
+        default=["none", "node-faults", "switch-faults"], metavar="NAME",
+        help="fault regimes (none, node-faults, switch-faults; "
+        "default: all three)",
+    )
+    tour.add_argument(
+        "--jobs", type=int, default=300, metavar="N",
+        help="jobs per cell (default 300)",
+    )
+    tour.add_argument("--seed", type=int, default=0)
+    tour.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="run cells in N parallel processes",
+    )
+    tour.add_argument(
+        "--max-retries", type=int, default=0, metavar="N",
+        help="retry a failed cell up to N times with backoff",
+    )
+    tour.add_argument(
+        "--on-task-error",
+        choices=("retry", "skip", "raise", "quarantine"),
+        default="retry",
+        help="what to do when a cell exhausts its retries (skip "
+        "reports the bracket with the cell listed as missing)",
+    )
+    tour.add_argument(
+        "--journal", default=None, metavar="FILE",
+        help="append-only run journal for verify-run replays",
+    )
+    tour.add_argument(
+        "--output-md", default=None, metavar="FILE",
+        help="write the ranked markdown report to FILE (atomic)",
+    )
+    tour.add_argument(
+        "--output-json", default=None, metavar="FILE",
+        help="write the full report as JSON to FILE (atomic)",
+    )
+    tour.add_argument(
+        "--metrics-out", default=None, metavar="FILE",
+        help="write per-allocator timing counters in Prometheus text "
+        "format to FILE",
+    )
+    tour.add_argument(
+        "--no-timing", action="store_true",
+        help="omit wall-clock timings from every output (renders "
+        "byte-identical across runs with equal arguments)",
+    )
+    tour.add_argument(
+        "--progress", action="store_true",
+        help="print a heartbeat line per finished cell to stderr",
     )
 
     fab = sub.add_parser(
@@ -945,6 +1019,62 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return _report_partial(rows)
 
 
+def _cmd_tournament(args: argparse.Namespace) -> int:
+    from .experiments.tournament import run_tournament
+    from .runs.integrity import IntegrityError
+
+    reporter = None
+    if args.progress:
+        from .obs import ProgressReporter
+
+        reporter = ProgressReporter()
+    metrics = None
+    if args.metrics_out is not None:
+        from .obs.metrics import MetricsRegistry
+
+        metrics = MetricsRegistry()
+    try:
+        report = run_tournament(
+            args.allocators,
+            workloads=tuple(args.workloads),
+            regimes=tuple(args.regimes),
+            n_jobs=args.jobs,
+            seed=args.seed,
+            workers=args.workers,
+            max_retries=args.max_retries,
+            on_task_error=args.on_task_error,
+            journal=args.journal,
+            progress=reporter,
+            metrics=metrics,
+        )
+        include_timing = not args.no_timing
+        markdown = report.render_markdown(include_timing=include_timing)
+        print(markdown, end="")
+        if args.output_md is not None:
+            write_report(markdown, args.output_md)
+        if args.output_json is not None:
+            write_report(report.to_json(include_timing=include_timing), args.output_json)
+        if metrics is not None:
+            write_report(metrics.render_prometheus(), args.metrics_out)
+    except KeyboardInterrupt:
+        print("tournament interrupted", file=sys.stderr)
+        return 130
+    except IntegrityError as exc:
+        print(f"integrity error: {exc}", file=sys.stderr)
+        return 3
+    except (OSError, KeyError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    finally:
+        if reporter is not None:
+            reporter.finish()
+    if not report.complete:
+        for key, error in sorted(report.missing.items()):
+            print(f"missing cell {key!r}: {error}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_fabric(args: argparse.Namespace) -> int:
     import json as _json
 
@@ -1136,6 +1266,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_chaos(args)
     if args.command == "sweep":
         return _cmd_sweep(args)
+    if args.command == "tournament":
+        return _cmd_tournament(args)
     if args.command == "fabric":
         return _cmd_fabric(args)
     raise AssertionError(f"unhandled command {args.command!r}")

@@ -105,6 +105,11 @@ class ClusterState:
         self.leaf_offline = np.zeros(topology.n_leaves, dtype=np.int64)
         self.leaf_comm = np.zeros(topology.n_leaves, dtype=np.int64)
         self.leaf_io = np.zeros(topology.n_leaves, dtype=np.int64)
+        #: availability history: per-leaf count of node DOWN transitions
+        #: since cluster start (monotonic, never decremented by repair);
+        #: the fault-aware allocator reads it to bias placements away
+        #: from failure-correlated leaves.
+        self.leaf_faults = np.zeros(topology.n_leaves, dtype=np.int64)
         #: node id -> owning job id, -1 when unoccupied; the node->job
         #: index the fault path reads (jobs_on) instead of scanning all
         #: running records against an O(n_nodes) hit mask.
@@ -583,6 +588,12 @@ class ClusterState:
             )
             self.leaf_free[leaves] -= counts
             self.leaf_offline[leaves] += counts
+        # every DOWN transition (including DRAINING -> DOWN) goes into
+        # the per-leaf availability history the fault-aware allocator reads
+        fault_leaves, fault_counts = np.unique(
+            self.topology.leaf_of_node[take], return_counts=True
+        )
+        self.leaf_faults[fault_leaves] += fault_counts
         self._invalidate()
         return take
 
@@ -633,14 +644,19 @@ class ClusterState:
         """Plain-JSON state for engine checkpoints.
 
         Only the node-granular arrays, the running set (in insertion
-        order — scheduling iterates it), and the version counter are
-        stored; the per-leaf counters are derived quantities and are
-        rebuilt from the arrays on restore, so a checkpoint can never
-        smuggle in a counter that violates the class invariants.
+        order — scheduling iterates it), the version counter, and the
+        :attr:`leaf_faults` availability history are stored; the other
+        per-leaf counters are derived quantities and are rebuilt from
+        the arrays on restore, so a checkpoint can never smuggle in a
+        counter that violates the class invariants. ``leaf_faults`` is
+        genuine history (not derivable from the current arrays), so it
+        rides along verbatim; checkpoints written before it existed
+        restore with an all-zero history.
         """
         return {
             "node_state": self.node_state.tolist(),
             "node_avail": self.node_avail.tolist(),
+            "leaf_faults": self.leaf_faults.tolist(),
             "version": self.version,
             "running": [
                 {
@@ -684,6 +700,14 @@ class ClusterState:
         state.leaf_io = np.bincount(
             leaf_of[node_state == NODE_IO], minlength=topology.n_leaves
         ).astype(np.int64)
+        state.leaf_faults = np.asarray(
+            data.get("leaf_faults", np.zeros(topology.n_leaves)), dtype=np.int64
+        )
+        if state.leaf_faults.shape != (topology.n_leaves,):
+            raise ValueError(
+                f"checkpoint leaf_faults has {state.leaf_faults.size} leaves; "
+                f"the topology has {topology.n_leaves}"
+            )
         for rec in data["running"]:
             record = AllocationRecord(
                 job_id=int(rec["job_id"]),
@@ -707,6 +731,7 @@ class ClusterState:
         clone.leaf_free = self.leaf_free.copy()
         clone.leaf_comm = self.leaf_comm.copy()
         clone.leaf_io = self.leaf_io.copy()
+        clone.leaf_faults = self.leaf_faults.copy()
         clone.running = dict(self.running)  # records are frozen, share them
         # Caches are never shared: a snapshot starts cold so stale entries
         # cannot leak between a state and its copies (the counterfactual
@@ -747,6 +772,7 @@ class ClusterState:
         assert np.all(self.leaf_offline >= 0)
         assert np.all(self.leaf_comm <= self.leaf_busy), "leaf_comm exceeds leaf_busy"
         assert np.all(self.leaf_io <= self.leaf_busy), "leaf_io exceeds leaf_busy"
+        assert np.all(self.leaf_faults >= 0), "leaf_faults went negative"
         seen = np.zeros(topo.n_nodes, dtype=bool)
         for record in self.running.values():
             assert not seen[record.nodes].any(), "node held by two jobs"

@@ -37,6 +37,14 @@ from .figure9 import Figure9Result, run_figure9
 from .validation import ValidationResult, run_cost_model_validation
 from .summary import SummaryResult, run_all
 from .sweeps import rows_to_csv, sweep
+from .tournament import (
+    FAULT_REGIMES,
+    FaultRegime,
+    TOURNAMENT_WORKLOADS,
+    TournamentCell,
+    TournamentReport,
+    run_tournament,
+)
 
 #: name -> zero-config runner, for the CLI
 EXPERIMENT_RUNNERS = {
@@ -87,4 +95,10 @@ __all__ = [
     "rows_to_csv",
     "sweep",
     "EXPERIMENT_RUNNERS",
+    "FAULT_REGIMES",
+    "FaultRegime",
+    "TOURNAMENT_WORKLOADS",
+    "TournamentCell",
+    "TournamentReport",
+    "run_tournament",
 ]

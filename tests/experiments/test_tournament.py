@@ -1,0 +1,212 @@
+"""Tournament harness: structure, rankings, determinism, error paths."""
+
+import json
+
+import pytest
+
+from repro.experiments import (
+    FAULT_REGIMES,
+    TOURNAMENT_WORKLOADS,
+    TournamentCell,
+    TournamentReport,
+    run_tournament,
+)
+from repro.obs import MetricsRegistry
+from repro.runs import load_journal
+
+ALLOCATORS = ["greedy", "sa:iters=5"]
+WORKLOADS = ["theta", "stream"]
+REGIMES = ["none", "node-faults"]
+N_JOBS = 20
+
+
+@pytest.fixture(scope="module")
+def report():
+    return run_tournament(
+        ALLOCATORS,
+        workloads=WORKLOADS,
+        regimes=REGIMES,
+        n_jobs=N_JOBS,
+        seed=0,
+    )
+
+
+class TestStructure:
+    def test_full_cross_product(self, report):
+        assert report.complete
+        assert len(report.cells) == len(ALLOCATORS) * len(WORKLOADS) * len(REGIMES)
+        combos = {(c.workload, c.regime, c.allocator) for c in report.cells}
+        assert len(combos) == len(report.cells)
+
+    def test_spec_strings_are_the_report_labels(self, report):
+        assert {c.allocator for c in report.cells} == set(ALLOCATORS)
+
+    def test_cell_metrics_are_finite_floats(self, report):
+        for cell in report.cells:
+            for key, value in cell.metrics.items():
+                assert isinstance(value, float), (cell.allocator, key)
+            assert cell.metrics["mean_cost_jobaware"] >= 0.0
+            assert cell.seconds > 0.0
+
+    def test_standings_cover_every_allocator_ranked(self, report):
+        rows = report.standings()
+        assert [set(r) >= {"allocator", "mean_rank", "cells", "seconds"} for r in rows]
+        assert {r["allocator"] for r in rows} == set(ALLOCATORS)
+        assert all(r["cells"] == len(WORKLOADS) * len(REGIMES) for r in rows)
+        ranks = [r["mean_rank"] for r in rows]
+        assert ranks == sorted(ranks)
+        assert all(1.0 <= r <= len(ALLOCATORS) for r in ranks)
+
+    def test_faults_regime_actually_injects(self, report):
+        """node-faults cells see a different schedule than none cells."""
+        by_key = {(c.workload, c.regime, c.allocator): c for c in report.cells}
+        diffs = [
+            by_key[("theta", "none", a)].metrics != by_key[("theta", "node-faults", a)].metrics
+            for a in ALLOCATORS
+        ]
+        assert any(diffs)
+
+    def test_markdown_has_standings_and_group_tables(self, report):
+        text = report.render_markdown()
+        assert "# Allocator tournament" in text
+        assert "Standings" in text
+        for workload in WORKLOADS:
+            for regime in REGIMES:
+                assert f"{workload} / {regime}" in text
+        assert "Missing cells" not in text
+
+    def test_json_roundtrips(self, report):
+        data = json.loads(report.to_json())
+        assert data["config"]["allocators"] == ALLOCATORS
+        assert len(data["cells"]) == len(report.cells)
+        assert data["missing"] == {}
+
+
+class TestDeterminism:
+    def test_rerun_is_byte_identical_without_timing(self, report):
+        again = run_tournament(
+            ALLOCATORS,
+            workloads=WORKLOADS,
+            regimes=REGIMES,
+            n_jobs=N_JOBS,
+            seed=0,
+        )
+        assert again.to_json(include_timing=False) == report.to_json(include_timing=False)
+        assert again.render_markdown(include_timing=False) == report.render_markdown(
+            include_timing=False
+        )
+
+    def test_no_timing_strips_seconds_everywhere(self, report):
+        assert "seconds" not in report.to_json(include_timing=False)
+        assert "runtime (s)" not in report.render_markdown(include_timing=False)
+
+
+class TestPlumbing:
+    def test_journal_and_metrics(self, tmp_path):
+        registry = MetricsRegistry()
+        journal_path = tmp_path / "tournament.jsonl"
+        result = run_tournament(
+            ["greedy", "balanced"],
+            workloads=["theta"],
+            regimes=["none"],
+            n_jobs=10,
+            seed=0,
+            journal=journal_path,
+            metrics=registry,
+        )
+        assert result.complete
+        journal = load_journal(journal_path)
+        assert journal.run_type == "tournament"
+        assert sorted(journal.completed_keys()) == [
+            "theta/none/balanced",
+            "theta/none/greedy",
+        ]
+        assert journal.missing_keys() == []
+        exposition = registry.render_prometheus()
+        assert 'tournament_cells_total{allocator="greedy"} 1' in exposition
+        assert "tournament_cell_seconds_total" in exposition
+
+    def test_parallel_workers_match_serial(self):
+        serial = run_tournament(
+            ["greedy", "linear"], workloads=["theta"], regimes=["none"],
+            n_jobs=10, seed=0,
+        )
+        parallel = run_tournament(
+            ["greedy", "linear"], workloads=["theta"], regimes=["none"],
+            n_jobs=10, seed=0, workers=2,
+        )
+        assert parallel.to_json(include_timing=False) == serial.to_json(
+            include_timing=False
+        )
+
+
+class TestValidation:
+    def test_unknown_allocator(self):
+        with pytest.raises(KeyError, match="unknown allocator"):
+            run_tournament(["nope"], n_jobs=5)
+
+    def test_unknown_workload(self):
+        with pytest.raises(KeyError, match="unknown workload"):
+            run_tournament(["greedy"], workloads=["lumi"], n_jobs=5)
+
+    def test_unknown_regime(self):
+        with pytest.raises(KeyError, match="unknown fault regime"):
+            run_tournament(["greedy"], regimes=["meteor"], n_jobs=5)
+
+    def test_duplicate_spec(self):
+        with pytest.raises(ValueError, match="duplicate allocator spec"):
+            run_tournament(["greedy", "greedy"], n_jobs=5)
+
+    def test_bad_n_jobs(self):
+        with pytest.raises(ValueError, match="n_jobs"):
+            run_tournament(["greedy"], n_jobs=0)
+
+    def test_registries_expose_the_acceptance_grid(self):
+        assert {"none", "node-faults", "switch-faults"} <= set(FAULT_REGIMES)
+        assert {"theta", "intrepid", "mira", "stream"} <= set(TOURNAMENT_WORKLOADS)
+
+
+class TestStandingsMath:
+    def test_mean_rank_orders_the_table(self):
+        def cell(workload, regime, allocator, cost):
+            return TournamentCell(
+                workload, regime, allocator,
+                metrics={
+                    "mean_cost_jobaware": cost,
+                    "p95_wait_hours": 0.0,
+                    "total_wait_hours": 0.0,
+                    "wasted_node_hours": 0.0,
+                    "mean_bounded_slowdown": 1.0,
+                    "failed_jobs": 0.0,
+                },
+                seconds=0.5,
+            )
+
+        report = TournamentReport(
+            allocators=["a", "b"],
+            workloads=["w1", "w2"],
+            regimes=["none"],
+            n_jobs=1,
+            seed=0,
+            cells=[
+                cell("w1", "none", "a", 1.0),
+                cell("w1", "none", "b", 2.0),
+                cell("w2", "none", "a", 5.0),
+                cell("w2", "none", "b", 3.0),
+            ],
+        )
+        rows = report.standings()
+        # both average rank 1.5; the tie breaks alphabetically
+        assert [r["allocator"] for r in rows] == ["a", "b"]
+        assert rows[0]["mean_rank"] == rows[1]["mean_rank"] == 1.5
+
+    def test_missing_cells_render_and_unset_complete(self):
+        report = TournamentReport(
+            allocators=["a"], workloads=["w"], regimes=["none"],
+            n_jobs=1, seed=0, cells=[],
+            missing={"w/none/a": "boom"},
+        )
+        assert not report.complete
+        text = report.render_markdown()
+        assert "## Missing cells" in text
+        assert "`w/none/a`: boom" in text

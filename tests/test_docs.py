@@ -82,6 +82,13 @@ def check_tokens(tokens):
             assert action is not None, f"{path}: unknown option {flag!r}"
             if "=" not in tok and action.nargs != 0:
                 i += 1  # skip the option's value
+                if action.nargs in ("+", "*"):
+                    # greedy multi-value option: consumes values up to
+                    # the next flag, exactly as argparse would
+                    while i + 1 < len(tokens) and not tokens[i + 1].startswith("-"):
+                        i += 1
+                elif isinstance(action.nargs, int):
+                    i += action.nargs - 1
         elif tok in subs:
             parser = subs[tok]
             options, subs, positionals = _parser_shape(parser)
@@ -120,6 +127,42 @@ class TestDocumentedCommands:
                 parser.parse_args([sub, "--help"])
             assert exc.value.code == 0, f"{sub} --help exited {exc.value.code}"
             assert sub in capsys.readouterr().out
+
+
+CATALOGUE_DOC = REPO / "docs" / "allocators.md"
+CATALOGUE_RE = re.compile(
+    r"<!-- BEGIN ALLOCATOR CATALOGUE[^>]*-->\n(.*?)<!-- END ALLOCATOR CATALOGUE -->",
+    re.S,
+)
+
+
+class TestAllocatorCatalogue:
+    """docs/allocators.md's catalogue table must match the live registry.
+
+    The table between the BEGIN/END markers is the verbatim output of
+    ``repro.allocation.catalogue_markdown()``; regenerating it is a
+    one-liner documented next to the markers. Editing the registry
+    without the docs (or vice versa) fails here.
+    """
+
+    def test_catalogue_matches_registry(self):
+        from repro.allocation import catalogue_markdown
+
+        text = CATALOGUE_DOC.read_text(encoding="utf-8")
+        match = CATALOGUE_RE.search(text)
+        assert match, "docs/allocators.md lost its catalogue markers"
+        assert match.group(1) == catalogue_markdown(), (
+            "docs/allocators.md catalogue table is stale; regenerate with:\n"
+            "  PYTHONPATH=src python -c \"from repro.allocation import "
+            "catalogue_markdown; print(catalogue_markdown(), end='')\""
+        )
+
+    def test_catalogue_covers_every_registered_allocator(self):
+        from repro.allocation import allocator_names
+
+        text = CATALOGUE_DOC.read_text(encoding="utf-8")
+        for name in allocator_names():
+            assert f"| `{name}` |" in text
 
 
 class TestAuditCatchesDrift:
